@@ -1,0 +1,39 @@
+"""Benchmark fixtures.
+
+The corpus scale is controlled by ``REPRO_BENCH_SCALE`` (default
+``small`` — hundreds of binaries, a few minutes for the full run; set
+``tiny`` while iterating). Rendered tables are written to
+``benchmarks/results/`` and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.synth.corpus import build_corpus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return build_corpus(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Echo a rendered table and persist it under results/."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

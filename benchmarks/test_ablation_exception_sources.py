@@ -1,0 +1,67 @@
+"""Ablation: where the exception info comes from (paper §IV-C vs FETCH).
+
+FunSeeker reads landing pads out of ``.gcc_except_table`` LSDAs;
+eh_frame-centric tools effectively treat FDE ``PC begin`` values as the
+only trustworthy entries. This bench compares three policies on the
+corpus slice where they differ most — x86 Clang binaries:
+
+- ``lsda``    — FunSeeker's filter (landing pads removed via LSDAs);
+- ``nofilter``— no exception filtering at all (config ① + C);
+- ``fde-only``— trust eh_frame alone: entries are FDE starts
+  (FETCH/Ghidra's information source).
+
+Claims asserted: the LSDA policy keeps both precision and recall; the
+FDE-only policy collapses when Clang omits FDEs; skipping the filter
+costs precision exactly on the C++ binaries.
+"""
+
+from benchmarks.conftest import publish
+from repro.baselines.base import fde_starts
+from repro.core.funseeker import Config, FunSeeker
+from repro.elf.parser import ELFFile
+from repro.eval.metrics import Confusion, score
+
+
+def _run(corpus):
+    pooled = {"lsda": Confusion(), "nofilter": Confusion(),
+              "fde-only": Confusion()}
+    cxx_precision = {"lsda": Confusion(), "nofilter": Confusion()}
+    for entry in corpus:
+        if entry.profile.bits != 32 or entry.profile.compiler != "clang":
+            continue
+        elf = ELFFile(entry.stripped)
+        gt = entry.binary.ground_truth.function_starts
+
+        full = FunSeeker(elf, Config.FULL).identify()
+        raw = FunSeeker(elf, Config.RAW).identify()
+        pooled["lsda"].add(score(gt, full.functions))
+        nofilter = raw.endbr_all | raw.call_targets
+        pooled["nofilter"].add(score(gt, nofilter))
+        starts, _ = fde_starts(elf)
+        pooled["fde-only"].add(score(gt, starts))
+
+        if full.landing_pads:  # the C++ binaries
+            cxx_precision["lsda"].add(score(gt, full.functions))
+            cxx_precision["nofilter"].add(score(gt, nofilter))
+    return pooled, cxx_precision
+
+
+def test_exception_source_ablation(benchmark, corpus, results_dir):
+    pooled, cxx = benchmark.pedantic(
+        lambda: _run(corpus), rounds=1, iterations=1
+    )
+    lines = ["ABLATION: exception-information sources "
+             "(x86 Clang slice; paper §IV-C)"]
+    for name, conf in pooled.items():
+        lines.append(f"  {name:9s} P={100 * conf.precision:6.2f} "
+                     f"R={100 * conf.recall:6.2f}")
+    publish(results_dir, "ablation_exception_sources", "\n".join(lines))
+
+    assert pooled["lsda"].recall > 0.95
+    assert pooled["lsda"].precision > 0.95
+    # eh_frame-only collapses without Clang FDEs (the paper's argument
+    # for preferring .gcc_except_table).
+    assert pooled["fde-only"].recall < 0.5
+    # Skipping the filter costs precision on the C++ binaries.
+    if cxx["lsda"].tp:
+        assert cxx["nofilter"].precision < cxx["lsda"].precision - 0.02

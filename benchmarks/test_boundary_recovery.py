@@ -1,0 +1,64 @@
+"""Downstream experiment: function *boundary* recovery quality.
+
+The paper evaluates entry identification; boundaries (entry + size) are
+the next thing every consumer needs (§VII-B). This bench feeds each
+tool's entries into the CFG recoverer and scores the estimated
+boundaries against ground-truth sizes — quantifying how entry-detection
+quality propagates downstream.
+
+Claims asserted: with FunSeeker entries, the large majority of
+boundaries land within one alignment pad of the truth; with IDA-like
+entries (low recall) boundary quality degrades because missed entries
+merge adjacent functions.
+"""
+
+from benchmarks.conftest import publish
+from repro.baselines import FunSeekerDetector, IdaLikeDetector
+from repro.cfg import recover_program_cfg
+from repro.elf.parser import ELFFile
+
+TOLERANCE = 16  # one alignment pad
+
+
+def _boundary_accuracy(corpus, detector) -> tuple[int, int]:
+    close = 0
+    total = 0
+    for entry in corpus:
+        if entry.profile.bits != 64:
+            continue  # one arch suffices for the downstream story
+        elf = ELFFile(entry.stripped)
+        functions = detector.detect(elf).functions
+        program = recover_program_cfg(elf, functions)
+        for rec in entry.binary.ground_truth.entries:
+            if not rec.is_function:
+                continue
+            total += 1
+            cfg = program.functions.get(rec.address)
+            if cfg is None:
+                continue
+            true_end = rec.address + rec.size
+            if abs(cfg.high_addr - true_end) <= TOLERANCE:
+                close += 1
+    return close, total
+
+
+def test_boundary_recovery(benchmark, corpus, results_dir):
+    def run():
+        return {
+            "funseeker": _boundary_accuracy(corpus, FunSeekerDetector()),
+            "ida": _boundary_accuracy(corpus, IdaLikeDetector()),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["DOWNSTREAM: function boundary recovery "
+             f"(within {TOLERANCE} bytes of truth)"]
+    rates = {}
+    for tool, (close, total) in results.items():
+        rate = close / total if total else 0.0
+        rates[tool] = rate
+        lines.append(f"  {tool:10s} {close}/{total} = {100 * rate:.1f}%")
+    publish(results_dir, "boundary_recovery", "\n".join(lines))
+
+    assert rates["funseeker"] > 0.75
+    assert rates["funseeker"] > rates["ida"] + 0.1, \
+        "missed entries merge functions and wreck boundaries"

@@ -1,0 +1,45 @@
+"""Configuration robustness: FunSeeker across the paper's build matrix.
+
+The paper's dataset deliberately spans compilers, architectures, PIE
+modes, and six optimization levels (§III-A) so that results are not an
+artifact of one configuration. This bench slices Table III's FunSeeker
+run along every configuration axis and asserts it stays strong on all
+of them — the property pattern-matching tools lack (§VII-B).
+"""
+
+from benchmarks.conftest import publish
+from repro.baselines import FunSeekerDetector
+from repro.eval.runner import run_evaluation
+
+
+def test_funseeker_across_configurations(benchmark, corpus, results_dir):
+    report = benchmark.pedantic(
+        lambda: run_evaluation(corpus, {"fs": FunSeekerDetector()}),
+        rounds=1, iterations=1,
+    )
+    lines = ["ROBUSTNESS: FunSeeker per configuration axis"]
+    checks: list[tuple[str, float, float]] = []
+
+    for attr, values in (
+        ("compiler", ["gcc", "clang"]),
+        ("bits", [32, 64]),
+        ("pie", [True, False]),
+        ("opt", sorted({r.opt for r in report.records})),
+    ):
+        for value in values:
+            sub = report.filtered(**{attr: value})
+            if not sub.records:
+                continue
+            pooled = sub.pooled()
+            lines.append(
+                f"  {attr}={value!s:6s} P={100 * pooled.precision:6.2f} "
+                f"R={100 * pooled.recall:6.2f} "
+                f"({len(sub.records)} binaries)"
+            )
+            checks.append((f"{attr}={value}", pooled.precision,
+                           pooled.recall))
+    publish(results_dir, "config_robustness", "\n".join(lines))
+
+    for label, precision, recall in checks:
+        assert precision > 0.98, f"precision dip at {label}"
+        assert recall > 0.97, f"recall dip at {label}"

@@ -1,0 +1,39 @@
+"""Regenerate Figure 3: the function syntactic-property Venn diagram.
+
+Paper claims reproduced here:
+
+- ~89.3% of functions start with an end-branch (we assert a band);
+- ~10% are DirCallTarget-only statics;
+- at least one of the three properties holds for ~all functions —
+  the residual no-property functions are dead code;
+- the two jump-related slivers exist but are small.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.function_props import CALL, ENDBR, JMP
+from repro.eval.tables import figure3
+
+
+def test_figure3(benchmark, corpus, results_dir):
+    text, venn = benchmark.pedantic(
+        lambda: figure3(corpus), rounds=1, iterations=1
+    )
+    publish(results_dir, "figure3", text)
+
+    total = venn.total
+    assert total > 500
+
+    endbr_frac = venn.with_property(ENDBR) / total
+    assert 0.80 < endbr_frac < 0.95, "paper: 89.3% EndBrAtHead"
+
+    call_only = venn.fraction(frozenset({CALL}))
+    assert 0.05 < call_only < 0.20, "paper: 10.01% DirCall-only"
+
+    covered = venn.any_property() / total
+    assert covered > 0.97, "paper: 99.99% hold at least one property"
+
+    jmp_only = venn.fraction(frozenset({JMP}))
+    assert jmp_only < 0.05, "paper: 0.44% DirJmp-only"
+
+    none_frac = venn.fraction(frozenset())
+    assert none_frac < 0.03, "paper: 0.01% with no property (dead code)"

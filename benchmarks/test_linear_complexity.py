@@ -1,0 +1,52 @@
+"""Complexity bench: FunSeeker's runtime is linear in binary size.
+
+The paper's conclusion (§VIII) states the algorithm's "complexity is
+linear in the size of the target binary". This bench generates binaries
+of geometrically increasing text size, measures the identification
+time, and asserts the growth is consistent with linearity (time per
+byte stays flat rather than growing).
+"""
+
+from benchmarks.conftest import publish
+from repro.core.funseeker import FunSeeker
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+SIZES = (50, 100, 200, 400, 800)
+
+
+def _measure():
+    profile = CompilerProfile("gcc", "O2", 64, True)
+    points = []
+    for n in SIZES:
+        spec = generate_program("lin", n, profile, seed=n)
+        binary = link_program(spec, profile)
+        elf = ELFFile(binary.data)
+        text_size = elf.section(".text").sh_size
+        seeker = FunSeeker(elf)
+        seeker.identify()  # warm caches
+        elapsed = min(seeker.identify().elapsed_seconds
+                      for _ in range(3))
+        points.append((text_size, elapsed))
+    return points
+
+
+def test_linear_scaling(benchmark, results_dir):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = ["COMPLEXITY: FunSeeker runtime vs text size (§VIII)"]
+    per_byte = []
+    for size, elapsed in points:
+        rate = elapsed / size * 1e9
+        per_byte.append(rate)
+        lines.append(f"  {size:8d} B  {elapsed * 1000:7.2f} ms  "
+                     f"{rate:6.1f} ns/B")
+    publish(results_dir, "linear_complexity", "\n".join(lines))
+
+    # Linearity: cost per byte must not grow with size. Allow generous
+    # noise; superlinear behaviour would multiply it.
+    smallest = per_byte[0]
+    largest = per_byte[-1]
+    assert largest < smallest * 2.0, \
+        f"per-byte cost grew {largest / smallest:.1f}x across sizes"
+    # And the largest binary must still be fast in absolute terms.
+    assert points[-1][1] < 2.0

@@ -1,0 +1,35 @@
+"""Regenerate Table I: distribution of end-branch instruction locations.
+
+Paper claims reproduced here:
+
+- C suites (coreutils/binutils): >99% of end-branches sit at function
+  entries; exception share is exactly zero.
+- The C++-bearing SPEC suite: a large exception share (paper: 20.4%
+  for GCC, 27.9% for Clang) — naive endbr==entry would be wrong there.
+- Indirect-return end-branches exist but are rare everywhere.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.tables import table1
+
+
+def test_table1(benchmark, corpus, results_dir):
+    text, results = benchmark.pedantic(
+        lambda: table1(corpus), rounds=1, iterations=1
+    )
+    publish(results_dir, "table1", text)
+
+    for compiler in ("gcc", "clang"):
+        entry_f, indir_f, exc_f = results[(compiler, "coreutils")]
+        assert entry_f > 0.95, "C suite: endbrs are function entries"
+        assert exc_f == 0.0, "C suite: no exception endbrs"
+
+        entry_b, _, exc_b = results[(compiler, "binutils")]
+        assert entry_b > 0.97
+        assert exc_b == 0.0
+
+        entry_s, _, exc_s = results[(compiler, "spec")]
+        assert 0.05 < exc_s < 0.45, \
+            "SPEC: a material exception share (paper: 20-28%)"
+        assert entry_s < entry_b, \
+            "SPEC entry share must drop below the C suites'"

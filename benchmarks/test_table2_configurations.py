@@ -1,0 +1,49 @@
+"""Regenerate Table II: FunSeeker under its four configurations.
+
+Paper claims reproduced here (structure over absolute values):
+
+- ① (E ∪ C): high recall but precision suffers on the C++ suite
+  (landing pads misread as entries);
+- ② (E' ∪ C): FILTERENDBR restores >99% precision *without touching
+  recall* — the filter removes only non-entries;
+- ③ (E' ∪ C ∪ J): best recall, catastrophic precision (paper: 26.3%
+  total) — most jump targets are intra-function merges;
+- ④ (E' ∪ C ∪ J'): SELECTTAILCALL recovers the precision while
+  keeping a recall edge over ②.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.tables import table2
+
+
+def test_table2(benchmark, corpus, results_dir):
+    text, report = benchmark.pedantic(
+        lambda: table2(corpus), rounds=1, iterations=1
+    )
+    publish(results_dir, "table2", text)
+
+    pooled = {i: report.filtered(tool=f"cfg{i}").pooled()
+              for i in (1, 2, 3, 4)}
+
+    # ② precision restoration, recall preservation.
+    assert pooled[2].precision > 0.98
+    assert pooled[2].precision >= pooled[1].precision
+    assert abs(pooled[2].recall - pooled[1].recall) < 1e-9
+
+    # ① hurts specifically on the C++ suite.
+    spec1 = report.filtered(tool="cfg1", suite="spec").pooled()
+    core1 = report.filtered(tool="cfg1", suite="coreutils").pooled()
+    assert spec1.precision < core1.precision - 0.1
+
+    # ③ precision collapse with peak recall.
+    assert pooled[3].precision < 0.5, "paper: 26.3%"
+    assert pooled[3].recall >= pooled[2].recall
+
+    # ④ balances: precision back above 98%, recall above ②.
+    assert pooled[4].precision > 0.98
+    assert pooled[4].recall > pooled[2].recall
+    assert pooled[4].recall > 0.98
+
+    # Clang rows reach 100% precision under ② (paper Table II).
+    clang2 = report.filtered(tool="cfg2", compiler="clang").pooled()
+    assert clang2.precision > 0.999

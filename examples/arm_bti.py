@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""ARM BTI extension demo (paper §VI future work).
+
+Synthesizes a BTI-enabled AArch64 binary and runs the transferred
+FunSeeker pipeline: BTI markers play the role of end-branch
+instructions, ``bl``/``b`` targets the role of direct call/jump targets.
+"""
+
+from repro.arm import (
+    generate_bti_program,
+    identify_functions_bti,
+    link_bti_program,
+)
+from repro.arm.decoder import A64Class, sweep
+from repro.elf.parser import ELFFile
+from repro.eval.metrics import score
+
+
+def main() -> None:
+    funcs = generate_bti_program(200, seed=11)
+    binary = link_bti_program(funcs, seed=11)
+    elf = ELFFile(binary.data)
+    print(f"synthesized AArch64 binary: {len(binary.data)} bytes, "
+          f"{len(binary.ground_truth.function_starts)} functions")
+
+    txt = elf.section(".text")
+    insns = sweep(txt.data, txt.sh_addr)
+    by_class = {}
+    for insn in insns:
+        by_class[insn.klass] = by_class.get(insn.klass, 0) + 1
+    print("\ninstruction mix:")
+    for klass in (A64Class.BTI, A64Class.BL, A64Class.B, A64Class.RET):
+        print(f"  {klass.name:4s} {by_class.get(klass, 0):6d}")
+
+    result = identify_functions_bti(elf)
+    conf = score(binary.ground_truth.function_starts, result.functions)
+    print(f"\nFunSeeker-BTI: {len(result.functions)} functions")
+    print(f"  precision {conf.precision:.3f}  recall {conf.recall:.3f}")
+    print("\nthe same E ∪ C ∪ J' structure transfers unchanged — the "
+          "paper's §VI claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""IBT compliance auditing: would this binary survive CET enforcement?
+
+Under Indirect Branch Tracking (paper §II), an indirect branch to an
+address without an end-branch marker raises a control-protection fault.
+This example audits two synthetic binaries — one correct, one with
+markers deliberately stripped from address-taken functions — and shows
+the auditor pinpointing exactly the functions that would fault.
+
+Usage: python examples/audit_ibt.py [/path/to/binary]
+"""
+
+import sys
+
+from repro.analysis.ibt_audit import audit_ibt
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+
+def _report(title: str, elf: ELFFile, names: dict[int, str]) -> None:
+    report = audit_ibt(elf)
+    verdict = "COMPLIANT" if report.compliant else "WOULD FAULT"
+    print(f"\n{title}: {report.candidate_count} indirect-branch-target "
+          f"candidates -> {verdict}")
+    for violation in report.violations:
+        name = names.get(violation.target, "?")
+        print(f"  violation: {violation.target:#x} <{name}> "
+              f"(referenced via {violation.source.value}, no endbr)")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        elf = ELFFile.from_path(sys.argv[1])
+        names = {s.value: s.name for s in elf.symbols()
+                 if s.is_function and s.is_defined}
+        _report(sys.argv[1], elf, names)
+        return
+
+    profile = CompilerProfile("gcc", "O2", 64, True)
+
+    good = link_program(
+        generate_program("good", 40, profile, seed=9, cxx=True), profile)
+    names = {e.address: e.name for e in good.ground_truth.entries}
+    _report("correctly built binary", ELFFile(good.data), names)
+
+    bad = link_program(
+        generate_program("bad", 40, profile, seed=9, cxx=True,
+                         ibt_violations=3),
+        profile)
+    names = {e.address: e.name for e in bad.ground_truth.entries}
+    _report("binary with stripped markers", ELFFile(bad.data), names)
+
+    print("\nthis is the enforcement view of the paper's §II background: "
+          "the same\nmarkers FunSeeker mines for identification are what "
+          "the CPU checks at runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Head-to-head tool comparison on a mini corpus (Table III in small).
+
+Generates a handful of binaries across the failure-mode axes —
+architecture and compiler — and scores all four detectors against exact
+ground truth, printing the same precision/recall/time columns as the
+paper's Table III.
+"""
+
+from repro.baselines import (
+    FetchLikeDetector,
+    FunSeekerDetector,
+    GhidraLikeDetector,
+    IdaLikeDetector,
+)
+from repro.elf.parser import ELFFile, strip_symbols
+from repro.eval.metrics import score
+from repro.synth import CompilerProfile, generate_program, link_program
+
+TOOLS = {
+    "funseeker": FunSeekerDetector(),
+    "ida": IdaLikeDetector(),
+    "ghidra": GhidraLikeDetector(),
+    "fetch": FetchLikeDetector(),
+}
+
+CONFIGS = [
+    ("gcc", 64, "plain C, full FDEs"),
+    ("clang", 64, "plain C, full FDEs"),
+    ("gcc", 32, "x86, FDEs present"),
+    ("clang", 32, "x86, NO FDEs - FETCH/Ghidra collapse"),
+]
+
+
+def main() -> None:
+    for compiler, bits, note in CONFIGS:
+        profile = CompilerProfile(compiler, "O2", bits, True)
+        spec = generate_program("cmp", 120, profile, seed=11, cxx=False)
+        binary = link_program(spec, profile)
+        elf = ELFFile(strip_symbols(binary.data))
+        gt = binary.ground_truth.function_starts
+
+        print(f"\n{profile.config_name}  ({note})")
+        print(f"  {'tool':12s} {'prec':>7s} {'rec':>7s} {'time':>9s}")
+        for name, tool in TOOLS.items():
+            result = tool.detect(elf)
+            conf = score(gt, result.functions)
+            print(f"  {name:12s} {conf.precision:7.3f} "
+                  f"{conf.recall:7.3f} "
+                  f"{result.elapsed_seconds * 1000:7.1f}ms")
+
+    print(
+        "\nobservations (cf. Table III):\n"
+        "  - FunSeeker leads on precision+recall everywhere;\n"
+        "  - IDA-style traversal misses indirectly-reached functions;\n"
+        "  - FETCH/Ghidra depend on .eh_frame and collapse on x86 Clang;\n"
+        "  - FETCH's calling-convention analysis costs it several times\n"
+        "    FunSeeker's runtime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figures 1 and 2: where end-branches appear.
+
+Builds targeted synthetic programs and walks their disassembly to show
+the three end-branch locations the paper's §III study identifies:
+
+1. at function entries (Fig. 1b),
+2. right after a ``call setjmp@plt`` (Fig. 2a), and
+3. at C++ exception landing pads (Fig. 2b),
+
+plus the NOTRACK-prefixed jump-table dispatch from Fig. 1b.
+"""
+
+from repro.core.disassemble import disassemble
+from repro.elf.ehframe import parse_eh_frame
+from repro.elf.lsda import landing_pads_from_exception_info
+from repro.elf.parser import ELFFile
+from repro.elf.plt import build_plt_map
+from repro.synth import CompilerProfile, link_program
+from repro.synth.ir import FunctionSpec, ProgramSpec
+from repro.x86.insn import InsnClass
+from repro.x86.sweep import linear_sweep
+
+
+def build_showcase() -> bytes:
+    """One program exhibiting every end-branch pattern at once."""
+    profile = CompilerProfile("gcc", "O2", 64, True)
+    functions = [
+        FunctionSpec(name="_start", has_endbr=True,
+                     takes_address_of=["main"],
+                     plt_callees=["__libc_start_main"], seed=1),
+        FunctionSpec(name="main", has_endbr=True, address_taken=True,
+                     callees=["sort_files", "dispatch"], seed=2),
+        # Fig. 2a: a setjmp user — endbr lands after the call site.
+        FunctionSpec(name="sort_files", has_endbr=True,
+                     setjmp_sites=["setjmp"], seed=3),
+        # Fig. 1b: switch statement via NOTRACK jump table.
+        FunctionSpec(name="dispatch", has_endbr=True,
+                     jump_table_cases=8, seed=4),
+        # Fig. 2b: C++ catch blocks — endbr at each landing pad.
+        FunctionSpec(name="molecule_ctor", has_endbr=True,
+                     landing_pads=2,
+                     plt_callees=["__cxa_allocate_exception"],
+                     callees=["main"], seed=5),
+    ]
+    spec = ProgramSpec(
+        name="showcase", functions=functions,
+        imports=["__libc_start_main", "setjmp",
+                 "__cxa_allocate_exception", "__cxa_begin_catch",
+                 "__cxa_end_catch", "__gxx_personality_v0"],
+    )
+    return link_program(spec, profile).data
+
+
+def main() -> None:
+    data = build_showcase()
+    elf = ELFFile(data)
+    txt = elf.section(".text")
+    plt = build_plt_map(elf)
+
+    eh_sec = elf.section(".eh_frame")
+    get_sec = elf.section(".gcc_except_table")
+    eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, elf.is64)
+    pads = landing_pads_from_exception_info(
+        eh, get_sec.data, get_sec.sh_addr, elf.is64)
+
+    sweep = disassemble(txt.data, txt.sh_addr, 64)
+    symbols = {s.value: s.name for s in elf.symbols()
+               if s.is_function and s.is_defined}
+
+    print("end-branch instruction inventory "
+          f"({len(sweep.endbr_addrs)} total):\n")
+    for addr in sorted(sweep.endbr_addrs):
+        if addr in symbols:
+            kind = f"function entry of {symbols[addr]!r}   (Fig. 1b)"
+        elif addr in pads:
+            kind = "exception landing pad          (Fig. 2b)"
+        else:
+            pred = sweep.endbr_predecessor.get(addr)
+            name = plt.name_at(pred[1]) if pred and pred[1] else None
+            kind = (f"after call to {name!r}          (Fig. 2a)"
+                    if name else "other")
+        print(f"  {addr:#08x}  {kind}")
+
+    print("\nNOTRACK jump-table dispatches (Fig. 1b):")
+    for insn in linear_sweep(txt.data, txt.sh_addr, 64):
+        if insn.klass == InsnClass.JMP_INDIRECT and insn.notrack:
+            print(f"  {insn.addr:#08x}  {insn.mnemonic()}")
+
+    print("\nconclusion: an end-branch is *usually* a function entry, "
+          "but setjmp\nreturn sites and catch blocks would be false "
+          "positives without\nFILTERENDBR — exactly the paper's Table I "
+          "observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""One-command paper tour: regenerate every table and figure.
+
+Runs the §III study (Table I, Figure 3), the Table II configuration
+sweep, the Table III tool comparison, and the §V-C error analysis on a
+freshly generated corpus, printing measured values next to the paper's.
+
+    python examples/reproduce_paper.py [tiny|small|full]
+
+`tiny` (default) takes seconds; `small` is the scale behind
+EXPERIMENTS.md; `full` is the paper's complete 48-configuration matrix.
+"""
+
+import sys
+import time
+
+from repro.eval.tables import (
+    error_breakdown,
+    figure3,
+    table1,
+    table2,
+    table3,
+)
+from repro.synth.corpus import build_corpus
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    print(f"building corpus (scale={scale!r}) ...")
+    started = time.time()
+    corpus = build_corpus(scale)
+    print(f"{len(corpus)} binaries in {time.time() - started:.1f}s\n")
+
+    for title, renderer in (
+        ("§III-B study", table1),
+        ("§III-C study", figure3),
+        ("§V-B evaluation", table2),
+        ("§V-C/§V-D evaluation", table3),
+        ("§V-C error analysis", error_breakdown),
+    ):
+        started = time.time()
+        text, _results = renderer(corpus)
+        print(text)
+        print(f"[{title}: {time.time() - started:.1f}s]\n")
+
+    print("Shape checks live in benchmarks/ — run:")
+    print(f"  REPRO_BENCH_SCALE={scale} pytest benchmarks/ "
+          "--benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

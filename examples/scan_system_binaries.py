@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Survey a directory of real binaries for CET adoption and analyze one.
+
+The paper's premise is that CET-enabled binaries are becoming the norm
+("CET is enabled by default on modern compilers and OSes", §VI). This
+example measures that premise on *your* system: it scans a directory
+(default ``/usr/bin``) for ELF executables, reports how many advertise
+IBT/SHSTK in ``.note.gnu.property``, and runs FunSeeker on a sample —
+demonstrating graceful behaviour on both CET and legacy inputs.
+
+Usage: python examples/scan_system_binaries.py [directory] [max_files]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core.funseeker import FunSeeker
+from repro.elf.gnuproperty import parse_cet_features
+from repro.elf.parser import ELFFile, ElfParseError
+
+
+def main() -> None:
+    directory = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("/usr/bin")
+    limit = int(sys.argv[2]) if len(sys.argv) > 2 else 120
+
+    total = 0
+    cet_count = 0
+    largest: tuple[int, Path, ELFFile] | None = None
+    for path in sorted(directory.iterdir())[: limit * 4]:
+        if total >= limit:
+            break
+        try:
+            if not path.is_file() or path.stat().st_size < 128:
+                continue
+            with open(path, "rb") as f:
+                if f.read(4) != b"\x7fELF":
+                    continue
+            elf = ELFFile.from_path(path)
+        except (ElfParseError, OSError):
+            continue
+        txt = elf.section(".text")
+        if txt is None or elf.machine not in (3, 62):
+            continue
+        total += 1
+        features = parse_cet_features(elf)
+        if features.any:
+            cet_count += 1
+        # Sample target: the largest binary below 4 MB of text, so the
+        # demo stays interactive (the sweep is linear — a 60 MB Go
+        # binary works too, it just takes most of a minute).
+        if txt.sh_size < 4 << 20 and (largest is None
+                                      or txt.sh_size > largest[0]):
+            largest = (txt.sh_size, path, elf)
+
+    print(f"{directory}: {total} x86/x86-64 ELF executables scanned")
+    print(f"CET-advertising (.note.gnu.property IBT/SHSTK): {cet_count}")
+    if total and not cet_count:
+        print("  (distros often link CET-less CRT objects, which clears "
+              "the linker's\n   ANDed feature bits even when user code "
+              "has endbr — see docs/substrates.md)")
+
+    if largest is None:
+        return
+    _size, path, elf = largest
+    result = FunSeeker(elf).identify()
+    print(f"\nanalyzing largest: {path}")
+    print(f"  cet note: {'yes' if result.cet_enabled else 'no'}; "
+          f"end-branches seen: {len(result.endbr_all)}")
+    print(f"  functions identified: {len(result.functions)} "
+          f"in {result.elapsed_seconds * 1000:.0f} ms "
+          f"({result.insn_count} instructions)")
+    if not result.endbr_all:
+        print("  legacy binary: results rest on direct-call targets "
+              "only (paper §VI)")
+
+
+if __name__ == "__main__":
+    main()

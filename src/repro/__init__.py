@@ -1,0 +1,11 @@
+"""FunSeeker reproduction (DSN 2022).
+
+A from-scratch Python implementation of CET-aware function
+identification, including the ELF/x86 analysis substrates, a synthetic
+CET toolchain for corpus generation, baseline detectors, and the
+evaluation harness that regenerates the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""The paper's §III study: end-branch locations and function properties."""
+
+from repro.analysis.dataset_stats import DatasetStats, dataset_stats
+from repro.analysis.endbr_locations import (
+    EndbrDistribution,
+    EndbrLocation,
+    classify_endbr_locations,
+)
+from repro.analysis.function_props import (
+    ALL_REGIONS,
+    CALL,
+    ENDBR,
+    JMP,
+    PropertyVenn,
+    analyze_function_properties,
+)
+from repro.analysis.groundtruth import (
+    extract_ground_truth,
+    ground_truth_from_dwarf,
+    ground_truth_from_symbols,
+    is_fragment_name,
+)
+from repro.analysis.ibt_audit import (
+    IbtAuditReport,
+    IbtViolation,
+    TargetSource,
+    audit_ibt,
+)
+
+__all__ = [
+    "ALL_REGIONS",
+    "DatasetStats",
+    "dataset_stats",
+    "CALL",
+    "ENDBR",
+    "EndbrDistribution",
+    "EndbrLocation",
+    "JMP",
+    "PropertyVenn",
+    "IbtAuditReport",
+    "IbtViolation",
+    "TargetSource",
+    "analyze_function_properties",
+    "audit_ibt",
+    "classify_endbr_locations",
+    "extract_ground_truth",
+    "ground_truth_from_dwarf",
+    "ground_truth_from_symbols",
+    "is_fragment_name",
+]

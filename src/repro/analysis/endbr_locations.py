@@ -1,0 +1,94 @@
+"""End-branch location classification — the paper's Table I study (§III-B).
+
+Every end-branch instruction found by linear sweep is attributed to one
+of the three locations the paper identifies:
+
+- **function entry** — the address is a ground-truth function start;
+- **indirect return** — the end-branch directly follows a call to an
+  indirect-return function (``setjmp`` family, Fig. 2a);
+- **exception** — the address is an exception landing pad (Fig. 2b).
+
+Anything else is counted as ``other`` (the paper found none; a non-zero
+value flags a generator or analysis bug).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.disassemble import disassemble
+from repro.core.filter_endbr import follows_indirect_return_call
+from repro.elf import constants as C
+from repro.elf.ehframe import EhFrameError, parse_eh_frame
+from repro.elf.lsda import landing_pads_from_exception_info
+from repro.elf.parser import ELFFile
+from repro.elf.plt import build_plt_map
+
+
+class EndbrLocation(enum.Enum):
+    FUNCTION_ENTRY = "function_entry"
+    INDIRECT_RETURN = "indirect_return"
+    EXCEPTION = "exception"
+    OTHER = "other"
+
+
+@dataclass
+class EndbrDistribution:
+    """Counts of end-branch instructions per location class."""
+
+    counts: dict[EndbrLocation, int] = field(
+        default_factory=lambda: {loc: 0 for loc in EndbrLocation}
+    )
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, loc: EndbrLocation) -> float:
+        total = self.total
+        return self.counts[loc] / total if total else 0.0
+
+    def merge(self, other: "EndbrDistribution") -> None:
+        for loc, count in other.counts.items():
+            self.counts[loc] += count
+
+
+def classify_endbr_locations(
+    elf: ELFFile, function_starts: set[int]
+) -> EndbrDistribution:
+    """Classify every end-branch in ``.text`` against the ground truth."""
+    dist = EndbrDistribution()
+    txt = elf.section(C.SECTION_TEXT)
+    if txt is None or not txt.data:
+        return dist
+    bits = 64 if elf.is64 else 32
+    sweep = disassemble(txt.data, txt.sh_addr, bits)
+    plt_map = build_plt_map(elf)
+    landing_pads = _landing_pads(elf)
+
+    for addr in sweep.endbr_addrs:
+        if addr in function_starts:
+            loc = EndbrLocation.FUNCTION_ENTRY
+        elif addr in landing_pads:
+            loc = EndbrLocation.EXCEPTION
+        elif follows_indirect_return_call(sweep, plt_map, addr):
+            loc = EndbrLocation.INDIRECT_RETURN
+        else:
+            loc = EndbrLocation.OTHER
+        dist.counts[loc] += 1
+    return dist
+
+
+def _landing_pads(elf: ELFFile) -> set[int]:
+    except_sec = elf.section(C.SECTION_GCC_EXCEPT_TABLE)
+    eh_sec = elf.section(C.SECTION_EH_FRAME)
+    if except_sec is None or eh_sec is None:
+        return set()
+    try:
+        eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, elf.is64)
+    except EhFrameError:
+        return set()
+    return landing_pads_from_exception_info(
+        eh, except_sec.data, except_sec.sh_addr, elf.is64
+    )

@@ -1,0 +1,87 @@
+"""Function syntactic-property analysis — the paper's Figure 3 (§III-C).
+
+For every ground-truth function, three properties are evaluated:
+
+- ``EndBrAtHead`` — an end-branch instruction sits at the entry;
+- ``DirCallTarget`` — some direct call targets the entry;
+- ``DirJmpTarget`` — some direct unconditional jump targets the entry.
+
+The Venn-region counts over these properties are what Figure 3 plots;
+the paper's headline numbers are ~89.3% EndBrAtHead and ~0.01% of
+functions with no property at all (dead code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.disassemble import disassemble
+from repro.elf import constants as C
+from repro.elf.parser import ELFFile
+
+#: Region keys: frozensets of property names.
+ENDBR = "EndBrAtHead"
+CALL = "DirCallTarget"
+JMP = "DirJmpTarget"
+
+ALL_REGIONS = [
+    frozenset(),
+    frozenset({ENDBR}),
+    frozenset({CALL}),
+    frozenset({JMP}),
+    frozenset({ENDBR, CALL}),
+    frozenset({ENDBR, JMP}),
+    frozenset({CALL, JMP}),
+    frozenset({ENDBR, CALL, JMP}),
+]
+
+
+@dataclass
+class PropertyVenn:
+    """Counts of functions per property combination."""
+
+    counts: dict[frozenset, int] = field(
+        default_factory=lambda: {region: 0 for region in ALL_REGIONS}
+    )
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, region: frozenset) -> float:
+        total = self.total
+        return self.counts[region] / total if total else 0.0
+
+    def with_property(self, prop: str) -> int:
+        """Functions holding ``prop`` (any combination containing it)."""
+        return sum(c for region, c in self.counts.items() if prop in region)
+
+    def any_property(self) -> int:
+        return self.total - self.counts[frozenset()]
+
+    def merge(self, other: "PropertyVenn") -> None:
+        for region, count in other.counts.items():
+            self.counts[region] += count
+
+
+def analyze_function_properties(
+    elf: ELFFile, function_starts: set[int]
+) -> PropertyVenn:
+    """Compute the Figure-3 property Venn for one binary."""
+    venn = PropertyVenn()
+    txt = elf.section(C.SECTION_TEXT)
+    if txt is None or not txt.data:
+        return venn
+    bits = 64 if elf.is64 else 32
+    sweep = disassemble(txt.data, txt.sh_addr, bits)
+
+    for addr in function_starts:
+        props = set()
+        if addr in sweep.endbr_addrs:
+            props.add(ENDBR)
+        if addr in sweep.call_targets:
+            props.add(CALL)
+        if addr in sweep.jump_targets:
+            props.add(JMP)
+        venn.counts[frozenset(props)] += 1
+    return venn

@@ -1,0 +1,133 @@
+"""Ground-truth extraction (paper §V-A1).
+
+Two sources are supported:
+
+1. **Synthetic binaries** carry exact ground truth from the linker.
+2. **Real binaries** (compiled with ``-g`` / unstripped): function
+   entries come from ``.symtab`` ``STT_FUNC`` symbols, with the paper's
+   corrections applied — ``.cold`` / ``.part`` fragment symbols are
+   excluded because they are parts of functions, not functions.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.elf.parser import ELFFile
+
+#: GCC fragment-name suffixes excluded from ground truth (§V-A1).
+_FRAGMENT_RE = re.compile(r"\.(cold|part\.\d+|constprop\.\d+\.cold)$")
+
+
+def is_fragment_name(name: str) -> bool:
+    """Whether a symbol name denotes a ``.cold`` / ``.part`` fragment.
+
+    >>> is_fragment_name("sort_files.part.0")
+    True
+    >>> is_fragment_name("quick_sort.cold")
+    True
+    >>> is_fragment_name("main")
+    False
+    """
+    return bool(_FRAGMENT_RE.search(name))
+
+
+def ground_truth_from_dwarf(elf: ELFFile) -> set[int]:
+    """Function entries from DWARF debug info (the paper's primary
+    ground-truth channel, §V-A1).
+
+    ``DW_TAG_subprogram`` DIEs are taken as functions except the
+    ``.cold`` / ``.part`` outlined fragments, which carry a suffixed
+    name but are parts of functions. Returns an empty set for binaries
+    without debug info.
+    """
+    from repro.elf.dwarf import parse_subprograms
+
+    txt = elf.section(".text")
+    out: set[int] = set()
+    for sub in parse_subprograms(elf):
+        if sub.low_pc == 0:
+            continue
+        if txt is not None and not txt.contains_addr(sub.low_pc):
+            continue
+        if is_fragment_name(sub.name):
+            continue
+        out.add(sub.low_pc)
+    return out
+
+
+def extract_ground_truth(elf: ELFFile) -> set[int]:
+    """Full §V-A1 ground-truth policy for an unstripped binary.
+
+    DWARF subprograms are the primary source (falling back to the
+    symbol table when no debug info is present), fragment names are
+    excluded, and the ``__x86.get_pc_thunk`` intrinsics the compiler
+    sometimes leaves out of the debug info are re-included from the
+    symbol table — the paper's manual correction.
+    """
+    truth = ground_truth_from_dwarf(elf)
+    if not truth:
+        truth = ground_truth_from_symbols(elf)
+    txt = elf.section(".text")
+    for sym in elf.symbols():
+        if not sym.name.startswith("__x86.get_pc_thunk"):
+            continue
+        if not sym.is_defined or sym.value == 0:
+            continue
+        if txt is not None and not txt.contains_addr(sym.value):
+            continue
+        truth.add(sym.value)
+    if not elf.is64 and txt is not None:
+        truth.update(_thunk_call_targets(elf, txt))
+    return truth
+
+
+#: ``mov (%esp), %reg; ret`` — the get_pc_thunk body, for every target
+#: register (the middle byte selects the register).
+_THUNK_BODIES = {
+    bytes([0x8B, modrm, 0x24, 0xC3])
+    for modrm in (0x04, 0x0C, 0x14, 0x1C, 0x2C, 0x34, 0x3C)
+}
+
+
+def _thunk_call_targets(elf: ELFFile, txt) -> set[int]:
+    """Call targets whose body is a PC-materialization thunk.
+
+    Compilers sometimes emit ``__x86.get_pc_thunk`` without any symbol
+    or debug record; the paper recovers those manually by following the
+    call from ``_start``. We recover them mechanically: any direct-call
+    target whose body is exactly the thunk instruction pair is one.
+    """
+    from repro.core.disassemble import disassemble
+
+    sweep = disassemble(txt.data, txt.sh_addr, 32)
+    found: set[int] = set()
+    for target in sweep.call_targets:
+        offset = target - txt.sh_addr
+        if txt.data[offset : offset + 4] in _THUNK_BODIES:
+            found.add(target)
+    return found
+
+
+def ground_truth_from_symbols(elf: ELFFile) -> set[int]:
+    """Function entry addresses per the paper's ground-truth policy.
+
+    Takes defined ``STT_FUNC`` symbols inside ``.text``, excluding
+    fragment symbols. (The ``__x86.get_pc_thunk`` correction only
+    applies to symbols compilers *omit*; symbol-based extraction cannot
+    recover those, which is exactly why the synthetic corpus carries
+    linker ground truth.)
+    """
+    txt = elf.section(".text")
+    out: set[int] = set()
+    for sym in elf.symbols():
+        if not sym.is_function or not sym.is_defined:
+            continue
+        if sym.value == 0:
+            continue
+        if txt is not None and not txt.contains_addr(sym.value):
+            continue
+        if is_fragment_name(sym.name):
+            continue
+        out.add(sym.value)
+    return out

@@ -1,0 +1,23 @@
+"""AArch64 BTI extension (paper §VI future work)."""
+
+from repro.arm.decoder import A64Class, A64Insn, classify_word, sweep
+from repro.arm.funseeker_bti import BtiResult, identify_functions_bti
+from repro.arm.synth import (
+    A64Binary,
+    A64Function,
+    generate_bti_program,
+    link_bti_program,
+)
+
+__all__ = [
+    "A64Binary",
+    "A64Class",
+    "A64Function",
+    "A64Insn",
+    "BtiResult",
+    "classify_word",
+    "generate_bti_program",
+    "identify_functions_bti",
+    "link_bti_program",
+    "sweep",
+]

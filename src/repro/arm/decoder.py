@@ -1,0 +1,92 @@
+"""AArch64 instruction classification for BTI-aware function detection.
+
+The paper (§VI) argues FunSeeker's algorithm transfers directly to ARM
+binaries because BTI (Branch Target Identification) landing markers
+behave like Intel's end-branch instructions. AArch64 instructions are
+fixed-width 32-bit words, so "disassembly" reduces to word-wise
+classification — no length decoding needed.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+
+class A64Class(enum.IntEnum):
+    OTHER = 0
+    BTI = 1            # bti / bti c / bti j / bti jc
+    BL = 2             # direct call
+    B = 3              # direct unconditional branch
+    B_COND = 4         # conditional branch
+    BR = 5             # indirect branch
+    BLR = 6            # indirect call
+    RET = 7
+    ADRP = 8           # page-address materialization (address-taking)
+    NOP = 9
+
+
+@dataclass(slots=True)
+class A64Insn:
+    """One classified AArch64 instruction word."""
+
+    addr: int
+    word: int
+    klass: A64Class
+    target: int | None = None
+
+    @property
+    def length(self) -> int:
+        return 4
+
+
+def classify_word(word: int, addr: int) -> A64Insn:
+    """Classify one 32-bit instruction word at ``addr``."""
+    # BTI: HINT space, CRm=0b0010, op2 in {010,011,110,111}<<... —
+    # encodings D503241F / D503245F / D503249F / D50324DF.
+    if word & 0xFFFFFF3F == 0xD503241F:
+        return A64Insn(addr, word, A64Class.BTI)
+    if word == 0xD503201F:
+        return A64Insn(addr, word, A64Class.NOP)
+
+    top6 = word >> 26
+    if top6 == 0b100101:  # BL imm26
+        return A64Insn(addr, word, A64Class.BL,
+                       target=_rel26_target(word, addr))
+    if top6 == 0b000101:  # B imm26
+        return A64Insn(addr, word, A64Class.B,
+                       target=_rel26_target(word, addr))
+    if word & 0xFF000010 == 0x54000000:  # B.cond imm19
+        imm19 = (word >> 5) & 0x7FFFF
+        if imm19 & (1 << 18):
+            imm19 -= 1 << 19
+        return A64Insn(addr, word, A64Class.B_COND,
+                       target=(addr + imm19 * 4) & _MASK)
+    if word & 0xFFFFFC1F == 0xD61F0000:
+        return A64Insn(addr, word, A64Class.BR)
+    if word & 0xFFFFFC1F == 0xD63F0000:
+        return A64Insn(addr, word, A64Class.BLR)
+    if word & 0xFFFFFC1F == 0xD65F0000:
+        return A64Insn(addr, word, A64Class.RET)
+    if word & 0x9F000000 == 0x90000000:
+        return A64Insn(addr, word, A64Class.ADRP)
+    return A64Insn(addr, word, A64Class.OTHER)
+
+
+_MASK = (1 << 64) - 1
+
+
+def _rel26_target(word: int, addr: int) -> int:
+    imm26 = word & 0x3FFFFFF
+    if imm26 & (1 << 25):
+        imm26 -= 1 << 26
+    return (addr + imm26 * 4) & _MASK
+
+
+def sweep(data: bytes, base_addr: int) -> list[A64Insn]:
+    """Classify every aligned word of an AArch64 code buffer."""
+    out = []
+    for i, (word,) in enumerate(struct.iter_unpack("<I", data[: len(data) & ~3])):
+        out.append(classify_word(word, base_addr + i * 4))
+    return out

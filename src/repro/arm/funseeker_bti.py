@@ -1,0 +1,98 @@
+"""FunSeeker-BTI: the paper's algorithm transferred to AArch64 (§VI).
+
+Identical structure to the x86 pipeline:
+
+- ``E`` — addresses of BTI landing markers (analogous to end-branch);
+- ``C`` — direct ``bl`` targets;
+- ``J'`` — direct ``b`` targets selected by the same two tail-call
+  conditions (escapes the containing function; referenced by multiple
+  functions).
+
+AArch64 has no indirect-return end-branch idiom to filter (``setjmp``
+returns through ``br`` to a BTI-marked *function* on ARM), so the
+FILTERENDBR stage reduces to exception landing pads — which AArch64
+describes with the very same ``.eh_frame`` + ``.gcc_except_table``
+formats as x86, so the x86 LSDA machinery is reused unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arm.decoder import A64Class, sweep
+from repro.core.tailcall import select_tail_calls
+from repro.core.disassemble import BranchSite
+from repro.elf import constants as C
+from repro.elf.ehframe import EhFrameError, parse_eh_frame
+from repro.elf.lsda import landing_pads_from_exception_info
+from repro.elf.parser import ELFFile
+
+
+@dataclass
+class BtiResult:
+    """Output of one FunSeeker-BTI run."""
+
+    functions: set[int]
+    bti_addrs: set[int] = field(default_factory=set)
+    call_targets: set[int] = field(default_factory=set)
+    jump_targets: set[int] = field(default_factory=set)
+    tail_call_targets: set[int] = field(default_factory=set)
+    landing_pads: set[int] = field(default_factory=set)
+
+
+def identify_functions_bti(elf: ELFFile) -> BtiResult:
+    """Run the BTI-based identification pipeline on an AArch64 binary."""
+    if elf.machine != C.EM_AARCH64:
+        raise ValueError("identify_functions_bti requires an AArch64 binary")
+    txt = elf.section(C.SECTION_TEXT)
+    if txt is None or not txt.data:
+        return BtiResult(functions=set())
+
+    base = txt.sh_addr
+    end = base + len(txt.data)
+    bti_addrs: set[int] = set()
+    call_targets: set[int] = set()
+    call_sites: list[BranchSite] = []
+    jump_sites: list[BranchSite] = []
+    jump_targets: set[int] = set()
+
+    for insn in sweep(txt.data, base):
+        if insn.klass == A64Class.BTI:
+            bti_addrs.add(insn.addr)
+        elif insn.klass == A64Class.BL and insn.target is not None:
+            if base <= insn.target < end:
+                call_targets.add(insn.target)
+                call_sites.append(BranchSite(insn.addr, insn.target, True))
+        elif insn.klass == A64Class.B and insn.target is not None:
+            if base <= insn.target < end:
+                jump_targets.add(insn.target)
+                jump_sites.append(BranchSite(insn.addr, insn.target, False))
+
+    pads = _landing_pads(elf)
+    functions = (bti_addrs - pads) | call_targets
+    tails = select_tail_calls(
+        jump_sites, call_sites, known_entries=functions,
+        text_start=base, text_end=end,
+    )
+    functions |= tails
+    return BtiResult(
+        functions=functions,
+        bti_addrs=bti_addrs,
+        call_targets=call_targets,
+        jump_targets=jump_targets,
+        tail_call_targets=tails,
+        landing_pads=pads,
+    )
+
+
+def _landing_pads(elf: ELFFile) -> set[int]:
+    eh = elf.section(C.SECTION_EH_FRAME)
+    get = elf.section(C.SECTION_GCC_EXCEPT_TABLE)
+    if eh is None or get is None:
+        return set()
+    try:
+        frames = parse_eh_frame(eh.data, eh.sh_addr, elf.is64)
+    except EhFrameError:
+        return set()
+    return landing_pads_from_exception_info(
+        frames, get.data, get.sh_addr, elf.is64)

@@ -1,0 +1,228 @@
+"""Synthetic BTI-enabled AArch64 binary generator (§VI demonstration).
+
+A compact analogue of the x86 synthetic toolchain: generates ELF
+AArch64 executables whose functions follow ``-mbranch-protection=bti``
+code generation — a ``bti c`` marker at every indirectly-reachable
+entry, ``bl`` call graphs, ``b`` tail calls, and statics reached only
+by direct branches.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.elf.writer import ElfWriter, SectionSpec, SymbolSpec
+from repro.synth.ir import GroundTruth, GroundTruthEntry
+
+_BTI_C = 0xD503245F
+_BTI_J = 0xD503249F
+_NOP = 0xD503201F
+_RET = 0xD65F03C0
+_PACIASP = 0xD503233F
+
+#: A few arithmetic filler words (register-to-register, side-effect free
+#: for analysis purposes).
+_FILLER = (
+    0x91000400,  # add x0, x0, #1
+    0x8B010000,  # add x0, x0, x1
+    0xCB010000,  # sub x0, x0, x1
+    0xAA0103E0,  # mov x0, x1
+    0xD2800020,  # mov x0, #1
+    0xF9400FE0,  # ldr x0, [sp, #24]
+    0xF9000FE0,  # str x0, [sp, #24]
+)
+
+
+@dataclass
+class A64Function:
+    """One synthetic AArch64 function."""
+
+    name: str
+    has_bti: bool
+    is_dead: bool = False
+    callees: list[str] = field(default_factory=list)
+    tail_call_target: str | None = None
+    landing_pads: int = 0    # C++ catch blocks (BTI-marked, like x86)
+    filler: int = 8
+
+
+@dataclass
+class A64Binary:
+    """A synthesized AArch64 ELF image with ground truth."""
+
+    data: bytes
+    ground_truth: GroundTruth
+
+
+def generate_bti_program(
+    n_functions: int, seed: int = 0, *, cxx: bool = False
+) -> list[A64Function]:
+    """Generate a function population mirroring the x86 generator's mix.
+
+    ``cxx`` adds exception landing pads (BTI-j-marked catch blocks) to
+    a share of functions — the ARM analogue of the paper's SPEC C++
+    phenomenon.
+    """
+    rng = random.Random(seed)
+    funcs = [A64Function(name="main", has_bti=True,
+                         filler=rng.randrange(6, 20))]
+    for i in range(n_functions):
+        roll = rng.random()
+        if roll < 0.7:
+            fn = A64Function(name=f"fn_{i:04d}", has_bti=True,
+                             filler=rng.randrange(4, 24))
+        elif roll < 0.97:
+            fn = A64Function(name=f"fn_{i:04d}", has_bti=False,
+                             filler=rng.randrange(4, 24))
+        else:
+            fn = A64Function(name=f"fn_{i:04d}", has_bti=False,
+                             is_dead=True, filler=rng.randrange(4, 12))
+        funcs.append(fn)
+    live = [f for f in funcs if not f.is_dead]
+    # Direct-call wiring: every live BTI-less function needs a caller.
+    for fn in live[1:]:
+        if not fn.has_bti or rng.random() < 0.45:
+            rng.choice([f for f in live if f is not fn]).callees.append(
+                fn.name
+            )
+    # Shared tail targets.
+    for _ in range(max(1, len(live) // 30)):
+        target = rng.choice(live)
+        sources = [f for f in live
+                   if f is not target and f.tail_call_target is None]
+        if len(sources) >= 2:
+            for src in rng.sample(sources, 2):
+                src.tail_call_target = target.name
+    if cxx:
+        for fn in rng.sample(live, max(1, len(live) // 4)):
+            fn.landing_pads = rng.randrange(1, 3)
+    return funcs
+
+
+def link_bti_program(
+    funcs: list[A64Function], seed: int = 0
+) -> A64Binary:
+    """Assemble functions into an AArch64 ELF image."""
+    rng = random.Random(seed ^ 0x5BD1)
+    base = 0x400000
+    text_addr = base + 0x1000
+
+    # First pass: layout (each function's size in words).
+    layouts: list[tuple[A64Function, int, list[int], list[int]]] = []
+    cursor = 0
+    for fn in funcs:
+        words: list[int] = []
+        if fn.has_bti:
+            words.append(_BTI_C)
+        words.append(_PACIASP)
+        for _ in range(fn.filler):
+            words.append(_FILLER[rng.randrange(len(_FILLER))])
+        for _ in fn.callees:
+            words.append(0)  # bl placeholder
+        if fn.tail_call_target:
+            words.append(0)  # b placeholder
+        else:
+            words.append(_RET)
+        # Landing pads past the body's return, each starting with a
+        # BTI j marker — the AArch64 analogue of Fig. 2b.
+        pad_offsets: list[int] = []
+        for _ in range(fn.landing_pads):
+            pad_offsets.append(len(words))
+            words.append(_BTI_J)
+            words.append(_FILLER[rng.randrange(len(_FILLER))])
+            words.append(_RET)
+        # Align to 16 bytes with NOPs.
+        while (cursor + len(words)) % 4:
+            words.append(_NOP)
+        layouts.append((fn, cursor, words, pad_offsets))
+        cursor += len(words)
+
+    addr_of = {fn.name: text_addr + off * 4
+               for fn, off, _w, _p in layouts}
+
+    # Second pass: resolve bl/b placeholders.
+    text_words: list[int] = []
+    for fn, off, words, _pads in layouts:
+        patched = list(words)
+        slot = (2 if fn.has_bti else 1) + fn.filler
+        for callee in fn.callees:
+            pc = text_addr + (off + slot) * 4
+            patched[slot] = _encode_branch(0x94000000, addr_of[callee], pc)
+            slot += 1
+        if fn.tail_call_target:
+            pc = text_addr + (off + slot) * 4
+            patched[slot] = _encode_branch(
+                0x14000000, addr_of[fn.tail_call_target], pc
+            )
+        text_words.extend(patched)
+    text = struct.pack(f"<{len(text_words)}I", *text_words)
+
+    # Exception metadata for functions with landing pads (same
+    # .eh_frame/.gcc_except_table formats as x86).
+    from repro.synth.ehwriter import (
+        FdeRequest,
+        build_eh_frame,
+        build_gcc_except_table,
+        patch_eh_frame,
+    )
+
+    callsites = []
+    fde_requests = []
+    pad_owner_addrs = []
+    for i, (fn, off, words, pads) in enumerate(layouts):
+        if not pads:
+            continue
+        lsda_index = len(callsites)
+        callsites.append([(4, 4, pad * 4) for pad in pads])
+        fde_requests.append(FdeRequest(
+            len(pad_owner_addrs), len(words) * 4,
+            lsda_offset=lsda_index))
+        pad_owner_addrs.append(text_addr + off * 4)
+    except_table, lsda_offsets = build_gcc_except_table(callsites)
+    for req in fde_requests:
+        req.lsda_offset = lsda_offsets[req.lsda_offset]
+    eh_blob = build_eh_frame(fde_requests, personality_addr=0)
+    eh_frame_addr = (text_addr + len(text) + 0x107) & ~7
+    except_table_addr = (eh_frame_addr + len(eh_blob.data) + 7) & ~3
+    eh_frame = patch_eh_frame(eh_blob, eh_frame_addr,
+                              except_table_addr, pad_owner_addrs)
+
+    writer = ElfWriter(is64=True, machine=C.EM_AARCH64, pie=False,
+                       base_addr=base)
+    writer.entry = addr_of[funcs[0].name]
+    writer.add_section(SectionSpec(
+        name=".text", sh_type=C.SHT_PROGBITS,
+        sh_flags=C.SHF_ALLOC | C.SHF_EXECINSTR, data=text,
+        sh_addr=text_addr, sh_addralign=4,
+    ))
+    if fde_requests:
+        writer.add_section(SectionSpec(
+            name=".eh_frame", sh_type=C.SHT_PROGBITS,
+            sh_flags=C.SHF_ALLOC, data=eh_frame,
+            sh_addr=eh_frame_addr, sh_addralign=8,
+        ))
+        writer.add_section(SectionSpec(
+            name=".gcc_except_table", sh_type=C.SHT_PROGBITS,
+            sh_flags=C.SHF_ALLOC, data=except_table,
+            sh_addr=except_table_addr, sh_addralign=4,
+        ))
+    gt = GroundTruth()
+    for fn, off, words, _pads in layouts:
+        addr = text_addr + off * 4
+        gt.entries.append(GroundTruthEntry(
+            name=fn.name, address=addr, size=len(words) * 4,
+            is_function=True, has_endbr=fn.has_bti, is_dead=fn.is_dead,
+        ))
+        writer.add_symbol(SymbolSpec(
+            name=fn.name, value=addr, size=len(words) * 4,
+            bind=C.STB_GLOBAL, typ=C.STT_FUNC, section=".text",
+        ))
+    return A64Binary(data=writer.build(), ground_truth=gt)
+
+
+def _encode_branch(opcode: int, target: int, pc: int) -> int:
+    delta = (target - pc) >> 2
+    return opcode | (delta & 0x3FFFFFF)

@@ -1,0 +1,42 @@
+"""Baseline function-identification tools (paper §V-A2).
+
+Each detector re-implements the documented strategy of one comparison
+target — see the module docstrings for which failure modes each one
+reproduces.
+"""
+
+from repro.baselines.base import DetectionResult, FunctionDetector
+from repro.baselines.byteweight_like import (
+    ByteWeightLikeDetector,
+    PrefixTree,
+    train_prefix_tree,
+)
+from repro.baselines.fetch_like import FetchLikeDetector
+from repro.baselines.funseeker_tool import FunSeekerDetector
+from repro.baselines.ghidra_like import GhidraLikeDetector
+from repro.baselines.ida_like import IdaLikeDetector
+from repro.baselines.naive import NaiveEndbrDetector
+
+#: The zero-configuration detectors (ByteWeight needs a trained tree,
+#: so it is constructed explicitly rather than listed here).
+ALL_DETECTORS = {
+    "funseeker": FunSeekerDetector,
+    "ida": IdaLikeDetector,
+    "ghidra": GhidraLikeDetector,
+    "fetch": FetchLikeDetector,
+    "naive-endbr": NaiveEndbrDetector,
+}
+
+__all__ = [
+    "ALL_DETECTORS",
+    "ByteWeightLikeDetector",
+    "DetectionResult",
+    "FetchLikeDetector",
+    "FunctionDetector",
+    "FunSeekerDetector",
+    "GhidraLikeDetector",
+    "IdaLikeDetector",
+    "NaiveEndbrDetector",
+    "PrefixTree",
+    "train_prefix_tree",
+]

@@ -1,0 +1,170 @@
+"""Shared infrastructure for the baseline function detectors.
+
+Each baseline re-implements the *documented strategy* of one comparison
+tool from the paper (§V-A2): what metadata it consumes (``.eh_frame``,
+prologue patterns, call-graph traversal) determines its failure modes,
+which is what the paper's Table III measures. None of them consult CET
+end-branch instructions as an entry signature — the paper's central
+observation about pre-CET tooling.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.elf.ehframe import EhFrameError, parse_eh_frame
+from repro.elf.parser import ELFFile
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import InsnClass
+
+
+@dataclass
+class DetectionResult:
+    """Functions found by one detector on one binary."""
+
+    tool: str
+    functions: set[int] = field(default_factory=set)
+    elapsed_seconds: float = 0.0
+
+
+class FunctionDetector(abc.ABC):
+    """Base class for all function-identification tools in this repo."""
+
+    #: Human-readable tool name used in reports.
+    name: str = "detector"
+
+    def detect(self, elf: ELFFile) -> DetectionResult:
+        """Run detection with wall-clock timing."""
+        started = time.perf_counter()
+        functions = self._detect(elf)
+        elapsed = time.perf_counter() - started
+        return DetectionResult(tool=self.name, functions=functions,
+                               elapsed_seconds=elapsed)
+
+    def detect_bytes(self, data: bytes) -> DetectionResult:
+        return self.detect(ELFFile(data))
+
+    @abc.abstractmethod
+    def _detect(self, elf: ELFFile) -> set[int]:
+        """Return the set of identified function entry addresses."""
+
+
+# ---------------------------------------------------------------------------
+# shared analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def text_section(elf: ELFFile):
+    return elf.section(C.SECTION_TEXT)
+
+
+def fde_starts(elf: ELFFile) -> tuple[set[int], list[tuple[int, int]]]:
+    """FDE ``pc_begin`` values and ranges, or empty when unparseable."""
+    sec = elf.section(C.SECTION_EH_FRAME)
+    if sec is None or not sec.data:
+        return set(), []
+    try:
+        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
+    except EhFrameError:
+        return set(), []
+    starts = {fde.pc_begin for fde in eh.fdes}
+    ranges = [(fde.pc_begin, fde.pc_end) for fde in eh.fdes]
+    return starts, ranges
+
+
+def recursive_traversal(
+    data: bytes, base: int, bits: int, seeds: set[int]
+) -> set[int]:
+    """Follow direct calls transitively from the seed entry points.
+
+    Disassembles each function from its entry until a terminator (or a
+    decode failure), queuing every direct-call target found. Direct
+    unconditional jump targets are followed as code but not recorded as
+    entries — the conservatism that costs IDA-style tools their recall
+    on indirectly-reached functions (§V-C).
+    """
+    end = base + len(data)
+    found: set[int] = set()
+    work = [s for s in seeds if base <= s < end]
+    visited_bytes: set[int] = set()
+    while work:
+        entry = work.pop()
+        if entry in found:
+            continue
+        found.add(entry)
+        offset = entry - base
+        # Walk straight-line code collecting call targets; bounded by
+        # section end and previously visited bytes.
+        steps = 0
+        while offset < len(data) and steps < 100000:
+            if offset in visited_bytes:
+                break
+            visited_bytes.add(offset)
+            try:
+                insn = decode(data, offset, base + offset, bits)
+            except DecodeError:
+                break
+            if insn.klass == InsnClass.CALL_DIRECT and insn.target is not None:
+                if base <= insn.target < end and insn.target not in found:
+                    work.append(insn.target)
+            if insn.is_terminator:
+                break
+            offset += insn.length
+            steps += 1
+    return found
+
+
+# Prologue byte signatures (pre-CET tool heuristics).
+_PROLOGUE_SIGS_64 = (
+    b"\x55\x48\x89\xe5",     # push rbp; mov rbp, rsp
+    b"\x53\x48\x83\xec",     # push rbx; sub rsp, imm8
+    b"\x48\x83\xec",         # sub rsp, imm8
+)
+_PROLOGUE_SIGS_32 = (
+    b"\x55\x89\xe5",         # push ebp; mov ebp, esp
+    b"\x53\x83\xec",         # push ebx; sub esp, imm8
+    b"\x83\xec",             # sub esp, imm8
+)
+
+
+def prologue_scan(
+    data: bytes, base: int, bits: int, *, alignment: int = 16,
+    skip: set[int] | None = None,
+) -> set[int]:
+    """Scan aligned addresses for classic prologue byte patterns.
+
+    This is the compiler-specific pattern matching mainstream tools use
+    to sweep gaps (§VII-B). It knows nothing about end-branch
+    instructions.
+    """
+    sigs = _PROLOGUE_SIGS_64 if bits == 64 else _PROLOGUE_SIGS_32
+    skip = skip or set()
+    found: set[int] = set()
+    for off in range(0, len(data), alignment):
+        addr = base + off
+        if addr in skip:
+            continue
+        window = data[off : off + 8]
+        for sig in sigs:
+            if window.startswith(sig):
+                found.add(addr)
+                break
+        else:
+            # push rbp preceded by an endbr marker: the pattern engines
+            # match the push, landing 4 bytes in. Model the tools'
+            # endbr-oblivious view: accept when the post-endbr bytes
+            # form a prologue (entry still reported at the aligned
+            # address, which happens to be correct).
+            if window[4:8]:
+                for sig in sigs:
+                    if window[4:].startswith(sig) and _is_endbr(window[:4]):
+                        found.add(addr)
+                        break
+    return found
+
+
+def _is_endbr(chunk: bytes) -> bool:
+    return chunk in (b"\xf3\x0f\x1e\xfa", b"\xf3\x0f\x1e\xfb")

@@ -1,0 +1,21 @@
+"""FunSeeker wrapped in the common detector interface for evaluation."""
+
+from __future__ import annotations
+
+from repro.baselines.base import FunctionDetector
+from repro.core.funseeker import Config, FunSeeker
+from repro.elf.parser import ELFFile
+
+
+class FunSeekerDetector(FunctionDetector):
+    """The paper's tool, run under any of its four configurations."""
+
+    name = "funseeker"
+
+    def __init__(self, config: Config = Config.FULL) -> None:
+        self.config = config
+        if config is not Config.FULL:
+            self.name = f"funseeker-cfg{config.value}"
+
+    def _detect(self, elf: ELFFile) -> set[int]:
+        return FunSeeker(elf, self.config).identify().functions

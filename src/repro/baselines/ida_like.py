@@ -1,0 +1,99 @@
+"""IDA-style detector: call-graph traversal plus signature matching.
+
+Re-implements the strategy of a classic interactive disassembler
+(§V-A2): recursive traversal from the program entry point, chasing of
+address-materialization references (``lea``/``mov $imm``/``push $imm``
+operands that point into ``.text`` — IDA creates functions at code
+cross-references), and FLIRT-flavored prologue signature matching over
+unexplored aligned addresses. No use of CET markers as an entry
+signature, and no reliance on ``.eh_frame`` (real IDA predates both and
+uses proprietary heuristics).
+
+Reproduced failure modes (Table III): the lowest recall of all tools —
+96% of its misses in the paper are indirect-branch-only targets that
+leave no chaseable reference, plus statics with irregular optimized
+prologues.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    FunctionDetector,
+    prologue_scan,
+    recursive_traversal,
+    text_section,
+)
+from repro.core.disassemble import disassemble
+from repro.elf.parser import ELFFile
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import InsnClass
+
+#: Classes whose operand is an address-materialization candidate.
+_XREF_CLASSES = frozenset(
+    {InsnClass.LEA, InsnClass.MOV_IMM, InsnClass.PUSH_IMM}
+)
+
+
+class IdaLikeDetector(FunctionDetector):
+    """Entry-point traversal + code xrefs + prologue signatures."""
+
+    name = "ida"
+
+    def _detect(self, elf: ELFFile) -> set[int]:
+        txt = text_section(elf)
+        if txt is None or not txt.data:
+            return set()
+        bits = 64 if elf.is64 else 32
+
+        seeds: set[int] = set()
+        if txt.contains_addr(elf.header.e_entry):
+            seeds.add(elf.header.e_entry)
+        # Code cross-references: operands of address-materializing
+        # instructions that point at plausible code. IDA's auto-analysis
+        # creates functions at such targets. In position-independent
+        # code absolute immediates are data, not code pointers, so only
+        # RIP-relative LEAs count there.
+        pie = elf.header.is_pie
+        seeds.update(self._xref_targets(txt, bits, pie=pie))
+        found = recursive_traversal(txt.data, txt.sh_addr, bits, seeds)
+        # Signature sweep over still-unexplored aligned addresses.
+        found.update(
+            prologue_scan(txt.data, txt.sh_addr, bits, skip=found)
+        )
+        return found
+
+    def _xref_targets(self, txt, bits: int, *, pie: bool) -> set[int]:
+        out: set[int] = set()
+        data = txt.data
+        base = txt.sh_addr
+        end = base + len(data)
+        classes = {InsnClass.LEA} if pie else _XREF_CLASSES
+        offset = 0
+        while offset < len(data):
+            try:
+                insn = decode(data, offset, base + offset, bits)
+            except DecodeError:
+                offset += 1
+                continue
+            offset += insn.length
+            if insn.klass in classes and insn.target is not None:
+                if base <= insn.target < end \
+                        and self._plausible_entry(data, insn.target - base,
+                                                  bits):
+                    out.add(insn.target)
+        return out
+
+    @staticmethod
+    def _plausible_entry(data: bytes, offset: int, bits: int) -> bool:
+        """IDA only creates a function at an xref if the bytes decode."""
+        for _ in range(4):
+            try:
+                insn = decode(data, offset, offset, bits)
+            except DecodeError:
+                return False
+            if insn.is_terminator:
+                return True
+            offset += insn.length
+            if offset >= len(data):
+                return False
+        return True

@@ -1,0 +1,27 @@
+"""Naive end-branch detector: every ``endbr`` is a function entry.
+
+The strawman the paper's study rules out (§III): treating each
+end-branch instruction as a function start over-reports on C++ binaries
+(landing pads) and under-reports endbr-less statics. Used as an
+ablation reference point alongside FunSeeker's config ①.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FunctionDetector, text_section
+from repro.core.disassemble import disassemble
+from repro.elf.parser import ELFFile
+
+
+class NaiveEndbrDetector(FunctionDetector):
+    """Report exactly the end-branch instruction addresses."""
+
+    name = "naive-endbr"
+
+    def _detect(self, elf: ELFFile) -> set[int]:
+        txt = text_section(elf)
+        if txt is None or not txt.data:
+            return set()
+        bits = 64 if elf.is64 else 32
+        sweep = disassemble(txt.data, txt.sh_addr, bits)
+        return set(sweep.endbr_addrs)

@@ -1,0 +1,17 @@
+"""Executable CET semantics: IBT + shadow-stack enforcement simulation."""
+
+from repro.cet.enforcement import (
+    CetFault,
+    CetMachine,
+    FaultKind,
+    TraceReport,
+    simulate_enforcement,
+)
+
+__all__ = [
+    "CetFault",
+    "CetMachine",
+    "FaultKind",
+    "TraceReport",
+    "simulate_enforcement",
+]

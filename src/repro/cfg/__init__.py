@@ -1,0 +1,12 @@
+"""CFG recovery built on identified function entries (paper §VII-B)."""
+
+from repro.cfg.blocks import BasicBlock, FunctionCFG, build_function_cfg
+from repro.cfg.callgraph import ProgramCFG, recover_program_cfg
+
+__all__ = [
+    "BasicBlock",
+    "FunctionCFG",
+    "ProgramCFG",
+    "build_function_cfg",
+    "recover_program_cfg",
+]

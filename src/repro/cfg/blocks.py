@@ -1,0 +1,184 @@
+"""Intra-procedural control-flow-graph recovery.
+
+The paper motivates function identification as "the cornerstone of
+binary analysis because CFG recovery techniques often rely on the
+assumption that function entries are known" (§VII-B). This module is
+that downstream consumer: given a function entry (e.g. from FunSeeker),
+it recovers the function's basic blocks and edges.
+
+Recovery is the classic two-pass algorithm: reachable instructions are
+discovered by following control flow from the entry, block leaders are
+the entry plus every branch target and fall-through-after-branch, and
+blocks are split at leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import Insn, InsnClass
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: a maximal straight-line instruction run."""
+
+    start: int
+    insns: list[Insn] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        if not self.insns:
+            return self.start
+        return self.insns[-1].end
+
+    @property
+    def terminator(self) -> Insn | None:
+        return self.insns[-1] if self.insns else None
+
+    @property
+    def is_exit(self) -> bool:
+        """Whether control leaves the function here (return / tail
+        jump out / no successors)."""
+        return not self.successors
+
+
+@dataclass
+class FunctionCFG:
+    """The control-flow graph of one function."""
+
+    entry: int
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    #: Direct call targets found in the body (call-graph edges).
+    call_targets: set[int] = field(default_factory=set)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def insn_count(self) -> int:
+        return sum(len(b.insns) for b in self.blocks.values())
+
+    @property
+    def high_addr(self) -> int:
+        """One past the highest recovered instruction — a boundary
+        estimate for the function."""
+        return max((b.end for b in self.blocks.values()),
+                   default=self.entry)
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [(b.start, succ) for b in self.blocks.values()
+                for succ in b.successors]
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        return [b for b in self.blocks.values() if b.is_exit]
+
+
+def build_function_cfg(
+    data: bytes,
+    base_addr: int,
+    bits: int,
+    entry: int,
+    *,
+    limit: int | None = None,
+) -> FunctionCFG:
+    """Recover the CFG of the function starting at ``entry``.
+
+    ``limit`` bounds the exploration (typically the next function's
+    entry); control flow that leaves ``[entry, limit)`` is treated as
+    exiting the function (tail call).
+    """
+    end_addr = base_addr + len(data)
+    if limit is None:
+        limit = end_addr
+
+    # Pass 1: discover reachable instructions and leaders.
+    insns: dict[int, Insn] = {}
+    leaders: set[int] = {entry}
+    work = [entry]
+    while work:
+        addr = work.pop()
+        while entry <= addr < limit and addr not in insns:
+            offset = addr - base_addr
+            try:
+                insn = decode(data, offset, addr, bits)
+            except DecodeError:
+                break
+            insns[addr] = insn
+            klass = insn.klass
+            if klass == InsnClass.JCC:
+                target = insn.target
+                if target is not None and entry <= target < limit:
+                    leaders.add(target)
+                    work.append(target)
+                leaders.add(insn.end)
+            elif klass == InsnClass.JMP_DIRECT:
+                target = insn.target
+                if target is not None and entry <= target < limit:
+                    leaders.add(target)
+                    work.append(target)
+                break
+            elif insn.is_terminator:
+                break
+            addr = insn.end
+
+    # Pass 2: slice into blocks at leaders.
+    cfg = FunctionCFG(entry=entry)
+    ordered = sorted(insns)
+    leader_list = sorted(a for a in leaders if a in insns)
+    for leader in leader_list:
+        block = BasicBlock(start=leader)
+        addr = leader
+        while addr in insns:
+            insn = insns[addr]
+            block.insns.append(insn)
+            if insn.klass == InsnClass.CALL_DIRECT \
+                    and insn.target is not None:
+                cfg.call_targets.add(insn.target)
+            nxt = insn.end
+            if insn.klass == InsnClass.JCC:
+                if insn.target is not None \
+                        and entry <= insn.target < limit:
+                    block.successors.append(insn.target)
+                block.successors.append(nxt)
+                break
+            if insn.klass == InsnClass.JMP_DIRECT:
+                if insn.target is not None \
+                        and entry <= insn.target < limit:
+                    block.successors.append(insn.target)
+                break
+            if insn.is_terminator:
+                break
+            if nxt in leaders:
+                block.successors.append(nxt)
+                break
+            addr = nxt
+        cfg.blocks[leader] = block
+    _dedupe_block_overlaps(cfg, ordered, leaders)
+    return cfg
+
+
+def _dedupe_block_overlaps(
+    cfg: FunctionCFG, ordered: list[int], leaders: set[int]
+) -> None:
+    """Trim instructions that a later leader claims.
+
+    Pass 2 walks each leader independently, so a block whose straight
+    line runs past the next leader would duplicate that suffix; cut each
+    block at the first following leader.
+    """
+    leader_sorted = sorted(cfg.blocks)
+    for i, start in enumerate(leader_sorted):
+        block = cfg.blocks[start]
+        nxt = (leader_sorted[i + 1]
+               if i + 1 < len(leader_sorted) else None)
+        if nxt is None:
+            continue
+        kept = [ins for ins in block.insns if ins.addr < nxt]
+        if len(kept) != len(block.insns):
+            block.insns = kept
+            block.successors = [nxt]

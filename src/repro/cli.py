@@ -1,0 +1,349 @@
+"""Command-line interface.
+
+::
+
+    funseeker identify <binary> [--config N] [--robust]
+    funseeker compare <binary>            # all detectors side by side
+    funseeker disasm <binary>             # annotated listing
+    funseeker cfg <binary>                # basic blocks + call graph
+    funseeker report <binary>             # JSON analysis + IBT audit
+    funseeker table1|table2|table3|figure3|errors|all [--scale S]
+    funseeker evaluate [--tools ...] [--format json|csv] [--output F]
+    funseeker dataset <dir> [--scale S]   # persist the corpus
+    funseeker corpus-info [--scale S]     # §III-A dataset account
+    funseeker bti-demo                    # ARM BTI extension demo
+
+Also invocable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import ALL_DETECTORS
+from repro.core.funseeker import Config, FunSeeker
+from repro.elf.parser import ELFFile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="funseeker",
+        description="FunSeeker reproduction (DSN 2022): CET-aware "
+                    "function identification and evaluation harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_id = sub.add_parser("identify", help="identify functions in a binary")
+    p_id.add_argument("binary")
+    p_id.add_argument("--config", type=int, default=4, choices=[1, 2, 3, 4],
+                      help="FunSeeker configuration (Table II), default 4")
+    p_id.add_argument("--robust", action="store_true",
+                      help="use the superset-validated front end "
+                           "(tolerates data embedded in .text)")
+
+    p_cfg = sub.add_parser(
+        "cfg", help="recover per-function CFGs and call-graph stats")
+    p_cfg.add_argument("binary")
+
+    p_dis = sub.add_parser(
+        "disasm", help="linear-sweep disassembly listing of .text")
+    p_dis.add_argument("binary")
+    p_dis.add_argument("--limit", type=int, default=80,
+                       help="max lines to print (default 80; 0 = all)")
+
+    p_cmp = sub.add_parser("compare", help="run all detectors on a binary")
+    p_cmp.add_argument("binary")
+
+    p_rep = sub.add_parser(
+        "report", help="machine-readable JSON analysis of one binary")
+    p_rep.add_argument("binary")
+
+    for name in ("table1", "table2", "table3", "figure3", "errors",
+                 "all"):
+        p_tab = sub.add_parser(
+            name, help=f"regenerate the paper's {name} on a synthetic corpus"
+        )
+        p_tab.add_argument("--scale", default="tiny",
+                           choices=["tiny", "small", "full"])
+        p_tab.add_argument("--seed", type=int, default=2022)
+
+    sub.add_parser("bti-demo", help="ARM BTI extension demonstration (§VI)")
+
+    p_ds = sub.add_parser(
+        "dataset", help="generate and save the benchmark dataset to disk")
+    p_ds.add_argument("directory")
+    p_ds.add_argument("--scale", default="tiny",
+                      choices=["tiny", "small", "full"])
+    p_ds.add_argument("--seed", type=int, default=2022)
+
+    p_info = sub.add_parser(
+        "corpus-info", help="summarize the synthetic corpus composition")
+    p_info.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "full"])
+    p_info.add_argument("--seed", type=int, default=2022)
+
+    p_ev = sub.add_parser(
+        "evaluate",
+        help="run detectors over the corpus and export raw results")
+    p_ev.add_argument("--scale", default="tiny",
+                      choices=["tiny", "small", "full"])
+    p_ev.add_argument("--seed", type=int, default=2022)
+    p_ev.add_argument("--tools", default="funseeker,ida,ghidra,fetch",
+                      help="comma-separated detector names")
+    p_ev.add_argument("--format", default="json",
+                      choices=["json", "csv"])
+    p_ev.add_argument("--workers", type=int, default=None,
+                      help="process-pool size (default: CPU count)")
+    p_ev.add_argument("--output", default="-",
+                      help="output path, '-' for stdout")
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early.
+        return 0
+
+
+def _dispatch(args) -> int:
+    if args.command == "identify":
+        return _cmd_identify(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "cfg":
+        return _cmd_cfg(args)
+    if args.command == "disasm":
+        return _cmd_disasm(args)
+    if args.command == "bti-demo":
+        return _cmd_bti_demo()
+    if args.command == "dataset":
+        return _cmd_dataset(args)
+    if args.command == "corpus-info":
+        return _cmd_corpus_info(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    return _cmd_table(args)
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.eval.export import report_to_csv, report_to_json
+    from repro.eval.parallel import run_evaluation_parallel
+    from repro.synth.corpus import build_corpus
+
+    tools = [t.strip() for t in args.tools.split(",") if t.strip()]
+    print(f"building '{args.scale}' corpus ...", file=sys.stderr)
+    corpus = build_corpus(args.scale, seed=args.seed)
+    print(f"evaluating {tools} over {len(corpus)} binaries ...",
+          file=sys.stderr)
+    report = run_evaluation_parallel(corpus, tools, workers=args.workers)
+    text = (report_to_json(report) if args.format == "json"
+            else report_to_csv(report))
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.analysis.ibt_audit import audit_ibt
+    from repro.cfg import recover_program_cfg
+    from repro.elf.gnuproperty import parse_cet_features
+
+    elf = ELFFile.from_path(args.binary)
+    result = FunSeeker(elf).identify()
+    program = recover_program_cfg(elf, result.functions)
+    audit = audit_ibt(elf)
+    features = parse_cet_features(elf)
+    boundaries = program.boundaries()
+    doc = {
+        "binary": str(args.binary),
+        "arch": "x86-64" if elf.is64 else "x86",
+        "pie": elf.header.is_pie,
+        "cet": {"ibt": features.ibt, "shstk": features.shstk},
+        "stats": {
+            "functions": len(result.functions),
+            "instructions": result.insn_count,
+            "basic_blocks": program.total_blocks,
+            "call_edges": program.call_graph.number_of_edges(),
+            "landing_pads": len(result.landing_pads),
+            "analysis_seconds": round(result.elapsed_seconds, 4),
+        },
+        "ibt_audit": {
+            "compliant": audit.compliant,
+            "candidates": audit.candidate_count,
+            "violations": [
+                {"target": v.target, "source": v.source.value}
+                for v in audit.violations
+            ],
+        },
+        "functions": [
+            {
+                "entry": entry,
+                "end": boundaries.get(entry, entry),
+                "blocks": program.functions[entry].block_count
+                if entry in program.functions else 0,
+            }
+            for entry in sorted(result.functions)
+        ],
+    }
+    print(json.dumps(doc, indent=1))
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from repro.synth.dataset import save_dataset
+
+    manifest = save_dataset(args.directory, scale=args.scale,
+                            seed=args.seed)
+    total = sum(b["size"] for b in manifest["binaries"])
+    print(f"wrote {len(manifest['binaries'])} binaries "
+          f"({total / 1e6:.1f} MB) to {args.directory}")
+    return 0
+
+
+def _cmd_corpus_info(args) -> int:
+    from repro.analysis.dataset_stats import dataset_stats
+    from repro.synth.corpus import iter_corpus
+
+    stats = dataset_stats(iter_corpus(args.scale, args.seed))
+    print(f"corpus scale={args.scale!r} seed={args.seed}")
+    print(stats.render())
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    if args.robust:
+        from repro.core.robust import RobustFunSeeker
+
+        seeker = RobustFunSeeker.from_path(args.binary, Config(args.config))
+    else:
+        seeker = FunSeeker.from_path(args.binary, Config(args.config))
+    result = seeker.identify()
+    for addr in sorted(result.functions):
+        print(f"{addr:#x}")
+    print(
+        f"# {len(result.functions)} functions "
+        f"({len(result.endbr_filtered)} endbr, "
+        f"{len(result.call_targets)} call targets, "
+        f"{len(result.tail_call_targets)} tail calls) "
+        f"in {result.elapsed_seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    elf = ELFFile.from_path(args.binary)
+    print(f"{'tool':14s} {'functions':>9s} {'time':>9s}")
+    for name, cls in ALL_DETECTORS.items():
+        result = cls().detect(elf)
+        print(f"{name:14s} {len(result.functions):9d} "
+              f"{result.elapsed_seconds * 1000:7.1f}ms")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.x86.format import format_listing
+
+    elf = ELFFile.from_path(args.binary)
+    txt = elf.section(".text")
+    if txt is None:
+        print("no .text section", file=sys.stderr)
+        return 1
+    symbols = {s.value: s.name for s in elf.symbols()
+               if s.is_function and s.is_defined}
+    # Functions identified by FunSeeker become listing landmarks even
+    # on stripped binaries.
+    functions = FunSeeker(elf).identify().functions
+    bits = 64 if elf.is64 else 32
+    lines = format_listing(txt.data, txt.sh_addr, bits, symbols)
+    printed = 0
+    for line in lines:
+        if line.addr in functions:
+            name = symbols.get(line.addr, f"func_{line.addr:x}")
+            print(f"\n{line.addr:#010x} <{name}>:")
+        print(line.render())
+        printed += 1
+        if args.limit and printed >= args.limit:
+            remaining = len(lines) - printed
+            if remaining > 0:
+                print(f"... {remaining} more lines (--limit 0 for all)")
+            break
+    return 0
+
+
+def _cmd_cfg(args) -> int:
+    from repro.cfg import recover_program_cfg
+
+    elf = ELFFile.from_path(args.binary)
+    functions = FunSeeker(elf).identify().functions
+    program = recover_program_cfg(elf, functions)
+    print(f"{len(program.functions)} functions, "
+          f"{program.total_blocks} basic blocks, "
+          f"{program.total_insns} instructions, "
+          f"{program.call_graph.number_of_edges()} call edges")
+    for entry in sorted(program.functions)[:20]:
+        cfg = program.functions[entry]
+        print(f"  {entry:#010x}: {cfg.block_count:4d} blocks "
+              f"{len(cfg.edges()):4d} edges  end={cfg.high_addr:#x}")
+    if len(program.functions) > 20:
+        print(f"  ... {len(program.functions) - 20} more")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.eval import tables
+    from repro.synth.corpus import build_corpus
+
+    print(f"building '{args.scale}' corpus ...", file=sys.stderr)
+    corpus = build_corpus(args.scale, seed=args.seed)
+    print(f"{len(corpus)} binaries", file=sys.stderr)
+    renderers = {
+        "table1": tables.table1,
+        "table2": tables.table2,
+        "table3": tables.table3,
+        "figure3": tables.figure3,
+        "errors": tables.error_breakdown,
+    }
+    chosen = (renderers.values() if args.command == "all"
+              else [renderers[args.command]])
+    for renderer in chosen:
+        text, _results = renderer(corpus)
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_bti_demo() -> int:
+    from repro.arm import (
+        generate_bti_program,
+        identify_functions_bti,
+        link_bti_program,
+    )
+
+    funcs = generate_bti_program(150, seed=7)
+    binary = link_bti_program(funcs, seed=7)
+    elf = ELFFile(binary.data)
+    result = identify_functions_bti(elf)
+    gt = binary.ground_truth.function_starts
+    tp = len(gt & result.functions)
+    fp = len(result.functions) - tp
+    fn = len(gt) - tp
+    print("ARM BTI extension (paper §VI): FunSeeker on AArch64")
+    print(f"  functions: {len(gt)}  found: {len(result.functions)}")
+    print(f"  precision: {tp / (tp + fp):.3f}  recall: {tp / (tp + fn):.3f}")
+    print(f"  BTI markers: {len(result.bti_addrs)}  "
+          f"bl targets: {len(result.call_targets)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""DISASSEMBLE — the linear-sweep collection pass (paper §IV-B, Alg. 1).
+
+One pass over ``.text`` collects everything the rest of the pipeline
+needs:
+
+- ``E`` — addresses of end-branch instructions;
+- ``C`` — direct-call targets that land inside ``.text``;
+- ``J`` — direct unconditional-jump targets inside ``.text``;
+- per-site records for tail-call selection;
+- the instruction preceding each end-branch (for the indirect-return
+  filter);
+- direct-call sites whose target leaves ``.text`` (PLT calls), so
+  FILTERENDBR can match them against the indirect-return list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.decoder import DecodeError, decode_raw
+from repro.x86.insn import InsnClass
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """One direct branch instruction and its target."""
+
+    addr: int
+    target: int
+    is_call: bool
+
+
+@dataclass
+class SweepResult:
+    """Everything collected by one linear sweep of ``.text``."""
+
+    endbr_addrs: set[int] = field(default_factory=set)
+    call_targets: set[int] = field(default_factory=set)
+    jump_targets: set[int] = field(default_factory=set)
+    call_sites: list[BranchSite] = field(default_factory=list)
+    jump_sites: list[BranchSite] = field(default_factory=list)
+    #: endbr addr -> (class, target) of the immediately preceding insn.
+    endbr_predecessor: dict[int, tuple[InsnClass, int | None]] = field(
+        default_factory=dict
+    )
+    #: Direct-call sites targeting outside .text (candidate PLT calls).
+    external_call_sites: list[BranchSite] = field(default_factory=list)
+    text_start: int = 0
+    text_end: int = 0
+    insn_count: int = 0
+
+
+def disassemble(data: bytes, base_addr: int, bits: int) -> SweepResult:
+    """Linear-sweep ``data`` and collect the (E, C, J) tuple plus the
+    side tables FILTERENDBR and SELECTTAILCALL consume.
+
+    Decode failures advance one byte, per the paper.
+    """
+    result = SweepResult(text_start=base_addr, text_end=base_addr + len(data))
+    end = result.text_end
+    # Previous instruction's (class, target); None after decode errors.
+    prev: tuple[int, int | None] | None = None
+    offset = 0
+    count = 0
+    n = len(data)
+    endbr64 = int(InsnClass.ENDBR64)
+    endbr32 = int(InsnClass.ENDBR32)
+    call_d = int(InsnClass.CALL_DIRECT)
+    jmp_d = int(InsnClass.JMP_DIRECT)
+    while offset < n:
+        addr = base_addr + offset
+        try:
+            length, klass, target, _notrack = decode_raw(
+                data, offset, addr, bits
+            )
+        except DecodeError:
+            offset += 1
+            prev = None
+            continue
+        offset += length
+        count += 1
+        if klass == endbr64 or klass == endbr32:
+            result.endbr_addrs.add(addr)
+            if prev is not None:
+                result.endbr_predecessor[addr] = (
+                    InsnClass(prev[0]), prev[1]
+                )
+        elif klass == call_d:
+            if base_addr <= target < end:
+                result.call_targets.add(target)
+                result.call_sites.append(BranchSite(addr, target, True))
+            else:
+                result.external_call_sites.append(
+                    BranchSite(addr, target, True)
+                )
+        elif klass == jmp_d:
+            if base_addr <= target < end:
+                result.jump_targets.add(target)
+                result.jump_sites.append(BranchSite(addr, target, False))
+        prev = (klass, target)
+    result.insn_count = count
+    return result

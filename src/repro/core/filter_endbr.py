@@ -1,0 +1,62 @@
+"""FILTERENDBR — remove non-function-entry end-branches (paper §IV-C).
+
+Two categories of end-branch instructions are discarded from ``E``:
+
+1. **Indirect-return sites**: an end-branch whose immediately preceding
+   instruction is a direct call into a PLT stub whose import name is on
+   GCC's indirect-return list (``setjmp`` and friends, Fig. 2a).
+2. **Exception landing pads**: end-branches located at landing pads
+   described by the LSDAs in ``.gcc_except_table`` (Fig. 2b). LSDAs are
+   located through the FDE augmentation data — any function owning an
+   LSDA necessarily has an FDE, so this is exact even though FunSeeker
+   does not otherwise rely on ``.eh_frame``.
+"""
+
+from __future__ import annotations
+
+from repro.core.disassemble import SweepResult
+from repro.core.indirect_return import is_indirect_return_name
+from repro.elf.plt import PLTMap
+from repro.x86.insn import InsnClass
+
+
+def filter_endbr(
+    sweep: SweepResult,
+    plt_map: PLTMap,
+    landing_pads: set[int],
+) -> set[int]:
+    """Return ``E'``: end-branch addresses that plausibly start functions.
+
+    Parameters
+    ----------
+    sweep:
+        The DISASSEMBLE result.
+    plt_map:
+        PLT stub-address -> import-name map for the binary.
+    landing_pads:
+        Absolute landing-pad addresses extracted from the exception
+        metadata (empty for C binaries).
+    """
+    kept: set[int] = set()
+    for addr in sweep.endbr_addrs:
+        if addr in landing_pads:
+            continue
+        if follows_indirect_return_call(sweep, plt_map, addr):
+            continue
+        kept.add(addr)
+    return kept
+
+
+def follows_indirect_return_call(
+    sweep: SweepResult, plt_map: PLTMap, endbr_addr: int
+) -> bool:
+    pred = sweep.endbr_predecessor.get(endbr_addr)
+    if pred is None:
+        return False
+    klass, target = pred
+    if klass != InsnClass.CALL_DIRECT or target is None:
+        return False
+    name = plt_map.name_at(target)
+    if name is None:
+        return False
+    return is_indirect_return_name(name)

@@ -1,0 +1,168 @@
+"""FunSeeker — CET-aware function identification (paper Algorithm 1).
+
+::
+
+    function FunSeeker(bin)
+        txt, exn <- PARSE(bin)
+        E, C, J  <- DISASSEMBLE(txt)
+        E'       <- FILTERENDBR(E, exn)
+        J'       <- SELECTTAILCALL(J)
+        return E' ∪ C ∪ J'
+
+The four evaluation configurations of Table II are exposed through
+:class:`Config`.
+
+Usage::
+
+    from repro.core.funseeker import FunSeeker
+    result = FunSeeker.from_path("a.out").identify()
+    print(sorted(hex(a) for a in result.functions))
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.disassemble import disassemble
+from repro.core.filter_endbr import filter_endbr
+from repro.core.tailcall import select_tail_calls
+from repro.elf import constants as C
+from repro.elf.ehframe import EhFrameError, parse_eh_frame
+from repro.elf.lsda import landing_pads_from_exception_info
+from repro.elf.parser import ELFFile
+from repro.elf.plt import build_plt_map
+
+
+class Config(enum.Enum):
+    """The four FunSeeker configurations evaluated in Table II."""
+
+    RAW = 1              # ① E ∪ C
+    FILTERED = 2         # ② E' ∪ C
+    ALL_JUMPS = 3        # ③ E' ∪ C ∪ J
+    FULL = 4             # ④ E' ∪ C ∪ J'  (the real FunSeeker)
+
+
+@dataclass
+class FunSeekerResult:
+    """Output of one FunSeeker run."""
+
+    functions: set[int]
+    endbr_all: set[int] = field(default_factory=set)          # E
+    endbr_filtered: set[int] = field(default_factory=set)     # E'
+    call_targets: set[int] = field(default_factory=set)       # C
+    jump_targets: set[int] = field(default_factory=set)       # J
+    tail_call_targets: set[int] = field(default_factory=set)  # J'
+    landing_pads: set[int] = field(default_factory=set)
+    insn_count: int = 0
+    elapsed_seconds: float = 0.0
+    #: CET features the binary advertises via .note.gnu.property.
+    #: FunSeeker operates by design on CET-enabled binaries (§VI);
+    #: ``cet_enabled`` False flags a legacy input whose results rest on
+    #: direct-call targets alone.
+    cet_enabled: bool = False
+
+
+class FunSeeker:
+    """Function identification for one CET-enabled ELF binary."""
+
+    def __init__(self, elf: ELFFile, config: Config = Config.FULL) -> None:
+        if elf.machine not in (C.EM_386, C.EM_X86_64):
+            raise ValueError(
+                f"FunSeeker targets x86/x86-64 binaries "
+                f"(e_machine={elf.machine}); for AArch64 use "
+                f"repro.arm.identify_functions_bti"
+            )
+        self.elf = elf
+        self.config = config
+
+    @classmethod
+    def from_bytes(cls, data: bytes, config: Config = Config.FULL) -> "FunSeeker":
+        return cls(ELFFile(data), config)
+
+    @classmethod
+    def from_path(
+        cls, path: str | os.PathLike, config: Config = Config.FULL
+    ) -> "FunSeeker":
+        return cls(ELFFile.from_path(path), config)
+
+    # -- PARSE ------------------------------------------------------------
+
+    def _parse_exception_info(self) -> set[int]:
+        """Landing-pad addresses from .eh_frame + .gcc_except_table.
+
+        Missing or malformed exception metadata yields an empty set —
+        plain C binaries simply have no ``.gcc_except_table``.
+        """
+        except_sec = self.elf.section(C.SECTION_GCC_EXCEPT_TABLE)
+        eh_sec = self.elf.section(C.SECTION_EH_FRAME)
+        if except_sec is None or eh_sec is None:
+            return set()
+        try:
+            eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, self.elf.is64)
+        except EhFrameError:
+            return set()
+        return landing_pads_from_exception_info(
+            eh, except_sec.data, except_sec.sh_addr, self.elf.is64
+        )
+
+    # -- main algorithm ----------------------------------------------------
+
+    def identify(self) -> FunSeekerResult:
+        """Run the algorithm and return identified function entries."""
+        started = time.perf_counter()
+
+        txt = self.elf.section(C.SECTION_TEXT)
+        if txt is None or not txt.data:
+            return FunSeekerResult(functions=set())
+        bits = 64 if self.elf.is64 else 32
+        landing_pads = self._parse_exception_info()
+        plt_map = build_plt_map(self.elf)
+
+        sweep = disassemble(txt.data, txt.sh_addr, bits)
+
+        if self.config is Config.RAW:
+            e_set = sweep.endbr_addrs
+        else:
+            e_set = filter_endbr(sweep, plt_map, landing_pads)
+
+        functions = set(e_set)
+        functions.update(sweep.call_targets)
+
+        tail_targets: set[int] = set()
+        if self.config is Config.ALL_JUMPS:
+            functions.update(sweep.jump_targets)
+        elif self.config is Config.FULL:
+            tail_targets = select_tail_calls(
+                sweep.jump_sites,
+                sweep.call_sites,
+                known_entries=functions,
+                text_start=sweep.text_start,
+                text_end=sweep.text_end,
+            )
+            functions.update(tail_targets)
+
+        from repro.elf.gnuproperty import parse_cet_features
+
+        elapsed = time.perf_counter() - started
+        return FunSeekerResult(
+            functions=functions,
+            cet_enabled=parse_cet_features(self.elf).any,
+            endbr_all=set(sweep.endbr_addrs),
+            endbr_filtered=e_set if self.config is not Config.RAW else set(),
+            call_targets=set(sweep.call_targets),
+            jump_targets=set(sweep.jump_targets),
+            tail_call_targets=tail_targets,
+            landing_pads=landing_pads,
+            insn_count=sweep.insn_count,
+            elapsed_seconds=elapsed,
+        )
+
+
+def identify_functions(
+    data: bytes, config: Config = Config.FULL
+) -> set[int]:
+    """Convenience wrapper: function entry addresses for an ELF image."""
+    return FunSeeker.from_bytes(data, config).identify().functions

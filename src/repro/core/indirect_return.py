@@ -1,0 +1,33 @@
+"""The indirect-return function list used by FILTERENDBR (paper §IV-C).
+
+GCC's ``special_function_p`` (gcc/calls.c) flags exactly five base names
+as "returns twice": a call to any of them is followed by an end-branch
+instruction to protect the indirect return edge. FunSeeker matches call
+targets against this list to discard those end-branches.
+
+Names are matched after stripping the leading underscores the C library
+adds to its implementation aliases (``_setjmp``, ``__sigsetjmp``, ...),
+exactly as GCC's matcher does.
+"""
+
+from __future__ import annotations
+
+#: The five "returns twice" base names from GCC's ``special_function_p``.
+INDIRECT_RETURN_FUNCTIONS = frozenset(
+    {"setjmp", "sigsetjmp", "savectx", "vfork", "getcontext"}
+)
+
+__all__ = ["INDIRECT_RETURN_FUNCTIONS", "is_indirect_return_name"]
+
+
+def is_indirect_return_name(name: str) -> bool:
+    """Whether an imported function name is on the indirect-return list.
+
+    >>> is_indirect_return_name("setjmp")
+    True
+    >>> is_indirect_return_name("__sigsetjmp")
+    True
+    >>> is_indirect_return_name("printf")
+    False
+    """
+    return name.lstrip("_") in INDIRECT_RETURN_FUNCTIONS

@@ -1,0 +1,75 @@
+"""SELECTTAILCALL — pick the jump targets that are tail calls (§IV-D).
+
+A direct unconditional jump target is accepted as a function entry only
+when both conditions hold:
+
+1. the target lies beyond the boundary of the function containing the
+   jump (Qiao et al.'s condition), where function boundaries are
+   approximated by the already-identified entry set ``E' ∪ C``; and
+2. the target is referenced by multiple functions, not only the one the
+   jump belongs to (FETCH-inspired).
+
+Both checks are simple set/bisect operations — no dataflow analysis —
+which is where FunSeeker's speed advantage over FETCH comes from.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.core.disassemble import BranchSite
+
+
+def select_tail_calls(
+    jump_sites: list[BranchSite],
+    call_sites: list[BranchSite],
+    known_entries: set[int],
+    text_start: int,
+    text_end: int,
+) -> set[int]:
+    """Return ``J'``: jump targets judged to be tail-called functions.
+
+    Parameters
+    ----------
+    jump_sites / call_sites:
+        Direct branch records from DISASSEMBLE.
+    known_entries:
+        The function entries identified so far (``E' ∪ C``); used to
+        approximate function boundaries.
+    text_start / text_end:
+        Bounds of the swept region.
+    """
+    starts = sorted(known_entries)
+
+    def owner(addr: int) -> int:
+        """Start address of the function containing ``addr`` (or the
+        text start when the address precedes every known entry)."""
+        idx = bisect_right(starts, addr) - 1
+        return starts[idx] if idx >= 0 else text_start
+
+    def next_boundary(addr: int) -> int:
+        idx = bisect_right(starts, addr)
+        return starts[idx] if idx < len(starts) else text_end
+
+    # Reference owners per target, over *all* direct branches.
+    ref_owners: dict[int, set[int]] = {}
+    for site in jump_sites:
+        ref_owners.setdefault(site.target, set()).add(owner(site.addr))
+    for site in call_sites:
+        ref_owners.setdefault(site.target, set()).add(owner(site.addr))
+
+    selected: set[int] = set()
+    for site in jump_sites:
+        target = site.target
+        if target in known_entries:
+            continue  # already identified; nothing to add
+        current = owner(site.addr)
+        # Condition 1: the jump escapes its containing function.
+        if current <= target < next_boundary(site.addr):
+            continue
+        # Condition 2: multi-function reference, beyond the current one.
+        owners = ref_owners.get(target, set())
+        if len(owners) < 2 or owners == {current}:
+            continue
+        selected.add(target)
+    return selected

@@ -1,0 +1,62 @@
+"""ELF substrate: parsing, exception metadata, PLT mapping, and writing.
+
+Public entry points:
+
+- :class:`~repro.elf.parser.ELFFile` — read an ELF binary.
+- :func:`~repro.elf.ehframe.parse_eh_frame` — CIE/FDE records.
+- :func:`~repro.elf.lsda.parse_lsda` — exception landing pads.
+- :func:`~repro.elf.plt.build_plt_map` — PLT stub → import name.
+- :class:`~repro.elf.writer.ElfWriter` — build ELF images (used by the
+  synthetic toolchain).
+"""
+
+from repro.elf.parser import ELFFile, ElfParseError, strip_symbols
+from repro.elf.ehframe import CIE, FDE, EhFrame, EhFrameError, parse_eh_frame
+from repro.elf.ehframehdr import (
+    EhFrameHdr,
+    EhFrameHdrError,
+    build_eh_frame_hdr,
+    parse_eh_frame_hdr,
+)
+from repro.elf.lsda import (
+    LSDA,
+    CallSite,
+    LsdaError,
+    landing_pads_from_exception_info,
+    parse_lsda,
+)
+from repro.elf.plt import PLTMap, build_plt_map
+from repro.elf.types import (
+    ElfHeader,
+    Relocation,
+    Section,
+    Segment,
+    Symbol,
+)
+
+__all__ = [
+    "CIE",
+    "FDE",
+    "CallSite",
+    "ELFFile",
+    "EhFrame",
+    "EhFrameError",
+    "EhFrameHdr",
+    "EhFrameHdrError",
+    "build_eh_frame_hdr",
+    "parse_eh_frame_hdr",
+    "ElfHeader",
+    "ElfParseError",
+    "LSDA",
+    "LsdaError",
+    "PLTMap",
+    "Relocation",
+    "Section",
+    "Segment",
+    "Symbol",
+    "build_plt_map",
+    "landing_pads_from_exception_info",
+    "parse_eh_frame",
+    "parse_lsda",
+    "strip_symbols",
+]

@@ -1,0 +1,233 @@
+"""ELF file-format constants.
+
+Only the subset of the ELF specification exercised by this project is
+defined here: identification bytes, file/section/segment/symbol types,
+relocation kinds for x86 / x86-64 / AArch64, and the DWARF exception
+pointer encodings used by ``.eh_frame`` and ``.gcc_except_table``.
+
+Values follow the System V ABI and the processor supplements.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# e_ident layout
+# --------------------------------------------------------------------------
+
+ELFMAG = b"\x7fELF"
+
+EI_CLASS = 4
+EI_DATA = 5
+EI_VERSION = 6
+EI_OSABI = 7
+EI_ABIVERSION = 8
+EI_NIDENT = 16
+
+ELFCLASS32 = 1
+ELFCLASS64 = 2
+
+ELFDATA2LSB = 1
+ELFDATA2MSB = 2
+
+ELFOSABI_SYSV = 0
+ELFOSABI_GNU = 3
+
+EV_CURRENT = 1
+
+# --------------------------------------------------------------------------
+# e_type — object file types
+# --------------------------------------------------------------------------
+
+ET_NONE = 0
+ET_REL = 1
+ET_EXEC = 2
+ET_DYN = 3
+ET_CORE = 4
+
+# --------------------------------------------------------------------------
+# e_machine — architectures
+# --------------------------------------------------------------------------
+
+EM_386 = 3
+EM_X86_64 = 62
+EM_AARCH64 = 183
+
+# --------------------------------------------------------------------------
+# Section header types (sh_type)
+# --------------------------------------------------------------------------
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_HASH = 5
+SHT_DYNAMIC = 6
+SHT_NOTE = 7
+SHT_NOBITS = 8
+SHT_REL = 9
+SHT_DYNSYM = 11
+SHT_INIT_ARRAY = 14
+SHT_FINI_ARRAY = 15
+SHT_GNU_HASH = 0x6FFFFFF6
+SHT_GNU_VERSYM = 0x6FFFFFFF
+SHT_GNU_VERNEED = 0x6FFFFFFE
+
+# Section header flags (sh_flags)
+
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+SHF_INFO_LINK = 0x40
+
+# --------------------------------------------------------------------------
+# Program header types (p_type) and flags (p_flags)
+# --------------------------------------------------------------------------
+
+PT_NULL = 0
+PT_LOAD = 1
+PT_DYNAMIC = 2
+PT_INTERP = 3
+PT_NOTE = 4
+PT_PHDR = 6
+PT_GNU_EH_FRAME = 0x6474E550
+PT_GNU_STACK = 0x6474E551
+PT_GNU_RELRO = 0x6474E552
+PT_GNU_PROPERTY = 0x6474E553
+
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+# --------------------------------------------------------------------------
+# Symbol table encodings
+# --------------------------------------------------------------------------
+
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STB_WEAK = 2
+
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+STT_FILE = 4
+STT_GNU_IFUNC = 10
+
+STV_DEFAULT = 0
+STV_HIDDEN = 2
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+
+def st_info(bind: int, typ: int) -> int:
+    """Pack symbol binding and type into the ``st_info`` byte."""
+    return (bind << 4) | (typ & 0xF)
+
+
+def st_bind(info: int) -> int:
+    """Extract the binding half of ``st_info``."""
+    return info >> 4
+
+
+def st_type(info: int) -> int:
+    """Extract the type half of ``st_info``."""
+    return info & 0xF
+
+
+# --------------------------------------------------------------------------
+# Dynamic section tags
+# --------------------------------------------------------------------------
+
+DT_NULL = 0
+DT_NEEDED = 1
+DT_PLTRELSZ = 2
+DT_PLTGOT = 3
+DT_STRTAB = 5
+DT_SYMTAB = 6
+DT_RELA = 7
+DT_RELASZ = 8
+DT_RELAENT = 9
+DT_STRSZ = 10
+DT_SYMENT = 11
+DT_REL = 17
+DT_RELSZ = 18
+DT_RELENT = 19
+DT_PLTREL = 20
+DT_JMPREL = 23
+DT_FLAGS = 30
+
+# --------------------------------------------------------------------------
+# Relocation types (subset)
+# --------------------------------------------------------------------------
+
+R_X86_64_NONE = 0
+R_X86_64_64 = 1
+R_X86_64_PC32 = 2
+R_X86_64_GLOB_DAT = 6
+R_X86_64_JUMP_SLOT = 7
+R_X86_64_RELATIVE = 8
+R_X86_64_PLT32 = 4
+
+R_386_NONE = 0
+R_386_32 = 1
+R_386_PC32 = 2
+R_386_GLOB_DAT = 6
+R_386_JMP_SLOT = 7
+R_386_RELATIVE = 8
+R_386_PLT32 = 4
+
+R_AARCH64_JUMP_SLOT = 1026
+
+
+def r_info(sym: int, typ: int, is64: bool) -> int:
+    """Pack an ``r_info`` field for a relocation entry."""
+    if is64:
+        return (sym << 32) | (typ & 0xFFFFFFFF)
+    return (sym << 8) | (typ & 0xFF)
+
+
+def r_sym(info: int, is64: bool) -> int:
+    """Extract the symbol index from ``r_info``."""
+    return info >> 32 if is64 else info >> 8
+
+
+def r_type(info: int, is64: bool) -> int:
+    """Extract the relocation type from ``r_info``."""
+    return info & 0xFFFFFFFF if is64 else info & 0xFF
+
+
+# --------------------------------------------------------------------------
+# DWARF exception-handling pointer encodings (DW_EH_PE_*)
+#
+# Used both by .eh_frame (CIE augmentation, FDE pointers) and by the LSDA
+# header in .gcc_except_table.
+# --------------------------------------------------------------------------
+
+DW_EH_PE_absptr = 0x00
+DW_EH_PE_uleb128 = 0x01
+DW_EH_PE_udata2 = 0x02
+DW_EH_PE_udata4 = 0x03
+DW_EH_PE_udata8 = 0x04
+DW_EH_PE_sleb128 = 0x09
+DW_EH_PE_sdata2 = 0x0A
+DW_EH_PE_sdata4 = 0x0B
+DW_EH_PE_sdata8 = 0x0C
+
+DW_EH_PE_pcrel = 0x10
+DW_EH_PE_textrel = 0x20
+DW_EH_PE_datarel = 0x30
+DW_EH_PE_funcrel = 0x40
+DW_EH_PE_aligned = 0x50
+DW_EH_PE_indirect = 0x80
+
+DW_EH_PE_omit = 0xFF
+
+SECTION_TEXT = ".text"
+SECTION_PLT = ".plt"
+SECTION_PLT_SEC = ".plt.sec"
+SECTION_PLT_GOT = ".plt.got"
+SECTION_EH_FRAME = ".eh_frame"
+SECTION_EH_FRAME_HDR = ".eh_frame_hdr"
+SECTION_GCC_EXCEPT_TABLE = ".gcc_except_table"

@@ -1,0 +1,20 @@
+"""DWARF debug-info substrate (ground-truth channel, paper §V-A1)."""
+
+from repro.elf.dwarf.parser import (
+    AbbrevDecl,
+    DwarfError,
+    Subprogram,
+    parse_abbrev_table,
+    parse_subprograms,
+)
+from repro.elf.dwarf.writer import FunctionDebugInfo, build_debug_info
+
+__all__ = [
+    "AbbrevDecl",
+    "DwarfError",
+    "FunctionDebugInfo",
+    "Subprogram",
+    "build_debug_info",
+    "parse_abbrev_table",
+    "parse_subprograms",
+]

@@ -1,0 +1,91 @@
+"""DWARF constants (subset relevant to function-identification ground
+truth).
+
+Tag/attribute/form codes follow the DWARF 4 and DWARF 5 standards. The
+parser must *skip* arbitrary attributes correctly, so the form list is
+complete for DWARF 5 even though only a handful of attributes are
+interpreted.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Tags (DW_TAG_*)
+# --------------------------------------------------------------------------
+
+DW_TAG_compile_unit = 0x11
+DW_TAG_subprogram = 0x2E
+DW_TAG_inlined_subroutine = 0x1D
+
+# --------------------------------------------------------------------------
+# Attributes (DW_AT_*)
+# --------------------------------------------------------------------------
+
+DW_AT_name = 0x03
+DW_AT_low_pc = 0x11
+DW_AT_high_pc = 0x12
+DW_AT_producer = 0x25
+DW_AT_comp_dir = 0x1B
+DW_AT_external = 0x3F
+DW_AT_declaration = 0x3C
+DW_AT_abstract_origin = 0x31
+DW_AT_specification = 0x47
+DW_AT_linkage_name = 0x6E
+DW_AT_str_offsets_base = 0x72
+DW_AT_addr_base = 0x73
+
+# --------------------------------------------------------------------------
+# Forms (DW_FORM_*) — complete through DWARF 5
+# --------------------------------------------------------------------------
+
+DW_FORM_addr = 0x01
+DW_FORM_block2 = 0x03
+DW_FORM_block4 = 0x04
+DW_FORM_data2 = 0x05
+DW_FORM_data4 = 0x06
+DW_FORM_data8 = 0x07
+DW_FORM_string = 0x08
+DW_FORM_block = 0x09
+DW_FORM_block1 = 0x0A
+DW_FORM_data1 = 0x0B
+DW_FORM_flag = 0x0C
+DW_FORM_sdata = 0x0D
+DW_FORM_strp = 0x0E
+DW_FORM_udata = 0x0F
+DW_FORM_ref_addr = 0x10
+DW_FORM_ref1 = 0x11
+DW_FORM_ref2 = 0x12
+DW_FORM_ref4 = 0x13
+DW_FORM_ref8 = 0x14
+DW_FORM_ref_udata = 0x15
+DW_FORM_indirect = 0x16
+DW_FORM_sec_offset = 0x17
+DW_FORM_exprloc = 0x18
+DW_FORM_flag_present = 0x19
+DW_FORM_strx = 0x1A
+DW_FORM_addrx = 0x1B
+DW_FORM_ref_sup4 = 0x1C
+DW_FORM_strp_sup = 0x1D
+DW_FORM_data16 = 0x1E
+DW_FORM_line_strp = 0x1F
+DW_FORM_ref_sig8 = 0x20
+DW_FORM_implicit_const = 0x21
+DW_FORM_loclistx = 0x22
+DW_FORM_rnglistx = 0x23
+DW_FORM_ref_sup8 = 0x24
+DW_FORM_strx1 = 0x25
+DW_FORM_strx2 = 0x26
+DW_FORM_strx3 = 0x27
+DW_FORM_strx4 = 0x28
+DW_FORM_addrx1 = 0x29
+DW_FORM_addrx2 = 0x2A
+DW_FORM_addrx3 = 0x2B
+DW_FORM_addrx4 = 0x2C
+
+# Unit types (DWARF 5 header)
+DW_UT_compile = 0x01
+DW_UT_partial = 0x03
+DW_UT_skeleton = 0x04
+
+DW_CHILDREN_no = 0x00
+DW_CHILDREN_yes = 0x01

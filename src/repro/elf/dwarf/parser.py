@@ -1,0 +1,328 @@
+"""DWARF debug-info parser for function ground truth (paper §V-A1).
+
+Walks every compile unit of ``.debug_info``, decodes the abbreviation
+tables, and extracts ``DW_TAG_subprogram`` DIEs with their name and
+``DW_AT_low_pc``/``DW_AT_high_pc``. Supports DWARF versions 2-5,
+including the DWARF 5 indirection forms GCC 12 emits by default
+(``strx*`` via ``.debug_str_offsets``, ``addrx*`` via ``.debug_addr``).
+
+Attributes that are not interpreted are skipped exactly by form — the
+form-size logic is complete through DWARF 5, so unknown producer
+variations cannot desynchronize the DIE walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.dwarf import constants as D
+from repro.elf.parser import ELFFile
+from repro.elf.reader import ByteReader, ReaderError
+
+
+class DwarfError(Exception):
+    """Raised on malformed DWARF data."""
+
+
+@dataclass(frozen=True)
+class Subprogram:
+    """One DW_TAG_subprogram with location info resolved."""
+
+    name: str
+    low_pc: int
+    high_pc: int  # absolute end address (resolved from offset forms)
+
+    @property
+    def size(self) -> int:
+        return self.high_pc - self.low_pc
+
+
+@dataclass
+class AbbrevDecl:
+    """One abbreviation declaration."""
+
+    tag: int
+    has_children: bool
+    #: (attribute, form, implicit_const_value) triples.
+    attributes: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class _Sections:
+    info: bytes = b""
+    abbrev: bytes = b""
+    strtab: bytes = b""
+    line_str: bytes = b""
+    str_offsets: bytes = b""
+    addr: bytes = b""
+
+
+def parse_subprograms(elf: ELFFile) -> list[Subprogram]:
+    """Extract every concrete subprogram from a binary's debug info.
+
+    Declarations and DIEs without a ``low_pc`` (inlined-only instances,
+    external declarations) are omitted, as in the paper's ground-truth
+    extraction. Returns an empty list for binaries without debug info.
+    """
+    secs = _Sections(
+        info=_section_data(elf, ".debug_info"),
+        abbrev=_section_data(elf, ".debug_abbrev"),
+        strtab=_section_data(elf, ".debug_str"),
+        line_str=_section_data(elf, ".debug_line_str"),
+        str_offsets=_section_data(elf, ".debug_str_offsets"),
+        addr=_section_data(elf, ".debug_addr"),
+    )
+    if not secs.info or not secs.abbrev:
+        return []
+    out: list[Subprogram] = []
+    r = ByteReader(secs.info)
+    while r.remaining() > 4:
+        out.extend(_parse_unit(r, secs))
+    return out
+
+
+def _section_data(elf: ELFFile, name: str) -> bytes:
+    sec = elf.section(name)
+    return sec.data if sec is not None else b""
+
+
+# ---------------------------------------------------------------------------
+# abbreviation tables
+# ---------------------------------------------------------------------------
+
+
+def parse_abbrev_table(data: bytes, offset: int) -> dict[int, AbbrevDecl]:
+    """Parse one abbreviation table starting at ``offset``."""
+    table: dict[int, AbbrevDecl] = {}
+    r = ByteReader(data, offset)
+    try:
+        while True:
+            code = r.uleb128()
+            if code == 0:
+                return table
+            tag = r.uleb128()
+            has_children = r.u8() == D.DW_CHILDREN_yes
+            decl = AbbrevDecl(tag=tag, has_children=has_children)
+            while True:
+                attr = r.uleb128()
+                form = r.uleb128()
+                const = 0
+                if form == D.DW_FORM_implicit_const:
+                    const = r.sleb128()
+                if attr == 0 and form == 0:
+                    break
+                decl.attributes.append((attr, form, const))
+            table[code] = decl
+    except ReaderError as exc:
+        raise DwarfError(f"truncated abbreviation table: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# compile units
+# ---------------------------------------------------------------------------
+
+
+def _parse_unit(r: ByteReader, secs: _Sections) -> list[Subprogram]:
+    unit_offset = r.pos
+    try:
+        length = r.u32()
+        if length == 0xFFFFFFFF:
+            raise DwarfError("64-bit DWARF is not supported")
+        unit_end = r.pos + length
+        version = r.u16()
+        if version < 2 or version > 5:
+            raise DwarfError(f"unsupported DWARF version {version}")
+        if version >= 5:
+            unit_type = r.u8()
+            addr_size = r.u8()
+            abbrev_offset = r.u32()
+            if unit_type == D.DW_UT_skeleton:
+                r.u64()  # dwo_id
+        else:
+            abbrev_offset = r.u32()
+            addr_size = r.u8()
+    except ReaderError as exc:
+        raise DwarfError(f"truncated CU header at {unit_offset}") from exc
+
+    abbrevs = parse_abbrev_table(secs.abbrev, abbrev_offset)
+    ctx = _UnitContext(version=version, addr_size=addr_size, secs=secs)
+    subprograms: list[Subprogram] = []
+
+    try:
+        while r.pos < unit_end:
+            code = r.uleb128()
+            if code == 0:
+                continue  # null DIE (end of a sibling chain)
+            decl = abbrevs.get(code)
+            if decl is None:
+                raise DwarfError(f"unknown abbreviation code {code}")
+            die = _parse_die(r, decl, ctx)
+            if decl.tag == D.DW_TAG_compile_unit:
+                ctx.str_offsets_base = die.get(
+                    D.DW_AT_str_offsets_base, ctx.str_offsets_base)
+                ctx.addr_base = die.get(D.DW_AT_addr_base, ctx.addr_base)
+                # Resolve deferred indices now that the bases are known.
+                _resolve_indirect(die, ctx)
+            sub = _subprogram_from_die(decl, die, ctx)
+            if sub is not None:
+                subprograms.append(sub)
+    except ReaderError as exc:
+        raise DwarfError(f"truncated DIE stream: {exc}") from exc
+    r.seek(unit_end)
+    return subprograms
+
+
+@dataclass
+class _UnitContext:
+    version: int
+    addr_size: int
+    secs: _Sections
+    # DWARF 5 table bases (header-skipping defaults applied lazily).
+    str_offsets_base: int = 8
+    addr_base: int = 8
+
+
+class _Strx:
+    """Deferred .debug_str_offsets index (base may come later)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+class _Addrx:
+    """Deferred .debug_addr index."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+def _parse_die(
+    r: ByteReader, decl: AbbrevDecl, ctx: _UnitContext
+) -> dict[int, object]:
+    values: dict[int, object] = {}
+    for attr, form, const in decl.attributes:
+        value = _read_form(r, form, const, ctx)
+        if attr in (D.DW_AT_name, D.DW_AT_linkage_name, D.DW_AT_low_pc,
+                    D.DW_AT_high_pc, D.DW_AT_declaration,
+                    D.DW_AT_external, D.DW_AT_str_offsets_base,
+                    D.DW_AT_addr_base):
+            values[attr] = value
+    return values
+
+
+def _read_form(r: ByteReader, form: int, const: int, ctx: _UnitContext):
+    if form == D.DW_FORM_addr:
+        return r.uword(ctx.addr_size == 8)
+    if form in (D.DW_FORM_data1, D.DW_FORM_ref1, D.DW_FORM_strx1,
+                D.DW_FORM_addrx1, D.DW_FORM_flag):
+        value = r.u8()
+    elif form in (D.DW_FORM_data2, D.DW_FORM_ref2, D.DW_FORM_strx2,
+                  D.DW_FORM_addrx2):
+        value = r.u16()
+    elif form in (D.DW_FORM_strx3, D.DW_FORM_addrx3):
+        value = int.from_bytes(r.bytes(3), "little")
+    elif form in (D.DW_FORM_data4, D.DW_FORM_ref4, D.DW_FORM_sec_offset,
+                  D.DW_FORM_strp, D.DW_FORM_line_strp, D.DW_FORM_ref_addr,
+                  D.DW_FORM_ref_sup4, D.DW_FORM_strp_sup,
+                  D.DW_FORM_strx4, D.DW_FORM_addrx4):
+        value = r.u32()
+    elif form in (D.DW_FORM_data8, D.DW_FORM_ref8, D.DW_FORM_ref_sig8,
+                  D.DW_FORM_ref_sup8):
+        value = r.u64()
+    elif form == D.DW_FORM_data16:
+        value = int.from_bytes(r.bytes(16), "little")
+    elif form in (D.DW_FORM_udata, D.DW_FORM_ref_udata, D.DW_FORM_strx,
+                  D.DW_FORM_addrx, D.DW_FORM_loclistx, D.DW_FORM_rnglistx):
+        value = r.uleb128()
+    elif form == D.DW_FORM_sdata:
+        value = r.sleb128()
+    elif form == D.DW_FORM_string:
+        return r.cstring().decode("utf-8", errors="replace")
+    elif form == D.DW_FORM_block1:
+        value = r.bytes(r.u8())
+    elif form == D.DW_FORM_block2:
+        value = r.bytes(r.u16())
+    elif form == D.DW_FORM_block4:
+        value = r.bytes(r.u32())
+    elif form in (D.DW_FORM_block, D.DW_FORM_exprloc):
+        value = r.bytes(r.uleb128())
+    elif form == D.DW_FORM_flag_present:
+        return True
+    elif form == D.DW_FORM_implicit_const:
+        return const
+    elif form == D.DW_FORM_indirect:
+        real_form = r.uleb128()
+        return _read_form(r, real_form, const, ctx)
+    else:
+        raise DwarfError(f"unhandled DWARF form {form:#x}")
+
+    # Post-process the string / address indirections.
+    if form == D.DW_FORM_strp:
+        return _str_at(ctx.secs.strtab, value)
+    if form == D.DW_FORM_line_strp:
+        return _str_at(ctx.secs.line_str, value)
+    if form in (D.DW_FORM_strx, D.DW_FORM_strx1, D.DW_FORM_strx2,
+                D.DW_FORM_strx3, D.DW_FORM_strx4):
+        return _Strx(value)
+    if form in (D.DW_FORM_addrx, D.DW_FORM_addrx1, D.DW_FORM_addrx2,
+                D.DW_FORM_addrx3, D.DW_FORM_addrx4):
+        return _Addrx(value)
+    return value
+
+
+def _resolve_indirect(die: dict[int, object], ctx: _UnitContext) -> None:
+    for attr, value in list(die.items()):
+        die[attr] = _resolve_value(value, ctx)
+
+
+def _resolve_value(value, ctx: _UnitContext):
+    if isinstance(value, _Strx):
+        pos = ctx.str_offsets_base + 4 * value.index
+        if pos + 4 > len(ctx.secs.str_offsets):
+            return ""
+        offset = int.from_bytes(
+            ctx.secs.str_offsets[pos : pos + 4], "little")
+        return _str_at(ctx.secs.strtab, offset)
+    if isinstance(value, _Addrx):
+        width = ctx.addr_size
+        pos = ctx.addr_base + width * value.index
+        if pos + width > len(ctx.secs.addr):
+            return 0
+        return int.from_bytes(ctx.secs.addr[pos : pos + width], "little")
+    return value
+
+
+def _subprogram_from_die(
+    decl: AbbrevDecl, die: dict[int, object], ctx: _UnitContext
+) -> Subprogram | None:
+    if decl.tag != D.DW_TAG_subprogram:
+        return None
+    if die.get(D.DW_AT_declaration):
+        return None
+    low = _resolve_value(die.get(D.DW_AT_low_pc), ctx)
+    if not isinstance(low, int) or low == 0:
+        return None
+    high = _resolve_value(die.get(D.DW_AT_high_pc), ctx)
+    if isinstance(high, int):
+        # DWARF 4+: a non-addr form means "offset from low_pc".
+        high_pc = high if high > low else low + high
+    else:
+        high_pc = low
+    name = _resolve_value(
+        die.get(D.DW_AT_name) or die.get(D.DW_AT_linkage_name) or "", ctx)
+    if not isinstance(name, str):
+        name = ""
+    return Subprogram(name=name, low_pc=low, high_pc=high_pc)
+
+
+def _str_at(table: bytes, offset: int) -> str:
+    if offset >= len(table):
+        return ""
+    end = table.find(b"\x00", offset)
+    if end < 0:
+        end = len(table)
+    return table[offset:end].decode("utf-8", errors="replace")

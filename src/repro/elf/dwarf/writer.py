@@ -1,0 +1,106 @@
+"""DWARF debug-info writer (DWARF 4).
+
+Emits the three sections a debugger (or a ground-truth extractor) needs
+to enumerate functions: ``.debug_abbrev``, ``.debug_info`` and
+``.debug_str``. One compile unit is produced per program, with a
+``DW_TAG_subprogram`` DIE per function — mirroring what ``gcc -g``
+records and what the paper reads its ground truth from (§V-A1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.elf.dwarf import constants as D
+
+
+@dataclass(frozen=True)
+class FunctionDebugInfo:
+    """Debug-info record for one function."""
+
+    name: str
+    low_pc: int
+    size: int
+    external: bool = True
+
+
+def _uleb(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+#: Abbreviation codes used by the writer.
+_ABBREV_CU = 1
+_ABBREV_SUBPROGRAM = 2
+
+
+def build_abbrev() -> bytes:
+    """The fixed two-entry abbreviation table."""
+    out = bytearray()
+    # CU: name (strp), producer (strp), children yes.
+    out += _uleb(_ABBREV_CU)
+    out += _uleb(D.DW_TAG_compile_unit)
+    out.append(D.DW_CHILDREN_yes)
+    for attr, form in ((D.DW_AT_name, D.DW_FORM_strp),
+                       (D.DW_AT_producer, D.DW_FORM_strp)):
+        out += _uleb(attr) + _uleb(form)
+    out += _uleb(0) + _uleb(0)
+    # Subprogram: name (strp), low_pc (addr), high_pc (data8 offset),
+    # external (flag).
+    out += _uleb(_ABBREV_SUBPROGRAM)
+    out += _uleb(D.DW_TAG_subprogram)
+    out.append(D.DW_CHILDREN_no)
+    for attr, form in ((D.DW_AT_name, D.DW_FORM_strp),
+                       (D.DW_AT_low_pc, D.DW_FORM_addr),
+                       (D.DW_AT_high_pc, D.DW_FORM_data8),
+                       (D.DW_AT_external, D.DW_FORM_flag)):
+        out += _uleb(attr) + _uleb(form)
+    out += _uleb(0) + _uleb(0)
+    out += _uleb(0)  # table terminator
+    return bytes(out)
+
+
+def build_debug_info(
+    program_name: str,
+    functions: list[FunctionDebugInfo],
+    *,
+    addr_size: int = 8,
+) -> tuple[bytes, bytes, bytes]:
+    """Build (.debug_info, .debug_abbrev, .debug_str) for one program."""
+    strtab = bytearray(b"\x00")
+    offsets: dict[str, int] = {"": 0}
+
+    def intern(s: str) -> int:
+        if s not in offsets:
+            offsets[s] = len(strtab)
+            strtab.extend(s.encode() + b"\x00")
+        return offsets[s]
+
+    body = bytearray()
+    body += struct.pack("<H", 4)           # version
+    body += struct.pack("<I", 0)           # abbrev offset
+    body.append(addr_size)
+
+    body += _uleb(_ABBREV_CU)
+    body += struct.pack("<I", intern(program_name))
+    body += struct.pack("<I", intern("repro synthetic toolchain 1.0"))
+
+    for fn in functions:
+        body += _uleb(_ABBREV_SUBPROGRAM)
+        body += struct.pack("<I", intern(fn.name))
+        body += fn.low_pc.to_bytes(addr_size, "little")
+        body += struct.pack("<Q", fn.size)
+        body.append(1 if fn.external else 0)
+
+    body += _uleb(0)                       # end of CU children
+
+    info = struct.pack("<I", len(body)) + bytes(body)
+    return info, build_abbrev(), bytes(strtab)

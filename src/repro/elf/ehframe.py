@@ -1,0 +1,197 @@
+"""Parser for the ``.eh_frame`` call-frame-information section.
+
+Only the record framing is interpreted — CIE augmentation strings, FDE
+``PC begin`` / ``PC range`` pointers and LSDA pointers. The CFI opcode
+stream itself (advance-loc / def-cfa / ...) is irrelevant to function
+identification and is skipped.
+
+This is the metadata FETCH-style detectors rely on, and the channel
+through which FunSeeker locates LSDAs (every function that owns an LSDA
+necessarily has an FDE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.elf.reader import ByteReader, ReaderError
+
+
+class EhFrameError(Exception):
+    """Raised on malformed ``.eh_frame`` contents."""
+
+
+@dataclass
+class CIE:
+    """A Common Information Entry."""
+
+    offset: int
+    version: int
+    augmentation: str
+    code_alignment: int
+    data_alignment: int
+    return_register: int
+    fde_encoding: int = C.DW_EH_PE_absptr
+    lsda_encoding: int = C.DW_EH_PE_omit
+    personality: int | None = None
+    is_signal_frame: bool = False
+
+
+@dataclass
+class FDE:
+    """A Frame Description Entry resolved against its CIE."""
+
+    offset: int
+    cie: CIE
+    pc_begin: int
+    pc_range: int
+    lsda_address: int | None = None
+
+    @property
+    def pc_end(self) -> int:
+        return self.pc_begin + self.pc_range
+
+
+@dataclass
+class EhFrame:
+    """All CIEs and FDEs parsed from one ``.eh_frame`` section."""
+
+    cies: dict[int, CIE] = field(default_factory=dict)
+    fdes: list[FDE] = field(default_factory=list)
+
+    def fde_covering(self, addr: int) -> FDE | None:
+        """Return the FDE whose PC range covers ``addr``, if any."""
+        for fde in self.fdes:
+            if fde.pc_begin <= addr < fde.pc_end:
+                return fde
+        return None
+
+
+def parse_eh_frame(data: bytes, section_addr: int, is64: bool) -> EhFrame:
+    """Parse an ``.eh_frame`` section.
+
+    Parameters
+    ----------
+    data:
+        Raw section contents.
+    section_addr:
+        Virtual address of the section (needed for ``DW_EH_PE_pcrel``).
+    is64:
+        Whether the binary is 64-bit (affects ``DW_EH_PE_absptr`` width).
+    """
+    result = EhFrame()
+    r = ByteReader(data)
+    while r.remaining() >= 4:
+        entry_offset = r.pos
+        try:
+            length = r.u32()
+            if length == 0:
+                break  # terminator
+            if length == 0xFFFFFFFF:
+                length = r.u64()
+            body_start = r.pos
+            cie_id_pos = r.pos
+            cie_id = r.u32()
+            if cie_id == 0:
+                cie = _parse_cie(r, entry_offset, is64)
+                result.cies[entry_offset] = cie
+            else:
+                cie_offset = cie_id_pos - cie_id
+                cie = result.cies.get(cie_offset)
+                if cie is None:
+                    raise EhFrameError(
+                        f"FDE at {entry_offset:#x} references unknown CIE "
+                        f"at {cie_offset:#x}"
+                    )
+                fde = _parse_fde(r, entry_offset, cie, section_addr, is64)
+                result.fdes.append(fde)
+            r.seek(body_start + length)
+        except ReaderError as exc:
+            raise EhFrameError(
+                f"truncated .eh_frame entry at {entry_offset:#x}: {exc}"
+            ) from exc
+    return result
+
+
+def _parse_cie(r: ByteReader, offset: int, is64: bool) -> CIE:
+    version = r.u8()
+    if version not in (1, 3, 4):
+        raise EhFrameError(f"unsupported CIE version {version}")
+    augmentation = r.cstring().decode("ascii", errors="replace")
+    if version == 4:
+        r.u8()  # address size
+        r.u8()  # segment selector size
+    code_alignment = r.uleb128()
+    data_alignment = r.sleb128()
+    # Version 1 stores the return-address register as a single byte;
+    # later versions use ULEB128. Register numbers on x86/x86-64/AArch64
+    # are < 128, so ULEB128 decoding is byte-compatible for version 1 too.
+    return_register = r.uleb128()
+
+    cie = CIE(
+        offset=offset,
+        version=version,
+        augmentation=augmentation,
+        code_alignment=code_alignment,
+        data_alignment=data_alignment,
+        return_register=return_register,
+    )
+    if augmentation.startswith("z"):
+        aug_len = r.uleb128()
+        aug_end = r.pos + aug_len
+        for ch in augmentation[1:]:
+            if ch == "R":
+                cie.fde_encoding = r.u8()
+            elif ch == "L":
+                cie.lsda_encoding = r.u8()
+            elif ch == "P":
+                enc = r.u8()
+                cie.personality = r.eh_pointer(enc, pc=0, is64=is64)
+            elif ch == "S":
+                cie.is_signal_frame = True
+            elif ch in ("B", "G"):
+                pass  # AArch64 PAC / MTE markers carry no data
+            else:
+                # Unknown augmentation character: remaining data cannot be
+                # interpreted; skip to the recorded end.
+                break
+        r.seek(aug_end)
+    return cie
+
+
+def _parse_fde(
+    r: ByteReader, offset: int, cie: CIE, section_addr: int, is64: bool
+) -> FDE:
+    pc_field_addr = section_addr + r.pos
+    pc_begin = r.eh_pointer(cie.fde_encoding, pc=pc_field_addr, is64=is64)
+    if pc_begin is None:
+        raise EhFrameError(f"FDE at {offset:#x} has omitted pc_begin")
+    # PC range uses the value format of the CIE encoding with no
+    # application modifier.
+    pc_range = r.eh_pointer(cie.fde_encoding & 0x0F, pc=0, is64=is64)
+    lsda_address: int | None = None
+    if cie.augmentation.startswith("z"):
+        aug_len = r.uleb128()
+        aug_end = r.pos + aug_len
+        if cie.lsda_encoding != C.DW_EH_PE_omit and aug_len > 0:
+            lsda_field_addr = section_addr + r.pos
+            # A raw value of zero means "no LSDA" irrespective of the
+            # application modifier, so decode the value format first.
+            raw = r.eh_pointer(
+                cie.lsda_encoding & 0x0F, pc=0, is64=is64
+            )
+            if raw:
+                app = cie.lsda_encoding & 0x70
+                if app == C.DW_EH_PE_pcrel:
+                    raw += lsda_field_addr
+                mask = (1 << 64) - 1 if is64 else (1 << 32) - 1
+                lsda_address = raw & mask
+        r.seek(aug_end)
+    return FDE(
+        offset=offset,
+        cie=cie,
+        pc_begin=pc_begin,
+        pc_range=pc_range or 0,
+        lsda_address=lsda_address,
+    )

@@ -1,0 +1,114 @@
+"""The ``.eh_frame_hdr`` section: the unwinder's binary-search index.
+
+Real executables carry a ``PT_GNU_EH_FRAME`` segment pointing at this
+header so the runtime can find the FDE covering a faulting PC in
+O(log n). Tools like Ghidra read it as a fast, pre-sorted index of
+function addresses — one more reason their recall follows the FDE
+coverage (§V-C).
+
+Both the parser and the writer use GCC's standard encodings: an
+``sdata4 | pcrel`` pointer to ``.eh_frame`` and a ``sdata4 | datarel``
+search table.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.elf.reader import ByteReader, ReaderError
+
+_VERSION = 1
+_ENC_PCREL_SDATA4 = C.DW_EH_PE_pcrel | C.DW_EH_PE_sdata4       # 0x1b
+_ENC_DATAREL_SDATA4 = C.DW_EH_PE_datarel | C.DW_EH_PE_sdata4   # 0x3b
+_ENC_UDATA4 = C.DW_EH_PE_udata4                                # 0x03
+
+
+class EhFrameHdrError(Exception):
+    """Raised on malformed ``.eh_frame_hdr`` contents."""
+
+
+@dataclass
+class EhFrameHdr:
+    """Parsed search-table header."""
+
+    eh_frame_addr: int
+    #: Sorted (initial_location, fde_address) pairs.
+    table: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def fde_count(self) -> int:
+        return len(self.table)
+
+    def function_starts(self) -> set[int]:
+        return {loc for loc, _fde in self.table}
+
+    def lookup(self, pc: int) -> int | None:
+        """Address of the FDE covering ``pc`` per binary search (the
+        runtime unwinder's algorithm). Returns ``None`` below the first
+        entry."""
+        lo, hi = 0, len(self.table)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.table[mid][0] <= pc:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None
+        return self.table[lo - 1][1]
+
+
+def build_eh_frame_hdr(
+    hdr_addr: int,
+    eh_frame_addr: int,
+    entries: list[tuple[int, int]],
+) -> bytes:
+    """Serialize a header.
+
+    ``entries`` holds ``(function_start, fde_address)`` pairs; they are
+    sorted as the format requires.
+    """
+    out = bytearray()
+    out.append(_VERSION)
+    out.append(_ENC_PCREL_SDATA4)     # eh_frame_ptr encoding
+    out.append(_ENC_UDATA4)           # fde_count encoding
+    out.append(_ENC_DATAREL_SDATA4)   # table encoding
+    # eh_frame_ptr: relative to its own field address (hdr + 4).
+    out += struct.pack("<i", eh_frame_addr - (hdr_addr + 4))
+    out += struct.pack("<I", len(entries))
+    for start, fde_addr in sorted(entries):
+        out += struct.pack("<i", start - hdr_addr)
+        out += struct.pack("<i", fde_addr - hdr_addr)
+    return bytes(out)
+
+
+def parse_eh_frame_hdr(data: bytes, hdr_addr: int) -> EhFrameHdr:
+    """Parse a header produced by GNU ld (or this module)."""
+    r = ByteReader(data)
+    try:
+        version = r.u8()
+        if version != _VERSION:
+            raise EhFrameHdrError(f"unsupported version {version}")
+        ptr_enc = r.u8()
+        count_enc = r.u8()
+        table_enc = r.u8()
+        eh_frame_addr = r.eh_pointer(
+            ptr_enc, pc=hdr_addr + r.pos, data_base=hdr_addr, is64=True)
+        if eh_frame_addr is None:
+            raise EhFrameHdrError("eh_frame pointer omitted")
+        count = r.eh_pointer(
+            count_enc, pc=hdr_addr + r.pos, data_base=hdr_addr, is64=True)
+        hdr = EhFrameHdr(eh_frame_addr=eh_frame_addr)
+        if count is None:
+            return hdr
+        for _ in range(count):
+            loc = r.eh_pointer(table_enc, pc=hdr_addr + r.pos,
+                               data_base=hdr_addr, is64=True)
+            fde = r.eh_pointer(table_enc, pc=hdr_addr + r.pos,
+                               data_base=hdr_addr, is64=True)
+            hdr.table.append((loc, fde))
+        return hdr
+    except ReaderError as exc:
+        raise EhFrameHdrError(f"truncated .eh_frame_hdr: {exc}") from exc

@@ -1,0 +1,104 @@
+"""The ``.note.gnu.property`` section: CET feature advertisement.
+
+A CET-enabled binary declares its hardware-security features in a
+``GNU_PROPERTY_X86_FEATURE_1_AND`` note (IBT and/or SHSTK bits); the
+kernel and dynamic loader read it to decide whether to enforce CET for
+the process. "CET-enabled binary" in the paper (§II) means exactly:
+compiled with ``-fcf-protection=full``, which sets both bits here.
+
+This module parses and emits the note, giving FunSeeker the same
+is-this-binary-CET check production tooling uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.elf.parser import ELFFile
+from repro.elf.reader import ByteReader, ReaderError
+
+SECTION_NAME = ".note.gnu.property"
+
+NT_GNU_PROPERTY_TYPE_0 = 5
+GNU_PROPERTY_X86_FEATURE_1_AND = 0xC0000002
+GNU_PROPERTY_X86_FEATURE_1_IBT = 0x1
+GNU_PROPERTY_X86_FEATURE_1_SHSTK = 0x2
+
+
+@dataclass(frozen=True)
+class CetFeatures:
+    """The CET feature bits a binary advertises."""
+
+    ibt: bool = False
+    shstk: bool = False
+
+    @property
+    def full(self) -> bool:
+        """Both mechanisms on — the compiler default the paper relies
+        on (``-fcf-protection=full``)."""
+        return self.ibt and self.shstk
+
+    @property
+    def any(self) -> bool:
+        return self.ibt or self.shstk
+
+
+def parse_cet_features(elf: ELFFile) -> CetFeatures:
+    """Read the advertised CET features; absent note means none."""
+    sec = elf.section(SECTION_NAME)
+    if sec is None or not sec.data:
+        return CetFeatures()
+    try:
+        return _parse_note(sec.data, elf.is64)
+    except ReaderError:
+        return CetFeatures()
+
+
+def _parse_note(data: bytes, is64: bool) -> CetFeatures:
+    r = ByteReader(data)
+    align = 8 if is64 else 4
+    while r.remaining() >= 12:
+        namesz = r.u32()
+        descsz = r.u32()
+        note_type = r.u32()
+        name = r.bytes(namesz)
+        r.skip((-namesz) % 4)
+        desc_start = r.pos
+        if note_type == NT_GNU_PROPERTY_TYPE_0 and name == b"GNU\x00":
+            features = _parse_properties(r, desc_start + descsz, align)
+            if features is not None:
+                return features
+        r.seek(desc_start + descsz + ((-descsz) % align))
+    return CetFeatures()
+
+
+def _parse_properties(
+    r: ByteReader, desc_end: int, align: int
+) -> CetFeatures | None:
+    while r.pos + 8 <= desc_end:
+        pr_type = r.u32()
+        pr_datasz = r.u32()
+        data_start = r.pos
+        if pr_type == GNU_PROPERTY_X86_FEATURE_1_AND and pr_datasz >= 4:
+            bits = r.u32()
+            return CetFeatures(
+                ibt=bool(bits & GNU_PROPERTY_X86_FEATURE_1_IBT),
+                shstk=bool(bits & GNU_PROPERTY_X86_FEATURE_1_SHSTK),
+            )
+        r.seek(data_start + pr_datasz + ((-pr_datasz) % align))
+    return None
+
+
+def build_cet_note(*, ibt: bool = True, shstk: bool = True,
+                   is64: bool = True) -> bytes:
+    """Serialize the note a CET-compiling toolchain emits."""
+    align = 8 if is64 else 4
+    bits = (GNU_PROPERTY_X86_FEATURE_1_IBT if ibt else 0) \
+        | (GNU_PROPERTY_X86_FEATURE_1_SHSTK if shstk else 0)
+    prop = struct.pack("<III", GNU_PROPERTY_X86_FEATURE_1_AND, 4, bits)
+    prop += b"\x00" * ((-len(prop)) % align)
+    name = b"GNU\x00"
+    header = struct.pack("<III", len(name), len(prop),
+                         NT_GNU_PROPERTY_TYPE_0)
+    return header + name + prop

@@ -1,0 +1,150 @@
+"""Parser for Language-Specific Data Areas in ``.gcc_except_table``.
+
+Each LSDA describes, for one function, the try-region call sites and the
+landing pads (catch / cleanup entry points) the personality routine may
+transfer control to. Because ``libstdc++`` reaches landing pads with an
+indirect jump, CET-enabled compilers place an end-branch instruction at
+every landing pad — which is exactly the false-positive source
+FunSeeker's ``FILTERENDBR`` removes (paper §III-B3, §IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.elf.reader import ByteReader, ReaderError
+
+
+class LsdaError(Exception):
+    """Raised on malformed LSDA contents."""
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call-site table record, with addresses resolved."""
+
+    start: int          # absolute address of the region start
+    length: int         # region length in bytes
+    landing_pad: int    # absolute landing-pad address, 0 if none
+    action: int         # action-table offset + 1, 0 if none
+
+
+@dataclass
+class LSDA:
+    """A parsed Language-Specific Data Area."""
+
+    address: int
+    function_start: int
+    lp_start: int
+    call_sites: list[CallSite] = field(default_factory=list)
+
+    @property
+    def landing_pads(self) -> set[int]:
+        """Absolute addresses of all landing pads described by this LSDA."""
+        return {cs.landing_pad for cs in self.call_sites if cs.landing_pad}
+
+
+def parse_lsda(
+    section_data: bytes,
+    section_addr: int,
+    lsda_addr: int,
+    function_start: int,
+    is64: bool,
+) -> LSDA:
+    """Parse one LSDA.
+
+    Parameters
+    ----------
+    section_data / section_addr:
+        Contents and virtual address of ``.gcc_except_table``.
+    lsda_addr:
+        Virtual address of the LSDA (from the FDE augmentation data).
+    function_start:
+        ``PC begin`` of the owning function; used as the default LPStart
+        and as the base for call-site region offsets.
+    is64:
+        Pointer width for ``DW_EH_PE_absptr``.
+    """
+    offset = lsda_addr - section_addr
+    if offset < 0 or offset >= len(section_data):
+        raise LsdaError(
+            f"LSDA address {lsda_addr:#x} outside .gcc_except_table"
+        )
+    r = ByteReader(section_data, offset)
+    try:
+        lpstart_enc = r.u8()
+        if lpstart_enc == C.DW_EH_PE_omit:
+            lp_start = function_start
+        else:
+            value = r.eh_pointer(
+                lpstart_enc, pc=section_addr + r.pos, is64=is64
+            )
+            lp_start = value if value is not None else function_start
+
+        ttype_enc = r.u8()
+        if ttype_enc != C.DW_EH_PE_omit:
+            r.uleb128()  # ttype table end offset; table itself is skipped
+
+        cs_enc = r.u8()
+        cs_table_len = r.uleb128()
+        cs_end = r.pos + cs_table_len
+
+        lsda = LSDA(address=lsda_addr, function_start=function_start,
+                    lp_start=lp_start)
+        while r.pos < cs_end:
+            cs_start = _read_cs_value(r, cs_enc, is64)
+            cs_len = _read_cs_value(r, cs_enc, is64)
+            cs_lp = _read_cs_value(r, cs_enc, is64)
+            action = r.uleb128()
+            lsda.call_sites.append(
+                CallSite(
+                    start=function_start + cs_start,
+                    length=cs_len,
+                    landing_pad=(lp_start + cs_lp) if cs_lp else 0,
+                    action=action,
+                )
+            )
+        return lsda
+    except ReaderError as exc:
+        raise LsdaError(f"truncated LSDA at {lsda_addr:#x}: {exc}") from exc
+
+
+def _read_cs_value(r: ByteReader, encoding: int, is64: bool) -> int:
+    """Read one call-site table field.
+
+    Call-site fields are offsets, so only the value format of the
+    encoding applies — never the application modifier.
+    """
+    value = r.eh_pointer(encoding & 0x0F, pc=0, is64=is64)
+    if value is None:
+        raise LsdaError("omitted call-site field")
+    return value
+
+
+def landing_pads_from_exception_info(
+    eh_frame, except_table_data: bytes, except_table_addr: int, is64: bool
+) -> set[int]:
+    """Collect every landing-pad address in a binary.
+
+    Walks all FDEs carrying an LSDA pointer and parses the referenced
+    LSDAs. Malformed individual LSDAs are skipped rather than aborting
+    the whole scan, matching how a robust tool must behave on real-world
+    binaries.
+    """
+    pads: set[int] = set()
+    for fde in eh_frame.fdes:
+        if fde.lsda_address is None:
+            continue
+        try:
+            lsda = parse_lsda(
+                except_table_data,
+                except_table_addr,
+                fde.lsda_address,
+                fde.pc_begin,
+                is64,
+            )
+        except LsdaError:
+            continue
+        pads.update(lsda.landing_pads)
+    return pads

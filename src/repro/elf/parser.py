@@ -1,0 +1,345 @@
+"""ELF container parser.
+
+``ELFFile`` reads the file header, section headers, program headers,
+symbol tables, and relocation tables of a 32- or 64-bit little-endian
+ELF file. It is deliberately strict about the structures this project
+relies on and permissive about everything else.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.elf import constants as C
+from repro.elf.reader import ByteReader, ReaderError
+from repro.elf.types import ElfHeader, Relocation, Section, Segment, Symbol
+
+
+class ElfParseError(Exception):
+    """Raised when a file is not a parseable ELF object."""
+
+
+class ELFFile:
+    """A parsed ELF file.
+
+    Parameters
+    ----------
+    data:
+        Raw file contents.
+
+    Use :meth:`from_path` to load from disk.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < C.EI_NIDENT or data[:4] != C.ELFMAG:
+            raise ElfParseError("not an ELF file (bad magic)")
+        self.data = data
+        self.header = self._parse_header()
+        self.sections: list[Section] = self._parse_sections()
+        self.segments: list[Segment] = self._parse_segments()
+        self._sections_by_name: dict[str, Section] = {}
+        for sec in self.sections:
+            # Keep the first occurrence; duplicate names are rare and the
+            # first (e.g. the sole .text) is the one analyses want.
+            self._sections_by_name.setdefault(sec.name, sec)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_path(cls, path: str | os.PathLike) -> "ELFFile":
+        with open(path, "rb") as f:
+            return cls(f.read())
+
+    # -- header / tables ------------------------------------------------------
+
+    @property
+    def is64(self) -> bool:
+        return self.header.is64
+
+    @property
+    def machine(self) -> int:
+        return self.header.e_machine
+
+    def _parse_header(self) -> ElfHeader:
+        ident = self.data[: C.EI_NIDENT]
+        ei_class = ident[C.EI_CLASS]
+        ei_data = ident[C.EI_DATA]
+        if ei_class not in (C.ELFCLASS32, C.ELFCLASS64):
+            raise ElfParseError(f"bad EI_CLASS {ei_class}")
+        if ei_data != C.ELFDATA2LSB:
+            raise ElfParseError("only little-endian ELF is supported")
+        r = ByteReader(self.data, C.EI_NIDENT)
+        try:
+            e_type = r.u16()
+            e_machine = r.u16()
+            r.u32()  # e_version
+            if ei_class == C.ELFCLASS64:
+                e_entry = r.u64()
+                e_phoff = r.u64()
+                e_shoff = r.u64()
+            else:
+                e_entry = r.u32()
+                e_phoff = r.u32()
+                e_shoff = r.u32()
+            e_flags = r.u32()
+            e_ehsize = r.u16()
+            e_phentsize = r.u16()
+            e_phnum = r.u16()
+            e_shentsize = r.u16()
+            e_shnum = r.u16()
+            e_shstrndx = r.u16()
+        except ReaderError as exc:
+            raise ElfParseError(f"truncated ELF header: {exc}") from exc
+        return ElfHeader(
+            ei_class=ei_class,
+            ei_data=ei_data,
+            e_type=e_type,
+            e_machine=e_machine,
+            e_entry=e_entry,
+            e_phoff=e_phoff,
+            e_shoff=e_shoff,
+            e_flags=e_flags,
+            e_ehsize=e_ehsize,
+            e_phentsize=e_phentsize,
+            e_phnum=e_phnum,
+            e_shentsize=e_shentsize,
+            e_shnum=e_shnum,
+            e_shstrndx=e_shstrndx,
+        )
+
+    def _parse_sections(self) -> list[Section]:
+        hdr = self.header
+        if hdr.e_shoff == 0 or hdr.e_shnum == 0:
+            return []
+        raw: list[tuple[int, ...]] = []
+        for i in range(hdr.e_shnum):
+            off = hdr.e_shoff + i * hdr.e_shentsize
+            r = ByteReader(self.data, off)
+            try:
+                if hdr.is64:
+                    fields = struct.unpack("<IIQQQQIIQQ", r.bytes(64))
+                else:
+                    fields = struct.unpack("<IIIIIIIIII", r.bytes(40))
+            except ReaderError as exc:
+                raise ElfParseError(f"truncated section header {i}") from exc
+            raw.append(fields)
+
+        # Resolve names through the section-header string table.
+        shstr = b""
+        if hdr.e_shstrndx < len(raw):
+            f = raw[hdr.e_shstrndx]
+            str_off, str_size = f[4], f[5]
+            shstr = self.data[str_off : str_off + str_size]
+
+        sections: list[Section] = []
+        for i, f in enumerate(raw):
+            (name_off, sh_type, sh_flags, sh_addr, sh_offset, sh_size,
+             sh_link, sh_info, sh_addralign, sh_entsize) = f
+            name = _str_at(shstr, name_off)
+            if sh_type in (C.SHT_NOBITS, C.SHT_NULL):
+                data = b""
+            else:
+                data = self.data[sh_offset : sh_offset + sh_size]
+            sections.append(
+                Section(
+                    index=i,
+                    name=name,
+                    sh_type=sh_type,
+                    sh_flags=sh_flags,
+                    sh_addr=sh_addr,
+                    sh_offset=sh_offset,
+                    sh_size=sh_size,
+                    sh_link=sh_link,
+                    sh_info=sh_info,
+                    sh_addralign=sh_addralign,
+                    sh_entsize=sh_entsize,
+                    data=data,
+                )
+            )
+        return sections
+
+    def _parse_segments(self) -> list[Segment]:
+        hdr = self.header
+        if hdr.e_phoff == 0 or hdr.e_phnum == 0:
+            return []
+        segments: list[Segment] = []
+        for i in range(hdr.e_phnum):
+            r = ByteReader(self.data, hdr.e_phoff + i * hdr.e_phentsize)
+            try:
+                if hdr.is64:
+                    p_type = r.u32()
+                    p_flags = r.u32()
+                    p_offset = r.u64()
+                    p_vaddr = r.u64()
+                    p_paddr = r.u64()
+                    p_filesz = r.u64()
+                    p_memsz = r.u64()
+                    p_align = r.u64()
+                else:
+                    p_type = r.u32()
+                    p_offset = r.u32()
+                    p_vaddr = r.u32()
+                    p_paddr = r.u32()
+                    p_filesz = r.u32()
+                    p_memsz = r.u32()
+                    p_flags = r.u32()
+                    p_align = r.u32()
+            except ReaderError as exc:
+                raise ElfParseError(f"truncated program header {i}") from exc
+            segments.append(
+                Segment(p_type, p_flags, p_offset, p_vaddr, p_paddr,
+                        p_filesz, p_memsz, p_align)
+            )
+        return segments
+
+    # -- lookups ---------------------------------------------------------------
+
+    def section(self, name: str) -> Section | None:
+        """Return the first section with the given name, or ``None``."""
+        return self._sections_by_name.get(name)
+
+    def section_at_addr(self, addr: int) -> Section | None:
+        """Return the allocated section covering a virtual address."""
+        for sec in self.sections:
+            if sec.is_alloc and sec.sh_size and sec.contains_addr(addr):
+                return sec
+        return None
+
+    def exec_sections(self) -> list[Section]:
+        """All executable, allocated sections in address order."""
+        out = [s for s in self.sections
+               if s.is_alloc and s.is_exec and s.sh_size > 0]
+        return sorted(out, key=lambda s: s.sh_addr)
+
+    def read_at_addr(self, addr: int, size: int) -> bytes | None:
+        """Read ``size`` bytes of file-backed memory at a virtual address."""
+        sec = self.section_at_addr(addr)
+        if sec is None or sec.sh_type == C.SHT_NOBITS:
+            return None
+        start = addr - sec.sh_addr
+        if start + size > len(sec.data):
+            return None
+        return sec.data[start : start + size]
+
+    # -- symbols ----------------------------------------------------------------
+
+    def _symbols_from(self, sec: Section) -> list[Symbol]:
+        strtab = b""
+        if 0 <= sec.sh_link < len(self.sections):
+            strtab = self.sections[sec.sh_link].data
+        entsize = sec.sh_entsize or (24 if self.is64 else 16)
+        out: list[Symbol] = []
+        count = len(sec.data) // entsize if entsize else 0
+        r = ByteReader(sec.data)
+        for _ in range(count):
+            if self.is64:
+                name_off = r.u32()
+                info = r.u8()
+                other = r.u8()
+                shndx = r.u16()
+                value = r.u64()
+                size = r.u64()
+            else:
+                name_off = r.u32()
+                value = r.u32()
+                size = r.u32()
+                info = r.u8()
+                other = r.u8()
+                shndx = r.u16()
+            out.append(
+                Symbol(
+                    name=_str_at(strtab, name_off),
+                    value=value,
+                    size=size,
+                    info=info,
+                    other=other,
+                    shndx=shndx,
+                )
+            )
+        return out
+
+    def symbols(self) -> list[Symbol]:
+        """Symbols from ``.symtab`` (empty for stripped binaries)."""
+        sec = self.section(".symtab")
+        if sec is None or sec.sh_type != C.SHT_SYMTAB:
+            return []
+        return self._symbols_from(sec)
+
+    def dynamic_symbols(self) -> list[Symbol]:
+        """Symbols from ``.dynsym``."""
+        sec = self.section(".dynsym")
+        if sec is None or sec.sh_type != C.SHT_DYNSYM:
+            return []
+        return self._symbols_from(sec)
+
+    @property
+    def is_stripped(self) -> bool:
+        """Whether a usable static symbol table is absent."""
+        sec = self.section(".symtab")
+        return sec is None or sec.sh_type != C.SHT_SYMTAB
+
+    # -- relocations -------------------------------------------------------------
+
+    def relocations(self, section_name: str) -> list[Relocation]:
+        """Parse a REL or RELA section, resolving symbol names via sh_link."""
+        sec = self.section(section_name)
+        if sec is None:
+            return []
+        syms: list[Symbol] = []
+        if 0 <= sec.sh_link < len(self.sections):
+            symsec = self.sections[sec.sh_link]
+            if symsec.sh_type in (C.SHT_SYMTAB, C.SHT_DYNSYM):
+                syms = self._symbols_from(symsec)
+        is_rela = sec.sh_type == C.SHT_RELA
+        is64 = self.is64
+        if is64:
+            entsize = 24 if is_rela else 16
+        else:
+            entsize = 12 if is_rela else 8
+        out: list[Relocation] = []
+        r = ByteReader(sec.data)
+        for _ in range(len(sec.data) // entsize):
+            offset = r.uword(is64)
+            info = r.uword(is64)
+            addend = 0
+            if is_rela:
+                addend = r.s64() if is64 else r.s32()
+            sym_idx = C.r_sym(info, is64)
+            rtype = C.r_type(info, is64)
+            name = syms[sym_idx].name if sym_idx < len(syms) else ""
+            out.append(Relocation(offset, rtype, sym_idx, name, addend))
+        return out
+
+
+def _str_at(table: bytes, offset: int) -> str:
+    """Extract a NUL-terminated string from a string table."""
+    if offset >= len(table):
+        return ""
+    end = table.find(b"\x00", offset)
+    if end < 0:
+        end = len(table)
+    return table[offset:end].decode("utf-8", errors="replace")
+
+
+def strip_symbols(data: bytes) -> bytes:
+    """Return a copy of an ELF image with symbols and debug info removed.
+
+    Mirrors what ``strip`` does for the purposes of this project:
+    function identification tools must see neither the static symbol
+    table nor any DWARF sections. Rather than rewriting the whole file
+    layout, the affected section headers are retyped to ``SHT_NULL`` so
+    parsers treat them as absent.
+    """
+    elf = ELFFile(data)
+    hdr = elf.header
+    out = bytearray(data)
+    for sec in elf.sections:
+        strippable = (sec.name in (".symtab", ".strtab")
+                      or sec.name.startswith(".debug_"))
+        if not strippable:
+            continue
+        shoff = hdr.e_shoff + sec.index * hdr.e_shentsize
+        # sh_type is the second 4-byte field in both Elf32/Elf64 layouts.
+        struct.pack_into("<I", out, shoff + 4, C.SHT_NULL)
+    return bytes(out)

@@ -1,0 +1,128 @@
+"""Resolution of PLT stub addresses to imported function names.
+
+``FILTERENDBR`` must recognize a ``call`` whose target is the PLT stub of
+an indirect-return function (``setjmp`` and friends). This module builds
+the map from stub virtual addresses to the dynamic-symbol names they
+dispatch to, by combining:
+
+1. ``.rela.plt`` / ``.rel.plt`` relocations, which associate each GOT
+   slot with a symbol name, and
+2. the ``jmp *slot`` instruction inside each PLT stub, which associates
+   each stub with a GOT slot.
+
+Both the classic ``.plt`` layout and the CET ``-z ibtplt`` split layout
+(``.plt`` + ``.plt.sec``) are handled, for x86 and x86-64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.elf.parser import ELFFile
+from repro.elf.types import Section
+
+_PLT_SECTIONS = (C.SECTION_PLT, C.SECTION_PLT_SEC, C.SECTION_PLT_GOT)
+_PLT_ENTRY_SIZE = 16
+
+
+@dataclass
+class PLTMap:
+    """Mapping from PLT stub start addresses to imported symbol names."""
+
+    stub_to_name: dict[int, str] = field(default_factory=dict)
+    plt_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    def name_at(self, addr: int) -> str | None:
+        """Name of the import dispatched by the stub starting at ``addr``."""
+        return self.stub_to_name.get(addr)
+
+    def in_plt(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside any PLT-like section."""
+        return any(lo <= addr < hi for lo, hi in self.plt_ranges)
+
+
+def build_plt_map(elf: ELFFile) -> PLTMap:
+    """Construct the PLT map for a parsed ELF file."""
+    got_to_name = _got_slot_names(elf)
+    result = PLTMap()
+    for name in _PLT_SECTIONS:
+        sec = elf.section(name)
+        if sec is None or sec.sh_size == 0:
+            continue
+        result.plt_ranges.append((sec.sh_addr, sec.end_addr))
+        _scan_plt_section(elf, sec, got_to_name, result.stub_to_name)
+    return result
+
+
+def _got_slot_names(elf: ELFFile) -> dict[int, str]:
+    """Map GOT slot virtual addresses to symbol names via PLT relocations."""
+    out: dict[int, str] = {}
+    for sec_name in (".rela.plt", ".rel.plt"):
+        for rel in elf.relocations(sec_name):
+            if rel.symbol_name:
+                out[rel.offset] = rel.symbol_name
+    # GLOB_DAT relocations feed .plt.got stubs.
+    for sec_name in (".rela.dyn", ".rel.dyn"):
+        for rel in elf.relocations(sec_name):
+            if rel.symbol_name and rel.type in (
+                C.R_X86_64_GLOB_DAT, C.R_386_GLOB_DAT
+            ):
+                out.setdefault(rel.offset, rel.symbol_name)
+    return out
+
+
+def _scan_plt_section(
+    elf: ELFFile,
+    sec: Section,
+    got_to_name: dict[int, str],
+    stub_to_name: dict[int, str],
+) -> None:
+    """Scan the 16-byte stubs of one PLT section for GOT dispatch jumps."""
+    got_plt = elf.section(".got.plt") or elf.section(".got")
+    got_base = got_plt.sh_addr if got_plt else 0
+    data = sec.data
+    for entry_off in range(0, len(data) - 5, _PLT_ENTRY_SIZE):
+        entry_addr = sec.sh_addr + entry_off
+        slot = _find_got_dispatch(
+            data, entry_off, entry_addr, elf.is64, got_base
+        )
+        if slot is None:
+            continue
+        name = got_to_name.get(slot)
+        if name:
+            stub_to_name[entry_addr] = name
+
+
+def _find_got_dispatch(
+    data: bytes, entry_off: int, entry_addr: int, is64: bool, got_base: int
+) -> int | None:
+    """Locate the ``jmp *slot`` inside one PLT stub and return the slot.
+
+    Scans the 16 bytes of the stub for the first indirect-jump pattern so
+    that leading ``endbr`` / ``bnd`` prefixes or ``push`` instructions do
+    not matter.
+    """
+    end = min(entry_off + _PLT_ENTRY_SIZE, len(data) - 5)
+    i = entry_off
+    while i < end:
+        b0, b1 = data[i], data[i + 1]
+        if b0 == 0xFF and b1 == 0x25:
+            disp = int.from_bytes(data[i + 2 : i + 6], "little")
+            if is64:
+                # jmp *disp32(%rip): slot = next-insn address + disp
+                next_addr = entry_addr + (i - entry_off) + 6
+                return (next_addr + _sign32(disp)) & ((1 << 64) - 1)
+            # 32-bit non-PIC: jmp *abs32
+            return disp
+        if not is64 and b0 == 0xFF and b1 == 0xA3:
+            # 32-bit PIC: jmp *disp32(%ebx); ebx holds the GOT base.
+            disp = int.from_bytes(data[i + 2 : i + 6], "little")
+            return (got_base + _sign32(disp)) & 0xFFFFFFFF
+        i += 1
+    return None
+
+
+def _sign32(value: int) -> int:
+    """Interpret a 32-bit value as signed."""
+    return value - (1 << 32) if value & (1 << 31) else value

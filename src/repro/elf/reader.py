@@ -1,0 +1,225 @@
+"""Little-endian byte-stream reader used by the ELF and DWARF parsers.
+
+The reader keeps an explicit cursor so that variable-length records
+(ULEB128/SLEB128, DW_EH_PE-encoded pointers) can be parsed sequentially
+without slicing the underlying buffer repeatedly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.elf import constants as C
+
+
+class ReaderError(Exception):
+    """Raised when a read would run past the end of the buffer."""
+
+
+class ByteReader:
+    """Sequential little-endian reader over a ``bytes`` buffer.
+
+    Parameters
+    ----------
+    data:
+        The buffer to read from.
+    offset:
+        Initial cursor position.
+    """
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._pos = offset
+
+    # -- cursor management -------------------------------------------------
+
+    @property
+    def pos(self) -> int:
+        """Current cursor offset into the buffer."""
+        return self._pos
+
+    def seek(self, offset: int) -> None:
+        """Move the cursor to an absolute offset."""
+        if offset < 0 or offset > len(self._data):
+            raise ReaderError(f"seek out of range: {offset}")
+        self._pos = offset
+
+    def skip(self, count: int) -> None:
+        """Advance the cursor by ``count`` bytes."""
+        self.seek(self._pos + count)
+
+    def remaining(self) -> int:
+        """Number of bytes left after the cursor."""
+        return len(self._data) - self._pos
+
+    def eof(self) -> bool:
+        """Whether the cursor has reached the end of the buffer."""
+        return self._pos >= len(self._data)
+
+    # -- fixed-width reads --------------------------------------------------
+
+    def bytes(self, count: int) -> bytes:
+        """Read ``count`` raw bytes."""
+        if self._pos + count > len(self._data):
+            raise ReaderError(
+                f"read of {count} bytes at {self._pos} exceeds buffer of "
+                f"{len(self._data)}"
+            )
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+    def u8(self) -> int:
+        return self.bytes(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.bytes(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.bytes(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.bytes(8))[0]
+
+    def s8(self) -> int:
+        return struct.unpack("<b", self.bytes(1))[0]
+
+    def s16(self) -> int:
+        return struct.unpack("<h", self.bytes(2))[0]
+
+    def s32(self) -> int:
+        return struct.unpack("<i", self.bytes(4))[0]
+
+    def s64(self) -> int:
+        return struct.unpack("<q", self.bytes(8))[0]
+
+    def uword(self, is64: bool) -> int:
+        """Read a natural-width unsigned word (4 or 8 bytes)."""
+        return self.u64() if is64 else self.u32()
+
+    # -- variable-width reads -----------------------------------------------
+
+    def uleb128(self) -> int:
+        """Read an unsigned LEB128 value."""
+        result = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ReaderError("ULEB128 too long")
+
+    def sleb128(self) -> int:
+        """Read a signed LEB128 value."""
+        result = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                if shift < 64 and byte & 0x40:
+                    result -= 1 << shift
+                return result
+            if shift > 63:
+                raise ReaderError("SLEB128 too long")
+
+    def cstring(self) -> bytes:
+        """Read a NUL-terminated byte string (terminator consumed)."""
+        end = self._data.find(b"\x00", self._pos)
+        if end < 0:
+            raise ReaderError("unterminated C string")
+        out = self._data[self._pos : end]
+        self._pos = end + 1
+        return out
+
+    # -- DWARF exception-handling pointer encodings ---------------------------
+
+    def eh_pointer(
+        self,
+        encoding: int,
+        *,
+        pc: int = 0,
+        data_base: int = 0,
+        func_base: int = 0,
+        is64: bool = True,
+    ) -> int | None:
+        """Read a pointer with a ``DW_EH_PE_*`` encoding.
+
+        Parameters
+        ----------
+        encoding:
+            The full encoding byte (value format | application modifier).
+        pc:
+            Virtual address of the pointer's own location; used by
+            ``DW_EH_PE_pcrel``.
+        data_base:
+            Base for ``DW_EH_PE_datarel`` (typically ``.eh_frame_hdr`` or
+            the GOT).
+        func_base:
+            Base for ``DW_EH_PE_funcrel``.
+        is64:
+            Width used by ``DW_EH_PE_absptr``.
+
+        Returns ``None`` for ``DW_EH_PE_omit``.
+        """
+        if encoding == C.DW_EH_PE_omit:
+            return None
+
+        fmt = encoding & 0x0F
+        if fmt == C.DW_EH_PE_absptr:
+            value = self.uword(is64)
+        elif fmt == C.DW_EH_PE_uleb128:
+            value = self.uleb128()
+        elif fmt == C.DW_EH_PE_udata2:
+            value = self.u16()
+        elif fmt == C.DW_EH_PE_udata4:
+            value = self.u32()
+        elif fmt == C.DW_EH_PE_udata8:
+            value = self.u64()
+        elif fmt == C.DW_EH_PE_sleb128:
+            value = self.sleb128()
+        elif fmt == C.DW_EH_PE_sdata2:
+            value = self.s16()
+        elif fmt == C.DW_EH_PE_sdata4:
+            value = self.s32()
+        elif fmt == C.DW_EH_PE_sdata8:
+            value = self.s64()
+        else:
+            raise ReaderError(f"unsupported DW_EH_PE value format {fmt:#x}")
+
+        app = encoding & 0x70
+        if app == C.DW_EH_PE_pcrel:
+            value += pc
+        elif app == C.DW_EH_PE_datarel:
+            value += data_base
+        elif app == C.DW_EH_PE_funcrel:
+            value += func_base
+        elif app not in (0, C.DW_EH_PE_textrel, C.DW_EH_PE_aligned):
+            raise ReaderError(f"unsupported DW_EH_PE application {app:#x}")
+
+        mask = (1 << 64) - 1 if is64 else (1 << 32) - 1
+        return value & mask
+
+
+def eh_pointer_size(encoding: int, is64: bool) -> int | None:
+    """Return the encoded size of a fixed-width ``DW_EH_PE_*`` pointer.
+
+    Returns ``None`` for variable-length (LEB128) encodings and 0 for
+    ``DW_EH_PE_omit``.
+    """
+    if encoding == C.DW_EH_PE_omit:
+        return 0
+    fmt = encoding & 0x0F
+    if fmt == C.DW_EH_PE_absptr:
+        return 8 if is64 else 4
+    if fmt in (C.DW_EH_PE_udata2, C.DW_EH_PE_sdata2):
+        return 2
+    if fmt in (C.DW_EH_PE_udata4, C.DW_EH_PE_sdata4):
+        return 4
+    if fmt in (C.DW_EH_PE_udata8, C.DW_EH_PE_sdata8):
+        return 8
+    return None

@@ -1,0 +1,131 @@
+"""Typed models for parsed ELF structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+
+
+@dataclass(frozen=True)
+class ElfHeader:
+    """The ELF file header (``Elf32_Ehdr`` / ``Elf64_Ehdr``)."""
+
+    ei_class: int
+    ei_data: int
+    e_type: int
+    e_machine: int
+    e_entry: int
+    e_phoff: int
+    e_shoff: int
+    e_flags: int
+    e_ehsize: int
+    e_phentsize: int
+    e_phnum: int
+    e_shentsize: int
+    e_shnum: int
+    e_shstrndx: int
+
+    @property
+    def is64(self) -> bool:
+        return self.ei_class == C.ELFCLASS64
+
+    @property
+    def is_pie(self) -> bool:
+        """Whether the file is a position-independent executable.
+
+        Shared objects and PIEs share ``ET_DYN``; for this project's corpus
+        (executables only) ET_DYN implies PIE.
+        """
+        return self.e_type == C.ET_DYN
+
+
+@dataclass(frozen=True)
+class Section:
+    """A section header plus its raw contents."""
+
+    index: int
+    name: str
+    sh_type: int
+    sh_flags: int
+    sh_addr: int
+    sh_offset: int
+    sh_size: int
+    sh_link: int
+    sh_info: int
+    sh_addralign: int
+    sh_entsize: int
+    data: bytes
+
+    @property
+    def is_alloc(self) -> bool:
+        return bool(self.sh_flags & C.SHF_ALLOC)
+
+    @property
+    def is_exec(self) -> bool:
+        return bool(self.sh_flags & C.SHF_EXECINSTR)
+
+    @property
+    def end_addr(self) -> int:
+        return self.sh_addr + self.sh_size
+
+    def contains_addr(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this section's virtual range."""
+        return self.sh_addr <= addr < self.end_addr
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A program header entry."""
+
+    p_type: int
+    p_flags: int
+    p_offset: int
+    p_vaddr: int
+    p_paddr: int
+    p_filesz: int
+    p_memsz: int
+    p_align: int
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A symbol-table entry with its name resolved."""
+
+    name: str
+    value: int
+    size: int
+    info: int
+    other: int
+    shndx: int
+
+    @property
+    def bind(self) -> int:
+        return C.st_bind(self.info)
+
+    @property
+    def type(self) -> int:
+        return C.st_type(self.info)
+
+    @property
+    def is_function(self) -> bool:
+        return self.type == C.STT_FUNC
+
+    @property
+    def is_defined(self) -> bool:
+        return self.shndx != C.SHN_UNDEF
+
+    @property
+    def is_local(self) -> bool:
+        return self.bind == C.STB_LOCAL
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """A REL/RELA entry with the referenced symbol name resolved."""
+
+    offset: int
+    type: int
+    symbol_index: int
+    symbol_name: str
+    addend: int = 0

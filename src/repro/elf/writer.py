@@ -1,0 +1,365 @@
+"""ELF image builder.
+
+Produces complete, well-formed ELF executables from section contents.
+Used by the synthetic CET toolchain (:mod:`repro.synth`) to materialize
+generated programs so that every analysis in this project consumes real
+ELF files — the same code path a downstream user runs on binaries from
+disk.
+
+The builder lays sections out in ascending virtual-address order,
+keeping file offsets congruent with virtual addresses modulo the page
+size (as real linkers do), and synthesizes LOAD segments from the
+section permission runs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+
+_PAGE = 0x1000
+
+
+@dataclass
+class SectionSpec:
+    """One section to be placed in the output image."""
+
+    name: str
+    sh_type: int
+    sh_flags: int
+    data: bytes
+    sh_addr: int = 0
+    sh_link: int = 0
+    sh_info: int = 0
+    sh_addralign: int = 1
+    sh_entsize: int = 0
+    # Filled in during layout:
+    index: int = -1
+    sh_offset: int = 0
+
+
+@dataclass
+class SymbolSpec:
+    """One symbol-table entry to emit.
+
+    ``section`` names the section the symbol belongs to; the writer
+    resolves it to the final ``st_shndx`` at build time. An empty
+    string produces ``SHN_UNDEF``.
+    """
+
+    name: str
+    value: int
+    size: int
+    bind: int
+    typ: int
+    section: str = ""
+    visibility: int = C.STV_DEFAULT
+
+
+@dataclass
+class ElfWriter:
+    """Builds an ELF executable image.
+
+    Parameters
+    ----------
+    is64:
+        Emit ELFCLASS64 (x86-64 / AArch64) or ELFCLASS32 (x86).
+    machine:
+        ``e_machine`` value.
+    pie:
+        Emit ``ET_DYN`` (position-independent) or ``ET_EXEC``.
+    base_addr:
+        Virtual address of the first byte of the file image.
+    """
+
+    is64: bool
+    machine: int
+    pie: bool
+    base_addr: int = 0
+    entry: int = 0
+    sections: list[SectionSpec] = field(default_factory=list)
+    symbols: list[SymbolSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.base_addr == 0:
+            self.base_addr = 0 if self.pie else (0x400000 if self.is64 else 0x8048000)
+
+    # -- construction API -----------------------------------------------------
+
+    def add_section(self, spec: SectionSpec) -> SectionSpec:
+        """Register a section. Address assignment happens in :meth:`build`
+        unless ``sh_addr`` is already set."""
+        self.sections.append(spec)
+        return spec
+
+    def add_symbol(self, spec: SymbolSpec) -> None:
+        self.symbols.append(spec)
+
+    # -- emission ----------------------------------------------------------------
+
+    def build(self) -> bytes:
+        """Serialize the image.
+
+        Sections must already carry their final ``sh_addr`` (the synth
+        linker assigns addresses before writing) — the writer validates
+        monotonicity, computes file offsets, emits symbol/string tables,
+        program headers, and the section header table.
+        """
+        alloc = [s for s in self.sections if s.sh_flags & C.SHF_ALLOC]
+        alloc.sort(key=lambda s: s.sh_addr)
+        for prev, cur in zip(alloc, alloc[1:]):
+            if cur.sh_addr < prev.sh_addr + len(prev.data):
+                raise ValueError(
+                    f"sections overlap: {prev.name} and {cur.name}"
+                )
+
+        ehsize = 64 if self.is64 else 52
+        phentsize = 56 if self.is64 else 32
+        shentsize = 64 if self.is64 else 40
+
+        segments = self._plan_segments(alloc)
+        phnum = len(segments)
+        header_end = ehsize + phnum * phentsize
+
+        # File offsets: congruent to vaddr modulo page size, ascending.
+        file_pos = header_end
+        for sec in alloc:
+            if sec.sh_addr - self.base_addr < header_end and sec.sh_addr:
+                # Sections may not overlay the ELF header region.
+                raise ValueError(
+                    f"section {sec.name} overlaps ELF header area"
+                )
+            target = (sec.sh_addr - self.base_addr) % _PAGE
+            if file_pos % _PAGE != target:
+                file_pos += (target - file_pos) % _PAGE
+            sec.sh_offset = file_pos
+            file_pos += len(sec.data)
+
+        # Symbol tables and string tables (non-alloc, appended at the end).
+        # Placeholders first: section indices must exist before symbol
+        # st_shndx fields can be resolved.
+        symtab, strsec = self._symtab_placeholders()
+        all_sections = self._assemble_section_list(alloc, [symtab, strsec])
+        name_to_index = {s.name: s.index for s in all_sections}
+        self._fill_symtab(symtab, strsec, name_to_index)
+        for sec in all_sections:
+            if sec.sh_flags & C.SHF_ALLOC or sec.sh_type == C.SHT_NULL:
+                continue
+            align = max(sec.sh_addralign, 1)
+            file_pos += (-file_pos) % align
+            sec.sh_offset = file_pos
+            file_pos += len(sec.data)
+
+        shoff = file_pos + (-file_pos) % 8
+
+        out = bytearray(shoff + shentsize * len(all_sections))
+        self._write_ehdr(out, ehsize, phentsize, phnum, shentsize,
+                         len(all_sections), shoff,
+                         shstrndx=len(all_sections) - 1)
+        self._write_phdrs(out, ehsize, segments, header_end)
+        for sec in all_sections:
+            if sec.sh_type in (C.SHT_NULL, C.SHT_NOBITS) or not sec.data:
+                continue
+            out[sec.sh_offset : sec.sh_offset + len(sec.data)] = sec.data
+        self._write_shdrs(out, shoff, shentsize, all_sections)
+        return bytes(out)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _plan_segments(self, alloc: list[SectionSpec]) -> list[tuple]:
+        """Group consecutive alloc sections with equal permissions into
+        PT_LOAD segments; add PT_GNU_STACK."""
+        segments: list[tuple] = []
+        run: list[SectionSpec] = []
+
+        def flags_of(sec: SectionSpec) -> int:
+            f = C.PF_R
+            if sec.sh_flags & C.SHF_WRITE:
+                f |= C.PF_W
+            if sec.sh_flags & C.SHF_EXECINSTR:
+                f |= C.PF_X
+            return f
+
+        def flush() -> None:
+            if not run:
+                return
+            lo = run[0]
+            hi = run[-1]
+            segments.append(
+                (C.PT_LOAD, flags_of(lo), lo.sh_addr,
+                 hi.sh_addr + len(hi.data) - lo.sh_addr)
+            )
+            run.clear()
+
+        current = -1
+        for sec in alloc:
+            f = flags_of(sec)
+            if f != current:
+                flush()
+                current = f
+            run.append(sec)
+        flush()
+        segments.append((C.PT_GNU_STACK, C.PF_R | C.PF_W, 0, 0))
+        return segments
+
+    def _symtab_placeholders(self) -> tuple[SectionSpec, SectionSpec]:
+        entsize = 24 if self.is64 else 16
+        symtab = SectionSpec(
+            name=".symtab", sh_type=C.SHT_SYMTAB, sh_flags=0, data=b"",
+            sh_addralign=8 if self.is64 else 4, sh_entsize=entsize,
+        )
+        strsec = SectionSpec(
+            name=".strtab", sh_type=C.SHT_STRTAB, sh_flags=0, data=b"",
+        )
+        return symtab, strsec
+
+    def _fill_symtab(
+        self, symtab: SectionSpec, strsec: SectionSpec,
+        name_to_index: dict[str, int],
+    ) -> None:
+        strtab = bytearray(b"\x00")
+        name_off: dict[str, int] = {"": 0}
+
+        def intern(name: str) -> int:
+            if name not in name_off:
+                name_off[name] = len(strtab)
+                strtab.extend(name.encode() + b"\x00")
+            return name_off[name]
+
+        entsize = symtab.sh_entsize
+        symdata = bytearray(entsize)  # index 0: the null symbol
+        # Locals must precede globals; sh_info is the first global index.
+        ordered = sorted(self.symbols, key=lambda s: s.bind != C.STB_LOCAL)
+        first_global = 1 + sum(1 for s in ordered if s.bind == C.STB_LOCAL)
+        for sym in ordered:
+            shndx = name_to_index.get(sym.section, C.SHN_UNDEF)
+            symdata.extend(self._pack_symbol(sym, intern(sym.name), shndx))
+        symtab.data = bytes(symdata)
+        symtab.sh_info = first_global
+        strsec.data = bytes(strtab)
+
+    def _pack_symbol(
+        self, sym: SymbolSpec, name_offset: int, shndx: int
+    ) -> bytes:
+        info = C.st_info(sym.bind, sym.typ)
+        if self.is64:
+            return struct.pack(
+                "<IBBHQQ", name_offset, info, sym.visibility,
+                shndx, sym.value, sym.size,
+            )
+        return struct.pack(
+            "<IIIBBH", name_offset, sym.value, sym.size, info,
+            sym.visibility, shndx,
+        )
+
+    def _assemble_section_list(
+        self, alloc: list[SectionSpec], non_alloc: list[SectionSpec]
+    ) -> list[SectionSpec]:
+        null = SectionSpec(name="", sh_type=C.SHT_NULL, sh_flags=0, data=b"")
+        others = [s for s in self.sections
+                  if not (s.sh_flags & C.SHF_ALLOC)]
+        shstr = SectionSpec(
+            name=".shstrtab", sh_type=C.SHT_STRTAB, sh_flags=0, data=b""
+        )
+        all_sections = [null, *alloc, *others, *non_alloc, shstr]
+
+        # Build .shstrtab and fix symtab->strtab link now that indices exist.
+        blob = bytearray(b"\x00")
+        offsets: dict[str, int] = {"": 0}
+        for sec in all_sections:
+            if sec.name not in offsets:
+                offsets[sec.name] = len(blob)
+                blob.extend(sec.name.encode() + b"\x00")
+        shstr.data = bytes(blob)
+        for i, sec in enumerate(all_sections):
+            sec.index = i
+        name_to_index = {s.name: s.index for s in all_sections}
+        for sec in all_sections:
+            if sec.sh_type in (C.SHT_SYMTAB, C.SHT_DYNSYM) and not sec.sh_link:
+                link_name = ".strtab" if sec.name == ".symtab" else ".dynstr"
+                sec.sh_link = name_to_index.get(link_name, 0)
+            if sec.sh_type in (C.SHT_RELA, C.SHT_REL) and not sec.sh_link:
+                sec.sh_link = name_to_index.get(".dynsym", 0)
+        self._shstr_offsets = offsets
+        return all_sections
+
+    def _write_ehdr(
+        self, out: bytearray, ehsize: int, phentsize: int, phnum: int,
+        shentsize: int, shnum: int, shoff: int, shstrndx: int,
+    ) -> None:
+        ident = bytearray(16)
+        ident[:4] = C.ELFMAG
+        ident[C.EI_CLASS] = C.ELFCLASS64 if self.is64 else C.ELFCLASS32
+        ident[C.EI_DATA] = C.ELFDATA2LSB
+        ident[C.EI_VERSION] = C.EV_CURRENT
+        ident[C.EI_OSABI] = C.ELFOSABI_SYSV
+        e_type = C.ET_DYN if self.pie else C.ET_EXEC
+        if self.is64:
+            struct.pack_into(
+                "<16sHHIQQQIHHHHHH", out, 0, bytes(ident), e_type,
+                self.machine, C.EV_CURRENT, self.entry, ehsize, shoff, 0,
+                ehsize, phentsize, phnum, shentsize, shnum, shstrndx,
+            )
+        else:
+            struct.pack_into(
+                "<16sHHIIIIIHHHHHH", out, 0, bytes(ident), e_type,
+                self.machine, C.EV_CURRENT, self.entry, ehsize, shoff, 0,
+                ehsize, phentsize, phnum, shentsize, shnum, shstrndx,
+            )
+
+    def _write_phdrs(
+        self, out: bytearray, ehsize: int, segments: list[tuple],
+        header_end: int,
+    ) -> None:
+        pos = ehsize
+        for p_type, p_flags, vaddr, size in segments:
+            if p_type == C.PT_LOAD:
+                offset = self._vaddr_to_offset(vaddr)
+            else:
+                offset = 0
+            if self.is64:
+                struct.pack_into(
+                    "<IIQQQQQQ", out, pos, p_type, p_flags, offset,
+                    vaddr, vaddr, size, size, _PAGE,
+                )
+                pos += 56
+            else:
+                struct.pack_into(
+                    "<IIIIIIII", out, pos, p_type, offset, vaddr, vaddr,
+                    size, size, p_flags, _PAGE,
+                )
+                pos += 32
+
+    def _vaddr_to_offset(self, vaddr: int) -> int:
+        for sec in self.sections:
+            if not sec.sh_flags & C.SHF_ALLOC:
+                continue
+            if sec.sh_addr <= vaddr < sec.sh_addr + max(len(sec.data), 1):
+                return sec.sh_offset + (vaddr - sec.sh_addr)
+        return 0
+
+    def _write_shdrs(
+        self, out: bytearray, shoff: int, shentsize: int,
+        sections: list[SectionSpec],
+    ) -> None:
+        for i, sec in enumerate(sections):
+            pos = shoff + i * shentsize
+            name_off = self._shstr_offsets.get(sec.name, 0)
+            size = len(sec.data)
+            offset = sec.sh_offset if sec.sh_type != C.SHT_NULL else 0
+            if self.is64:
+                struct.pack_into(
+                    "<IIQQQQIIQQ", out, pos, name_off, sec.sh_type,
+                    sec.sh_flags, sec.sh_addr, offset, size,
+                    sec.sh_link, sec.sh_info, sec.sh_addralign,
+                    sec.sh_entsize,
+                )
+            else:
+                struct.pack_into(
+                    "<IIIIIIIIII", out, pos, name_off, sec.sh_type,
+                    sec.sh_flags, sec.sh_addr, offset, size,
+                    sec.sh_link, sec.sh_info, sec.sh_addralign,
+                    sec.sh_entsize,
+                )

@@ -1,0 +1,46 @@
+"""Evaluation harness: metrics, experiment runner, table renderers."""
+
+from repro.eval.export import report_to_csv, report_to_json
+from repro.eval.metrics import (
+    Confusion,
+    false_negatives,
+    false_positives,
+    score,
+    score_boundaries,
+)
+from repro.eval.parallel import run_evaluation_parallel
+from repro.eval.runner import (
+    ErrorBreakdown,
+    EvalReport,
+    RunRecord,
+    analyze_errors,
+    run_evaluation,
+)
+from repro.eval.tables import (
+    error_breakdown,
+    figure3,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "Confusion",
+    "ErrorBreakdown",
+    "EvalReport",
+    "RunRecord",
+    "analyze_errors",
+    "error_breakdown",
+    "false_negatives",
+    "false_positives",
+    "figure3",
+    "report_to_csv",
+    "report_to_json",
+    "run_evaluation",
+    "run_evaluation_parallel",
+    "score",
+    "score_boundaries",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,67 @@
+"""Export evaluation reports as JSON or CSV.
+
+The table renderers target eyeballs; downstream plotting and regression
+tracking want raw records. Both exporters emit one row per
+(binary, tool) with the full provenance and confusion counts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.eval.runner import EvalReport
+
+_FIELDS = ("suite", "program", "compiler", "bits", "pie", "opt", "tool",
+           "tp", "fp", "fn", "precision", "recall", "f1",
+           "elapsed_seconds")
+
+
+def _rows(report: EvalReport) -> list[dict]:
+    rows = []
+    for rec in report.records:
+        conf = rec.confusion
+        rows.append({
+            "suite": rec.suite,
+            "program": rec.program,
+            "compiler": rec.compiler,
+            "bits": rec.bits,
+            "pie": rec.pie,
+            "opt": rec.opt,
+            "tool": rec.tool,
+            "tp": conf.tp,
+            "fp": conf.fp,
+            "fn": conf.fn,
+            "precision": round(conf.precision, 6),
+            "recall": round(conf.recall, 6),
+            "f1": round(conf.f1, 6),
+            "elapsed_seconds": round(rec.elapsed_seconds, 6),
+        })
+    return rows
+
+
+def report_to_json(report: EvalReport) -> str:
+    """Serialize a report with per-tool pooled summaries attached."""
+    summary = {}
+    for tool in report.tools():
+        sub = report.filtered(tool=tool)
+        pooled = sub.pooled()
+        summary[tool] = {
+            "precision": round(pooled.precision, 6),
+            "recall": round(pooled.recall, 6),
+            "f1": round(pooled.f1, 6),
+            "mean_seconds": round(sub.mean_time(), 6),
+            "binaries": len(sub.records),
+        }
+    return json.dumps({"summary": summary, "records": _rows(report)},
+                      indent=1)
+
+
+def report_to_csv(report: EvalReport) -> str:
+    """Serialize the per-record rows as CSV."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_FIELDS)
+    writer.writeheader()
+    writer.writerows(_rows(report))
+    return buf.getvalue()

@@ -1,0 +1,80 @@
+"""Precision / recall metrics for function identification (§V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Confusion:
+    """Pooled true/false positive/negative counts."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def add(self, other: "Confusion") -> None:
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+
+
+def score(ground_truth: set[int], detected: set[int]) -> Confusion:
+    """Confusion counts of one detection run against ground truth."""
+    tp = len(ground_truth & detected)
+    return Confusion(
+        tp=tp,
+        fp=len(detected) - tp,
+        fn=len(ground_truth) - tp,
+    )
+
+
+def false_positives(ground_truth: set[int], detected: set[int]) -> set[int]:
+    return detected - ground_truth
+
+
+def false_negatives(ground_truth: set[int], detected: set[int]) -> set[int]:
+    return ground_truth - detected
+
+
+def score_boundaries(
+    true_boundaries: dict[int, int],
+    detected_boundaries: dict[int, int],
+    *,
+    tolerance: int = 0,
+) -> Confusion:
+    """Confusion counts over (entry, end) function boundaries.
+
+    A detected boundary is a true positive when its entry matches a
+    ground-truth entry exactly and its end lands within ``tolerance``
+    bytes of the true end — the boundary-identification metric used by
+    FETCH-style evaluations.
+    """
+    tp = 0
+    for entry, end in detected_boundaries.items():
+        true_end = true_boundaries.get(entry)
+        if true_end is not None and abs(end - true_end) <= tolerance:
+            tp += 1
+    return Confusion(
+        tp=tp,
+        fp=len(detected_boundaries) - tp,
+        fn=len(true_boundaries)
+        - sum(1 for e in true_boundaries if e in detected_boundaries
+              and abs(detected_boundaries[e] - true_boundaries[e])
+              <= tolerance),
+    )

@@ -1,0 +1,112 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Transcribed from Kim et al., "How'd Security Benefit Reverse
+Engineers?" (DSN 2022): Table I, Figure 3, Table II, and Table III.
+Used by the table renderers and by the reproduction-shape assertions in
+the benchmarks (we match *shape* — orderings and rough magnitudes — not
+exact values, since the substrate is synthetic).
+"""
+
+from __future__ import annotations
+
+# Table I: distribution of end-branch locations, % of all end-branches.
+# (compiler, suite) -> (function entry, indirect return, exception)
+TABLE1 = {
+    ("gcc", "coreutils"): (99.98, 0.02, 0.00),
+    ("gcc", "binutils"): (99.99, 0.01, 0.00),
+    ("gcc", "spec"): (79.60, 0.02, 20.38),
+    ("clang", "coreutils"): (99.98, 0.02, 0.00),
+    ("clang", "binutils"): (99.99, 0.01, 0.00),
+    ("clang", "spec"): (72.10, 0.02, 27.88),
+}
+
+# Figure 3: function-property Venn regions, % of all functions.
+# Region key: (EndBrAtHead, DirCallTarget, DirJmpTarget) membership.
+FIGURE3 = {
+    frozenset(): 0.01,
+    frozenset({"EndBrAtHead"}): 48.85,
+    frozenset({"DirCallTarget"}): 10.01,
+    frozenset({"DirJmpTarget"}): 0.44,
+    frozenset({"EndBrAtHead", "DirCallTarget"}): 37.79,
+    frozenset({"EndBrAtHead", "DirJmpTarget"}): 1.44,
+    frozenset({"DirCallTarget", "DirJmpTarget"}): 0.23,
+    frozenset({"EndBrAtHead", "DirCallTarget", "DirJmpTarget"}): 1.23,
+}
+
+# Table II: FunSeeker configurations ① - ④, (precision, recall) %.
+# (compiler, suite) -> {config: (prec, rec)}
+TABLE2 = {
+    ("gcc", "binutils"): {
+        1: (98.946, 99.515), 2: (98.954, 99.515),
+        3: (26.928, 100.0), 4: (98.947, 99.784),
+    },
+    ("gcc", "coreutils"): {
+        1: (99.377, 99.157), 2: (99.396, 99.157),
+        3: (40.520, 99.997), 4: (99.380, 99.652),
+    },
+    ("gcc", "spec"): {
+        1: (81.439, 99.783), 2: (99.665, 99.783),
+        3: (27.184, 99.986), 4: (98.925, 99.889),
+    },
+    ("clang", "binutils"): {
+        1: (99.992, 99.506), 2: (100.0, 99.506),
+        3: (23.901, 99.931), 4: (100.0, 99.652),
+    },
+    ("clang", "coreutils"): {
+        1: (99.979, 99.230), 2: (100.0, 99.230),
+        3: (33.036, 100.0), 4: (100.0, 99.250),
+    },
+    ("clang", "spec"): {
+        1: (71.059, 99.884), 2: (99.976, 99.866),
+        3: (23.057, 99.999), 4: (99.975, 99.923),
+    },
+}
+
+TABLE2_TOTAL = {
+    1: (80.623, 99.734), 2: (99.745, 99.734),
+    3: (26.295, 99.988), 4: (99.475, 99.828),
+}
+
+# Table III: (bits, suite) -> {tool: (prec, rec)}; times separately.
+TABLE3 = {
+    (32, "binutils"): {
+        "funseeker": (99.482, 99.775), "ida": (91.099, 72.136),
+        "ghidra": (91.213, 74.337), "fetch": (98.897, 49.997),
+    },
+    (32, "coreutils"): {
+        "funseeker": (99.690, 99.268), "ida": (96.004, 60.091),
+        "ghidra": (70.136, 73.512), "fetch": (99.285, 51.787),
+    },
+    (32, "spec"): {
+        "funseeker": (99.358, 99.911), "ida": (89.188, 74.980),
+        "ghidra": (96.372, 87.142), "fetch": (98.602, 84.193),
+    },
+    (64, "binutils"): {
+        "funseeker": (99.462, 99.666), "ida": (95.364, 77.112),
+        "ghidra": (98.970, 98.462), "fetch": (99.436, 99.895),
+    },
+    (64, "coreutils"): {
+        "funseeker": (99.671, 99.237), "ida": (97.956, 64.409),
+        "ghidra": (93.652, 98.705), "fetch": (99.633, 99.224),
+    },
+    (64, "spec"): {
+        "funseeker": (99.379, 99.897), "ida": (93.885, 80.416),
+        "ghidra": (97.967, 98.758), "fetch": (99.554, 99.970),
+    },
+}
+
+TABLE3_TOTAL = {
+    "funseeker": (99.407, 99.828), "ida": (92.292, 76.285),
+    "ghidra": (95.754, 91.994), "fetch": (99.194, 89.143),
+}
+
+#: Average per-binary analysis time (seconds), Table III.
+TABLE3_TIME = {"funseeker": 1.181, "fetch": 6.031}
+TABLE3_SPEEDUP = 5.1  # FunSeeker vs FETCH
+
+# §V-C error analysis.
+FN_DEAD_FRACTION = 0.933
+FN_TAIL_FRACTION = 0.067
+FP_FRAGMENT_FRACTION = 1.0
+# §IV-D: SELECTTAILCALL raises precision by 73.18 points over raw J.
+TAILCALL_PRECISION_GAIN = 73.18

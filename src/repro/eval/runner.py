@@ -1,0 +1,148 @@
+"""Experiment driver: run detectors over a corpus and aggregate results.
+
+Used by every table/figure regeneration benchmark. Detection always
+runs on *stripped* images (the paper strips all binaries before
+evaluation, §III-A) while ground truth comes from the synthesis-time
+metadata.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.baselines.base import FunctionDetector
+from repro.elf.parser import ELFFile
+from repro.eval.metrics import Confusion, score
+from repro.synth.corpus import CorpusEntry
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (binary, tool) evaluation outcome."""
+
+    suite: str
+    program: str
+    compiler: str
+    bits: int
+    pie: bool
+    opt: str
+    tool: str
+    confusion: Confusion
+    elapsed_seconds: float
+
+
+@dataclass
+class EvalReport:
+    """All run records of one evaluation sweep."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def filtered(self, **criteria) -> "EvalReport":
+        """Records matching all given attribute=value criteria."""
+        out = [r for r in self.records
+               if all(getattr(r, k) == v for k, v in criteria.items())]
+        return EvalReport(records=out)
+
+    def pooled(self) -> Confusion:
+        """Pooled confusion counts over all records."""
+        total = Confusion()
+        for rec in self.records:
+            total.add(rec.confusion)
+        return total
+
+    def mean_time(self) -> float:
+        if not self.records:
+            return 0.0
+        return (sum(r.elapsed_seconds for r in self.records)
+                / len(self.records))
+
+    def tools(self) -> list[str]:
+        return sorted({r.tool for r in self.records})
+
+    def suites(self) -> list[str]:
+        return sorted({r.suite for r in self.records})
+
+
+def run_evaluation(
+    corpus: Iterable[CorpusEntry],
+    detectors: dict[str, FunctionDetector],
+) -> EvalReport:
+    """Run every detector on every (stripped) corpus binary."""
+    report = EvalReport()
+    for entry in corpus:
+        elf = ELFFile(entry.stripped)
+        gt = entry.binary.ground_truth.function_starts
+        profile = entry.profile
+        for tool_name, detector in detectors.items():
+            result = detector.detect(elf)
+            report.records.append(RunRecord(
+                suite=entry.suite,
+                program=entry.program,
+                compiler=profile.compiler,
+                bits=profile.bits,
+                pie=profile.pie,
+                opt=profile.opt,
+                tool=tool_name,
+                confusion=score(gt, result.functions),
+                elapsed_seconds=result.elapsed_seconds,
+            ))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Error analysis (paper §V-C: FN/FP breakdowns)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ErrorBreakdown:
+    """Categorized false negatives and false positives."""
+
+    fn_dead: int = 0
+    fn_tail_target: int = 0
+    fn_other: int = 0
+    fp_fragment: int = 0
+    fp_other: int = 0
+
+    @property
+    def fn_total(self) -> int:
+        return self.fn_dead + self.fn_tail_target + self.fn_other
+
+    @property
+    def fp_total(self) -> int:
+        return self.fp_fragment + self.fp_other
+
+    def merge(self, other: "ErrorBreakdown") -> None:
+        self.fn_dead += other.fn_dead
+        self.fn_tail_target += other.fn_tail_target
+        self.fn_other += other.fn_other
+        self.fp_fragment += other.fp_fragment
+        self.fp_other += other.fp_other
+
+
+def analyze_errors(
+    entry: CorpusEntry, detected: set[int]
+) -> ErrorBreakdown:
+    """Attribute one binary's FPs/FNs to the paper's categories.
+
+    False negatives are classified as dead functions or missed
+    tail-call targets (paper: 93.3% / 6.7%); false positives as
+    ``.part``/``.cold`` fragment references or other (paper: 100%
+    fragments).
+    """
+    gt = entry.binary.ground_truth
+    out = ErrorBreakdown()
+    dead = {e.address for e in gt.entries if e.is_function and e.is_dead}
+    fragments = gt.fragment_starts
+    for addr in gt.function_starts - detected:
+        if addr in dead:
+            out.fn_dead += 1
+        else:
+            out.fn_tail_target += 1
+    for addr in detected - gt.function_starts:
+        if addr in fragments:
+            out.fp_fragment += 1
+        else:
+            out.fp_other += 1
+    return out

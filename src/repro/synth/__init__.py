@@ -1,0 +1,55 @@
+"""Synthetic CET toolchain: generate ELF binaries with exact ground truth.
+
+Public entry points:
+
+- :func:`~repro.synth.generate.generate_program` /
+  :func:`~repro.synth.generate.generate_suite` — build program specs.
+- :func:`~repro.synth.linker.link_program` — lower a spec to an ELF
+  image (:class:`~repro.synth.linker.SynthBinary`).
+- :class:`~repro.synth.profiles.CompilerProfile` — build configuration.
+- :mod:`repro.synth.corpus` — whole-corpus construction.
+"""
+
+from repro.synth.generate import (
+    DEFAULT_SUITES,
+    SUITES,
+    SuiteParams,
+    generate_program,
+    generate_suite,
+)
+from repro.synth.ir import (
+    INDIRECT_RETURN_FUNCTIONS,
+    FunctionSpec,
+    GroundTruth,
+    GroundTruthEntry,
+    ProgramSpec,
+)
+from repro.synth.linker import LinkError, SynthBinary, link_program
+from repro.synth.profiles import (
+    COMPILERS,
+    OPT_LEVELS,
+    CompilerProfile,
+    default_matrix,
+    sampled_matrix,
+)
+
+__all__ = [
+    "COMPILERS",
+    "DEFAULT_SUITES",
+    "INDIRECT_RETURN_FUNCTIONS",
+    "OPT_LEVELS",
+    "SUITES",
+    "CompilerProfile",
+    "FunctionSpec",
+    "GroundTruth",
+    "GroundTruthEntry",
+    "LinkError",
+    "ProgramSpec",
+    "SuiteParams",
+    "SynthBinary",
+    "default_matrix",
+    "generate_program",
+    "generate_suite",
+    "link_program",
+    "sampled_matrix",
+]

@@ -1,0 +1,408 @@
+"""Function-body code generation for the synthetic CET toolchain.
+
+Lowers each :class:`~repro.synth.ir.FunctionSpec` into a relocatable
+machine-code chunk exhibiting the code shapes GCC/Clang emit for the
+corresponding source constructs: CET end-branch placement, prologues
+per optimization level, direct/PLT calls, setjmp return-site markers,
+NOTRACK jump-table dispatch, C++ landing pads, and out-of-line
+``.cold`` / ``.part`` fragments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.synth.encoder import Asm, Code, Fixup, FixupKind
+from repro.synth.ir import FunctionSpec
+from repro.synth.profiles import CompilerProfile
+
+
+def plt_symbol(name: str) -> str:
+    """Linker-namespace symbol for an import's PLT stub."""
+    return f"plt:{name}"
+
+
+def fragment_symbol(func: str, kind: str, index: int = 0) -> str:
+    """Symbol for a ``.cold`` / ``.part`` fragment of ``func``.
+
+    Matches GCC's naming (``foo.cold``, ``foo.part.0``) so ground-truth
+    extraction can apply the paper's name-suffix policy.
+    """
+    suffix = "cold" if kind == "cold" else f"part.{index}"
+    return f"{func}.{suffix}"
+
+
+def table_symbol(func: str) -> str:
+    return f"rodata:{func}.jt"
+
+
+@dataclass
+class RodataItem:
+    """One read-only data object (jump table, format-string blob)."""
+
+    symbol: str
+    data: bytes
+    fixups: list[Fixup] = field(default_factory=list)
+    align: int = 8
+
+
+@dataclass
+class FunctionArtifact:
+    """Codegen output for one function."""
+
+    spec: FunctionSpec
+    code: Code
+    fragments: list[tuple[str, Code]] = field(default_factory=list)
+    rodata: list[RodataItem] = field(default_factory=list)
+    #: (region_start, region_len, pad_offset) chunk offsets for the LSDA.
+    eh_callsites: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+def generate_function(
+    spec: FunctionSpec, profile: CompilerProfile
+) -> FunctionArtifact:
+    """Lower one function spec to machine code."""
+    rng = random.Random(spec.seed)
+    if spec.is_thunk:
+        return _generate_thunk(spec, profile)
+
+    asm = Asm(profile.bits)
+    artifact = FunctionArtifact(spec=spec, code=asm.code)
+
+    if spec.has_endbr:
+        asm.endbr()
+    frame = _prologue(asm, profile, rng)
+
+    asm.filler(rng, max(1, spec.filler // 3))
+
+    # Address-taking: materialize callee addresses and call through a
+    # register — what makes the targets address-taken (and endbr'd).
+    for target in spec.takes_address_of:
+        _materialize_address(asm, profile, target)
+        asm.call_reg(0)
+        asm.filler(rng, 2)
+
+    # setjmp-family call sites: an end-branch lands right after the call
+    # to protect the indirect return edge (paper Fig. 2a).
+    for i, sj_name in enumerate(spec.setjmp_sites):
+        _materialize_buffer_arg(asm, profile, rng)
+        asm.call(plt_symbol(sj_name))
+        asm.endbr()
+        asm.test_eax_eax()
+        asm.jcc_short("e", _local(asm, f".Lsj_done{i}", define=False))
+        asm.filler(rng, 3)
+        asm.label(f".Lsj_done{i}")
+
+    # Direct calls.
+    for callee in spec.callees:
+        asm.filler(rng, rng.randrange(1, 4))
+        asm.call(callee)
+
+    # A function with a .part fragment calls it — partial inlining keeps
+    # the outlined remainder reachable from the original body.
+    if spec.part_fragment:
+        asm.call(fragment_symbol(spec.name, "part"))
+
+    # Cross-references into other functions' .part fragments (the
+    # paper's false-positive sources, §V-C).
+    for frag in spec.extra_fragment_calls:
+        asm.call(frag)
+    for i, frag in enumerate(spec.fragment_tail_jumps):
+        # Guarded jump into the fragment followed by a resume point:
+        # shaped like GCC's shrink-wrapped out-of-line path.
+        asm.test_eax_eax()
+        asm.jcc_short("e", f".Lfrag_skip{i}")
+        asm.jmp(frag)
+        asm.label(f".Lfrag_skip{i}")
+
+    # Control-flow diamonds: if/else merges produce intra-function
+    # unconditional jumps — the direct-jump targets that wreck config 3's
+    # precision (Table II) until SELECTTAILCALL filters them.
+    for i in range(_diamond_count(spec, rng)):
+        asm.cmp_eax_imm8(rng.randrange(64))
+        asm.jcc("ne", f".Ldia_else{i}")
+        asm.filler(rng, rng.randrange(1, 4))
+        asm.jmp(f".Ldia_merge{i}")
+        asm.label(f".Ldia_else{i}")
+        asm.filler(rng, rng.randrange(1, 4))
+        asm.label(f".Ldia_merge{i}")
+
+    # PLT calls, possibly inside a C++ try region with a landing pad.
+    try_regions: list[tuple[int, int]] = []
+    for imp in spec.plt_callees:
+        asm.filler(rng, rng.randrange(1, 3))
+        start = asm.here
+        asm.call(plt_symbol(imp))
+        try_regions.append((start, asm.here - start))
+
+    if spec.jump_table_cases:
+        _jump_table(asm, artifact, profile, rng, spec)
+
+    if spec.inline_data:
+        _inline_data_blob(asm, rng, spec.inline_data)
+
+    asm.filler(rng, max(1, spec.filler // 3))
+
+    # Conditional branch to a .cold fragment (out-of-line unlikely path).
+    if spec.cold_fragment:
+        asm.jcc("s", fragment_symbol(spec.name, "cold"))
+        asm.label(".Lcold_ret")
+
+    asm.filler(rng, max(1, spec.filler // 3))
+    _epilogue(asm, profile, frame)
+
+    if spec.tail_call_target:
+        # Tail call replaces the final ret (but keep a guarded early ret
+        # so both shapes appear).
+        asm.jmp(spec.tail_call_target)
+    else:
+        asm.ret()
+
+    # C++ landing pads: placed after the body's final ret, inside the
+    # function's bounds, each starting with an end-branch (Fig. 2b).
+    if spec.landing_pads:
+        _landing_pads(asm, artifact, rng, spec, try_regions)
+
+    asm.finish()
+
+    if spec.cold_fragment:
+        artifact.fragments.append(
+            (fragment_symbol(spec.name, "cold"),
+             _cold_fragment(spec, profile, rng))
+        )
+    if spec.part_fragment:
+        artifact.fragments.append(
+            (fragment_symbol(spec.name, "part"),
+             _part_fragment(spec, profile, rng))
+        )
+    return artifact
+
+
+# ---------------------------------------------------------------------------
+# pieces
+# ---------------------------------------------------------------------------
+
+
+def _diamond_count(spec: FunctionSpec, rng: random.Random) -> int:
+    """How many if/else merge diamonds to emit, scaled by body size."""
+    return max(1, spec.filler // 9) + rng.randrange(2)
+
+
+def _local(asm: Asm, name: str, *, define: bool) -> str:
+    if define:
+        asm.label(name)
+    return name
+
+
+def _prologue(asm: Asm, profile: CompilerProfile, rng: random.Random) -> tuple:
+    """Emit a prologue; return a descriptor the epilogue mirrors."""
+    if profile.uses_frame_pointer:
+        asm.push_bp()
+        asm.mov_bp_sp()
+        asm.sub_sp(rng.choice((16, 32, 48, 64)))
+        return ("frame",)
+    choice = rng.randrange(3)
+    if choice == 0:
+        asm.push_rbx()
+        return ("rbx",)
+    if choice == 1:
+        size = rng.choice((8, 24, 40))
+        asm.sub_sp(size)
+        return ("sub", size)
+    asm.push_bp()
+    asm.mov_bp_sp()
+    return ("bp",)
+
+
+def _epilogue(asm: Asm, profile: CompilerProfile, frame: tuple) -> None:
+    kind = frame[0]
+    if kind == "frame":
+        asm.leave()
+    elif kind == "rbx":
+        asm.pop_rbx()
+    elif kind == "sub":
+        asm.add_sp(frame[1])
+    else:
+        asm.pop_bp()
+
+
+def _materialize_address(asm: Asm, profile: CompilerProfile, target: str) -> None:
+    if profile.bits == 64 and profile.pie:
+        asm.lea_rip(0, target)
+    elif profile.bits == 64:
+        asm.mov_imm_sym(0, target)
+    elif profile.pie:
+        # 32-bit PIC: real code computes via get_pc_thunk + GOT; model the
+        # observable part — an absolute slot load is closest without a
+        # full GOT dance.
+        asm.mov_imm_sym(0, target)
+    else:
+        asm.mov_imm_sym(0, target)
+
+
+def _materialize_buffer_arg(
+    asm: Asm, profile: CompilerProfile, rng: random.Random
+) -> None:
+    """First argument setup for a setjmp-style call (jmp_buf address)."""
+    if profile.bits == 64 and profile.pie:
+        asm.lea_rip(7, "data:jmpbuf")
+    elif profile.bits == 64:
+        asm.mov_imm_sym(7, "data:jmpbuf")
+    else:
+        asm.push_imm_sym("data:jmpbuf")
+
+
+def _jump_table(
+    asm: Asm,
+    artifact: FunctionArtifact,
+    profile: CompilerProfile,
+    rng: random.Random,
+    spec: FunctionSpec,
+) -> None:
+    """Emit switch dispatch through a NOTRACK indirect jump (Fig. 1b)."""
+    cases = spec.jump_table_cases
+    tsym = table_symbol(spec.name)
+    asm.cmp_eax_imm8(cases - 1)
+    asm.jcc("a", _local(asm, ".Ljt_default", define=False))
+
+    pic_table = profile.bits == 64 and profile.pie
+    if pic_table:
+        # GCC PIC shape: lea rdx,[rip+table]; movsxd rax,[rdx+rax*4];
+        # add rax,rdx; notrack jmp rax
+        asm.lea_rip(2, tsym)
+        asm.raw(b"\x48\x63\x04\x82")   # movsxd rax, dword [rdx+rax*4]
+        asm.raw(b"\x48\x01\xd0")       # add rax, rdx
+        asm.jmp_reg(0, notrack=True)
+    else:
+        asm.notrack_jmp_table(tsym, scale8=profile.bits == 64)
+
+    case_labels = []
+    for i in range(cases):
+        label = f".Lcase{i}"
+        asm.label(label)
+        case_labels.append(label)
+        asm.mov_reg_imm(0, rng.randrange(1 << 16))
+        if i < cases - 1:
+            asm.jmp_short(".Ljt_merge")
+    asm.label(".Ljt_default")
+    asm.xor_eax_eax()
+    asm.label(".Ljt_merge")
+    asm.filler(rng, 2)
+
+    # Table data: entries are chunk-internal offsets; the linker rewrites
+    # them into absolute addresses or table-relative deltas.
+    entry_size = 4 if (pic_table or profile.bits == 32) else 8
+    data = bytearray(entry_size * cases)
+    fixups = []
+    for i, label in enumerate(case_labels):
+        offset_in_chunk = asm.code.labels[label]
+        if pic_table:
+            # Filled by linker: case_addr - table_addr (sdata4).
+            fixups.append(Fixup(i * 4, FixupKind.REL32,
+                                f"local:{spec.name}", offset_in_chunk))
+        else:
+            kind = FixupKind.ABS64 if entry_size == 8 else FixupKind.ABS32
+            fixups.append(Fixup(i * entry_size, kind,
+                                f"local:{spec.name}", offset_in_chunk))
+    artifact.rodata.append(
+        RodataItem(symbol=tsym, data=bytes(data), fixups=fixups,
+                   align=entry_size)
+    )
+
+
+def _inline_data_blob(asm: Asm, rng: random.Random, size: int) -> None:
+    """Embed a data blob inside the body, jumped over at run time.
+
+    Models hand-written assembly with lookup tables in ``.text`` — the
+    linear-sweep hazard of §VI. The blob is seeded with end-branch byte
+    patterns surrounded by undefined opcodes: a byte-at-a-time resyncing
+    sweep decodes the phantom markers, while superset validation sees
+    the broken chains around them and skips the region.
+    """
+    label = f".Ldata_end{asm.here}"
+    if size <= 120:
+        asm.jmp_short(label)
+    else:
+        asm.jmp(label)
+    blob = bytearray()
+    endbr = b"\xf3\x0f\x1e\xfa" if asm.bits == 64 else b"\xf3\x0f\x1e\xfb"
+    while len(blob) < size:
+        blob += b"\xff\xff"          # FF /7 — undefined, breaks chains
+        if rng.random() < 0.5 and len(blob) + 7 <= size:
+            # A one-byte instruction followed by an end-branch pattern:
+            # byte-at-a-time resync walks straight onto the phantom
+            # marker. The trailing FF FF keeps the chain non-viable, so
+            # superset validation rejects the whole run.
+            blob += b"\xc3" + endbr
+    asm.raw(bytes(blob[:size]))
+    asm.label(label)
+
+
+def _landing_pads(
+    asm: Asm,
+    artifact: FunctionArtifact,
+    rng: random.Random,
+    spec: FunctionSpec,
+    try_regions: list[tuple[int, int]],
+) -> None:
+    pads = spec.landing_pads
+    for i in range(pads):
+        pad_offset = asm.here
+        asm.endbr()
+        asm.filler(rng, rng.randrange(2, 5))
+        asm.call(plt_symbol("__cxa_begin_catch"))
+        asm.filler(rng, 2)
+        asm.call(plt_symbol("__cxa_end_catch"))
+        asm.jmp(f".Lpad_resume{i}")
+        if i < len(try_regions):
+            start, length = try_regions[i]
+        else:
+            # Synthesize a nominal region covering early body bytes.
+            start, length = 4 + 3 * i, 5
+        artifact.eh_callsites.append((start, length, pad_offset))
+    # Resume labels: land back on the terminating NOP sled before the
+    # epilogue; keep them trivially near the end.
+    for i in range(pads):
+        asm.label(f".Lpad_resume{i}")
+    asm.ret()
+
+
+def _cold_fragment(
+    spec: FunctionSpec, profile: CompilerProfile, rng: random.Random
+) -> Code:
+    """An out-of-line unlikely path: no endbr, jumps back to the parent."""
+    asm = Asm(profile.bits)
+    asm.filler(rng, rng.randrange(3, 8))
+    if rng.random() < 0.5:
+        asm.call(plt_symbol("abort"))
+    asm.filler(rng, 2)
+    # Jump back into the parent body (the label the parent defined).
+    asm.jmp(f"localref:{spec.name}:.Lcold_ret")
+    return asm.finish()
+
+
+def _part_fragment(
+    spec: FunctionSpec, profile: CompilerProfile, rng: random.Random
+) -> Code:
+    """A partial-inlining fragment: looks like a function (direct-called,
+    own prologue) but is ground-truth-excluded (paper §V-A1)."""
+    asm = Asm(profile.bits)
+    frame = _prologue(asm, profile, rng)
+    asm.filler(rng, rng.randrange(4, 10))
+    _epilogue(asm, profile, frame)
+    asm.ret()
+    return asm.finish()
+
+
+def _generate_thunk(
+    spec: FunctionSpec, profile: CompilerProfile
+) -> FunctionArtifact:
+    """``__x86.get_pc_thunk.*``: mov (%esp), %ebx; ret — no end-branch."""
+    asm = Asm(profile.bits)
+    if profile.bits == 32:
+        asm.raw(b"\x8b\x1c\x24")  # mov ebx, [esp]
+    else:
+        asm.raw(b"\x48\x8b\x04\x24")  # mov rax, [rsp]
+    asm.ret()
+    return FunctionArtifact(spec=spec, code=asm.finish())

@@ -1,0 +1,133 @@
+"""Whole-corpus construction (paper §III-A).
+
+The paper compiles Coreutils, Binutils, and SPEC CPU 2017 under 24
+configurations per compiler (2 architectures x 2 PIE modes x 6
+optimization levels) for GCC and Clang — 8,136 binaries. This module
+builds the synthetic analogue: the same *programs* (fixed per-suite
+seeds) rendered under every configuration of a chosen matrix.
+
+Three scales are provided so tests stay fast while benchmarks can run
+the full sweep:
+
+- ``tiny``  — a handful of binaries; unit/integration tests.
+- ``small`` — the default for benchmark tables (hundreds of binaries).
+- ``full``  — the complete 48-configuration matrix.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.elf.parser import strip_symbols
+from repro.synth.generate import DEFAULT_SUITES, generate_program
+from repro.synth.linker import SynthBinary, link_program
+from repro.synth.profiles import (
+    CompilerProfile,
+    default_matrix,
+    sampled_matrix,
+)
+
+SCALES = ("tiny", "small", "full")
+
+
+@dataclass(frozen=True)
+class CorpusScale:
+    """Suite sizes and configuration matrix for one corpus scale."""
+
+    programs: dict[str, int]       # suite -> number of programs
+    profiles: list[CompilerProfile]
+    min_functions: dict[str, int]
+    max_functions: dict[str, int]
+
+
+def _scale(name: str) -> CorpusScale:
+    if name == "tiny":
+        return CorpusScale(
+            programs={"coreutils": 3, "binutils": 1, "spec": 2},
+            profiles=[
+                CompilerProfile("gcc", "O2", 64, True),
+                CompilerProfile("gcc", "O0", 32, False),
+                CompilerProfile("clang", "O2", 64, False),
+                CompilerProfile("clang", "O2", 32, True),
+            ],
+            min_functions={"coreutils": 20, "binutils": 60, "spec": 40},
+            max_functions={"coreutils": 40, "binutils": 90, "spec": 80},
+        )
+    if name == "small":
+        return CorpusScale(
+            programs={"coreutils": 8, "binutils": 3, "spec": 5},
+            profiles=sampled_matrix(),
+            min_functions={"coreutils": 25, "binutils": 90, "spec": 60},
+            max_functions={"coreutils": 70, "binutils": 180, "spec": 160},
+        )
+    if name == "full":
+        return CorpusScale(
+            programs={s: p.programs for s, p in DEFAULT_SUITES.items()},
+            profiles=default_matrix(),
+            min_functions={s: p.min_functions
+                           for s, p in DEFAULT_SUITES.items()},
+            max_functions={s: p.max_functions
+                           for s, p in DEFAULT_SUITES.items()},
+        )
+    raise ValueError(f"unknown corpus scale {name!r}; pick from {SCALES}")
+
+
+@dataclass
+class CorpusEntry:
+    """One binary of the corpus, with its provenance and ground truth."""
+
+    suite: str
+    program: str
+    binary: SynthBinary
+    stripped: bytes
+
+    @property
+    def profile(self) -> CompilerProfile:
+        return self.binary.profile
+
+    @property
+    def label(self) -> str:
+        return f"{self.suite}/{self.program}/{self.profile.config_name}"
+
+
+#: C++ share per suite (SPEC is the only C++-bearing suite, §III-B).
+_CXX_FRACTION = {"coreutils": 0.0, "binutils": 0.0, "spec": 0.65}
+
+
+def iter_corpus(
+    scale: str = "small", seed: int = 2022
+) -> Iterator[CorpusEntry]:
+    """Yield corpus entries lazily (generation is the expensive part)."""
+    sc = _scale(scale)
+    for suite, count in sc.programs.items():
+        for i in range(count):
+            # Program structure is fixed per (seed, suite, index): the
+            # same program is "compiled" under every configuration, as
+            # in the paper.
+            key = zlib.crc32(f"{seed}:{suite}:{i}".encode())
+            program_rng = random.Random(key)
+            program_seed = program_rng.randrange(1 << 30)
+            cxx = program_rng.random() < _CXX_FRACTION[suite]
+            n = program_rng.randrange(
+                sc.min_functions[suite], sc.max_functions[suite] + 1
+            )
+            for profile in sc.profiles:
+                spec = generate_program(
+                    f"{suite}_{i:03d}", n, profile, seed=program_seed,
+                    cxx=cxx,
+                )
+                binary = link_program(spec, profile)
+                yield CorpusEntry(
+                    suite=suite,
+                    program=spec.name,
+                    binary=binary,
+                    stripped=strip_symbols(binary.data),
+                )
+
+
+def build_corpus(scale: str = "small", seed: int = 2022) -> list[CorpusEntry]:
+    """Materialize the whole corpus as a list."""
+    return list(iter_corpus(scale, seed))

@@ -1,0 +1,123 @@
+"""Corpus serialization: write/read the benchmark dataset to disk.
+
+The paper publicizes its binary dataset (both original and stripped) to
+support open science; this module does the same for the synthetic
+corpus. A dataset directory holds, per binary, the original image, the
+stripped image, and a JSON ground-truth sidecar, plus a corpus-level
+manifest:
+
+    dataset/
+      manifest.json
+      coreutils/coreutils_000/gcc-x64-O2-pie/
+        binary.elf
+        binary.stripped.elf
+        ground_truth.json
+      ...
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.synth.corpus import CorpusEntry, iter_corpus
+from repro.synth.ir import GroundTruth, GroundTruthEntry
+from repro.synth.linker import SynthBinary
+from repro.synth.profiles import CompilerProfile
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def save_dataset(
+    root: str | Path, *, scale: str = "small", seed: int = 2022
+) -> dict:
+    """Generate a corpus and persist it under ``root``.
+
+    Returns the manifest dictionary (also written to disk).
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "format": FORMAT_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "binaries": [],
+    }
+    for entry in iter_corpus(scale, seed):
+        rel = Path(entry.suite) / entry.program / entry.profile.config_name
+        directory = root / rel
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "binary.elf").write_bytes(entry.binary.data)
+        (directory / "binary.stripped.elf").write_bytes(entry.stripped)
+        (directory / "ground_truth.json").write_text(
+            json.dumps(_ground_truth_dict(entry), indent=1))
+        manifest["binaries"].append({
+            "suite": entry.suite,
+            "program": entry.program,
+            "config": entry.profile.config_name,
+            "path": str(rel),
+            "functions": len(entry.binary.ground_truth.function_starts),
+            "size": len(entry.binary.data),
+        })
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+    return manifest
+
+
+def load_dataset(root: str | Path) -> list[CorpusEntry]:
+    """Reload a dataset saved by :func:`save_dataset`."""
+    root = Path(root)
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    if manifest.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format {manifest.get('format')!r}")
+    entries: list[CorpusEntry] = []
+    for record in manifest["binaries"]:
+        directory = root / record["path"]
+        gt_doc = json.loads((directory / "ground_truth.json").read_text())
+        profile = _profile_from_config(record["config"])
+        binary = SynthBinary(
+            name=record["program"],
+            profile=profile,
+            data=(directory / "binary.elf").read_bytes(),
+            ground_truth=_ground_truth_from_dict(gt_doc),
+        )
+        entries.append(CorpusEntry(
+            suite=record["suite"],
+            program=record["program"],
+            binary=binary,
+            stripped=(directory / "binary.stripped.elf").read_bytes(),
+        ))
+    return entries
+
+
+def _ground_truth_dict(entry: CorpusEntry) -> dict:
+    return {
+        "suite": entry.suite,
+        "program": entry.program,
+        "config": entry.profile.config_name,
+        "entries": [asdict(e) for e in entry.binary.ground_truth.entries],
+    }
+
+
+def _ground_truth_from_dict(doc: dict) -> GroundTruth:
+    gt = GroundTruth()
+    for record in doc["entries"]:
+        gt.entries.append(GroundTruthEntry(**record))
+    return gt
+
+
+def _profile_from_config(config: str) -> CompilerProfile:
+    """Invert ``CompilerProfile.config_name``.
+
+    >>> _profile_from_config("gcc-x64-O2-pie").bits
+    64
+    """
+    compiler, arch, opt, pie = config.split("-")
+    return CompilerProfile(
+        compiler=compiler,
+        opt=opt,
+        bits=64 if arch == "x64" else 32,
+        pie=pie == "pie",
+    )

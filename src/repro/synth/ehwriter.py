@@ -1,0 +1,182 @@
+"""Emission of ``.eh_frame`` and ``.gcc_except_table`` contents.
+
+The synthetic toolchain mirrors GCC's encoding choices: FDE pointers use
+``DW_EH_PE_pcrel | DW_EH_PE_sdata4``; LSDAs omit LPStart (landing pads
+are relative to the function start) and use ULEB128 call-site tables.
+
+Both sections are built in two phases: the byte layout is fixed before
+final addresses are known (every pointer field has a deterministic
+size), then :func:`patch_eh_frame` rewrites the PC-relative fields once
+the linker has assigned section addresses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+
+def _uleb(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+@dataclass
+class FdeRequest:
+    """One FDE to emit.
+
+    ``func_index`` identifies the function for address patching;
+    ``lsda_offset`` is the LSDA's offset inside ``.gcc_except_table``
+    (``None`` when the function has no exception data).
+    """
+
+    func_index: int
+    size: int
+    lsda_offset: int | None = None
+
+
+@dataclass
+class EhFrameBlob:
+    """Pre-layout ``.eh_frame`` contents plus its patch table."""
+
+    data: bytearray = field(default_factory=bytearray)
+    #: (blob_offset, func_index) — patch pc_begin = func_addr - field_addr
+    pc_patches: list[tuple[int, int]] = field(default_factory=list)
+    #: (blob_offset, lsda_offset) — patch = lsda_addr - field_addr
+    lsda_patches: list[tuple[int, int]] = field(default_factory=list)
+
+
+_ENC_PCREL_SDATA4 = 0x1B
+
+
+def build_gcc_except_table(
+    callsites_per_function: list[list[tuple[int, int, int]]],
+) -> tuple[bytes, list[int]]:
+    """Build ``.gcc_except_table`` for functions carrying landing pads.
+
+    Parameters
+    ----------
+    callsites_per_function:
+        For each function (in emission order): a list of
+        ``(region_start, region_len, pad_offset)`` tuples, all relative
+        to the function start.
+
+    Returns the section bytes and the per-function LSDA offsets.
+    """
+    blob = bytearray()
+    offsets: list[int] = []
+    for callsites in callsites_per_function:
+        # Align each LSDA to 4 bytes like GCC does.
+        while len(blob) % 4:
+            blob.append(0)
+        offsets.append(len(blob))
+
+        table = bytearray()
+        for start, length, pad in callsites:
+            table += _uleb(start)
+            table += _uleb(length)
+            table += _uleb(pad)
+            table += _uleb(1)  # action: first action-table entry
+
+        blob.append(0xFF)               # LPStart encoding: omit
+        blob.append(0xFF)               # TType encoding: omit
+        blob.append(0x01)               # call-site encoding: uleb128
+        blob += _uleb(len(table))
+        blob += table
+        # A minimal action table entry (filter 1, no next).
+        blob += b"\x01\x00"
+    return bytes(blob), offsets
+
+
+def build_eh_frame(
+    fdes: list[FdeRequest], personality_addr: int
+) -> EhFrameBlob:
+    """Build ``.eh_frame`` with two CIEs (plain ``zR`` and ``zPLR``)."""
+    blob = EhFrameBlob()
+    plain_cie_offset = _emit_cie(blob.data, augmentation=b"zR",
+                                 personality_addr=None)
+    lsda_cie_offset = _emit_cie(blob.data, augmentation=b"zPLR",
+                                personality_addr=personality_addr)
+    for fde in fdes:
+        cie_offset = (lsda_cie_offset if fde.lsda_offset is not None
+                      else plain_cie_offset)
+        _emit_fde(blob, fde, cie_offset)
+    # Terminator record.
+    blob.data += struct.pack("<I", 0)
+    return blob
+
+
+def _emit_cie(
+    data: bytearray, augmentation: bytes, personality_addr: int | None
+) -> int:
+    offset = len(data)
+    body = bytearray()
+    body += struct.pack("<I", 0)        # CIE id
+    body.append(1)                      # version
+    body += augmentation + b"\x00"
+    body += _uleb(1)                    # code alignment
+    body.append(0x78)                   # data alignment: sleb(-8)
+    body += _uleb(16)                   # return-address register (RA)
+    aug = bytearray()
+    for ch in augmentation.decode():
+        if ch == "P":
+            aug.append(0x03)            # DW_EH_PE_udata4
+            aug += struct.pack("<I", (personality_addr or 0) & 0xFFFFFFFF)
+        elif ch == "L":
+            aug.append(_ENC_PCREL_SDATA4)
+        elif ch == "R":
+            aug.append(_ENC_PCREL_SDATA4)
+    body += _uleb(len(aug))
+    body += aug
+    while (len(body) + 4) % 8:
+        body.append(0)                  # DW_CFA_nop padding
+    data += struct.pack("<I", len(body))
+    data += body
+    return offset
+
+
+def _emit_fde(blob: EhFrameBlob, fde: FdeRequest, cie_offset: int) -> None:
+    data = blob.data
+    offset = len(data)
+    body = bytearray()
+    # CIE pointer: distance from this field back to the CIE.
+    body += struct.pack("<I", offset + 4 - cie_offset)
+    pc_field = offset + 4 + len(body)
+    blob.pc_patches.append((pc_field, fde.func_index))
+    body += struct.pack("<i", 0)        # pc_begin (patched)
+    body += struct.pack("<I", fde.size)  # pc_range
+    if fde.lsda_offset is not None:
+        body += _uleb(4)
+        lsda_field = offset + 4 + len(body)
+        blob.lsda_patches.append((lsda_field, fde.lsda_offset))
+        body += struct.pack("<i", 0)    # LSDA pointer (patched)
+    else:
+        body += _uleb(0)
+    while (len(body) + 4) % 8:
+        body.append(0)
+    data += struct.pack("<I", len(body))
+    data += body
+
+
+def patch_eh_frame(
+    blob: EhFrameBlob,
+    eh_frame_addr: int,
+    except_table_addr: int,
+    func_addrs: list[int],
+) -> bytes:
+    """Resolve the PC-relative fields now that addresses are known."""
+    data = bytearray(blob.data)
+    for field_off, func_index in blob.pc_patches:
+        value = func_addrs[func_index] - (eh_frame_addr + field_off)
+        struct.pack_into("<i", data, field_off, value)
+    for field_off, lsda_offset in blob.lsda_patches:
+        value = (except_table_addr + lsda_offset) - (eh_frame_addr + field_off)
+        struct.pack_into("<i", data, field_off, value)
+    return bytes(data)

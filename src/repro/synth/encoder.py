@@ -1,0 +1,337 @@
+"""x86 / x86-64 instruction encoder for the synthetic CET toolchain.
+
+A small assembler covering the instruction shapes GCC and Clang emit in
+function bodies: CET markers, prologues/epilogues, ALU filler, direct
+and indirect branches, PLT calls, RIP-relative and absolute addressing,
+jump-table dispatch, and multi-byte NOP padding.
+
+Code is emitted into relocatable :class:`Code` chunks: label references
+are recorded as fixups and patched by the synthetic linker once final
+addresses are known.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+
+class FixupKind(enum.Enum):
+    REL32 = "rel32"     # signed displacement relative to end of field
+    ABS32 = "abs32"     # absolute 32-bit address
+    ABS64 = "abs64"     # absolute 64-bit address
+
+
+@dataclass(frozen=True)
+class Fixup:
+    """A reference to a symbol that the linker must patch.
+
+    ``offset`` addresses the start of the value field inside the chunk;
+    for REL32 the displacement base is ``offset + 4`` (+ ``extra`` for
+    instructions where the field is not last).
+    """
+
+    offset: int
+    kind: FixupKind
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class Code:
+    """A relocatable chunk of machine code."""
+
+    buf: bytearray = field(default_factory=bytearray)
+    fixups: list[Fixup] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+
+class Asm:
+    """Instruction emitter targeting 32- or 64-bit x86.
+
+    Local labels (``.L*``) are resolved when :meth:`finish` is called;
+    any other symbol becomes a linker fixup.
+    """
+
+    def __init__(self, bits: int) -> None:
+        if bits not in (32, 64):
+            raise ValueError("bits must be 32 or 64")
+        self.bits = bits
+        self.code = Code()
+        self._pending_rel32: list[tuple[int, str]] = []
+        self._pending_rel8: list[tuple[int, str]] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        return len(self.code.buf)
+
+    def raw(self, data: bytes) -> None:
+        self.code.buf.extend(data)
+
+    def label(self, name: str) -> None:
+        """Define a label at the current offset."""
+        if name in self.code.labels:
+            raise ValueError(f"duplicate label {name}")
+        self.code.labels[name] = self.here
+
+    def finish(self) -> Code:
+        """Resolve local labels; return the chunk."""
+        for offset, name in self._pending_rel32:
+            if name in self.code.labels:
+                delta = self.code.labels[name] - (offset + 4)
+                struct.pack_into("<i", self.code.buf, offset, delta)
+            else:
+                self.code.fixups.append(Fixup(offset, FixupKind.REL32, name))
+        for offset, name in self._pending_rel8:
+            if name not in self.code.labels:
+                raise ValueError(f"rel8 to unresolved label {name}")
+            delta = self.code.labels[name] - (offset + 1)
+            if not -128 <= delta < 128:
+                raise ValueError(f"rel8 out of range to {name}: {delta}")
+            struct.pack_into("<b", self.code.buf, offset, delta)
+        self._pending_rel32.clear()
+        self._pending_rel8.clear()
+        return self.code
+
+    def _rel32(self, name: str) -> None:
+        self._pending_rel32.append((self.here, name))
+        self.raw(b"\x00\x00\x00\x00")
+
+    def _rel8(self, name: str) -> None:
+        self._pending_rel8.append((self.here, name))
+        self.raw(b"\x00")
+
+    def _abs(self, name: str, *, wide: bool = False) -> None:
+        kind = FixupKind.ABS64 if wide else FixupKind.ABS32
+        self.code.fixups.append(Fixup(self.here, kind, name))
+        self.raw(b"\x00" * (8 if wide else 4))
+
+    # -- CET markers ---------------------------------------------------------
+
+    def endbr(self) -> None:
+        self.raw(b"\xf3\x0f\x1e\xfa" if self.bits == 64 else b"\xf3\x0f\x1e\xfb")
+
+    # -- prologue / epilogue ---------------------------------------------------
+
+    def push_bp(self) -> None:
+        self.raw(b"\x55")
+
+    def mov_bp_sp(self) -> None:
+        self.raw(b"\x48\x89\xe5" if self.bits == 64 else b"\x89\xe5")
+
+    def sub_sp(self, imm: int) -> None:
+        if self.bits == 64:
+            self.raw(b"\x48\x83\xec" + bytes([imm]) if imm < 128
+                     else b"\x48\x81\xec" + struct.pack("<I", imm))
+        else:
+            self.raw(b"\x83\xec" + bytes([imm]) if imm < 128
+                     else b"\x81\xec" + struct.pack("<I", imm))
+
+    def add_sp(self, imm: int) -> None:
+        if self.bits == 64:
+            self.raw(b"\x48\x83\xc4" + bytes([imm]) if imm < 128
+                     else b"\x48\x81\xc4" + struct.pack("<I", imm))
+        else:
+            self.raw(b"\x83\xc4" + bytes([imm]) if imm < 128
+                     else b"\x81\xc4" + struct.pack("<I", imm))
+
+    def pop_bp(self) -> None:
+        self.raw(b"\x5d")
+
+    def leave(self) -> None:
+        self.raw(b"\xc9")
+
+    def push_rbx(self) -> None:
+        self.raw(b"\x53")
+
+    def pop_rbx(self) -> None:
+        self.raw(b"\x5b")
+
+    def ret(self) -> None:
+        self.raw(b"\xc3")
+
+    # -- direct control flow --------------------------------------------------
+
+    def call(self, symbol: str) -> None:
+        self.raw(b"\xe8")
+        self._rel32(symbol)
+
+    def jmp(self, symbol: str) -> None:
+        self.raw(b"\xe9")
+        self._rel32(symbol)
+
+    def jmp_short(self, label: str) -> None:
+        self.raw(b"\xeb")
+        self._rel8(label)
+
+    _CC = {
+        "e": 0x4, "ne": 0x5, "l": 0xC, "le": 0xE, "g": 0xF, "ge": 0xD,
+        "a": 0x7, "ae": 0x3, "b": 0x2, "be": 0x6, "s": 0x8, "ns": 0x9,
+    }
+
+    def jcc(self, cc: str, symbol: str) -> None:
+        self.raw(bytes([0x0F, 0x80 | self._CC[cc]]))
+        self._rel32(symbol)
+
+    def jcc_short(self, cc: str, label: str) -> None:
+        self.raw(bytes([0x70 | self._CC[cc]]))
+        self._rel8(label)
+
+    # -- indirect control flow ---------------------------------------------------
+
+    def call_reg(self, reg: int = 0) -> None:
+        """call *%reg (rax/eax by default)."""
+        self.raw(bytes([0xFF, 0xD0 | (reg & 7)]))
+
+    def jmp_reg(self, reg: int = 0, *, notrack: bool = False) -> None:
+        """jmp *%reg; optionally NOTRACK-prefixed (jump tables)."""
+        prefix = b"\x3e" if notrack else b""
+        self.raw(prefix + bytes([0xFF, 0xE0 | (reg & 7)]))
+
+    def call_mem_bp(self, disp8: int) -> None:
+        """call *disp8(%rbp) — call through a spilled function pointer."""
+        self.raw(bytes([0xFF, 0x55, disp8 & 0xFF]))
+
+    def notrack_jmp_table(self, table_symbol: str, *, scale8: bool) -> None:
+        """notrack jmp *table(,%rax,N) — 32-bit / non-PIE jump-table form."""
+        sib = 0xC5 if scale8 else 0x85
+        self.raw(b"\x3e\xff\x24" + bytes([sib]))
+        self._abs(table_symbol)
+
+    # -- data movement ----------------------------------------------------------
+
+    def lea_rip(self, reg: int, symbol: str) -> None:
+        """lea reg, [rip + symbol] (64-bit only)."""
+        if self.bits != 64:
+            raise ValueError("lea_rip requires 64-bit mode")
+        rex = 0x48 | (0x4 if reg >= 8 else 0)
+        modrm = 0x05 | ((reg & 7) << 3)
+        self.raw(bytes([rex, 0x8D, modrm]))
+        # RIP-relative: displacement base is end of instruction = field + 4.
+        self._rel32(symbol)
+
+    def mov_imm_sym(self, reg: int, symbol: str) -> None:
+        """mov reg, $symbol — 32-bit absolute address materialization."""
+        self.raw(bytes([0xB8 | (reg & 7)]))
+        self._abs(symbol)
+
+    def push_imm_sym(self, symbol: str) -> None:
+        """push $symbol (32-bit address-taking idiom)."""
+        self.raw(b"\x68")
+        self._abs(symbol)
+
+    def mov_reg_imm(self, reg: int, value: int) -> None:
+        self.raw(bytes([0xB8 | (reg & 7)]) + struct.pack("<I", value & 0xFFFFFFFF))
+
+    def mov_mem_bp_reg(self, disp8: int, reg: int = 0) -> None:
+        """mov disp8(%rbp), reg — spill."""
+        prefix = b"\x48" if self.bits == 64 else b""
+        self.raw(prefix + bytes([0x89, 0x45 | ((reg & 7) << 3), disp8 & 0xFF]))
+
+    def mov_reg_mem_bp(self, reg: int, disp8: int) -> None:
+        """mov reg, disp8(%rbp) — reload."""
+        prefix = b"\x48" if self.bits == 64 else b""
+        self.raw(prefix + bytes([0x8B, 0x45 | ((reg & 7) << 3), disp8 & 0xFF]))
+
+    # -- ALU filler --------------------------------------------------------------
+
+    def test_eax_eax(self) -> None:
+        self.raw(b"\x85\xc0")
+
+    def cmp_eax_imm8(self, imm: int) -> None:
+        self.raw(b"\x83\xf8" + bytes([imm & 0xFF]))
+
+    def xor_eax_eax(self) -> None:
+        self.raw(b"\x31\xc0")
+
+    def add_eax_imm(self, imm: int) -> None:
+        self.raw(b"\x05" + struct.pack("<I", imm & 0xFFFFFFFF))
+
+    def imul_eax_imm8(self, imm: int) -> None:
+        self.raw(b"\x6b\xc0" + bytes([imm & 0xFF]))
+
+    def mov_edi_eax(self) -> None:
+        self.raw(b"\x89\xc7")
+
+    def mov_eax_edi(self) -> None:
+        self.raw(b"\x89\xf8")
+
+    #: Filler snippets: realistic ALU/memory sequences used to pad bodies.
+    _FILLER64 = [
+        b"\x89\xc2",                          # mov edx, eax
+        b"\x01\xd0",                          # add eax, edx
+        b"\x29\xd0",                          # sub eax, edx
+        b"\x0f\xaf\xc2",                      # imul eax, edx
+        b"\x83\xc0\x07",                      # add eax, 7
+        b"\x48\x8b\x45\xf8",                  # mov rax, [rbp-8]
+        b"\x48\x89\x45\xf0",                  # mov [rbp-16], rax
+        b"\x8b\x55\xec",                      # mov edx, [rbp-20]
+        b"\x0f\xb6\xc0",                      # movzx eax, al
+        b"\x48\x98",                          # cdqe
+        b"\xc1\xe0\x02",                      # shl eax, 2
+        b"\x21\xd0",                          # and eax, edx
+        b"\x09\xd0",                          # or eax, edx
+        b"\x31\xd2",                          # xor edx, edx
+        b"\xf7\xd8",                          # neg eax
+        b"\x66\x0f\xef\xc0",                  # pxor xmm0, xmm0
+        b"\xf2\x0f\x58\xc1",                  # addsd xmm0, xmm1
+        b"\xf2\x0f\x59\xc1",                  # mulsd xmm0, xmm1
+        b"\x0f\x28\xc8",                      # movaps xmm1, xmm0
+    ]
+    _FILLER32 = [
+        b"\x89\xc2",                          # mov edx, eax
+        b"\x01\xd0",                          # add eax, edx
+        b"\x29\xd0",                          # sub eax, edx
+        b"\x0f\xaf\xc2",                      # imul eax, edx
+        b"\x83\xc0\x07",                      # add eax, 7
+        b"\x8b\x45\xf8",                      # mov eax, [ebp-8]
+        b"\x89\x45\xf0",                      # mov [ebp-16], eax
+        b"\x8b\x55\xec",                      # mov edx, [ebp-20]
+        b"\x0f\xb6\xc0",                      # movzx eax, al
+        b"\xc1\xe0\x02",                      # shl eax, 2
+        b"\x21\xd0",                          # and eax, edx
+        b"\x09\xd0",                          # or eax, edx
+        b"\x31\xd2",                          # xor edx, edx
+        b"\xf7\xd8",                          # neg eax
+    ]
+
+    def filler(self, rng, count: int) -> None:
+        """Emit ``count`` pseudo-random filler instructions."""
+        pool = self._FILLER64 if self.bits == 64 else self._FILLER32
+        for _ in range(count):
+            self.raw(pool[rng.randrange(len(pool))])
+
+    # -- padding ---------------------------------------------------------------
+
+    # GCC/Clang multi-byte NOP ladder (1-9 bytes).
+    _NOPS = [
+        b"",
+        b"\x90",
+        b"\x66\x90",
+        b"\x0f\x1f\x00",
+        b"\x0f\x1f\x40\x00",
+        b"\x0f\x1f\x44\x00\x00",
+        b"\x66\x0f\x1f\x44\x00\x00",
+        b"\x0f\x1f\x80\x00\x00\x00\x00",
+        b"\x0f\x1f\x84\x00\x00\x00\x00\x00",
+        b"\x66\x0f\x1f\x84\x00\x00\x00\x00\x00",
+    ]
+
+    def nop_pad(self, count: int) -> None:
+        """Emit ``count`` bytes of alignment padding using wide NOPs."""
+        while count > 0:
+            chunk = min(count, 9)
+            self.raw(self._NOPS[chunk])
+            count -= chunk
+
+    def align(self, alignment: int) -> None:
+        """Pad with NOPs to the next multiple of ``alignment``."""
+        rem = (-self.here) % alignment
+        if rem:
+            self.nop_pad(rem)

@@ -1,0 +1,367 @@
+"""Random program generation calibrated to the paper's measurements.
+
+Produces :class:`~repro.synth.ir.ProgramSpec` objects whose function
+populations reproduce the distributions the paper reports:
+
+- Figure 3: ~89.3% of functions carry an entry end-branch; ~10% are
+  direct-call-only statics; ~2% involve direct jumps; ~0.01% are dead
+  code with no references at all.
+- Table I: indirect-return end-branches are rare everywhere (~0.02%),
+  exception landing pads contribute 20-28% of end-branches in C++
+  (SPEC-like) programs and none in C suites.
+- §V-C: false-positive sources are ``.part`` fragments that are either
+  direct-called or tail-jumped from multiple functions; false negatives
+  are mostly dead functions plus a few single-referenced tail targets.
+
+All randomness is seeded — the same (suite, program index, seed) always
+yields the same program.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.synth.ir import (
+    CXX_IMPORTS,
+    LIBC_IMPORTS,
+    FunctionSpec,
+    ProgramSpec,
+)
+from repro.synth.profiles import CompilerProfile
+
+SUITES = ("coreutils", "binutils", "spec")
+
+
+@dataclass(frozen=True)
+class SuiteParams:
+    """Size and language mix of one benchmark suite."""
+
+    name: str
+    programs: int          # number of distinct programs
+    min_functions: int
+    max_functions: int
+    cxx_fraction: float    # fraction of programs that are C++
+
+
+#: Default (scaled-down) suite sizes; the paper's originals are 108 / 15
+#: / 47 programs.
+DEFAULT_SUITES = {
+    "coreutils": SuiteParams("coreutils", 16, 30, 90, 0.0),
+    "binutils": SuiteParams("binutils", 5, 120, 260, 0.0),
+    "spec": SuiteParams("spec", 8, 80, 220, 0.65),
+}
+
+
+def generate_program(
+    name: str,
+    n_functions: int,
+    profile: CompilerProfile,
+    seed: int,
+    *,
+    cxx: bool = False,
+    manual_endbr: bool = False,
+    ibt_violations: int = 0,
+) -> ProgramSpec:
+    """Generate one program spec.
+
+    ``n_functions`` counts user functions; runtime scaffolding
+    (``_start``, ``_init``, ``main``, ...) is added on top.
+
+    ``manual_endbr`` models ``-mmanual-endbr`` (paper §VI): the
+    compiler stops marking every non-static entry and only
+    address-taken functions — actual indirect-branch targets — keep
+    their end-branch.
+
+    ``ibt_violations`` strips the end-branch from that many
+    address-taken functions, producing a binary that would fault under
+    IBT enforcement — input for the IBT compliance auditor.
+    """
+    rng = random.Random(seed)
+    funcs: list[FunctionSpec] = []
+
+    def fseed() -> int:
+        return rng.randrange(1 << 30)
+
+    # ---- runtime scaffolding ------------------------------------------------
+    start = FunctionSpec(
+        name="_start", is_static=False, has_endbr=True,
+        takes_address_of=["main"], filler=4, seed=fseed(),
+    )
+    start.plt_callees.append("__libc_start_main")
+    funcs.append(start)
+    funcs.append(FunctionSpec(name="_init", has_endbr=True, filler=2,
+                              seed=fseed()))
+    funcs.append(FunctionSpec(name="_fini", has_endbr=True, filler=2,
+                              seed=fseed()))
+    main = FunctionSpec(
+        name="main", is_static=False, has_endbr=True, address_taken=True,
+        filler=rng.randrange(12, 30), seed=fseed(),
+    )
+    funcs.append(main)
+
+    thunk: FunctionSpec | None = None
+    if profile.uses_get_pc_thunk:
+        thunk = FunctionSpec(
+            name="__x86.get_pc_thunk.bx", is_static=True, has_endbr=False,
+            is_thunk=True, omit_symbol=rng.random() < 0.5, seed=fseed(),
+        )
+        funcs.append(thunk)
+
+    # ---- user function population -------------------------------------------
+    user: list[FunctionSpec] = []
+    for i in range(n_functions):
+        fn = _make_user_function(f"fn_{i:04d}", rng, fseed())
+        user.append(fn)
+    funcs.extend(user)
+
+    # Reference structure.
+    _wire_call_graph(rng, main, user)
+    _wire_address_taking(rng, main, user)
+    _wire_tail_calls(rng, user)
+    if thunk is not None:
+        for fn in rng.sample(user, min(4, len(user))):
+            fn.callees.append(thunk.name)
+
+    # Library usage.
+    imports = {"__libc_start_main", *rng.sample(LIBC_IMPORTS,
+                                                rng.randrange(5, 12))}
+    pool = sorted(imports - {"__libc_start_main"})
+    for fn in rng.sample(user, max(1, len(user) // 3)):
+        fn.plt_callees.extend(rng.sample(pool, rng.randrange(1, 3)))
+    main.plt_callees.extend(rng.sample(pool, min(2, len(pool))))
+
+    # setjmp-family call sites (Table I: rare; ~1 site in a third of
+    # programs).
+    if rng.random() < 0.35:
+        victim = rng.choice(user)
+        sj = rng.choice(("setjmp", "sigsetjmp", "vfork"))
+        victim.setjmp_sites.append(sj)
+        imports.add(sj)
+
+    # Jump tables (switch statements).
+    for fn in rng.sample(user, max(1, len(user) // 12)):
+        fn.jump_table_cases = rng.randrange(6, 15)
+
+    # C++ exception landing pads: dense in C++ programs (Table I SPEC
+    # rows), absent in C.
+    if cxx:
+        imports.update(CXX_IMPORTS)
+        eligible = [f for f in user if not f.is_dead]
+        for fn in rng.sample(eligible, max(1, int(len(eligible) * 0.3))):
+            fn.landing_pads = rng.randrange(1, 3)
+            if not fn.plt_callees:
+                fn.plt_callees.append("__cxa_allocate_exception")
+
+    # GCC out-of-line fragments (FP sources).
+    if profile.emits_cold_fragments:
+        for fn in rng.sample(user, max(1, len(user) // 12)):
+            if not fn.is_dead:
+                fn.cold_fragment = True
+    if profile.emits_part_fragments:
+        carriers = [f for f in user if not f.is_dead]
+        chosen = rng.sample(carriers, max(1, len(carriers) // 70))
+        for fn in chosen:
+            fn.part_fragment = True
+            frag = f"{fn.name}.part.0"
+            others = [f for f in carriers if f is not fn]
+            if rng.random() < 0.35 and others:
+                # Direct-called from another function too (42.9% FP case).
+                rng.choice(others).extra_fragment_calls.append(frag)
+            elif rng.random() < 0.45 and len(others) >= 2:
+                # Tail-jumped from two functions (57.1% FP case).
+                for other in rng.sample(others, 2):
+                    other.fragment_tail_jumps.append(frag)
+
+    if manual_endbr:
+        # -mmanual-endbr: developers drop the marker from functions
+        # whose reachability is proven by direct references, but every
+        # genuine indirect-branch target must keep it or the program
+        # crashes (§VI). Never-referenced exported functions are
+        # presumed external indirect targets and keep theirs too.
+        directly_referenced: set[str] = set()
+        for fn in funcs:
+            directly_referenced.update(fn.callees)
+            if fn.tail_call_target:
+                directly_referenced.add(fn.tail_call_target)
+        for fn in funcs:
+            if (fn.has_endbr and not fn.address_taken
+                    and fn.name in directly_referenced):
+                fn.has_endbr = False
+
+    if ibt_violations:
+        taken = [f for f in funcs
+                 if f.address_taken and f.has_endbr and not f.is_dead]
+        for fn in taken[:ibt_violations]:
+            fn.has_endbr = False
+
+    spec = ProgramSpec(name=name, functions=funcs,
+                       imports=sorted(imports))
+    _ensure_fragment_call_sanity(spec)
+    spec.validate()
+    return spec
+
+
+def _make_user_function(
+    name: str, rng: random.Random, seed: int
+) -> FunctionSpec:
+    """Draw one function's role from the Figure-3-calibrated mix."""
+    roll = rng.random()
+    filler = rng.randrange(6, 36)
+    if roll < 0.695:
+        # Exported (non-static): always end-branched. Roughly half of
+        # them are never direct-called inside the binary, which yields
+        # Figure 3's large EndBrAtHead-only region.
+        return FunctionSpec(name=name, is_static=False, has_endbr=True,
+                            filler=filler, seed=seed)
+    if roll < 0.835:
+        # Address-taken static: end-branched.
+        return FunctionSpec(name=name, is_static=True, has_endbr=True,
+                            address_taken=True, filler=filler, seed=seed)
+    if roll < 0.945:
+        # Plain static: no end-branch, reached by direct calls (the
+        # ~10% DirCallTarget-only region of Figure 3).
+        return FunctionSpec(name=name, is_static=True, has_endbr=False,
+                            filler=filler, seed=seed)
+    if roll < 0.993:
+        # Dead exported function: end-branch, no references (still
+        # found through E).
+        return FunctionSpec(name=name, is_static=False, has_endbr=True,
+                            is_dead=True, filler=filler, seed=seed)
+    # Dead static: no end-branch and no references — Figure 3's
+    # no-property sliver, and the dominant false-negative class (§V-C).
+    return FunctionSpec(name=name, is_static=True, has_endbr=False,
+                        is_dead=True, filler=filler, seed=seed)
+
+
+def _wire_call_graph(
+    rng: random.Random, main: FunctionSpec, user: list[FunctionSpec]
+) -> None:
+    """Wire direct calls: every live static must be reachable; exported
+    functions are direct-called with moderate probability (Fig. 3: about
+    44% of end-branched functions are also direct-call targets)."""
+    live = [f for f in user if not f.is_dead]
+    statics = [f for f in live if f.is_static and not f.address_taken]
+    exported = [f for f in live if not f.is_static]
+
+    for fn in statics:
+        callers = rng.sample(
+            [f for f in live if f is not fn] or [main],
+            k=min(rng.randrange(1, 3), len(live) - 1 or 1),
+        )
+        for caller in callers:
+            caller.callees.append(fn.name)
+
+    for fn in exported:
+        if rng.random() < 0.44:
+            candidates = [f for f in live if f is not fn]
+            if candidates:
+                rng.choice(candidates).callees.append(fn.name)
+
+    # main calls a few entry-layer functions.
+    entry_layer = rng.sample(live, min(len(live), rng.randrange(2, 6)))
+    for fn in entry_layer:
+        if fn is not main:
+            main.callees.append(fn.name)
+
+
+def _wire_address_taking(
+    rng: random.Random, main: FunctionSpec, user: list[FunctionSpec]
+) -> None:
+    """Give address-taken functions a materializing code reference.
+
+    A fraction stays *table-only*: their address appears solely in the
+    linker-emitted function-pointer table (vtable-style), with no
+    code-side materialization — the C++ virtual-function shape.
+    """
+    takers = [f for f in user if not f.is_dead] or [main]
+    for fn in user:
+        if fn.address_taken and not fn.is_dead:
+            if rng.random() < 0.35:
+                continue  # table-only reference
+            taker = rng.choice([t for t in takers if t is not fn] or [main])
+            taker.takes_address_of.append(fn.name)
+
+
+def _wire_tail_calls(rng: random.Random, user: list[FunctionSpec]) -> None:
+    """Create shared tail-call targets.
+
+    Most tail targets are referenced by >= 2 functions (so
+    SELECTTAILCALL accepts them); a few are single-referenced — the
+    paper's residual false negatives (6.7% of FNs).
+    """
+    live = [f for f in user if not f.is_dead]
+    if len(live) < 6:
+        return
+    n_shared = max(1, len(live) // 45)
+    # Prefer endbr-less statics as tail targets (those are the functions
+    # only SELECTTAILCALL can recover — config 4's recall gain over 2),
+    # but let some exported functions be tail-called too, producing
+    # Figure 3's EndBr+DirJmp overlap regions.
+    plain = [f for f in live if not f.has_endbr]
+    targets = []
+    for _ in range(n_shared):
+        pool = plain if plain and rng.random() < 0.6 else live
+        pick = rng.choice(pool)
+        if pick not in targets:
+            targets.append(pick)
+    for target in targets:
+        sources = [f for f in live
+                   if f is not target and f.tail_call_target is None]
+        if len(sources) < 2:
+            continue
+        multi = rng.random() < 0.8
+        chosen = rng.sample(sources, 2 if multi else 1)
+        for src in chosen:
+            src.tail_call_target = target.name
+        strip_calls = not multi or rng.random() < 0.6
+        if strip_calls:
+            # Tail-jump-only target: without SELECTTAILCALL this is a
+            # false negative (single-referenced ones stay FNs even with
+            # it — the paper's residual 6.7% FN class).
+            for f in live:
+                if f is not target and target.name in f.callees:
+                    f.callees.remove(target.name)
+        elif multi:
+            # A direct call from a third function cements property
+            # overlap (DirJmpTarget ∩ DirCallTarget, Fig. 3).
+            rest = [f for f in live if f is not target and f not in chosen]
+            if rest and rng.random() < 0.5:
+                rng.choice(rest).callees.append(target.name)
+
+
+def _ensure_fragment_call_sanity(spec: ProgramSpec) -> None:
+    """Fragment cross-references name fragments of functions that must
+    actually emit them; drop any that don't."""
+    emitting = {f"{f.name}.part.0" for f in spec.functions
+                if f.part_fragment}
+    for fn in spec.functions:
+        fn.extra_fragment_calls = [s for s in fn.extra_fragment_calls
+                                   if s in emitting]
+        fn.fragment_tail_jumps = [s for s in fn.fragment_tail_jumps
+                                  if s in emitting]
+
+
+def generate_suite(
+    suite: str,
+    profile: CompilerProfile,
+    *,
+    seed: int = 2022,
+    params: SuiteParams | None = None,
+) -> list[ProgramSpec]:
+    """Generate all programs of one suite for one build configuration."""
+    p = params or DEFAULT_SUITES[suite]
+    # zlib.crc32 keeps suite seeds stable across processes (tuple hashing
+    # is randomized by PYTHONHASHSEED).
+    key = f"{seed}:{suite}:{profile.config_name}".encode()
+    rng = random.Random(zlib.crc32(key))
+    out = []
+    for i in range(p.programs):
+        cxx = rng.random() < p.cxx_fraction
+        n = rng.randrange(p.min_functions, p.max_functions + 1)
+        out.append(generate_program(
+            f"{suite}_{i:03d}", n, profile, seed=rng.randrange(1 << 30),
+            cxx=cxx,
+        ))
+    return out

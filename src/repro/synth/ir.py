@@ -1,0 +1,164 @@
+"""Program-level intermediate representation for the synthetic toolchain.
+
+A :class:`ProgramSpec` describes one program to synthesize: its
+functions, their linkage and reference structure, imported library
+functions, and the phenomena each function exhibits (setjmp call sites,
+exception landing pads, jump tables, cold fragments, ...). The
+generator (:mod:`repro.synth.generate`) produces these specs; the
+codegen/linker pipeline lowers them to ELF images with exact ground
+truth attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The indirect-return ("returns twice") functions predefined by GCC's
+#: ``special_function_p`` — the five-entry list FunSeeker's FILTERENDBR
+#: matches against (paper §IV-C). Canonically defined in the core
+#: package; re-exported here for the generator's convenience.
+from repro.core.indirect_return import INDIRECT_RETURN_FUNCTIONS
+
+#: Common C-library imports used to populate realistic PLTs.
+LIBC_IMPORTS = (
+    "malloc", "free", "memcpy", "memset", "strlen", "strcmp", "printf",
+    "fprintf", "snprintf", "puts", "fopen", "fclose", "fread", "fwrite",
+    "exit", "abort", "qsort", "getenv", "strtol", "realloc",
+)
+
+#: C++ runtime imports present in exception-throwing binaries.
+CXX_IMPORTS = (
+    "__cxa_begin_catch", "__cxa_end_catch", "__cxa_rethrow",
+    "__cxa_allocate_exception", "__cxa_throw", "_Unwind_Resume",
+    "__gxx_personality_v0",
+)
+
+
+@dataclass
+class FunctionSpec:
+    """One function to synthesize.
+
+    The reference-structure fields (``callees``, ``tail_call_target``,
+    ``address_taken`` ...) drive both code generation and the expected
+    values of the paper's three syntactic properties (EndBrAtHead,
+    DirCallTarget, DirJmpTarget — Figure 3).
+    """
+
+    name: str
+    is_static: bool = False
+    has_endbr: bool = True
+    address_taken: bool = False
+    is_dead: bool = False
+    is_thunk: bool = False           # __x86.get_pc_thunk-style intrinsic
+    filler: int = 12                 # body filler instruction count
+    callees: list[str] = field(default_factory=list)
+    plt_callees: list[str] = field(default_factory=list)
+    tail_call_target: str | None = None
+    setjmp_sites: list[str] = field(default_factory=list)  # names from the
+    # indirect-return list, one call site each
+    jump_table_cases: int = 0        # 0 = no switch dispatch
+    landing_pads: int = 0            # C++ catch blocks
+    cold_fragment: bool = False      # emit an out-of-line .cold block
+    part_fragment: bool = False      # emit a .part block (direct-called)
+    takes_address_of: list[str] = field(default_factory=list)
+    # functions whose addresses this body materializes and calls through
+    # a pointer (makes the targets address-taken)
+    omit_symbol: bool = False        # models the missing get_pc_thunk
+    # symbol the paper corrects for in its ground truth (§V-A1)
+    inline_data: int = 0             # bytes of hand-written-assembly-style
+    # data embedded in the body (jumped over at runtime) — the
+    # linear-sweep hazard of §VI; decoys inside look like endbr
+    extra_fragment_calls: list[str] = field(default_factory=list)
+    # direct calls this body makes to other functions' .part fragments
+    # (the paper's 42.9%-of-false-positives case, §V-C)
+    fragment_tail_jumps: list[str] = field(default_factory=list)
+    # unconditional jumps this body makes to other functions' fragments
+    # (the misidentified-tail-call false positives, §V-C)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        bad = [s for s in self.setjmp_sites
+               if s not in INDIRECT_RETURN_FUNCTIONS]
+        if bad:
+            raise ValueError(f"not indirect-return functions: {bad}")
+
+
+@dataclass
+class ProgramSpec:
+    """One whole program to synthesize."""
+
+    name: str
+    functions: list[FunctionSpec]
+    imports: list[str] = field(default_factory=list)
+    entry_function: str = "main"
+
+    def function(self, name: str) -> FunctionSpec:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def validate(self) -> None:
+        """Check internal consistency of the reference structure."""
+        names = {f.name for f in self.functions}
+        if len(names) != len(self.functions):
+            raise ValueError("duplicate function names")
+        if self.entry_function not in names:
+            raise ValueError(f"entry {self.entry_function!r} not defined")
+        imports = set(self.imports)
+        for f in self.functions:
+            for callee in f.callees:
+                if callee not in names:
+                    raise ValueError(f"{f.name} calls unknown {callee}")
+            if f.tail_call_target and f.tail_call_target not in names:
+                raise ValueError(
+                    f"{f.name} tail-calls unknown {f.tail_call_target}"
+                )
+            for imp in f.plt_callees:
+                if imp not in imports:
+                    raise ValueError(f"{f.name} imports unknown {imp}")
+            for sj in f.setjmp_sites:
+                if sj not in imports:
+                    raise ValueError(
+                        f"{f.name} uses {sj} but it is not imported"
+                    )
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """Ground truth for one emitted code object."""
+
+    name: str
+    address: int
+    size: int
+    is_function: bool      # False for .cold / .part fragments
+    is_static: bool = False
+    has_endbr: bool = False
+    is_dead: bool = False
+
+
+@dataclass
+class GroundTruth:
+    """Exact ground truth attached to a synthesized binary.
+
+    ``function_starts`` follows the paper's ground-truth policy
+    (§V-A1): ``.cold`` / ``.part`` fragments are excluded even though
+    they carry symbols; compiler intrinsics like ``__x86.get_pc_thunk``
+    are included.
+    """
+
+    entries: list[GroundTruthEntry] = field(default_factory=list)
+
+    @property
+    def function_starts(self) -> set[int]:
+        return {e.address for e in self.entries if e.is_function}
+
+    @property
+    def fragment_starts(self) -> set[int]:
+        return {e.address for e in self.entries if not e.is_function}
+
+    def entry_named(self, name: str) -> GroundTruthEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise KeyError(name)

@@ -1,0 +1,515 @@
+"""The synthetic toolchain's linker.
+
+Takes a :class:`~repro.synth.ir.ProgramSpec` plus a
+:class:`~repro.synth.profiles.CompilerProfile`, lowers every function
+through codegen, lays out sections the way GNU ld lays out CET-enabled
+executables, resolves all fixups, emits exception metadata per the
+profile's FDE policy, and produces a complete ELF image together with
+exact ground truth.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.elf import constants as C
+from repro.elf.writer import ElfWriter, SectionSpec, SymbolSpec
+from repro.synth.codegen import (
+    FunctionArtifact,
+    generate_function,
+    plt_symbol,
+)
+from repro.synth.ehwriter import (
+    FdeRequest,
+    build_eh_frame,
+    build_gcc_except_table,
+    patch_eh_frame,
+)
+from repro.synth.encoder import Fixup, FixupKind
+from repro.synth.ir import GroundTruth, GroundTruthEntry, ProgramSpec
+from repro.synth.profiles import CompilerProfile
+
+_PAGE = 0x1000
+_PLT_ENTRY = 16
+
+
+@dataclass
+class SynthBinary:
+    """A synthesized ELF executable plus its exact ground truth."""
+
+    name: str
+    profile: CompilerProfile
+    data: bytes
+    ground_truth: GroundTruth
+
+    @property
+    def config_name(self) -> str:
+        return self.profile.config_name
+
+
+class LinkError(Exception):
+    """Raised on unresolved symbols or layout inconsistencies."""
+
+
+def link_program(
+    spec: ProgramSpec, profile: CompilerProfile
+) -> SynthBinary:
+    """Produce an ELF image for ``spec`` under ``profile``."""
+    spec.validate()
+    artifacts = [generate_function(f, profile) for f in spec.functions]
+
+    imports = _collect_imports(spec, artifacts)
+    is64 = profile.bits == 64
+    machine = C.EM_X86_64 if is64 else C.EM_386
+    base = 0x1000 if profile.pie else (0x400000 if is64 else 0x8048000)
+
+    # ------------------------------------------------------------------
+    # Section contents that don't depend on layout.
+    # ------------------------------------------------------------------
+    dynstr, dynsym, sym_index = _build_dynsym(imports, is64)
+
+    # ------------------------------------------------------------------
+    # Text layout: functions in spec order, fragments afterwards.
+    # ------------------------------------------------------------------
+    align = profile.function_alignment
+    placements: list[tuple[str, FunctionArtifact | None, int, int]] = []
+    # (symbol, artifact-or-None-for-fragment, text_offset, size)
+    text_size = 0
+    chunk_of: dict[str, bytes] = {}
+    fixups_of: dict[str, list[Fixup]] = {}
+    labels_of: dict[str, dict[str, int]] = {}
+
+    def place(symbol: str, code, artifact) -> None:
+        nonlocal text_size
+        text_size += (-text_size) % align
+        placements.append((symbol, artifact, text_size, len(code.buf)))
+        chunk_of[symbol] = code.buf
+        fixups_of[symbol] = code.fixups
+        labels_of[symbol] = code.labels
+        text_size += len(code.buf)
+
+    for art in artifacts:
+        place(art.spec.name, art.code, art)
+    for art in artifacts:
+        for frag_sym, frag_code in art.fragments:
+            place(frag_sym, frag_code, None)
+
+    # ------------------------------------------------------------------
+    # Exception metadata (content is layout-independent).
+    # ------------------------------------------------------------------
+    callsites: list[list[tuple[int, int, int]]] = []
+    fde_requests: list[FdeRequest] = []
+    placement_index = {p[0]: i for i, p in enumerate(placements)}
+
+    for i, (symbol, artifact, _off, size) in enumerate(placements):
+        has_pads = artifact is not None and bool(artifact.eh_callsites)
+        if has_pads:
+            lsda_index = len(callsites)
+            callsites.append(artifact.eh_callsites)
+            fde_requests.append(FdeRequest(i, size, lsda_offset=lsda_index))
+        elif profile.emits_fde_for_c:
+            # GCC emits FDEs for every function *and* for .part/.cold
+            # fragments (the FDEs FETCH stumbles on, §VII); Clang x86
+            # omits FDEs for plain-C functions.
+            fde_requests.append(FdeRequest(i, size))
+
+    except_table, lsda_offsets = build_gcc_except_table(callsites)
+    # Rewrite symbolic LSDA indices into real blob offsets.
+    for req in fde_requests:
+        if req.lsda_offset is not None:
+            req.lsda_offset = lsda_offsets[req.lsda_offset]
+
+    # ------------------------------------------------------------------
+    # Rodata / data layout.
+    # ------------------------------------------------------------------
+    rodata_items = [item for art in artifacts for item in art.rodata]
+    rodata_size = 0
+    rodata_offsets: dict[str, int] = {}
+    for item in rodata_items:
+        rodata_size += (-rodata_size) % item.align
+        rodata_offsets[item.symbol] = rodata_size
+        rodata_size += len(item.data)
+
+    plt_size = _PLT_ENTRY * (1 + len(imports))  # PLT0 + one per import
+    word = 8 if is64 else 4
+    got_plt_size = word * (3 + len(imports))
+    rela_entsize = (24 if is64 else 8)
+    relaplt_size = rela_entsize * len(imports)
+    data_size = 256  # jmp_buf + misc globals
+
+    personality = plt_symbol("__gxx_personality_v0") if callsites else None
+    eh_blob = build_eh_frame(
+        fde_requests,
+        personality_addr=0,  # patched below once the PLT address is known
+    )
+
+    # ------------------------------------------------------------------
+    # Address assignment.
+    # ------------------------------------------------------------------
+    from repro.elf.gnuproperty import build_cet_note
+
+    cet_note = build_cet_note(is64=is64)
+    note_addr = base + 0x300  # past ELF header + program headers
+    cursor = base + 0x400
+    dynsym_addr = cursor
+    cursor += len(dynsym)
+    dynstr_addr = cursor
+    cursor += len(dynstr)
+    relaplt_addr = _align_up(cursor, 8)
+    cursor = relaplt_addr + relaplt_size
+
+    cursor = _align_up(cursor, _PAGE)
+    plt_addr = cursor
+    cursor += plt_size
+    text_addr = _align_up(cursor, 16)
+    cursor = text_addr + text_size
+
+    cursor = _align_up(cursor, _PAGE)
+    rodata_addr = cursor
+    cursor += rodata_size
+    # .eh_frame_hdr precedes .eh_frame, as GNU ld lays it out.
+    hdr_size = 12 + 8 * len(fde_requests)
+    eh_frame_hdr_addr = _align_up(cursor, 4)
+    cursor = eh_frame_hdr_addr + hdr_size
+    eh_frame_addr = _align_up(cursor, 8)
+    cursor = eh_frame_addr + len(eh_blob.data)
+    except_table_addr = _align_up(cursor, 4)
+    cursor = except_table_addr + len(except_table)
+
+    cursor = _align_up(cursor, _PAGE)
+    got_plt_addr = cursor
+    cursor += got_plt_size
+    # Function-pointer table (vtable-style): one slot per address-taken
+    # function. This is the data-side reference that justifies those
+    # functions' end-branches (and what IBT audits check).
+    taken = [f.name for f in spec.functions
+             if f.address_taken and not f.is_dead]
+    fptr_table_addr = _align_up(cursor, word)
+    cursor = fptr_table_addr + word * len(taken)
+    data_addr = _align_up(cursor, 8)
+    cursor = data_addr + data_size
+
+    # ------------------------------------------------------------------
+    # Symbol resolution.
+    # ------------------------------------------------------------------
+    addr_of: dict[str, int] = {}
+    for symbol, _art, off, _size in placements:
+        addr_of[symbol] = text_addr + off
+    for i, imp in enumerate(imports):
+        addr_of[plt_symbol(imp)] = plt_addr + _PLT_ENTRY * (1 + i)
+    for item in rodata_items:
+        addr_of[item.symbol] = rodata_addr + rodata_offsets[item.symbol]
+    addr_of["data:jmpbuf"] = data_addr
+
+    if personality is not None:
+        # Rebuild eh_frame with the real personality address.
+        eh_blob = build_eh_frame(
+            fde_requests, personality_addr=addr_of[personality]
+        )
+
+    # ------------------------------------------------------------------
+    # Patch text fixups.
+    # ------------------------------------------------------------------
+    text = bytearray(text_size)
+    for symbol, _art, off, _size in placements:
+        buf = chunk_of[symbol]
+        text[off : off + len(buf)] = buf
+    # Alignment gaps: fill with multi-byte-NOP-style padding (0x90 runs
+    # inside gaps keep linear sweep clean, matching compiler output).
+    _fill_gaps(text, placements)
+
+    for symbol, _art, off, _size in placements:
+        chunk_addr = text_addr + off
+        for fx in fixups_of[symbol]:
+            target = _resolve(fx.symbol, addr_of, labels_of, text_addr,
+                              placements, placement_index)
+            field_pos = off + fx.offset
+            if fx.kind == FixupKind.REL32:
+                value = target - (chunk_addr + fx.offset + 4)
+                struct.pack_into("<i", text, field_pos, value)
+            elif fx.kind == FixupKind.ABS32:
+                struct.pack_into("<I", text, field_pos,
+                                 target & 0xFFFFFFFF)
+            else:
+                struct.pack_into("<Q", text, field_pos, target)
+
+    # Rodata fixups (jump tables): ABS entries hold case addresses;
+    # REL32 entries hold (case_addr - table_base) deltas.
+    rodata = bytearray(rodata_size)
+    for item in rodata_items:
+        item_off = rodata_offsets[item.symbol]
+        rodata[item_off : item_off + len(item.data)] = item.data
+        table_addr = rodata_addr + item_off
+        for fx in item.fixups:
+            owner = fx.symbol.removeprefix("local:")
+            case_addr = addr_of[owner] + fx.addend
+            pos = item_off + fx.offset
+            if fx.kind == FixupKind.REL32:
+                struct.pack_into("<i", rodata, pos, case_addr - table_addr)
+            elif fx.kind == FixupKind.ABS32:
+                struct.pack_into("<I", rodata, pos, case_addr & 0xFFFFFFFF)
+            else:
+                struct.pack_into("<Q", rodata, pos, case_addr)
+
+    func_addrs = [text_addr + off for _s, _a, off, _sz in placements]
+    eh_frame = patch_eh_frame(
+        eh_blob, eh_frame_addr, except_table_addr, func_addrs
+    )
+    from repro.elf.ehframehdr import build_eh_frame_hdr
+
+    # Each pc patch's field sits 8 bytes into its FDE record.
+    hdr_entries = [
+        (func_addrs[func_index], eh_frame_addr + field_off - 8)
+        for field_off, func_index in eh_blob.pc_patches
+    ]
+    eh_frame_hdr = build_eh_frame_hdr(
+        eh_frame_hdr_addr, eh_frame_addr, hdr_entries)
+
+    plt = _build_plt(profile, imports, plt_addr, got_plt_addr, word)
+    relaplt = _build_relaplt(imports, sym_index, got_plt_addr, word, is64)
+
+    # ------------------------------------------------------------------
+    # Assemble the ELF.
+    # ------------------------------------------------------------------
+    writer = ElfWriter(is64=is64, machine=machine, pie=profile.pie,
+                       base_addr=base)
+    # The ELF entry point is _start when present (as produced by real
+    # toolchains), falling back to the spec's logical entry function.
+    writer.entry = addr_of.get(
+        "_start", addr_of.get(spec.entry_function, text_addr)
+    )
+
+    def sec(name, sh_type, flags, data, addr, **kw):
+        writer.add_section(SectionSpec(
+            name=name, sh_type=sh_type, sh_flags=flags, data=data,
+            sh_addr=addr, **kw,
+        ))
+
+    sec(".note.gnu.property", C.SHT_NOTE, C.SHF_ALLOC, cet_note,
+        note_addr, sh_addralign=8 if is64 else 4)
+    sec(".dynsym", C.SHT_DYNSYM, C.SHF_ALLOC, dynsym, dynsym_addr,
+        sh_entsize=24 if is64 else 16, sh_info=1)
+    sec(".dynstr", C.SHT_STRTAB, C.SHF_ALLOC, dynstr, dynstr_addr)
+    relname = ".rela.plt" if is64 else ".rel.plt"
+    sec(relname, C.SHT_RELA if is64 else C.SHT_REL, C.SHF_ALLOC,
+        relaplt, relaplt_addr, sh_entsize=rela_entsize)
+    sec(".plt", C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_EXECINSTR, plt,
+        plt_addr, sh_addralign=16)
+    sec(".text", C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_EXECINSTR,
+        bytes(text), text_addr, sh_addralign=16)
+    if rodata_size:
+        sec(".rodata", C.SHT_PROGBITS, C.SHF_ALLOC, bytes(rodata),
+            rodata_addr, sh_addralign=8)
+    sec(".eh_frame_hdr", C.SHT_PROGBITS, C.SHF_ALLOC, eh_frame_hdr,
+        eh_frame_hdr_addr, sh_addralign=4)
+    sec(".eh_frame", C.SHT_PROGBITS, C.SHF_ALLOC, eh_frame,
+        eh_frame_addr, sh_addralign=8)
+    if except_table:
+        sec(".gcc_except_table", C.SHT_PROGBITS, C.SHF_ALLOC,
+            except_table, except_table_addr, sh_addralign=4)
+    sec(".got.plt", C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_WRITE,
+        bytes(got_plt_size), got_plt_addr, sh_addralign=word)
+    if taken:
+        fptr_blob = bytearray()
+        for name in taken:
+            fptr_blob += addr_of[name].to_bytes(word, "little")
+        sec(".data.rel.ro", C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_WRITE,
+            bytes(fptr_blob), fptr_table_addr, sh_addralign=word)
+    sec(".data", C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_WRITE,
+        bytes(data_size), data_addr, sh_addralign=8)
+
+    ground_truth = _emit_symbols_and_ground_truth(
+        writer, spec, placements, text_addr, placement_index
+    )
+    _emit_debug_info(writer, spec, placements, text_addr, is64)
+    image = writer.build()
+    return SynthBinary(
+        name=spec.name, profile=profile, data=image,
+        ground_truth=ground_truth,
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _align_up(value: int, align: int) -> int:
+    return value + (-value) % align
+
+
+def _collect_imports(
+    spec: ProgramSpec, artifacts: list[FunctionArtifact]
+) -> list[str]:
+    """Declared imports plus any PLT symbol referenced by generated code."""
+    seen = dict.fromkeys(spec.imports)
+    for art in artifacts:
+        codes = [art.code] + [c for _n, c in art.fragments]
+        for code in codes:
+            for fx in code.fixups:
+                if fx.symbol.startswith("plt:"):
+                    seen.setdefault(fx.symbol[4:], None)
+    return list(seen)
+
+
+def _build_dynsym(
+    imports: list[str], is64: bool
+) -> tuple[bytes, bytes, dict[str, int]]:
+    dynstr = bytearray(b"\x00")
+    entsize = 24 if is64 else 16
+    dynsym = bytearray(entsize)  # null symbol
+    index: dict[str, int] = {}
+    for i, name in enumerate(imports):
+        name_off = len(dynstr)
+        dynstr += name.encode() + b"\x00"
+        info = C.st_info(C.STB_GLOBAL, C.STT_FUNC)
+        if is64:
+            dynsym += struct.pack("<IBBHQQ", name_off, info, 0,
+                                  C.SHN_UNDEF, 0, 0)
+        else:
+            dynsym += struct.pack("<IIIBBH", name_off, 0, 0, info, 0,
+                                  C.SHN_UNDEF)
+        index[name] = i + 1
+    return bytes(dynstr), bytes(dynsym), index
+
+
+def _build_plt(
+    profile: CompilerProfile, imports: list[str],
+    plt_addr: int, got_plt_addr: int, word: int,
+) -> bytes:
+    """CET-style PLT: every stub starts with an end-branch and dispatches
+    through its GOT slot."""
+    out = bytearray()
+    endbr = b"\xf3\x0f\x1e\xfa" if profile.bits == 64 else b"\xf3\x0f\x1e\xfb"
+    # PLT0: resolver header (never a call target by name).
+    plt0 = bytearray(endbr)
+    plt0 += b"\x90" * (_PLT_ENTRY - len(plt0))
+    out += plt0
+    for i, _name in enumerate(imports):
+        entry_addr = plt_addr + _PLT_ENTRY * (1 + i)
+        slot_addr = got_plt_addr + word * (3 + i)
+        stub = bytearray()
+        if profile.plt_stub_has_endbr:
+            stub += endbr
+        if profile.bits == 64:
+            rel = slot_addr - (entry_addr + len(stub) + 6)
+            stub += b"\xff\x25" + struct.pack("<i", rel)
+        elif profile.pie:
+            disp = slot_addr - got_plt_addr
+            stub += b"\xff\xa3" + struct.pack("<i", disp)
+        else:
+            stub += b"\xff\x25" + struct.pack("<I", slot_addr)
+        stub += b"\x90" * (_PLT_ENTRY - len(stub))
+        out += stub
+    return bytes(out)
+
+
+def _build_relaplt(
+    imports: list[str], sym_index: dict[str, int],
+    got_plt_addr: int, word: int, is64: bool,
+) -> bytes:
+    out = bytearray()
+    for i, name in enumerate(imports):
+        slot = got_plt_addr + word * (3 + i)
+        if is64:
+            info = C.r_info(sym_index[name], C.R_X86_64_JUMP_SLOT, True)
+            out += struct.pack("<QQq", slot, info, 0)
+        else:
+            info = C.r_info(sym_index[name], C.R_386_JMP_SLOT, False)
+            out += struct.pack("<II", slot, info)
+    return bytes(out)
+
+
+def _fill_gaps(text: bytearray, placements) -> None:
+    """Fill inter-function alignment gaps with NOP bytes."""
+    prev_end = 0
+    for _symbol, _art, off, size in placements:
+        if off > prev_end:
+            text[prev_end:off] = b"\x90" * (off - prev_end)
+        prev_end = off + size
+    if len(text) > prev_end:
+        text[prev_end:] = b"\x90" * (len(text) - prev_end)
+
+
+def _resolve(
+    symbol: str, addr_of, labels_of, text_addr, placements, placement_index
+) -> int:
+    if symbol in addr_of:
+        return addr_of[symbol]
+    if symbol.startswith("localref:"):
+        _tag, owner, label = symbol.split(":", 2)
+        if owner not in placement_index:
+            raise LinkError(f"unknown owner in {symbol}")
+        labels = labels_of[owner]
+        if label not in labels:
+            raise LinkError(f"label {label} not defined in {owner}")
+        return addr_of[owner] + labels[label]
+    raise LinkError(f"unresolved symbol {symbol!r}")
+
+
+def _emit_debug_info(
+    writer: ElfWriter, spec: ProgramSpec, placements, text_addr, is64
+) -> None:
+    """Emit DWARF sections mirroring ``gcc -g`` output.
+
+    Every placed object gets a subprogram DIE — including ``.cold`` /
+    ``.part`` fragments (with their suffixed names), which is what
+    forces ground-truth extraction to apply the paper's name-exclusion
+    policy (§V-A1). The ``get_pc_thunk`` intrinsic is omitted when the
+    compiler "forgot" its symbol, reproducing the corner case the paper
+    corrects manually.
+    """
+    from repro.elf.dwarf.writer import FunctionDebugInfo, build_debug_info
+
+    spec_of = {f.name: f for f in spec.functions}
+    records = []
+    for symbol, artifact, off, size in placements:
+        fn = None if artifact is None else spec_of[symbol]
+        if fn is not None and fn.omit_symbol:
+            continue
+        records.append(FunctionDebugInfo(
+            name=symbol,
+            low_pc=text_addr + off,
+            size=size,
+            external=fn is not None and not fn.is_static,
+        ))
+    info, abbrev, strtab = build_debug_info(
+        spec.name, records, addr_size=8 if is64 else 4)
+    for name, data in ((".debug_info", info), (".debug_abbrev", abbrev),
+                       (".debug_str", strtab)):
+        writer.add_section(SectionSpec(
+            name=name, sh_type=C.SHT_PROGBITS, sh_flags=0, data=data,
+        ))
+
+
+def _emit_symbols_and_ground_truth(
+    writer: ElfWriter, spec: ProgramSpec, placements, text_addr,
+    placement_index,
+) -> GroundTruth:
+    spec_of = {f.name: f for f in spec.functions}
+    gt = GroundTruth()
+    for symbol, artifact, off, size in placements:
+        addr = text_addr + off
+        if artifact is None:  # .cold / .part fragment
+            gt.entries.append(GroundTruthEntry(
+                name=symbol, address=addr, size=size, is_function=False,
+            ))
+            writer.add_symbol(SymbolSpec(
+                name=symbol, value=addr, size=size, bind=C.STB_LOCAL,
+                typ=C.STT_FUNC, section=".text",
+            ))
+            continue
+        fn = spec_of[symbol]
+        gt.entries.append(GroundTruthEntry(
+            name=symbol, address=addr, size=size, is_function=True,
+            is_static=fn.is_static, has_endbr=fn.has_endbr,
+            is_dead=fn.is_dead,
+        ))
+        if not fn.omit_symbol:
+            bind = C.STB_LOCAL if fn.is_static else C.STB_GLOBAL
+            writer.add_symbol(SymbolSpec(
+                name=symbol, value=addr, size=size, bind=bind,
+                typ=C.STT_FUNC, section=".text",
+            ))
+    return gt

@@ -1,0 +1,123 @@
+"""Compiler / build-configuration profiles for the synthetic toolchain.
+
+A profile captures the observable code-generation policies of one
+(compiler, optimization level, architecture, PIE) combination that
+matter for function identification — the properties the paper's study
+(§III-A) varies across its 24 configurations per program.
+
+The behavioural switches are calibrated against the paper's findings
+and against real GCC-12 output compiled in this environment:
+
+- Both compilers emit ``endbr`` at every non-static function entry and
+  at address-taken static entries (§III-B1).
+- GCC emits ``.part`` / ``.cold`` out-of-line fragments at ``-O2`` and
+  above; these carry symbols but are not functions (§V-A1).
+- Clang does not emit FDEs for plain-C functions on 32-bit x86 — the
+  failure mode that breaks FETCH and Ghidra there (§V-C).
+- 32-bit PIC code uses ``__x86.get_pc_thunk.*`` helper intrinsics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+OPT_LEVELS = ("O0", "O1", "O2", "O3", "Os", "Ofast")
+COMPILERS = ("gcc", "clang")
+
+
+@dataclass(frozen=True)
+class CompilerProfile:
+    """One build configuration of the synthetic toolchain."""
+
+    compiler: str      # "gcc" or "clang"
+    opt: str           # one of OPT_LEVELS
+    bits: int          # 32 or 64
+    pie: bool
+
+    def __post_init__(self) -> None:
+        if self.compiler not in COMPILERS:
+            raise ValueError(f"unknown compiler {self.compiler!r}")
+        if self.opt not in OPT_LEVELS:
+            raise ValueError(f"unknown optimization level {self.opt!r}")
+        if self.bits not in (32, 64):
+            raise ValueError("bits must be 32 or 64")
+
+    # -- derived code-generation policies ---------------------------------
+
+    @property
+    def optimizes(self) -> bool:
+        return self.opt != "O0"
+
+    @property
+    def uses_frame_pointer(self) -> bool:
+        """-O0 keeps the frame pointer; optimized builds omit it."""
+        return not self.optimizes
+
+    @property
+    def emits_fde_for_c(self) -> bool:
+        """Whether plain-C functions get ``.eh_frame`` FDE records.
+
+        Clang does not emit FDEs for purely-C 32-bit x86 binaries
+        (paper §V-C); GCC always does.
+        """
+        return not (self.compiler == "clang" and self.bits == 32)
+
+    @property
+    def emits_cold_fragments(self) -> bool:
+        """GCC splits unlikely paths into ``.cold`` fragments at -O2+."""
+        return self.compiler == "gcc" and self.opt in ("O2", "O3", "Ofast")
+
+    @property
+    def emits_part_fragments(self) -> bool:
+        """GCC's partial inlining produces ``.part`` fragments at -O2+."""
+        return self.compiler == "gcc" and self.opt in ("O2", "O3", "Os", "Ofast")
+
+    @property
+    def uses_get_pc_thunk(self) -> bool:
+        """32-bit PIC needs PC-materialization thunks."""
+        return self.bits == 32 and self.pie
+
+    @property
+    def function_alignment(self) -> int:
+        """Function entry alignment (bytes)."""
+        if self.opt == "Os":
+            return 2
+        return 16
+
+    @property
+    def plt_stub_has_endbr(self) -> bool:
+        """CET-enabled PLTs start each stub with an end-branch."""
+        return True
+
+    @property
+    def config_name(self) -> str:
+        pie = "pie" if self.pie else "nopie"
+        return f"{self.compiler}-x{self.bits}-{self.opt}-{pie}"
+
+
+def default_matrix() -> list[CompilerProfile]:
+    """The paper's full 24-configuration matrix per compiler (§III-A):
+    2 architectures x 2 PIE modes x 6 optimization levels."""
+    out = []
+    for compiler in COMPILERS:
+        for bits in (32, 64):
+            for pie in (False, True):
+                for opt in OPT_LEVELS:
+                    out.append(CompilerProfile(compiler, opt, bits, pie))
+    return out
+
+
+def sampled_matrix() -> list[CompilerProfile]:
+    """A reduced configuration grid for fast evaluation runs.
+
+    Covers both compilers, both architectures, both PIE modes, and three
+    representative optimization levels (unoptimized / aggressive /
+    size), preserving every failure-mode axis the paper exercises.
+    """
+    out = []
+    for compiler in COMPILERS:
+        for bits in (32, 64):
+            for pie in (False, True):
+                for opt in ("O0", "O2", "Os"):
+                    out.append(CompilerProfile(compiler, opt, bits, pie))
+    return out

@@ -1,0 +1,23 @@
+"""x86 / x86-64 decoding substrate.
+
+Public entry points:
+
+- :func:`~repro.x86.decoder.decode` — decode one instruction.
+- :func:`~repro.x86.sweep.linear_sweep` — linear-sweep a code buffer.
+- :class:`~repro.x86.insn.Insn` / :class:`~repro.x86.insn.InsnClass` —
+  the instruction model.
+"""
+
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import Insn, InsnClass, TERMINATOR_CLASSES
+from repro.x86.sweep import linear_sweep, sweep_section
+
+__all__ = [
+    "DecodeError",
+    "Insn",
+    "InsnClass",
+    "TERMINATOR_CLASSES",
+    "decode",
+    "linear_sweep",
+    "sweep_section",
+]

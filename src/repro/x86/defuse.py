@@ -1,0 +1,115 @@
+"""Register def-use extraction built on the operand model.
+
+Provides the register-level read/write sets that calling-convention
+analyses (FETCH-style, §V-D) consume — computed from structured
+operands instead of byte heuristics. Instructions outside the modeled
+integer core conservatively report empty sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.operands import (
+    Imm,
+    Mem,
+    OperandError,
+    Reg,
+    analyze_operands,
+)
+
+#: Mnemonics whose first operand is written (destination).
+_WRITES_FIRST = frozenset({
+    "mov", "movsxd", "movzx", "movsx", "lea", "add", "or", "adc", "sbb",
+    "and", "sub", "xor", "imul", "pop", "inc", "dec", "not", "neg",
+    "rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar", "set",
+    "cmov", "bsf", "bsr", "xchg",
+})
+
+#: Mnemonics whose first operand is also read (read-modify-write).
+_READS_FIRST = frozenset({
+    "add", "or", "adc", "sbb", "and", "sub", "xor", "imul", "inc",
+    "dec", "not", "neg", "rol", "ror", "rcl", "rcr", "shl", "shr",
+    "sal", "sar", "xchg",
+})
+
+#: Compare/test: everything is read, nothing written.
+_READ_ONLY = frozenset({"cmp", "test", "bt", "push"})
+
+
+@dataclass(frozen=True)
+class DefUse:
+    """Register numbers read and written by one instruction."""
+
+    reads: frozenset[int]
+    writes: frozenset[int]
+
+
+EMPTY = DefUse(frozenset(), frozenset())
+
+
+def def_use(raw: bytes, bits: int) -> DefUse:
+    """Extract (reads, writes) register sets from instruction bytes.
+
+    ``lea`` reads only the address components; memory operands read
+    their base and index registers regardless of position.
+    """
+    try:
+        decoded = analyze_operands(raw, bits)
+    except OperandError:
+        return EMPTY
+    reads: set[int] = set()
+    writes: set[int] = set()
+    name = decoded.mnemonic
+    for position, operand in enumerate(decoded.operands):
+        if isinstance(operand, Imm):
+            continue
+        if isinstance(operand, Mem):
+            if operand.base is not None:
+                reads.add(operand.base)
+            if operand.index is not None:
+                reads.add(operand.index)
+            continue
+        assert isinstance(operand, Reg)
+        if position == 0 and name not in _READ_ONLY:
+            if name in _WRITES_FIRST:
+                writes.add(operand.num)
+            if name in _READS_FIRST or name not in _WRITES_FIRST:
+                reads.add(operand.num)
+        else:
+            reads.add(operand.num)
+    # lea's "memory" operand computes an address; the destination is
+    # written but memory is not dereferenced — reads above already only
+    # include the address registers, which is the right answer.
+    if name == "push":
+        writes.add(4)   # rsp
+        reads.add(4)
+    elif name == "pop":
+        writes.add(4)
+        reads.add(4)
+    return DefUse(frozenset(reads), frozenset(writes))
+
+
+#: System V AMD64 integer argument registers.
+SYSV_ARG_REGS = (7, 6, 2, 1, 8, 9)  # rdi rsi rdx rcx r8 r9
+
+
+def args_read_before_write(
+    insn_bytes: list[bytes], bits: int
+) -> frozenset[int]:
+    """Which SysV argument registers a straight-line block consumes.
+
+    Walks the instruction byte sequences in order, tracking which
+    argument registers are read before any write — the callee-side half
+    of a calling-convention interface analysis.
+    """
+    written: set[int] = set()
+    consumed: set[int] = set()
+    arg_set = set(SYSV_ARG_REGS)
+    for raw in insn_bytes:
+        du = def_use(raw, bits)
+        for reg in du.reads:
+            if reg in arg_set and reg not in written:
+                consumed.add(reg)
+        written |= du.writes
+    return frozenset(consumed)

@@ -1,0 +1,219 @@
+"""Readable text formatting for decoded instructions.
+
+Produces objdump-flavored Intel-syntax listings for the instruction
+subset compilers emit. Full x86 operand fidelity is not the goal — the
+formatter renders exact text for the control-flow and data-movement
+instructions function identification cares about, and a best-effort
+``mnemonic`` + raw bytes for the rest, so listings stay honest without
+a thousand-entry mnemonic table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import Insn, InsnClass
+
+_REGS64 = ("rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+           "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15")
+_REGS32 = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+#: Mnemonics for common operandless one-byte opcodes.
+_ONE_BYTE_NAMES = {
+    0x98: "cdqe", 0x99: "cdq", 0xC9: "leave", 0xF5: "cmc",
+    0xFC: "cld", 0xFD: "std",
+}
+
+_ALU_NAMES = {0: "add", 1: "or", 2: "adc", 3: "sbb", 4: "and",
+              5: "sub", 6: "xor", 7: "cmp"}
+
+_CC_NAMES = {0x0: "o", 0x1: "no", 0x2: "b", 0x3: "ae", 0x4: "e",
+             0x5: "ne", 0x6: "be", 0x7: "a", 0x8: "s", 0x9: "ns",
+             0xA: "p", 0xB: "np", 0xC: "l", 0xD: "ge", 0xE: "le",
+             0xF: "g"}
+
+
+@dataclass(frozen=True)
+class FormattedInsn:
+    """One listing line."""
+
+    addr: int
+    raw: bytes
+    text: str
+
+    def render(self) -> str:
+        hexdump = self.raw.hex(" ")
+        return f"{self.addr:8x}:\t{hexdump:<30s}\t{self.text}"
+
+
+def format_insn(insn: Insn, raw: bytes, bits: int,
+                symbols: dict[int, str] | None = None) -> FormattedInsn:
+    """Format one decoded instruction."""
+    symbols = symbols or {}
+    text = _text_for(insn, raw, bits, symbols)
+    return FormattedInsn(addr=insn.addr, raw=raw, text=text)
+
+
+def _sym(addr: int, symbols: dict[int, str]) -> str:
+    name = symbols.get(addr)
+    return f"{addr:#x} <{name}>" if name else f"{addr:#x}"
+
+
+def _text_for(insn: Insn, raw: bytes, bits: int,
+              symbols: dict[int, str]) -> str:
+    klass = insn.klass
+    if klass == InsnClass.ENDBR64:
+        return "endbr64"
+    if klass == InsnClass.ENDBR32:
+        return "endbr32"
+    if klass == InsnClass.CALL_DIRECT:
+        return f"call   {_sym(insn.target, symbols)}"
+    if klass == InsnClass.JMP_DIRECT:
+        return f"jmp    {_sym(insn.target, symbols)}"
+    if klass == InsnClass.JCC:
+        cc = _jcc_condition(raw)
+        return f"j{cc:<6s}{_sym(insn.target, symbols)}"
+    if klass == InsnClass.CALL_INDIRECT:
+        return f"call   *{_indirect_operand(raw, bits)}"
+    if klass == InsnClass.JMP_INDIRECT:
+        prefix = "notrack " if insn.notrack else ""
+        return f"{prefix}jmp    *{_indirect_operand(raw, bits)}"
+    if klass == InsnClass.RET:
+        return "ret" if raw[-1] in (0xC3, 0xCB) else \
+            f"ret    {int.from_bytes(raw[-2:], 'little'):#x}"
+    if klass == InsnClass.NOP:
+        return "nop" if len(raw) == 1 else f"nop{len(raw)}"
+    if klass == InsnClass.INT3:
+        return "int3"
+    if klass == InsnClass.HLT:
+        return "hlt"
+    if klass == InsnClass.UD:
+        return "ud2"
+    if klass == InsnClass.LEA:
+        if insn.target is not None:
+            reg = _lea_dest(raw, bits)
+            base = "rip+" if bits == 64 else ""
+            return f"lea    {reg}, [{base}{_sym(insn.target, symbols)}]"
+        return "lea    " + _generic_operands(raw, bits)
+    if klass == InsnClass.MOV_IMM:
+        return f"mov    {_mov_dest(raw, bits)}, {insn.target:#x}"
+    if klass == InsnClass.PUSH_IMM:
+        return f"push   {insn.target:#x}"
+    return _generic_text(raw, bits)
+
+
+def _jcc_condition(raw: bytes) -> str:
+    for i, byte in enumerate(raw):
+        if 0x70 <= byte <= 0x7F:
+            return _CC_NAMES[byte & 0xF]
+        if byte == 0x0F and i + 1 < len(raw) \
+                and 0x80 <= raw[i + 1] <= 0x8F:
+            return _CC_NAMES[raw[i + 1] & 0xF]
+        if 0xE0 <= byte <= 0xE3:
+            return ("loopne", "loope", "loop", "cxz")[byte - 0xE0]
+    return "cc"
+
+
+def _skip_prefixes(raw: bytes, bits: int) -> tuple[int, int]:
+    """Return (opcode_index, rex)."""
+    rex = 0
+    i = 0
+    while i < len(raw):
+        b = raw[i]
+        if b in (0x66, 0x67, 0xF0, 0xF2, 0xF3, 0x26, 0x2E, 0x36, 0x3E,
+                 0x64, 0x65):
+            i += 1
+        elif bits == 64 and 0x40 <= b <= 0x4F:
+            rex = b
+            i += 1
+        else:
+            break
+    return i, rex
+
+
+def _reg_name(num: int, bits: int) -> str:
+    if bits == 64:
+        return _REGS64[num & 0xF]
+    return _REGS32[num & 0x7]
+
+
+def _indirect_operand(raw: bytes, bits: int) -> str:
+    i, rex = _skip_prefixes(raw, bits)
+    if i + 1 >= len(raw):
+        return "?"
+    modrm = raw[i + 1]
+    mod = modrm >> 6
+    rm = (modrm & 7) | ((rex & 1) << 3)
+    if mod == 3:
+        return f"%{_reg_name(rm, bits)}"
+    if mod == 0 and (modrm & 7) == 5:
+        return "[rip+disp]" if bits == 64 else "[disp32]"
+    return f"[{_reg_name(rm, bits)}+...]"
+
+
+def _lea_dest(raw: bytes, bits: int) -> str:
+    i, rex = _skip_prefixes(raw, bits)
+    modrm = raw[i + 1]
+    reg = ((modrm >> 3) & 7) | ((rex & 4) << 1)
+    return _reg_name(reg, bits)
+
+
+def _mov_dest(raw: bytes, bits: int) -> str:
+    i, rex = _skip_prefixes(raw, bits)
+    op = raw[i]
+    if 0xB8 <= op <= 0xBF:
+        return _reg_name((op & 7) | ((rex & 1) << 3), bits)
+    if op == 0xC7 and i + 1 < len(raw):
+        modrm = raw[i + 1]
+        if modrm >> 6 == 3:
+            return _reg_name((modrm & 7) | ((rex & 1) << 3), bits)
+        return "[mem]"
+    return "?"
+
+
+def _generic_operands(raw: bytes, bits: int) -> str:
+    return f"({raw.hex()})"
+
+
+def _generic_text(raw: bytes, bits: int) -> str:
+    """Best-effort text for unclassified instructions.
+
+    Uses the structured operand model where the instruction is covered;
+    falls back to a simple mnemonic or the raw bytes otherwise.
+    """
+    from repro.x86.operands import OperandError, analyze_operands
+
+    try:
+        return analyze_operands(raw, bits).render()
+    except OperandError:
+        pass
+    i, _rex = _skip_prefixes(raw, bits)
+    if i < len(raw) and raw[i] in _ONE_BYTE_NAMES:
+        return _ONE_BYTE_NAMES[raw[i]]
+    return f"(insn) {raw.hex()}"
+
+
+def format_listing(
+    data: bytes, base_addr: int, bits: int,
+    symbols: dict[int, str] | None = None,
+) -> list[FormattedInsn]:
+    """Format a whole code region (linear sweep)."""
+    out: list[FormattedInsn] = []
+    offset = 0
+    n = len(data)
+    symbols = symbols or {}
+    while offset < n:
+        addr = base_addr + offset
+        try:
+            insn = decode(data, offset, addr, bits)
+        except DecodeError:
+            out.append(FormattedInsn(
+                addr=addr, raw=data[offset : offset + 1],
+                text=f".byte {data[offset]:#04x}"))
+            offset += 1
+            continue
+        raw = data[offset : offset + insn.length]
+        out.append(format_insn(insn, raw, bits, symbols))
+        offset += insn.length
+    return out

@@ -1,0 +1,121 @@
+"""Instruction model for the x86/x86-64 decoder.
+
+The decoder classifies each instruction into the small set of semantic
+classes that function identification cares about (end-branch markers,
+direct/indirect branches, returns, ...) while decoding exact lengths for
+*all* instructions so that linear sweep stays synchronized.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InsnClass(enum.IntEnum):
+    """Semantic classes relevant to function identification."""
+
+    OTHER = 0
+    ENDBR64 = 1
+    ENDBR32 = 2
+    CALL_DIRECT = 3        # E8 rel
+    CALL_INDIRECT = 4      # FF /2, FF /3
+    JMP_DIRECT = 5         # E9 / EB rel
+    JMP_INDIRECT = 6       # FF /4, FF /5
+    JCC = 7                # 70-7F, 0F 80-8F, E0-E3
+    RET = 8                # C3, C2, CB, CA
+    NOP = 9                # 90, 0F 1F, 66 90 ...
+    INT3 = 10              # CC
+    HLT = 11               # F4
+    UD = 12                # 0F 0B (ud2), 0F B9 (ud1)
+    LEA = 13               # 8D (records RIP-relative target)
+    MOV_IMM = 14           # B8-BF / C7 with pointer-size immediate
+    PUSH_IMM = 15          # 68 imm32
+
+
+#: Classes that terminate straight-line control flow.
+TERMINATOR_CLASSES = frozenset(
+    {
+        InsnClass.JMP_DIRECT,
+        InsnClass.JMP_INDIRECT,
+        InsnClass.RET,
+        InsnClass.HLT,
+        InsnClass.UD,
+    }
+)
+
+_MNEMONICS = {
+    InsnClass.OTHER: "insn",
+    InsnClass.ENDBR64: "endbr64",
+    InsnClass.ENDBR32: "endbr32",
+    InsnClass.CALL_DIRECT: "call",
+    InsnClass.CALL_INDIRECT: "call*",
+    InsnClass.JMP_DIRECT: "jmp",
+    InsnClass.JMP_INDIRECT: "jmp*",
+    InsnClass.JCC: "jcc",
+    InsnClass.RET: "ret",
+    InsnClass.NOP: "nop",
+    InsnClass.INT3: "int3",
+    InsnClass.HLT: "hlt",
+    InsnClass.UD: "ud2",
+    InsnClass.LEA: "lea",
+    InsnClass.MOV_IMM: "mov",
+    InsnClass.PUSH_IMM: "push",
+}
+
+
+@dataclass(slots=True)
+class Insn:
+    """One decoded instruction.
+
+    Slotted and non-frozen: the decoder constructs one per instruction
+    on the linear-sweep hot path, so construction cost matters. Treat
+    instances as immutable by convention.
+
+    Attributes
+    ----------
+    addr:
+        Virtual address of the first byte.
+    length:
+        Encoded length in bytes.
+    klass:
+        Semantic classification.
+    target:
+        Resolved branch target for direct branches, the referenced
+        address for RIP-relative ``lea``, or the immediate for
+        pointer-width ``mov``/``push`` immediates. ``None`` otherwise.
+    notrack:
+        Whether the instruction carries the CET NOTRACK (0x3E) prefix —
+        meaningful on indirect jumps (jump tables; paper Fig. 1b).
+    """
+
+    addr: int
+    length: int
+    klass: InsnClass
+    target: int | None = None
+    notrack: bool = False
+
+    @property
+    def end(self) -> int:
+        """Address one past the last byte."""
+        return self.addr + self.length
+
+    @property
+    def is_endbr(self) -> bool:
+        return self.klass in (InsnClass.ENDBR64, InsnClass.ENDBR32)
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether fall-through execution stops after this instruction."""
+        return self.klass in TERMINATOR_CLASSES
+
+    def mnemonic(self) -> str:
+        """Best-effort mnemonic for diagnostics and examples."""
+        m = _MNEMONICS[self.klass]
+        if self.notrack and self.klass == InsnClass.JMP_INDIRECT:
+            return "notrack jmp*"
+        return m
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        tgt = f" -> {self.target:#x}" if self.target is not None else ""
+        return f"{self.addr:#x}: {self.mnemonic()}{tgt} ({self.length}B)"

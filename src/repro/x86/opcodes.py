@@ -1,0 +1,253 @@
+"""Opcode attribute tables for the x86/x86-64 length decoder.
+
+Each opcode maps to a small integer *spec* combining flag bits with an
+immediate-kind code. The tables cover the full one-byte map and the
+0F / 0F 38 / 0F 3A maps — enough to decode every instruction emitted by
+GCC and Clang for C/C++ code, which is what linear-sweep disassembly of
+compiler-generated binaries requires (paper §IV-B).
+
+Spec layout::
+
+    bit 0      MODRM    — a ModRM byte (and possibly SIB/disp) follows
+    bit 1      INV64    — undefined in 64-bit mode
+    bit 2      INV32    — undefined in 32-bit mode
+    bit 3      INVALID  — undefined in both modes
+    bits 4-7   immediate kind (IMM_*)
+"""
+
+from __future__ import annotations
+
+MODRM = 1
+INV64 = 2
+INV32 = 4
+INVALID = 8
+
+IMM_NONE = 0
+IMM_IB = 1       # 1-byte immediate
+IMM_IW = 2       # 2-byte immediate
+IMM_IZ = 3       # 2 or 4 bytes, by operand size
+IMM_IV = 4       # 2, 4, or 8 bytes, by operand size (mov r64, imm64)
+IMM_REL8 = 5     # 1-byte relative branch displacement
+IMM_RELZ = 6     # 2- or 4-byte relative branch displacement
+IMM_AP = 7       # far pointer: 16:16 or 16:32
+IMM_MOFFS = 8    # address-size-wide memory offset (mov AL, moffs)
+IMM_ENTER = 9    # imm16 + imm8 (ENTER)
+IMM_GRP3 = 10    # immediate only when ModRM.reg is 0 or 1 (TEST in F6/F7)
+
+IMM_SHIFT = 4
+
+
+def spec(flags: int = 0, imm: int = IMM_NONE) -> int:
+    """Pack flags and an immediate kind into one spec value."""
+    return flags | (imm << IMM_SHIFT)
+
+
+def spec_imm(value: int) -> int:
+    """Extract the immediate kind from a spec."""
+    return value >> IMM_SHIFT
+
+
+_PREFIX_BYTES = frozenset(
+    {0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67, 0xF0, 0xF2, 0xF3}
+)
+
+
+def is_legacy_prefix(byte: int) -> bool:
+    """Whether a byte is a legacy (non-REX) instruction prefix."""
+    return byte in _PREFIX_BYTES
+
+
+def _build_one_byte() -> list[int]:
+    t = [spec(INVALID)] * 256
+
+    # 0x00-0x3F: the eight ALU rows (ADD/OR/ADC/SBB/AND/SUB/XOR/CMP).
+    for base in range(0x00, 0x40, 0x08):
+        for off in range(4):
+            t[base + off] = spec(MODRM)
+        t[base + 4] = spec(imm=IMM_IB)
+        t[base + 5] = spec(imm=IMM_IZ)
+        # base+6 / base+7: push/pop segment registers (invalid in 64-bit),
+        # except the escape byte and the segment prefixes handled below.
+        t[base + 6] = spec(INV64)
+        t[base + 7] = spec(INV64)
+    t[0x0F] = spec(INVALID)  # two-byte escape; dispatched by the decoder
+    for b in (0x26, 0x2E, 0x36, 0x3E):
+        t[b] = spec(INVALID)  # segment prefixes; consumed by the prefix loop
+    for b in (0x27, 0x2F, 0x37, 0x3F):
+        t[b] = spec(INV64)  # DAA/DAS/AAA/AAS
+
+    # 0x40-0x5F: INC/DEC (REX in 64-bit mode) and PUSH/POP.
+    for b in range(0x40, 0x60):
+        t[b] = spec()
+
+    t[0x60] = spec(INV64)                 # PUSHA
+    t[0x61] = spec(INV64)                 # POPA
+    t[0x62] = spec(MODRM | INV64)         # BOUND (EVEX handled in decoder)
+    t[0x63] = spec(MODRM)                 # ARPL / MOVSXD
+    for b in (0x64, 0x65, 0x66, 0x67):
+        t[b] = spec(INVALID)              # prefixes
+    t[0x68] = spec(imm=IMM_IZ)            # PUSH imm
+    t[0x69] = spec(MODRM, IMM_IZ)         # IMUL r, r/m, imm
+    t[0x6A] = spec(imm=IMM_IB)            # PUSH imm8
+    t[0x6B] = spec(MODRM, IMM_IB)         # IMUL r, r/m, imm8
+    for b in range(0x6C, 0x70):
+        t[b] = spec()                     # INS/OUTS
+
+    for b in range(0x70, 0x80):
+        t[b] = spec(imm=IMM_REL8)         # Jcc rel8
+
+    t[0x80] = spec(MODRM, IMM_IB)
+    t[0x81] = spec(MODRM, IMM_IZ)
+    t[0x82] = spec(MODRM | INV64, IMM_IB)
+    t[0x83] = spec(MODRM, IMM_IB)
+    for b in range(0x84, 0x90):
+        t[b] = spec(MODRM)                # TEST/XCHG/MOV/LEA/POP
+
+    for b in range(0x90, 0x9A):
+        t[b] = spec()                     # XCHG/NOP/CBW/CWD
+    t[0x9A] = spec(INV64, IMM_AP)         # CALLF ptr16:32
+    for b in range(0x9B, 0xA0):
+        t[b] = spec()                     # WAIT/PUSHF/POPF/SAHF/LAHF
+
+    for b in range(0xA0, 0xA4):
+        t[b] = spec(imm=IMM_MOFFS)        # MOV AL/eAX <-> moffs
+    for b in range(0xA4, 0xA8):
+        t[b] = spec()                     # MOVS/CMPS
+    t[0xA8] = spec(imm=IMM_IB)            # TEST AL, imm8
+    t[0xA9] = spec(imm=IMM_IZ)            # TEST eAX, imm
+    for b in range(0xAA, 0xB0):
+        t[b] = spec()                     # STOS/LODS/SCAS
+
+    for b in range(0xB0, 0xB8):
+        t[b] = spec(imm=IMM_IB)           # MOV r8, imm8
+    for b in range(0xB8, 0xC0):
+        t[b] = spec(imm=IMM_IV)           # MOV r, imm (imm64 with REX.W)
+
+    t[0xC0] = spec(MODRM, IMM_IB)         # shift group, imm8
+    t[0xC1] = spec(MODRM, IMM_IB)
+    t[0xC2] = spec(imm=IMM_IW)            # RET imm16
+    t[0xC3] = spec()                      # RET
+    t[0xC4] = spec(MODRM | INV64)         # LES (VEX handled in decoder)
+    t[0xC5] = spec(MODRM | INV64)         # LDS (VEX handled in decoder)
+    t[0xC6] = spec(MODRM, IMM_IB)         # MOV r/m8, imm8
+    t[0xC7] = spec(MODRM, IMM_IZ)         # MOV r/m, imm
+    t[0xC8] = spec(imm=IMM_ENTER)         # ENTER imm16, imm8
+    t[0xC9] = spec()                      # LEAVE
+    t[0xCA] = spec(imm=IMM_IW)            # RETF imm16
+    t[0xCB] = spec()                      # RETF
+    t[0xCC] = spec()                      # INT3
+    t[0xCD] = spec(imm=IMM_IB)            # INT imm8
+    t[0xCE] = spec(INV64)                 # INTO
+    t[0xCF] = spec()                      # IRET
+
+    for b in range(0xD0, 0xD4):
+        t[b] = spec(MODRM)                # shift group by 1/CL
+    t[0xD4] = spec(INV64, IMM_IB)         # AAM
+    t[0xD5] = spec(INV64, IMM_IB)         # AAD
+    t[0xD6] = spec(INV64)                 # SALC
+    t[0xD7] = spec()                      # XLAT
+    for b in range(0xD8, 0xE0):
+        t[b] = spec(MODRM)                # x87 escape rows
+
+    for b in range(0xE0, 0xE4):
+        t[b] = spec(imm=IMM_REL8)         # LOOPcc / JCXZ
+    for b in (0xE4, 0xE5, 0xE6, 0xE7):
+        t[b] = spec(imm=IMM_IB)           # IN/OUT imm8
+    t[0xE8] = spec(imm=IMM_RELZ)          # CALL rel
+    t[0xE9] = spec(imm=IMM_RELZ)          # JMP rel
+    t[0xEA] = spec(INV64, IMM_AP)         # JMPF ptr16:32
+    t[0xEB] = spec(imm=IMM_REL8)          # JMP rel8
+    for b in range(0xEC, 0xF0):
+        t[b] = spec()                     # IN/OUT dx
+
+    t[0xF0] = spec(INVALID)               # LOCK prefix
+    t[0xF1] = spec()                      # INT1
+    t[0xF2] = spec(INVALID)               # REPNE prefix
+    t[0xF3] = spec(INVALID)               # REP prefix
+    t[0xF4] = spec()                      # HLT
+    t[0xF5] = spec()                      # CMC
+    t[0xF6] = spec(MODRM, IMM_GRP3)       # TEST/NOT/NEG/... r/m8
+    t[0xF7] = spec(MODRM, IMM_GRP3)       # TEST/NOT/NEG/... r/m
+    for b in range(0xF8, 0xFE):
+        t[b] = spec()                     # CLC..STD
+    t[0xFE] = spec(MODRM)                 # INC/DEC r/m8
+    t[0xFF] = spec(MODRM)                 # group 5: INC/DEC/CALL/JMP/PUSH
+    return t
+
+
+def _build_two_byte() -> list[int]:
+    t = [spec(INVALID)] * 256
+
+    t[0x00] = spec(MODRM)                 # group 6
+    t[0x01] = spec(MODRM)                 # group 7
+    t[0x02] = spec(MODRM)                 # LAR
+    t[0x03] = spec(MODRM)                 # LSL
+    for b in (0x05, 0x06, 0x07, 0x08, 0x09, 0x0B, 0x0E):
+        t[b] = spec()                     # SYSCALL/CLTS/.../UD2/FEMMS
+    t[0x0D] = spec(MODRM)                 # PREFETCH (3DNow hints)
+    t[0x0F] = spec(MODRM, IMM_IB)         # 3DNow (suffix opcode byte)
+    for b in range(0x10, 0x18):
+        t[b] = spec(MODRM)                # SSE moves
+    for b in range(0x18, 0x20):
+        t[b] = spec(MODRM)                # hint NOPs (incl. ENDBR encoding)
+    for b in range(0x20, 0x24):
+        t[b] = spec(MODRM)                # MOV to/from control/debug regs
+    for b in range(0x28, 0x30):
+        t[b] = spec(MODRM)                # SSE moves / converts
+    for b in range(0x30, 0x38):
+        t[b] = spec()                     # WRMSR/RDTSC/.../GETSEC
+    # 0x38 / 0x3A are the three-byte escapes, dispatched by the decoder.
+    for b in range(0x40, 0x50):
+        t[b] = spec(MODRM)                # CMOVcc
+    for b in range(0x50, 0x80):
+        t[b] = spec(MODRM)                # SSE / MMX block
+    for b in (0x70, 0x71, 0x72, 0x73):
+        t[b] = spec(MODRM, IMM_IB)        # PSHUF / shift groups
+    t[0x77] = spec()                      # EMMS
+    for b in range(0x80, 0x90):
+        t[b] = spec(imm=IMM_RELZ)         # Jcc rel32
+    for b in range(0x90, 0xA0):
+        t[b] = spec(MODRM)                # SETcc
+    for b in (0xA0, 0xA1, 0xA2):
+        t[b] = spec()                     # PUSH/POP FS, CPUID
+    t[0xA3] = spec(MODRM)                 # BT
+    t[0xA4] = spec(MODRM, IMM_IB)         # SHLD imm8
+    t[0xA5] = spec(MODRM)                 # SHLD CL
+    for b in (0xA8, 0xA9, 0xAA):
+        t[b] = spec()                     # PUSH/POP GS, RSM
+    t[0xAB] = spec(MODRM)                 # BTS
+    t[0xAC] = spec(MODRM, IMM_IB)         # SHRD imm8
+    t[0xAD] = spec(MODRM)                 # SHRD CL
+    t[0xAE] = spec(MODRM)                 # group 15 (fences, [LD|ST]MXCSR)
+    t[0xAF] = spec(MODRM)                 # IMUL
+    for b in range(0xB0, 0xB8):
+        t[b] = spec(MODRM)                # CMPXCHG/.../MOVZX
+    t[0xB8] = spec(MODRM)                 # POPCNT (F3) / JMPE
+    t[0xB9] = spec(MODRM)                 # UD1
+    t[0xBA] = spec(MODRM, IMM_IB)         # BT group, imm8
+    for b in range(0xBB, 0xC0):
+        t[b] = spec(MODRM)                # BTC/BSF/BSR/MOVSX
+    t[0xC0] = spec(MODRM)                 # XADD r/m8
+    t[0xC1] = spec(MODRM)                 # XADD r/m
+    t[0xC2] = spec(MODRM, IMM_IB)         # CMPPS imm8
+    t[0xC3] = spec(MODRM)                 # MOVNTI
+    t[0xC4] = spec(MODRM, IMM_IB)         # PINSRW
+    t[0xC5] = spec(MODRM, IMM_IB)         # PEXTRW
+    t[0xC6] = spec(MODRM, IMM_IB)         # SHUFPS
+    t[0xC7] = spec(MODRM)                 # group 9 (CMPXCHG8B/RDRAND)
+    for b in range(0xC8, 0xD0):
+        t[b] = spec()                     # BSWAP
+    for b in range(0xD0, 0x100):
+        t[b] = spec(MODRM)                # MMX/SSE arithmetic block
+    t[0xFF] = spec(MODRM)                 # UD0
+    return t
+
+
+ONE_BYTE: list[int] = _build_one_byte()
+TWO_BYTE: list[int] = _build_two_byte()
+
+#: 0F 38 map: every defined opcode takes a ModRM byte and no immediate.
+THREE_BYTE_38: list[int] = [spec(MODRM)] * 256
+
+#: 0F 3A map: ModRM plus an imm8 selector.
+THREE_BYTE_3A: list[int] = [spec(MODRM, IMM_IB)] * 256

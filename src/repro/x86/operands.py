@@ -1,0 +1,410 @@
+"""Structured operand extraction for x86/x86-64 instructions.
+
+Complements the length/classification decoder with operand-level
+detail for the integer instruction families compilers emit: register,
+memory (base + index*scale + displacement, RIP-relative), and immediate
+operands, plus the mnemonic. Used by the text formatter and available
+to analyses that need def/use information richer than
+:mod:`repro.baselines.fetch_like`'s approximation.
+
+Coverage is the one-byte map's integer core plus the common 0F
+extensions (movzx/movsx, setcc, cmov, imul). SIMD instructions raise
+:class:`OperandError` — their operands never matter for function
+identification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+REG_NAMES_64 = ("rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+                "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15")
+REG_NAMES_32 = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+                "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d",
+                "r15d")
+REG_NAMES_16 = ("ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+                "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w",
+                "r15w")
+REG_NAMES_8 = ("al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+               "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b",
+               "r15b")
+#: 8-bit registers without REX (AH..BH in slots 4-7).
+REG_NAMES_8_LEGACY = ("al", "cl", "dl", "bl", "ah", "ch", "dh", "bh")
+
+
+def reg_name(num: int, width: int, *, rex_present: bool = True) -> str:
+    """Render a register number at a given operand width."""
+    if width == 8:
+        if not rex_present and num < 8:
+            return REG_NAMES_8_LEGACY[num]
+        return REG_NAMES_8[num]
+    table = {16: REG_NAMES_16, 32: REG_NAMES_32, 64: REG_NAMES_64}[width]
+    return table[num]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    num: int
+    width: int
+    rex_present: bool = True
+
+    def render(self) -> str:
+        return reg_name(self.num, self.width,
+                        rex_present=self.rex_present)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + index*scale + disp]``."""
+
+    base: int | None
+    index: int | None
+    scale: int
+    disp: int
+    rip_relative: bool = False
+    addr_width: int = 64
+
+    def render(self) -> str:
+        parts = []
+        if self.rip_relative:
+            parts.append("rip")
+        elif self.base is not None:
+            parts.append(reg_name(self.base, self.addr_width))
+        if self.index is not None:
+            parts.append(
+                f"{reg_name(self.index, self.addr_width)}*{self.scale}")
+        body = "+".join(parts)
+        if self.disp or not parts:
+            sign = "+" if self.disp >= 0 and parts else ""
+            body += f"{sign}{self.disp:#x}" if self.disp >= 0 \
+                else f"-{-self.disp:#x}"
+        return f"[{body}]"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand."""
+
+    value: int
+    width: int
+
+    def render(self) -> str:
+        return f"{self.value:#x}"
+
+
+Operand = Reg | Mem | Imm
+
+
+class OperandError(Exception):
+    """Raised when an instruction's operands are not modeled."""
+
+
+#: Operand encodings per opcode (one-byte map).
+class _Enc(enum.Enum):
+    MR = "mr"        # r/m, reg
+    RM = "rm"        # reg, r/m
+    MI = "mi"        # r/m, imm
+    M1 = "m1"        # r/m (single operand)
+    OI = "oi"        # reg-in-opcode, imm
+    O = "o"          # reg-in-opcode
+    AI = "ai"        # accumulator, imm
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class _Spec:
+    mnemonic: str
+    enc: _Enc
+    byte_op: bool = False   # operates on 8-bit operands
+    imm8: bool = False      # immediate is 1 byte regardless of opsize
+
+
+def _alu(name: str, base: int) -> dict[int, _Spec]:
+    return {
+        base + 0: _Spec(name, _Enc.MR, byte_op=True),
+        base + 1: _Spec(name, _Enc.MR),
+        base + 2: _Spec(name, _Enc.RM, byte_op=True),
+        base + 3: _Spec(name, _Enc.RM),
+        base + 4: _Spec(name, _Enc.AI, byte_op=True),
+        base + 5: _Spec(name, _Enc.AI),
+    }
+
+
+_ONE_BYTE: dict[int, _Spec] = {}
+for _name, _base in (("add", 0x00), ("or", 0x08), ("adc", 0x10),
+                     ("sbb", 0x18), ("and", 0x20), ("sub", 0x28),
+                     ("xor", 0x30), ("cmp", 0x38)):
+    _ONE_BYTE.update(_alu(_name, _base))
+_ONE_BYTE.update({
+    0x84: _Spec("test", _Enc.MR, byte_op=True),
+    0x85: _Spec("test", _Enc.MR),
+    0x86: _Spec("xchg", _Enc.MR, byte_op=True),
+    0x87: _Spec("xchg", _Enc.MR),
+    0x88: _Spec("mov", _Enc.MR, byte_op=True),
+    0x89: _Spec("mov", _Enc.MR),
+    0x8A: _Spec("mov", _Enc.RM, byte_op=True),
+    0x8B: _Spec("mov", _Enc.RM),
+    0x8D: _Spec("lea", _Enc.RM),
+    0xC6: _Spec("mov", _Enc.MI, byte_op=True, imm8=True),
+    0xC7: _Spec("mov", _Enc.MI),
+    0xA8: _Spec("test", _Enc.AI, byte_op=True),
+    0xA9: _Spec("test", _Enc.AI),
+    0x63: _Spec("movsxd", _Enc.RM),
+    0x69: _Spec("imul", _Enc.RM),      # three-operand form; imm appended
+    0x6B: _Spec("imul", _Enc.RM, imm8=True),
+})
+for _r in range(8):
+    _ONE_BYTE[0x50 + _r] = _Spec("push", _Enc.O)
+    _ONE_BYTE[0x58 + _r] = _Spec("pop", _Enc.O)
+    _ONE_BYTE[0xB0 + _r] = _Spec("mov", _Enc.OI, byte_op=True)
+    _ONE_BYTE[0xB8 + _r] = _Spec("mov", _Enc.OI)
+
+_GRP1 = {0: "add", 1: "or", 2: "adc", 3: "sbb", 4: "and", 5: "sub",
+         6: "xor", 7: "cmp"}
+_GRP2 = {0: "rol", 1: "ror", 2: "rcl", 3: "rcr", 4: "shl", 5: "shr",
+         6: "sal", 7: "sar"}
+_GRP3 = {0: "test", 1: "test", 2: "not", 3: "neg", 4: "mul", 5: "imul",
+         6: "div", 7: "idiv"}
+_GRP5 = {0: "inc", 1: "dec", 2: "call", 3: "lcall", 4: "jmp", 5: "ljmp",
+         6: "push"}
+
+_TWO_BYTE: dict[int, _Spec] = {
+    0xAF: _Spec("imul", _Enc.RM),
+    0xB6: _Spec("movzx", _Enc.RM),
+    0xB7: _Spec("movzx", _Enc.RM),
+    0xBE: _Spec("movsx", _Enc.RM),
+    0xBF: _Spec("movsx", _Enc.RM),
+    0xA3: _Spec("bt", _Enc.MR),
+    0xAB: _Spec("bts", _Enc.MR),
+    0xB3: _Spec("btr", _Enc.MR),
+    0xBC: _Spec("bsf", _Enc.RM),
+    0xBD: _Spec("bsr", _Enc.RM),
+}
+for _cc in range(16):
+    _TWO_BYTE[0x90 + _cc] = _Spec("set", _Enc.M1, byte_op=True)
+    _TWO_BYTE[0x40 + _cc] = _Spec("cmov", _Enc.RM)
+
+
+
+def _imm_at(raw: bytes, pos: int, nbytes: int) -> int:
+    """Read a little-endian immediate; truncation is an OperandError."""
+    if pos + nbytes > len(raw):
+        raise OperandError("truncated immediate")
+    return int.from_bytes(raw[pos : pos + nbytes], "little")
+
+@dataclass(frozen=True)
+class DecodedOperands:
+    """Mnemonic and operand list of one instruction."""
+
+    mnemonic: str
+    operands: tuple[Operand, ...]
+
+    def render(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        ops = ", ".join(op.render() for op in self.operands)
+        return f"{self.mnemonic:<6s} {ops}"
+
+
+def analyze_operands(raw: bytes, bits: int) -> DecodedOperands:
+    """Extract mnemonic and operands from one instruction's bytes.
+
+    Raises :class:`OperandError` for instructions outside the modeled
+    integer core.
+    """
+    i = 0
+    opsize16 = False
+    rex = 0
+    rex_present = False
+    while i < len(raw):
+        b = raw[i]
+        if b == 0x66:
+            opsize16 = True
+        elif b in (0x67, 0xF0, 0xF2, 0xF3, 0x26, 0x2E, 0x36, 0x3E,
+                   0x64, 0x65):
+            pass
+        elif bits == 64 and 0x40 <= b <= 0x4F:
+            rex = b
+            rex_present = True
+            i += 1
+            break
+        else:
+            break
+        i += 1
+    if i >= len(raw):
+        raise OperandError("no opcode")
+
+    opcode = raw[i]
+    i += 1
+    table = _ONE_BYTE
+    group: dict[int, str] | None = None
+    two_byte = False
+    if opcode == 0x0F:
+        if i >= len(raw):
+            raise OperandError("truncated 0F")
+        opcode = raw[i]
+        i += 1
+        table = _TWO_BYTE
+        two_byte = True
+    elif opcode in (0x80, 0x81, 0x83):
+        group = _GRP1
+    elif opcode in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
+        group = _GRP2
+    elif opcode in (0xF6, 0xF7):
+        group = _GRP3
+    elif opcode == 0xFF:
+        group = _GRP5
+
+    opsize = 64 if (rex & 8) else (16 if opsize16 else 32)
+    width = opsize if bits == 64 or opsize == 16 else 32
+    addr_width = 64 if bits == 64 else 32
+
+    if group is not None:
+        return _analyze_group(raw, i, opcode, group, rex, rex_present,
+                              width, addr_width)
+
+    spec = table.get(opcode)
+    if spec is None:
+        raise OperandError(f"opcode {opcode:#x} not modeled")
+    op_width = 8 if spec.byte_op else width
+    if two_byte and spec.mnemonic in ("movzx", "movsx"):
+        # Source width differs; report the destination width.
+        op_width = width
+
+    if spec.enc is _Enc.O:
+        reg = (opcode & 7) | ((rex & 1) << 3)
+        w = 64 if bits == 64 and spec.mnemonic in ("push", "pop") \
+            else op_width
+        return DecodedOperands(spec.mnemonic,
+                               (Reg(reg, w, rex_present),))
+    if spec.enc is _Enc.OI:
+        reg = (opcode & 7) | ((rex & 1) << 3)
+        imm_width = 8 if spec.byte_op else \
+            (64 if rex & 8 else (16 if opsize16 else 32))
+        imm = _imm_at(raw, i, imm_width // 8)
+        return DecodedOperands(spec.mnemonic, (
+            Reg(reg, op_width, rex_present), Imm(imm, imm_width)))
+    if spec.enc is _Enc.AI:
+        imm_width = 8 if spec.byte_op else (16 if opsize16 else 32)
+        imm = _imm_at(raw, i, imm_width // 8)
+        return DecodedOperands(spec.mnemonic, (
+            Reg(0, op_width, rex_present), Imm(imm, imm_width)))
+    if spec.enc is _Enc.NONE:
+        return DecodedOperands(spec.mnemonic, ())
+
+    rm, reg_op, after = _parse_modrm(raw, i, rex, rex_present, op_width,
+                                     addr_width)
+    # movzx/movsx read a narrower source than they write.
+    if two_byte and opcode in (0xB6, 0xBE) and isinstance(rm, Reg):
+        rm = Reg(rm.num, 8, rex_present)
+    elif two_byte and opcode in (0xB7, 0xBF) and isinstance(rm, Reg):
+        rm = Reg(rm.num, 16, rex_present)
+    if spec.enc is _Enc.MR:
+        return DecodedOperands(spec.mnemonic, (rm, reg_op))
+    if spec.enc is _Enc.RM:
+        ops: tuple[Operand, ...] = (reg_op, rm)
+        if spec.mnemonic == "imul" and opcode in (0x69, 0x6B):
+            imm_width = 8 if spec.imm8 else (16 if opsize16 else 32)
+            imm = _imm_at(raw, after, imm_width // 8)
+            ops = ops + (Imm(imm, imm_width),)
+        return DecodedOperands(spec.mnemonic, ops)
+    if spec.enc is _Enc.MI:
+        imm_width = 8 if (spec.byte_op or spec.imm8) else \
+            (16 if opsize16 else 32)
+        imm = _imm_at(raw, after, imm_width // 8)
+        return DecodedOperands(spec.mnemonic, (rm, Imm(imm, imm_width)))
+    if spec.enc is _Enc.M1:
+        return DecodedOperands(spec.mnemonic, (rm,))
+    raise OperandError(f"encoding {spec.enc} not handled")
+
+
+def _analyze_group(
+    raw: bytes, i: int, opcode: int, group: dict[int, str],
+    rex: int, rex_present: bool, width: int, addr_width: int,
+) -> DecodedOperands:
+    if i >= len(raw):
+        raise OperandError("truncated group ModRM")
+    reg_field = (raw[i] >> 3) & 7
+    name = group.get(reg_field)
+    if name is None:
+        raise OperandError(f"group reg {reg_field} undefined")
+    byte_op = opcode in (0x80, 0xC0, 0xD0, 0xD2, 0xF6, 0xFE)
+    op_width = 8 if byte_op else width
+    rm, _reg, after = _parse_modrm(raw, i, rex, rex_present, op_width,
+                                   addr_width)
+    ops: tuple[Operand, ...] = (rm,)
+    if group is _GRP1:
+        imm_width = 8 if opcode in (0x80, 0x83) else \
+            (16 if width == 16 else 32)
+        imm = _imm_at(raw, after, imm_width // 8)
+        ops = (rm, Imm(imm, imm_width))
+    elif group is _GRP2:
+        if opcode in (0xC0, 0xC1):
+            ops = (rm, Imm(_imm_at(raw, after, 1), 8))
+        elif opcode in (0xD2, 0xD3):
+            ops = (rm, Reg(1, 8, rex_present))  # cl
+        else:
+            ops = (rm, Imm(1, 8))
+    elif group is _GRP3 and reg_field in (0, 1):
+        imm_width = 8 if opcode == 0xF6 else (16 if width == 16 else 32)
+        imm = _imm_at(raw, after, imm_width // 8)
+        ops = (rm, Imm(imm, imm_width))
+    return DecodedOperands(name, ops)
+
+
+def _parse_modrm(
+    raw: bytes, i: int, rex: int, rex_present: bool,
+    op_width: int, addr_width: int,
+) -> tuple[Operand, Reg, int]:
+    """Parse ModRM(+SIB+disp); return (rm_operand, reg_operand,
+    next_offset)."""
+    if i >= len(raw):
+        raise OperandError("truncated ModRM")
+    modrm = raw[i]
+    i += 1
+    mod = modrm >> 6
+    reg = ((modrm >> 3) & 7) | ((rex & 4) << 1)
+    rm = modrm & 7
+    reg_operand = Reg(reg, op_width, rex_present)
+
+    if mod == 3:
+        return (Reg(rm | ((rex & 1) << 3), op_width, rex_present),
+                reg_operand, i)
+
+    base: int | None = rm | ((rex & 1) << 3)
+    index: int | None = None
+    scale = 1
+    rip_relative = False
+    if rm == 4:  # SIB
+        if i >= len(raw):
+            raise OperandError("truncated SIB")
+        sib = raw[i]
+        i += 1
+        scale = 1 << (sib >> 6)
+        idx = ((sib >> 3) & 7) | ((rex & 2) << 2)
+        if idx != 4:
+            index = idx
+        base = (sib & 7) | ((rex & 1) << 3)
+        if (sib & 7) == 5 and mod == 0:
+            base = None  # disp32 only
+
+    disp = 0
+    if mod == 1:
+        if i + 1 > len(raw):
+            raise OperandError("truncated disp8")
+        disp = int.from_bytes(raw[i : i + 1], "little", signed=True)
+        i += 1
+    elif mod == 2 or (mod == 0 and (rm == 5 or base is None)):
+        if i + 4 > len(raw):
+            raise OperandError("truncated disp32")
+        disp = int.from_bytes(raw[i : i + 4], "little", signed=True)
+        i += 4
+        if mod == 0 and rm == 5:
+            base = None
+            rip_relative = addr_width == 64
+    return (Mem(base=base, index=index, scale=scale, disp=disp,
+                rip_relative=rip_relative, addr_width=addr_width),
+            reg_operand, i)

@@ -1,0 +1,127 @@
+"""Superset disassembly (paper §VI future work).
+
+Linear sweep misbehaves when hand-written assembly embeds data inside
+``.text``: a decode error advances one byte at a time through the blob,
+and mis-decoded garbage can synthesize phantom end-branches or branch
+targets. The paper names superset disassembly [7] and probabilistic
+disassembly [29] as the fix.
+
+This module decodes at *every* byte offset and computes, right to left,
+which offsets start a *viable* instruction chain: one whose fall-through
+successors all decode, terminated by an instruction with no fall-through
+(ret/jmp/hlt/ud2) or by the end of the region. Data bytes rarely form
+viable chains, so a sweep that jumps from the end of one instruction to
+the next viable offset skips embedded data instead of grinding through
+it byte by byte.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.x86.decoder import DecodeError, decode, decode_raw
+from repro.x86.insn import Insn, InsnClass
+
+_TERMINATORS = frozenset(
+    int(k) for k in (InsnClass.JMP_DIRECT, InsnClass.JMP_INDIRECT,
+                     InsnClass.RET, InsnClass.HLT, InsnClass.UD)
+)
+
+
+def viable_offsets(data: bytes, bits: int) -> list[bool]:
+    """For each offset, whether a viable instruction chain starts there.
+
+    Computed in one right-to-left pass: ``viable[i]`` holds when the
+    instruction at ``i`` decodes and either ends straight-line control
+    flow, or falls through to a viable offset (or exactly to the end of
+    the region).
+    """
+    n = len(data)
+    viable = [False] * (n + 1)
+    viable[n] = True
+    lengths = [0] * n
+    klasses = [0] * n
+    for i in range(n - 1, -1, -1):
+        try:
+            length, klass, _target, _notrack = decode_raw(data, i, i, bits)
+        except DecodeError:
+            continue
+        lengths[i] = length
+        klasses[i] = klass
+        if i + length > n:
+            continue
+        if klass in _TERMINATORS or viable[i + length]:
+            viable[i] = True
+    return viable[:n]
+
+
+def robust_sweep(data: bytes, base_addr: int, bits: int) -> Iterator[Insn]:
+    """Linear sweep that recovers through embedded data.
+
+    Identical to plain linear sweep on clean compiler output. On a
+    decode failure — or when the cursor lands on a non-viable offset —
+    it skips forward to the next viable offset instead of decoding
+    garbage byte by byte.
+    """
+    viable = viable_offsets(data, bits)
+    n = len(data)
+    offset = 0
+    while offset < n:
+        if not viable[offset]:
+            offset = _next_viable(data, viable, offset + 1, bits)
+            if offset >= n:
+                return
+        try:
+            insn = decode(data, offset, base_addr + offset, bits)
+        except DecodeError:  # pragma: no cover - viable implies decodable
+            offset += 1
+            continue
+        yield insn
+        offset += insn.length
+
+
+_ENDBR_PATTERNS = (b"\xf3\x0f\x1e\xfa", b"\xf3\x0f\x1e\xfb")
+_RESYNC_WINDOW = 16
+
+
+def _next_viable(data: bytes, viable: list[bool], start: int,
+                 bits: int) -> int:
+    """Pick the resynchronization point after a non-viable region.
+
+    CET-aware: within a short window past the first viable offset, a
+    viable *end-branch* beats an earlier viable offset — data tails
+    often merge with the first real instruction, whereas an end-branch
+    marker is an intentional, checkable landmark.
+    """
+    first = -1
+    for i in range(start, len(viable)):
+        if not viable[i]:
+            continue
+        if first < 0:
+            first = i
+        if data[i : i + 4] in _ENDBR_PATTERNS:
+            return i
+        if i - first >= _RESYNC_WINDOW:
+            break
+    return first if first >= 0 else len(viable)
+
+
+def data_regions(data: bytes, bits: int, *, min_size: int = 4) -> list[tuple[int, int]]:
+    """Maximal non-viable byte runs — likely embedded data.
+
+    Returns ``(start_offset, length)`` pairs of at least ``min_size``
+    bytes where no viable instruction chain begins.
+    """
+    viable = viable_offsets(data, bits)
+    out: list[tuple[int, int]] = []
+    run_start: int | None = None
+    for i, ok in enumerate(viable):
+        if not ok and run_start is None:
+            run_start = i
+        elif ok and run_start is not None:
+            if i - run_start >= min_size:
+                out.append((run_start, i - run_start))
+            run_start = None
+    if run_start is not None and len(viable) - run_start >= min_size:
+        out.append((run_start, len(viable) - run_start))
+    return out

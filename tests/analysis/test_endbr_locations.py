@@ -1,0 +1,105 @@
+"""Tests for the Table-I end-branch location study."""
+
+from repro.analysis.endbr_locations import (
+    EndbrDistribution,
+    EndbrLocation,
+    classify_endbr_locations,
+)
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+
+def _classify(profile, seed=61, cxx=False, n=60):
+    spec = generate_program("loc", n, profile, seed=seed, cxx=cxx)
+    binary = link_program(spec, profile)
+    return classify_endbr_locations(
+        ELFFile(binary.data), binary.ground_truth.function_starts
+    ), binary, spec
+
+
+class TestClassification:
+    def test_no_unattributed_endbrs(self):
+        """Every endbr must fall in one of the paper's three classes."""
+        for cxx in (False, True):
+            dist, _b, _s = _classify(
+                CompilerProfile("gcc", "O2", 64, True), cxx=cxx)
+            assert dist.counts[EndbrLocation.OTHER] == 0
+
+    def test_c_binaries_have_no_exception_endbrs(self):
+        dist, _b, _s = _classify(CompilerProfile("gcc", "O2", 64, True),
+                                 cxx=False)
+        assert dist.counts[EndbrLocation.EXCEPTION] == 0
+        assert dist.fraction(EndbrLocation.FUNCTION_ENTRY) > 0.95
+
+    def test_cxx_binaries_have_exception_endbrs(self):
+        dist, _b, _s = _classify(CompilerProfile("gcc", "O2", 64, True),
+                                 cxx=True, n=100)
+        assert dist.counts[EndbrLocation.EXCEPTION] > 0
+        frac = dist.fraction(EndbrLocation.EXCEPTION)
+        assert 0.05 < frac < 0.45  # paper: 20-28% for SPEC
+
+    def test_setjmp_sites_counted(self):
+        found = False
+        for seed in range(12):
+            _dist, binary, spec = _classify(
+                CompilerProfile("gcc", "O2", 64, True), seed=seed)
+            if any(f.setjmp_sites for f in spec.functions):
+                dist = classify_endbr_locations(
+                    ELFFile(binary.data),
+                    binary.ground_truth.function_starts)
+                assert dist.counts[EndbrLocation.INDIRECT_RETURN] >= 1
+                found = True
+        assert found, "no seed produced a setjmp site"
+
+    def test_entry_count_matches_endbr_functions(self):
+        dist, binary, _s = _classify(
+            CompilerProfile("clang", "O2", 64, True))
+        n_endbr_funcs = sum(1 for e in binary.ground_truth.entries
+                            if e.is_function and e.has_endbr)
+        assert dist.counts[EndbrLocation.FUNCTION_ENTRY] == n_endbr_funcs
+
+
+class TestDistribution:
+    def test_merge(self):
+        a = EndbrDistribution()
+        a.counts[EndbrLocation.FUNCTION_ENTRY] = 3
+        b = EndbrDistribution()
+        b.counts[EndbrLocation.FUNCTION_ENTRY] = 2
+        b.counts[EndbrLocation.EXCEPTION] = 1
+        a.merge(b)
+        assert a.counts[EndbrLocation.FUNCTION_ENTRY] == 5
+        assert a.total == 6
+
+    def test_fraction_of_empty_distribution(self):
+        dist = EndbrDistribution()
+        assert dist.fraction(EndbrLocation.FUNCTION_ENTRY) == 0.0
+
+
+class TestDatasetStats:
+    """§III-A dataset account."""
+
+    def test_account_matches_corpus(self, tiny_corpus):
+        from repro.analysis.dataset_stats import dataset_stats
+
+        stats = dataset_stats(tiny_corpus)
+        assert stats.total_binaries == len(tiny_corpus)
+        assert stats.total_functions == sum(
+            len(e.binary.ground_truth.function_starts)
+            for e in tiny_corpus)
+        assert set(stats.suites) == {"coreutils", "binutils", "spec"}
+        assert len(stats.configurations) == 4
+
+    def test_render_contains_rows(self, tiny_corpus):
+        from repro.analysis.dataset_stats import dataset_stats
+
+        text = dataset_stats(tiny_corpus).render()
+        assert "DATASET" in text
+        assert "coreutils" in text
+        assert "total" in text
+
+    def test_cxx_binaries_counted_in_spec_only(self, tiny_corpus):
+        from repro.analysis.dataset_stats import dataset_stats
+
+        stats = dataset_stats(tiny_corpus)
+        assert stats.suites["coreutils"].cxx_binaries == 0
+        assert stats.suites["binutils"].cxx_binaries == 0

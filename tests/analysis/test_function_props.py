@@ -1,0 +1,72 @@
+"""Tests for the Figure-3 function-property analysis."""
+
+from repro.analysis.function_props import (
+    ALL_REGIONS,
+    CALL,
+    ENDBR,
+    JMP,
+    PropertyVenn,
+    analyze_function_properties,
+)
+from repro.elf.parser import ELFFile
+
+
+class TestVennAccounting:
+    def test_total_equals_function_count(self, sample_binary):
+        venn = analyze_function_properties(
+            ELFFile(sample_binary.data),
+            sample_binary.ground_truth.function_starts,
+        )
+        assert venn.total == \
+            len(sample_binary.ground_truth.function_starts)
+
+    def test_endbr_property_matches_ground_truth(self, sample_binary):
+        venn = analyze_function_properties(
+            ELFFile(sample_binary.data),
+            sample_binary.ground_truth.function_starts,
+        )
+        gt_endbr = sum(1 for e in sample_binary.ground_truth.entries
+                       if e.is_function and e.has_endbr)
+        assert venn.with_property(ENDBR) == gt_endbr
+
+    def test_dead_statics_have_no_properties(self, sample_binary):
+        gt = sample_binary.ground_truth
+        dead_no_endbr = [e for e in gt.entries
+                         if e.is_function and e.is_dead and not e.has_endbr]
+        venn = analyze_function_properties(
+            ELFFile(sample_binary.data), gt.function_starts)
+        assert venn.counts[frozenset()] >= len(dead_no_endbr)
+
+    def test_all_regions_enumerated(self):
+        assert len(ALL_REGIONS) == 8
+        assert frozenset({ENDBR, CALL, JMP}) in ALL_REGIONS
+
+    def test_merge_and_fractions(self):
+        a = PropertyVenn()
+        a.counts[frozenset({ENDBR})] = 8
+        a.counts[frozenset()] = 2
+        b = PropertyVenn()
+        b.counts[frozenset({ENDBR})] = 10
+        a.merge(b)
+        assert a.total == 20
+        assert a.fraction(frozenset({ENDBR})) == 0.9
+        assert a.any_property() == 18
+
+    def test_empty_venn(self):
+        venn = PropertyVenn()
+        assert venn.total == 0
+        assert venn.fraction(frozenset()) == 0.0
+
+
+class TestPaperShape:
+    def test_majority_endbr(self, tiny_corpus):
+        venn = PropertyVenn()
+        for entry in tiny_corpus:
+            venn.merge(analyze_function_properties(
+                ELFFile(entry.binary.data),
+                entry.binary.ground_truth.function_starts,
+            ))
+        frac_endbr = venn.with_property(ENDBR) / venn.total
+        assert 0.8 < frac_endbr < 0.95  # paper: 89.3%
+        # Nearly every function holds at least one property.
+        assert venn.any_property() / venn.total > 0.97

@@ -1,0 +1,67 @@
+"""Tests for ground-truth extraction and the fragment-name policy."""
+
+import pytest
+
+from repro.analysis.groundtruth import (
+    ground_truth_from_symbols,
+    is_fragment_name,
+)
+from repro.elf.parser import ELFFile
+
+
+class TestFragmentNames:
+    @pytest.mark.parametrize("name", [
+        "sort_files.part.0", "quick_sort.cold", "foo.part.12",
+        "bar.constprop.0.cold",
+    ])
+    def test_fragment_names(self, name):
+        assert is_fragment_name(name)
+
+    @pytest.mark.parametrize("name", [
+        "main", "foo", "partial", "coldstart", "foo.constprop.0",
+        "a.part", "x.cold.y",
+    ])
+    def test_non_fragment_names(self, name):
+        assert not is_fragment_name(name)
+
+
+class TestSymbolGroundTruth:
+    def test_matches_linker_ground_truth(self, sample_binary):
+        """Symbol-derived GT equals linker GT when no symbols are
+        omitted (the 64-bit case has no get_pc_thunk)."""
+        elf = ELFFile(sample_binary.data)
+        from_syms = ground_truth_from_symbols(elf)
+        assert from_syms == sample_binary.ground_truth.function_starts
+
+    def test_fragments_excluded(self, sample_binary):
+        elf = ELFFile(sample_binary.data)
+        from_syms = ground_truth_from_symbols(elf)
+        assert not (from_syms & sample_binary.ground_truth.fragment_starts)
+
+    def test_omitted_thunk_symbol_missing_from_symbol_gt(self):
+        """32-bit PIC binaries may omit the get_pc_thunk symbol — the
+        §V-A1 correction only linker ground truth captures."""
+        from repro.synth import (
+            CompilerProfile,
+            generate_program,
+            link_program,
+        )
+
+        profile = CompilerProfile("gcc", "O2", 32, True)
+        for seed in range(10):
+            spec = generate_program("gt", 30, profile, seed=seed)
+            thunks = [f for f in spec.functions
+                      if f.is_thunk and f.omit_symbol]
+            if thunks:
+                binary = link_program(spec, profile)
+                from_syms = ground_truth_from_symbols(ELFFile(binary.data))
+                linker_gt = binary.ground_truth.function_starts
+                assert from_syms < linker_gt
+                return
+        pytest.fail("no seed produced an omitted thunk symbol")
+
+    def test_stripped_binary_has_empty_symbol_gt(self, sample_binary):
+        from repro.elf.parser import strip_symbols
+
+        elf = ELFFile(strip_symbols(sample_binary.data))
+        assert ground_truth_from_symbols(elf) == set()

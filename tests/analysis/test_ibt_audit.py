@@ -1,0 +1,76 @@
+"""Tests for the IBT compliance auditor."""
+
+import pytest
+
+from repro.analysis.ibt_audit import TargetSource, audit_ibt
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+PROFILE = CompilerProfile("gcc", "O2", 64, True)
+
+
+def _binary(seed=41, violations=0, cxx=False):
+    spec = generate_program("ibt", 50, PROFILE, seed=seed, cxx=cxx,
+                            ibt_violations=violations)
+    return link_program(spec, PROFILE)
+
+
+class TestCompliantBinaries:
+    def test_clean_binary_is_compliant(self):
+        binary = _binary()
+        report = audit_ibt(ELFFile(binary.data))
+        assert report.compliant
+        assert report.candidate_count > 0
+
+    def test_cxx_binary_pads_are_candidates_and_compliant(self):
+        binary = _binary(cxx=True)
+        report = audit_ibt(ELFFile(binary.data))
+        assert report.compliant
+        assert any(src == TargetSource.LANDING_PAD
+                   for src in report.candidates.values())
+
+    def test_data_pointers_are_candidates(self):
+        binary = _binary()
+        report = audit_ibt(ELFFile(binary.data))
+        assert any(src == TargetSource.DATA_POINTER
+                   for src in report.candidates.values())
+
+    def test_code_xrefs_are_candidates(self):
+        binary = _binary()
+        report = audit_ibt(ELFFile(binary.data))
+        assert any(src == TargetSource.CODE_XREF
+                   for src in report.candidates.values())
+
+
+class TestViolations:
+    def test_stripped_marker_is_flagged(self):
+        binary = _binary(violations=2)
+        report = audit_ibt(ELFFile(binary.data))
+        assert not report.compliant
+        assert len(report.violations) >= 2
+
+    def test_violation_targets_are_the_broken_functions(self):
+        binary = _binary(violations=2)
+        broken = {e.address for e in binary.ground_truth.entries
+                  if e.is_function and not e.has_endbr and not e.is_dead}
+        report = audit_ibt(ELFFile(binary.data))
+        flagged = {v.target for v in report.violations}
+        # Every flagged target is genuinely endbr-less; the injected
+        # address-taken ones are among them.
+        assert flagged <= broken | {
+            e.address for e in binary.ground_truth.entries
+            if not e.has_endbr
+        }
+        assert flagged & broken
+
+    def test_empty_binary(self):
+        from repro.elf import constants as C
+        from repro.elf.writer import ElfWriter, SectionSpec
+
+        w = ElfWriter(is64=True, machine=C.EM_X86_64, pie=False)
+        w.add_section(SectionSpec(
+            name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+            data=b"x", sh_addr=w.base_addr + 0x1000))
+        report = audit_ibt(ELFFile(w.build()))
+        assert report.compliant
+        assert report.candidate_count == 0

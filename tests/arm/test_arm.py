@@ -1,0 +1,130 @@
+"""Tests for the AArch64 BTI extension (paper §VI)."""
+
+import pytest
+
+from repro.arm.decoder import A64Class, classify_word, sweep
+from repro.arm.funseeker_bti import identify_functions_bti
+from repro.arm.synth import generate_bti_program, link_bti_program
+from repro.elf.parser import ELFFile
+from repro.eval.metrics import score
+
+
+class TestWordClassification:
+    @pytest.mark.parametrize("word,klass", [
+        (0xD503241F, A64Class.BTI),    # bti
+        (0xD503245F, A64Class.BTI),    # bti c
+        (0xD503249F, A64Class.BTI),    # bti j
+        (0xD50324DF, A64Class.BTI),    # bti jc
+        (0xD503201F, A64Class.NOP),
+        (0xD65F03C0, A64Class.RET),
+        (0xD61F0000, A64Class.BR),     # br x0
+        (0xD63F0040, A64Class.BLR),    # blr x2
+        (0x91000400, A64Class.OTHER),  # add
+        (0x90000000, A64Class.ADRP),
+    ])
+    def test_fixed_encodings(self, word, klass):
+        assert classify_word(word, 0x1000).klass == klass
+
+    def test_bl_forward_target(self):
+        # bl +8 at 0x1000: imm26 = 2.
+        insn = classify_word(0x94000002, 0x1000)
+        assert insn.klass == A64Class.BL
+        assert insn.target == 0x1008
+
+    def test_bl_backward_target(self):
+        # bl -4: imm26 = -1 (0x3FFFFFF).
+        insn = classify_word(0x97FFFFFF, 0x1000)
+        assert insn.target == 0xFFC
+
+    def test_b_target(self):
+        insn = classify_word(0x14000004, 0x2000)
+        assert insn.klass == A64Class.B
+        assert insn.target == 0x2010
+
+    def test_b_cond_target(self):
+        # b.eq +16: imm19 = 4.
+        insn = classify_word(0x54000080, 0x3000)
+        assert insn.klass == A64Class.B_COND
+        assert insn.target == 0x3010
+
+    def test_sweep_word_granularity(self):
+        import struct
+
+        data = struct.pack("<3I", 0xD503245F, 0x91000400, 0xD65F03C0)
+        insns = sweep(data, 0x1000)
+        assert [i.addr for i in insns] == [0x1000, 0x1004, 0x1008]
+        assert insns[0].klass == A64Class.BTI
+        assert insns[-1].klass == A64Class.RET
+
+
+class TestBtiPipeline:
+    @pytest.fixture(scope="class")
+    def binary(self):
+        funcs = generate_bti_program(100, seed=3)
+        return link_bti_program(funcs, seed=3)
+
+    def test_binary_parses(self, binary):
+        elf = ELFFile(binary.data)
+        assert elf.machine == 183  # EM_AARCH64
+        assert elf.section(".text") is not None
+
+    def test_bti_markers_match_ground_truth(self, binary):
+        elf = ELFFile(binary.data)
+        result = identify_functions_bti(elf)
+        gt_bti = {e.address for e in binary.ground_truth.entries
+                  if e.has_endbr}
+        assert gt_bti <= result.bti_addrs
+
+    def test_high_precision_recall(self, binary):
+        elf = ELFFile(binary.data)
+        result = identify_functions_bti(elf)
+        conf = score(binary.ground_truth.function_starts, result.functions)
+        assert conf.precision > 0.97
+        assert conf.recall > 0.9
+
+    def test_rejects_x86_binary(self, sample_binary):
+        with pytest.raises(ValueError):
+            identify_functions_bti(ELFFile(sample_binary.data))
+
+    def test_deterministic_generation(self):
+        a = link_bti_program(generate_bti_program(40, seed=1), seed=1)
+        b = link_bti_program(generate_bti_program(40, seed=1), seed=1)
+        assert a.data == b.data
+
+
+class TestArmLandingPads:
+    """The ARM analogue of Fig. 2b: BTI-j catch blocks filtered via the
+    shared LSDA machinery."""
+
+    @pytest.fixture(scope="class")
+    def cxx_binary(self):
+        funcs = generate_bti_program(80, seed=7, cxx=True)
+        return link_bti_program(funcs, seed=7)
+
+    def test_exception_sections_emitted(self, cxx_binary):
+        elf = ELFFile(cxx_binary.data)
+        assert elf.section(".eh_frame") is not None
+        assert elf.section(".gcc_except_table") is not None
+
+    def test_pads_detected_and_filtered(self, cxx_binary):
+        elf = ELFFile(cxx_binary.data)
+        result = identify_functions_bti(elf)
+        assert result.landing_pads
+        # Pads carry BTI markers but are not reported as functions.
+        assert result.landing_pads <= result.bti_addrs
+        assert not (result.landing_pads & result.functions)
+
+    def test_precision_survives_pads(self, cxx_binary):
+        elf = ELFFile(cxx_binary.data)
+        result = identify_functions_bti(elf)
+        conf = score(cxx_binary.ground_truth.function_starts,
+                     result.functions)
+        assert conf.precision > 0.97
+        assert conf.recall > 0.9
+
+    def test_naive_bti_only_would_overcount(self, cxx_binary):
+        elf = ELFFile(cxx_binary.data)
+        result = identify_functions_bti(elf)
+        gt = cxx_binary.ground_truth.function_starts
+        naive_fps = result.bti_addrs - gt
+        assert naive_fps >= result.landing_pads

@@ -1,0 +1,71 @@
+"""Tests for the CET enforcement simulator."""
+
+import pytest
+
+from repro.cet import FaultKind, simulate_enforcement
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+PROFILE = CompilerProfile("gcc", "O2", 64, True)
+
+
+def _binary(seed=61, violations=0, cxx=False):
+    spec = generate_program("cet", 50, PROFILE, seed=seed, cxx=cxx,
+                            ibt_violations=violations)
+    return link_program(spec, PROFILE)
+
+
+class TestCompliantTrace:
+    def test_clean_binary_traces_without_faults(self):
+        report = simulate_enforcement(ELFFile(_binary().data))
+        assert report.clean
+        assert report.calls_simulated >= 5
+        assert report.indirect_dispatches > 0
+        assert report.max_shadow_depth >= 1
+
+    def test_cxx_binary_also_clean(self):
+        report = simulate_enforcement(ELFFile(_binary(cxx=True).data))
+        assert report.clean
+
+    def test_every_call_edge_visited_once(self):
+        from repro.cet.enforcement import CetMachine
+
+        elf = ELFFile(_binary().data)
+        machine = CetMachine(elf)
+        report = machine.run()
+        assert report.calls_simulated == len(machine._seen_calls)
+
+
+class TestViolations:
+    def test_stripped_markers_fault_at_dispatch(self):
+        binary = _binary(violations=2)
+        report = simulate_enforcement(ELFFile(binary.data))
+        assert not report.clean
+        ibt_faults = [f for f in report.faults
+                      if f.kind == FaultKind.IBT]
+        assert ibt_faults
+        broken = {e.address for e in binary.ground_truth.entries
+                  if e.is_function and not e.has_endbr}
+        for fault in ibt_faults:
+            assert fault.target in broken
+
+    def test_fault_count_scales_with_violations(self):
+        few = simulate_enforcement(
+            ELFFile(_binary(seed=62, violations=1).data))
+        many = simulate_enforcement(
+            ELFFile(_binary(seed=62, violations=4).data))
+        assert len(many.faults) > len(few.faults)
+
+
+class TestGuards:
+    def test_no_text_rejected(self):
+        from repro.cet.enforcement import CetMachine
+        from repro.elf import constants as C
+        from repro.elf.writer import ElfWriter, SectionSpec
+
+        w = ElfWriter(is64=True, machine=C.EM_X86_64, pie=False)
+        w.add_section(SectionSpec(
+            name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+            data=b"x", sh_addr=w.base_addr + 0x1000))
+        with pytest.raises(ValueError):
+            CetMachine(ELFFile(w.build()))

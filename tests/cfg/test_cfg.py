@@ -1,0 +1,147 @@
+"""Tests for CFG and call-graph recovery."""
+
+import pytest
+
+from repro.cfg import build_function_cfg, recover_program_cfg
+from repro.core.funseeker import FunSeeker
+from repro.elf.parser import ELFFile
+from repro.x86.insn import InsnClass
+
+
+def _code(*chunks: bytes) -> bytes:
+    return b"".join(chunks)
+
+
+class TestSingleBlock:
+    def test_straight_line_function(self):
+        code = _code(b"\xf3\x0f\x1e\xfa", b"\x55", b"\xc3")
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000)
+        assert cfg.block_count == 1
+        block = cfg.blocks[0x1000]
+        assert len(block.insns) == 3
+        assert block.terminator.klass == InsnClass.RET
+        assert block.is_exit
+        assert cfg.high_addr == 0x1006
+
+    def test_call_targets_collected(self):
+        # entry: call +0x0b (lands at 0x100b = helper); ret. helper: ret.
+        code = _code(b"\xe8\x06\x00\x00\x00", b"\xc3",
+                     b"\x90" * 5, b"\xc3")
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000, limit=0x100B)
+        assert cfg.call_targets == {0x100B}
+
+
+class TestDiamond:
+    def test_if_else_merge(self):
+        # 0x1000: je +3 (-> 0x1005); 0x1002: jmp +2 (-> 0x1006 wrong...)
+        # Build: cmp; je L1; mov; jmp L2; L1: mov; L2: ret
+        code = _code(
+            b"\x83\xf8\x05",              # cmp eax, 5       0x1000
+            b"\x74\x07",                  # je 0x100c        0x1003
+            b"\xb8\x01\x00\x00\x00",      # mov eax, 1       0x1005
+            b"\xeb\x05",                  # jmp 0x1011       0x100a
+            b"\xb8\x02\x00\x00\x00",      # mov eax, 2       0x100c
+            b"\xc3",                      # ret              0x1011
+        )
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000)
+        assert cfg.block_count == 4
+        entry = cfg.blocks[0x1000]
+        assert sorted(entry.successors) == [0x1005, 0x100C]
+        then_block = cfg.blocks[0x1005]
+        assert then_block.successors == [0x1011]
+        else_block = cfg.blocks[0x100C]
+        assert else_block.successors == [0x1011]
+        merge = cfg.blocks[0x1011]
+        assert merge.is_exit
+        assert len(cfg.edges()) == 4
+
+    def test_loop_back_edge(self):
+        code = _code(
+            b"\x31\xc0",                  # xor eax, eax     0x1000
+            b"\x83\xc0\x07",              # add eax, 7       0x1002 (head)
+            b"\x83\xf8\x40",              # cmp eax, 64      0x1005
+            b"\x7c\xf8",                  # jl 0x1002        0x1008
+            b"\xc3",                      # ret              0x100a
+        )
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000)
+        assert 0x1002 in cfg.blocks
+        edges = cfg.edges()
+        assert (0x1002, 0x1002) in edges or \
+            any(dst == 0x1002 for _src, dst in edges)
+
+    def test_tail_jump_out_has_no_successor(self):
+        code = _code(b"\xe9\x20\x00\x00\x00")  # jmp far outside limit
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000, limit=0x1005)
+        block = cfg.blocks[0x1000]
+        assert block.is_exit
+
+
+class TestLimits:
+    def test_limit_stops_exploration(self):
+        code = _code(b"\x90" * 8, b"\xc3", b"\x90" * 7)
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000, limit=0x1009)
+        assert cfg.high_addr <= 0x1009
+
+    def test_decode_error_terminates_block(self):
+        code = _code(b"\x90", b"\x06")  # nop, invalid-in-64
+        cfg = build_function_cfg(code, 0x1000, 64, 0x1000)
+        assert cfg.blocks[0x1000].insns[-1].klass == InsnClass.NOP
+
+
+class TestProgramCFG:
+    @pytest.fixture(scope="class")
+    def program(self, sample_binary):
+        elf = ELFFile(sample_binary.data)
+        functions = FunSeeker(elf).identify().functions
+        return recover_program_cfg(elf, functions), sample_binary
+
+    def test_every_function_has_a_cfg(self, program):
+        cfg, binary = program
+        assert len(cfg.functions) > 0
+        assert cfg.total_blocks >= len(cfg.functions)
+        assert cfg.total_insns > cfg.total_blocks
+
+    def test_boundaries_within_neighbors(self, program):
+        cfg, _binary = program
+        entries = sorted(cfg.functions)
+        bounds = cfg.boundaries()
+        for a, b in zip(entries, entries[1:]):
+            assert bounds[a] <= b
+
+    def test_call_graph_edges_land_on_entries(self, program):
+        cfg, _binary = program
+        for src, dst in cfg.call_graph.edges:
+            assert dst in cfg.functions
+
+    def test_main_reaches_functions(self, program):
+        cfg, binary = program
+        main = binary.ground_truth.entry_named("main").address
+        reachable = cfg.reachable_from(main)
+        assert len(reachable) > 3
+
+    def test_dead_functions_unreachable(self, program):
+        cfg, binary = program
+        start = binary.ground_truth.entry_named("_start").address
+        main = binary.ground_truth.entry_named("main").address
+        dead = {e.address for e in binary.ground_truth.entries
+                if e.is_function and e.is_dead}
+        unreachable = cfg.unreachable_functions({start, main})
+        assert dead & set(cfg.functions) <= unreachable
+
+    def test_boundary_estimates_match_ground_truth_sizes(self, program):
+        """Recovered boundaries approximate true sizes for most
+        functions (pads/fragments blur the tail)."""
+        cfg, binary = program
+        close = 0
+        total = 0
+        for entry_rec in binary.ground_truth.entries:
+            if not entry_rec.is_function:
+                continue
+            fn_cfg = cfg.functions.get(entry_rec.address)
+            if fn_cfg is None:
+                continue
+            total += 1
+            true_end = entry_rec.address + entry_rec.size
+            if abs(fn_cfg.high_addr - true_end) <= 16:
+                close += 1
+        assert total and close / total > 0.6

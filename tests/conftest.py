@@ -1,0 +1,47 @@
+"""Shared fixtures: synthetic sample binaries and a tiny corpus.
+
+Everything is session-scoped — corpus generation is deterministic, so
+building it once per test session is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf.parser import ELFFile
+from repro.synth import (
+    CompilerProfile,
+    generate_program,
+    link_program,
+)
+from repro.synth.corpus import build_corpus
+
+
+@pytest.fixture(scope="session")
+def gcc_o2_profile() -> CompilerProfile:
+    return CompilerProfile("gcc", "O2", 64, True)
+
+
+@pytest.fixture(scope="session")
+def sample_binary(gcc_o2_profile):
+    """A mid-sized C++ gcc/x86-64/PIE binary with every phenomenon."""
+    spec = generate_program("sample", 80, gcc_o2_profile, seed=42, cxx=True)
+    return link_program(spec, gcc_o2_profile)
+
+
+@pytest.fixture(scope="session")
+def sample_elf(sample_binary) -> ELFFile:
+    return ELFFile(sample_binary.data)
+
+
+@pytest.fixture(scope="session")
+def sample_c_binary():
+    """A plain-C clang/x86/non-PIE binary (the FETCH failure case)."""
+    profile = CompilerProfile("clang", "O2", 32, False)
+    spec = generate_program("sample32", 60, profile, seed=43, cxx=False)
+    return link_program(spec, profile)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    return build_corpus("tiny")

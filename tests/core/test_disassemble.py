@@ -1,0 +1,77 @@
+"""Tests for the DISASSEMBLE collection pass (E, C, J extraction)."""
+
+from repro.core.disassemble import disassemble
+from repro.x86.insn import InsnClass
+
+
+def _code(*chunks: bytes) -> bytes:
+    return b"".join(chunks)
+
+
+class TestCollection:
+    def test_endbr_collection(self):
+        code = _code(b"\xf3\x0f\x1e\xfa", b"\xc3",
+                     b"\xf3\x0f\x1e\xfa", b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        assert sweep.endbr_addrs == {0x1000, 0x1005}
+
+    def test_call_targets_inside_text(self):
+        # call +0 at 0x1000 targets 0x1005 (inside); ret at 0x1005.
+        code = _code(b"\xe8\x00\x00\x00\x00", b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        assert sweep.call_targets == {0x1005}
+        assert len(sweep.call_sites) == 1
+        assert sweep.call_sites[0].addr == 0x1000
+        assert sweep.call_sites[0].is_call
+
+    def test_external_call_separated(self):
+        # call far beyond the buffer -> external (PLT candidate).
+        code = _code(b"\xe8\x00\x10\x00\x00", b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        assert sweep.call_targets == set()
+        assert len(sweep.external_call_sites) == 1
+
+    def test_jump_targets(self):
+        code = _code(b"\xe9\x01\x00\x00\x00", b"\x90", b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        assert sweep.jump_targets == {0x1006}
+
+    def test_conditional_jumps_not_in_j(self):
+        code = _code(b"\x74\x01", b"\x90", b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        assert sweep.jump_targets == set()
+
+    def test_endbr_predecessor_recorded(self):
+        code = _code(b"\xe8\x00\x00\x00\x00",  # call (external-ish? no: +0)
+                     b"\xf3\x0f\x1e\xfa",       # endbr after the call
+                     b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        pred = sweep.endbr_predecessor[0x1005]
+        assert pred[0] == InsnClass.CALL_DIRECT
+        assert pred[1] == 0x1005
+
+    def test_endbr_at_start_has_no_predecessor(self):
+        sweep = disassemble(b"\xf3\x0f\x1e\xfa\xc3", 0x1000, 64)
+        assert 0x1000 not in sweep.endbr_predecessor
+
+    def test_predecessor_cleared_by_decode_error(self):
+        # call, invalid byte, endbr: the junk byte resets adjacency.
+        code = _code(b"\xe8\x00\x00\x00\x00", b"\x06",
+                     b"\xf3\x0f\x1e\xfa", b"\xc3")
+        sweep = disassemble(code, 0x1000, 64)
+        assert 0x1006 not in sweep.endbr_predecessor
+
+    def test_insn_count(self):
+        sweep = disassemble(b"\x90" * 7, 0, 64)
+        assert sweep.insn_count == 7
+
+    def test_bounds(self):
+        sweep = disassemble(b"\x90" * 16, 0x4000, 64)
+        assert sweep.text_start == 0x4000
+        assert sweep.text_end == 0x4010
+
+    def test_32_bit_mode(self):
+        code = _code(b"\xf3\x0f\x1e\xfb", b"\xe8\x00\x00\x00\x00", b"\xc3")
+        sweep = disassemble(code, 0x1000, 32)
+        assert 0x1000 in sweep.endbr_addrs
+        assert sweep.call_targets == {0x1009}

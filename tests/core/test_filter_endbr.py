@@ -1,0 +1,83 @@
+"""Tests for FILTERENDBR (paper §IV-C)."""
+
+from repro.core.disassemble import disassemble
+from repro.core.filter_endbr import filter_endbr
+from repro.core.indirect_return import (
+    INDIRECT_RETURN_FUNCTIONS,
+    is_indirect_return_name,
+)
+from repro.elf.plt import PLTMap
+
+
+def _plt(stubs: dict[int, str]) -> PLTMap:
+    ranges = [(min(stubs), max(stubs) + 16)] if stubs else []
+    return PLTMap(stub_to_name=dict(stubs), plt_ranges=ranges)
+
+
+class TestIndirectReturnNames:
+    def test_the_five_gcc_names(self):
+        assert INDIRECT_RETURN_FUNCTIONS == {
+            "setjmp", "sigsetjmp", "savectx", "vfork", "getcontext",
+        }
+
+    def test_underscore_aliases_match(self):
+        assert is_indirect_return_name("_setjmp")
+        assert is_indirect_return_name("__sigsetjmp")
+        assert is_indirect_return_name("vfork")
+
+    def test_other_names_do_not_match(self):
+        assert not is_indirect_return_name("printf")
+        assert not is_indirect_return_name("setjmperr")
+        assert not is_indirect_return_name("")
+
+
+class TestFiltering:
+    def _sweep_with_setjmp_call(self, plt_addr: int):
+        # call plt_addr; endbr64; ret — the Fig. 2a shape.
+        rel = plt_addr - 0x1005
+        code = (b"\xe8" + rel.to_bytes(4, "little", signed=True)
+                + b"\xf3\x0f\x1e\xfa" + b"\xc3")
+        return disassemble(code, 0x1000, 64)
+
+    def test_endbr_after_setjmp_call_removed(self):
+        sweep = self._sweep_with_setjmp_call(0x500)
+        plt = _plt({0x500: "setjmp"})
+        kept = filter_endbr(sweep, plt, landing_pads=set())
+        assert kept == set()
+
+    def test_endbr_after_ordinary_call_kept(self):
+        sweep = self._sweep_with_setjmp_call(0x500)
+        plt = _plt({0x500: "printf"})
+        kept = filter_endbr(sweep, plt, landing_pads=set())
+        assert kept == {0x1005}
+
+    def test_endbr_after_call_to_non_plt_kept(self):
+        sweep = self._sweep_with_setjmp_call(0x500)
+        kept = filter_endbr(sweep, _plt({}), landing_pads=set())
+        assert kept == {0x1005}
+
+    def test_landing_pads_removed(self):
+        code = b"\xf3\x0f\x1e\xfa\xc3" + b"\xf3\x0f\x1e\xfa\xc3"
+        sweep = disassemble(code, 0x1000, 64)
+        kept = filter_endbr(sweep, _plt({}), landing_pads={0x1005})
+        assert kept == {0x1000}
+
+    def test_vfork_site_removed(self):
+        sweep = self._sweep_with_setjmp_call(0x510)
+        plt = _plt({0x510: "vfork"})
+        assert filter_endbr(sweep, plt, landing_pads=set()) == set()
+
+    def test_function_entry_endbrs_survive(self, sample_binary):
+        """On the synthetic C++ binary, filtering keeps exactly the
+        ground-truth entry end-branches."""
+        from repro.core.funseeker import FunSeeker
+
+        result = FunSeeker.from_bytes(sample_binary.data).identify()
+        gt = sample_binary.ground_truth
+        endbr_entries = {e.address for e in gt.entries
+                         if e.is_function and e.has_endbr}
+        assert endbr_entries <= result.endbr_filtered
+        # Everything filtered out was a pad or an indirect-return site.
+        removed = result.endbr_all - result.endbr_filtered
+        assert removed
+        assert not (removed & gt.function_starts)

@@ -1,0 +1,127 @@
+"""End-to-end tests for the FunSeeker pipeline and its configurations."""
+
+import pytest
+
+from repro.core.funseeker import Config, FunSeeker, identify_functions
+from repro.elf.parser import ELFFile, ElfParseError
+from repro.eval.metrics import score
+from repro.synth import CompilerProfile, generate_program, link_program
+
+
+@pytest.fixture(scope="module")
+def cxx_binary():
+    profile = CompilerProfile("gcc", "O2", 64, True)
+    spec = generate_program("fseek", 100, profile, seed=77, cxx=True)
+    return link_program(spec, profile)
+
+
+class TestPipeline:
+    def test_identify_returns_functions(self, cxx_binary):
+        result = FunSeeker.from_bytes(cxx_binary.data).identify()
+        assert result.functions
+        assert result.insn_count > 0
+        assert result.elapsed_seconds >= 0
+
+    def test_high_precision_and_recall(self, cxx_binary):
+        result = FunSeeker.from_bytes(cxx_binary.data).identify()
+        conf = score(cxx_binary.ground_truth.function_starts,
+                     result.functions)
+        assert conf.precision > 0.97
+        assert conf.recall > 0.97
+
+    def test_works_on_stripped_binary(self, cxx_binary):
+        from repro.elf.parser import strip_symbols
+
+        stripped = strip_symbols(cxx_binary.data)
+        full = FunSeeker.from_bytes(cxx_binary.data).identify()
+        bare = FunSeeker.from_bytes(stripped).identify()
+        assert full.functions == bare.functions
+
+    def test_identify_functions_helper(self, cxx_binary):
+        funcs = identify_functions(cxx_binary.data)
+        assert funcs == FunSeeker.from_bytes(cxx_binary.data) \
+            .identify().functions
+
+    def test_from_path(self, cxx_binary, tmp_path):
+        path = tmp_path / "bin"
+        path.write_bytes(cxx_binary.data)
+        result = FunSeeker.from_path(path).identify()
+        assert result.functions
+
+    def test_deterministic(self, cxx_binary):
+        a = FunSeeker.from_bytes(cxx_binary.data).identify()
+        b = FunSeeker.from_bytes(cxx_binary.data).identify()
+        assert a.functions == b.functions
+
+    def test_non_elf_raises(self):
+        with pytest.raises(ElfParseError):
+            FunSeeker.from_bytes(b"garbage data here")
+
+
+class TestConfigurations:
+    """Table II's structural relationships between configurations."""
+
+    @pytest.fixture(scope="class")
+    def results(self, cxx_binary):
+        out = {}
+        for cfg in Config:
+            result = FunSeeker.from_bytes(cxx_binary.data, cfg).identify()
+            out[cfg] = score(cxx_binary.ground_truth.function_starts,
+                             result.functions)
+        return out
+
+    def test_filter_improves_precision_on_cxx(self, results):
+        # ② >= ① precision: filtering removes landing-pad FPs.
+        assert results[Config.FILTERED].precision \
+            > results[Config.RAW].precision
+
+    def test_filter_preserves_recall(self, results):
+        assert results[Config.FILTERED].recall == results[Config.RAW].recall
+
+    def test_all_jumps_has_best_recall_worst_precision(self, results):
+        assert results[Config.ALL_JUMPS].recall \
+            >= max(r.recall for r in results.values()) - 1e-9
+        assert results[Config.ALL_JUMPS].precision \
+            <= min(r.precision for r in results.values()) + 1e-9
+
+    def test_full_recovers_precision(self, results):
+        assert results[Config.FULL].precision \
+            > results[Config.ALL_JUMPS].precision + 0.5
+
+    def test_full_gains_recall_over_filtered(self, results):
+        assert results[Config.FULL].recall \
+            >= results[Config.FILTERED].recall
+
+
+class TestDegenerateInputs:
+    def test_empty_text_section(self):
+        from repro.elf import constants as C
+        from repro.elf.writer import ElfWriter, SectionSpec
+
+        w = ElfWriter(is64=True, machine=C.EM_X86_64, pie=False)
+        w.add_section(SectionSpec(
+            name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+            data=b"x", sh_addr=w.base_addr + 0x1000,
+        ))
+        result = FunSeeker.from_bytes(w.build()).identify()
+        assert result.functions == set()
+
+    def test_c_binary_without_exception_sections(self, sample_c_binary):
+        result = FunSeeker.from_bytes(sample_c_binary.data).identify()
+        assert result.landing_pads == set()
+        conf = score(sample_c_binary.ground_truth.function_starts,
+                     result.functions)
+        assert conf.recall > 0.95
+
+
+class TestArchitectureGuard:
+    def test_aarch64_binary_rejected(self):
+        from repro.arm import generate_bti_program, link_bti_program
+
+        binary = link_bti_program(generate_bti_program(10, seed=1), seed=1)
+        with pytest.raises(ValueError, match="identify_functions_bti"):
+            FunSeeker.from_bytes(binary.data)
+
+    def test_x86_variants_accepted(self, sample_c_binary, cxx_binary):
+        FunSeeker.from_bytes(sample_c_binary.data)  # x86, no raise
+        FunSeeker.from_bytes(cxx_binary.data)       # x86-64, no raise

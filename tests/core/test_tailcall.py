@@ -1,0 +1,85 @@
+"""Tests for SELECTTAILCALL's two conditions (paper §IV-D)."""
+
+from repro.core.disassemble import BranchSite
+from repro.core.tailcall import select_tail_calls
+
+
+def _jmp(addr, target):
+    return BranchSite(addr, target, is_call=False)
+
+
+def _call(addr, target):
+    return BranchSite(addr, target, is_call=True)
+
+
+TEXT = (0x1000, 0x5000)
+
+
+class TestConditionOne:
+    def test_intra_function_jump_rejected(self):
+        # Function at 0x1000, next at 0x2000; jump inside own body.
+        entries = {0x1000, 0x2000}
+        sites = [_jmp(0x1100, 0x1200)]
+        assert select_tail_calls(sites, [], entries, *TEXT) == set()
+
+    def test_escaping_jump_needs_condition_two(self):
+        entries = {0x1000, 0x2000}
+        sites = [_jmp(0x1100, 0x3000)]
+        # Only one referencing function -> rejected by condition 2.
+        assert select_tail_calls(sites, [], entries, *TEXT) == set()
+
+    def test_backward_escape_also_counts(self):
+        entries = {0x2000, 0x3000}
+        sites = [_jmp(0x2100, 0x1800), _jmp(0x3100, 0x1800)]
+        assert select_tail_calls(sites, [], entries, *TEXT) == {0x1800}
+
+
+class TestConditionTwo:
+    def test_two_referencing_functions_accepted(self):
+        entries = {0x1000, 0x2000}
+        sites = [_jmp(0x1100, 0x4000), _jmp(0x2100, 0x4000)]
+        assert select_tail_calls(sites, [], entries, *TEXT) == {0x4000}
+
+    def test_two_sites_same_function_rejected(self):
+        entries = {0x1000, 0x2000}
+        sites = [_jmp(0x1100, 0x4000), _jmp(0x1200, 0x4000)]
+        assert select_tail_calls(sites, [], entries, *TEXT) == set()
+
+    def test_call_reference_counts_toward_multiplicity(self):
+        entries = {0x1000, 0x2000}
+        jumps = [_jmp(0x1100, 0x4000)]
+        calls = [_call(0x2100, 0x4000)]
+        assert select_tail_calls(jumps, calls, entries, *TEXT) == {0x4000}
+
+    def test_known_entry_not_reselected(self):
+        entries = {0x1000, 0x2000, 0x4000}
+        sites = [_jmp(0x1100, 0x4000), _jmp(0x2100, 0x4000)]
+        # Already identified: nothing new to add.
+        assert select_tail_calls(sites, [], entries, *TEXT) == set()
+
+
+class TestEdgeCases:
+    def test_no_entries(self):
+        sites = [_jmp(0x1100, 0x4000)]
+        assert select_tail_calls(sites, [], set(), *TEXT) == set()
+
+    def test_no_jumps(self):
+        assert select_tail_calls([], [], {0x1000}, *TEXT) == set()
+
+    def test_jump_before_first_entry(self):
+        # Site sits before any known function: owner falls back to the
+        # text start; escape semantics still apply.
+        entries = {0x3000}
+        sites = [_jmp(0x1100, 0x4000), _jmp(0x3100, 0x4000)]
+        assert select_tail_calls(sites, [], entries, *TEXT) == {0x4000}
+
+    def test_paper_fp_case_part_fragment(self, sample_binary):
+        """Tail-jumped .part fragments are (correctly per the algorithm,
+        incorrectly per the ground truth) selected — the paper's §V-C
+        false-positive class."""
+        from repro.core.funseeker import Config, FunSeeker
+
+        result = FunSeeker.from_bytes(sample_binary.data).identify()
+        gt = sample_binary.ground_truth
+        fps = result.functions - gt.function_starts
+        assert fps <= gt.fragment_starts

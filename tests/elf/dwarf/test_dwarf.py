@@ -1,0 +1,125 @@
+"""Tests for the DWARF writer/parser and ground-truth integration."""
+
+import pytest
+
+from repro.analysis.groundtruth import (
+    extract_ground_truth,
+    ground_truth_from_dwarf,
+)
+from repro.elf.dwarf import (
+    DwarfError,
+    FunctionDebugInfo,
+    Subprogram,
+    build_debug_info,
+    parse_abbrev_table,
+    parse_subprograms,
+)
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+
+
+def _image_with_debug(functions, is64=True):
+    """A minimal ELF carrying only the debug sections."""
+    from repro.elf import constants as C
+    from repro.elf.writer import ElfWriter, SectionSpec
+
+    info, abbrev, strtab = build_debug_info(
+        "unit", functions, addr_size=8 if is64 else 4)
+    writer = ElfWriter(is64=is64,
+                       machine=C.EM_X86_64 if is64 else C.EM_386,
+                       pie=False)
+    for name, data in ((".debug_info", info), (".debug_abbrev", abbrev),
+                       (".debug_str", strtab)):
+        writer.add_section(SectionSpec(
+            name=name, sh_type=C.SHT_PROGBITS, sh_flags=0, data=data))
+    return ELFFile(writer.build())
+
+
+class TestRoundTrip:
+    def test_single_subprogram(self):
+        elf = _image_with_debug(
+            [FunctionDebugInfo(name="main", low_pc=0x1000, size=0x40)])
+        subs = parse_subprograms(elf)
+        assert subs == [Subprogram(name="main", low_pc=0x1000,
+                                   high_pc=0x1040)]
+
+    def test_many_subprograms(self):
+        funcs = [FunctionDebugInfo(name=f"fn{i}", low_pc=0x1000 + i * 64,
+                                   size=48, external=i % 2 == 0)
+                 for i in range(50)]
+        subs = parse_subprograms(_image_with_debug(funcs))
+        assert len(subs) == 50
+        assert [s.name for s in subs] == [f.name for f in funcs]
+        assert all(s.size == 48 for s in subs)
+
+    def test_32bit_addresses(self):
+        elf = _image_with_debug(
+            [FunctionDebugInfo(name="f", low_pc=0x8049000, size=16)],
+            is64=False)
+        subs = parse_subprograms(elf)
+        assert subs[0].low_pc == 0x8049000
+
+    def test_no_debug_info_is_empty(self, sample_c_binary):
+        from repro.elf.parser import strip_symbols
+
+        elf = ELFFile(strip_symbols(sample_c_binary.data))
+        assert parse_subprograms(elf) == []
+
+    def test_abbrev_table_parse(self):
+        from repro.elf.dwarf.writer import build_abbrev
+
+        table = parse_abbrev_table(build_abbrev(), 0)
+        assert set(table) == {1, 2}
+        assert table[1].has_children
+        assert not table[2].has_children
+        assert len(table[2].attributes) == 4
+
+
+class TestMalformed:
+    def test_unknown_abbrev_code_raises(self):
+        elf = _image_with_debug(
+            [FunctionDebugInfo(name="f", low_pc=0x1000, size=1)])
+        info = bytearray(elf.section(".debug_info").data)
+        info[11] = 99  # first abbrev code after the 11-byte CU header
+        from repro.elf.dwarf.parser import _Sections, _parse_unit
+        from repro.elf.reader import ByteReader
+
+        secs = _Sections(info=bytes(info),
+                         abbrev=elf.section(".debug_abbrev").data,
+                         strtab=elf.section(".debug_str").data)
+        with pytest.raises(DwarfError):
+            _parse_unit(ByteReader(bytes(info)), secs)
+
+    def test_truncated_abbrev_raises(self):
+        with pytest.raises(DwarfError):
+            parse_abbrev_table(b"\x01\x2e", 0)
+
+
+class TestGroundTruthIntegration:
+    @pytest.mark.parametrize("bits,pie", [(64, True), (64, False),
+                                          (32, True), (32, False)])
+    def test_dwarf_ground_truth_matches_linker(self, bits, pie):
+        profile = CompilerProfile("gcc", "O2", bits, pie)
+        spec = generate_program("dwgt", 50, profile, seed=19, cxx=True)
+        binary = link_program(spec, profile)
+        elf = ELFFile(binary.data)
+        assert extract_ground_truth(elf) == \
+            binary.ground_truth.function_starts
+
+    def test_fragments_excluded_from_dwarf_gt(self):
+        profile = CompilerProfile("gcc", "O2", 64, True)
+        for seed in range(6):
+            spec = generate_program("dwfr", 80, profile, seed=seed)
+            binary = link_program(spec, profile)
+            if binary.ground_truth.fragment_starts:
+                gt = ground_truth_from_dwarf(ELFFile(binary.data))
+                assert not (gt & binary.ground_truth.fragment_starts)
+                return
+        pytest.fail("no fragments generated")
+
+    def test_stripped_binary_yields_empty(self, sample_binary):
+        from repro.elf.parser import strip_symbols
+
+        elf = ELFFile(strip_symbols(sample_binary.data))
+        assert ground_truth_from_dwarf(elf) == set()
+        assert extract_ground_truth(elf) == set()

@@ -1,0 +1,122 @@
+"""Tests for .eh_frame parsing against the synthetic writer and
+hand-crafted records."""
+
+import struct
+
+import pytest
+
+from repro.elf import constants as C
+from repro.elf.ehframe import EhFrameError, parse_eh_frame
+from repro.synth.ehwriter import FdeRequest, build_eh_frame, patch_eh_frame
+
+
+def _build(fdes, func_addrs, eh_addr=0x5000, lsda_addr=0x6000,
+           personality=0):
+    blob = build_eh_frame(fdes, personality_addr=personality)
+    return patch_eh_frame(blob, eh_addr, lsda_addr, func_addrs)
+
+
+class TestWriterParserRoundTrip:
+    def test_single_plain_fde(self):
+        data = _build([FdeRequest(0, 0x40)], [0x1000])
+        eh = parse_eh_frame(data, 0x5000, is64=True)
+        assert len(eh.cies) == 2  # zR and zPLR
+        assert len(eh.fdes) == 1
+        fde = eh.fdes[0]
+        assert fde.pc_begin == 0x1000
+        assert fde.pc_range == 0x40
+        assert fde.lsda_address is None
+
+    def test_fde_with_lsda(self):
+        data = _build([FdeRequest(0, 0x80, lsda_offset=0x10)], [0x2000])
+        eh = parse_eh_frame(data, 0x5000, is64=True)
+        assert eh.fdes[0].lsda_address == 0x6010
+
+    def test_many_fdes_in_order(self):
+        addrs = [0x1000 + i * 0x100 for i in range(20)]
+        fdes = [FdeRequest(i, 0x80) for i in range(20)]
+        eh = parse_eh_frame(_build(fdes, addrs), 0x5000, is64=True)
+        assert [f.pc_begin for f in eh.fdes] == addrs
+
+    def test_fde_covering(self):
+        data = _build([FdeRequest(0, 0x40), FdeRequest(1, 0x40)],
+                      [0x1000, 0x1040])
+        eh = parse_eh_frame(data, 0x5000, is64=True)
+        assert eh.fde_covering(0x1000).pc_begin == 0x1000
+        assert eh.fde_covering(0x103F).pc_begin == 0x1000
+        assert eh.fde_covering(0x1040).pc_begin == 0x1040
+        assert eh.fde_covering(0x2000) is None
+
+    def test_cie_fields(self):
+        data = _build([FdeRequest(0, 0x40)], [0x1000])
+        eh = parse_eh_frame(data, 0x5000, is64=True)
+        plain = [c for c in eh.cies.values() if c.augmentation == "zR"]
+        lsda = [c for c in eh.cies.values() if c.augmentation == "zPLR"]
+        assert len(plain) == 1 and len(lsda) == 1
+        assert plain[0].fde_encoding == 0x1B  # pcrel | sdata4
+        assert lsda[0].lsda_encoding == 0x1B
+        assert lsda[0].personality is not None
+
+    def test_personality_value(self):
+        data = _build([FdeRequest(0, 4, lsda_offset=0)], [0x1000],
+                      personality=0xDEAD)
+        eh = parse_eh_frame(data, 0x5000, is64=True)
+        lsda_cie = next(c for c in eh.cies.values()
+                        if c.augmentation == "zPLR")
+        assert lsda_cie.personality == 0xDEAD
+
+    def test_32_bit_parse(self):
+        data = _build([FdeRequest(0, 0x40)], [0x8049000])
+        eh = parse_eh_frame(data, 0x5000, is64=False)
+        assert eh.fdes[0].pc_begin == 0x8049000
+
+
+class TestMalformedInput:
+    def test_empty_section(self):
+        eh = parse_eh_frame(b"", 0x5000, is64=True)
+        assert not eh.fdes and not eh.cies
+
+    def test_terminator_only(self):
+        eh = parse_eh_frame(struct.pack("<I", 0), 0x5000, is64=True)
+        assert not eh.fdes
+
+    def test_fde_without_cie_raises(self):
+        # length=8, cie_ptr pointing nowhere meaningful.
+        data = struct.pack("<II", 8, 0x1234) + b"\x00" * 4
+        with pytest.raises(EhFrameError):
+            parse_eh_frame(data, 0x5000, is64=True)
+
+    def test_truncated_record_raises(self):
+        data = struct.pack("<I", 100) + b"\x00" * 8
+        with pytest.raises(EhFrameError):
+            parse_eh_frame(data, 0x5000, is64=True)
+
+    def test_unsupported_cie_version_raises(self):
+        body = struct.pack("<I", 0) + bytes([99]) + b"zR\x00"
+        body += b"\x01\x78\x10\x01\x1b"
+        data = struct.pack("<I", len(body)) + body
+        with pytest.raises(EhFrameError):
+            parse_eh_frame(data, 0x5000, is64=True)
+
+
+class TestOnSynthBinary:
+    def test_every_function_has_fde_under_gcc(self, sample_binary):
+        """GCC profiles emit FDEs for all functions and fragments."""
+        from repro.elf.parser import ELFFile
+
+        elf = ELFFile(sample_binary.data)
+        sec = elf.section(".eh_frame")
+        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
+        starts = {f.pc_begin for f in eh.fdes}
+        gt = sample_binary.ground_truth
+        for entry in gt.entries:
+            assert entry.address in starts
+
+    def test_no_c_fdes_for_clang_x86(self, sample_c_binary):
+        """Clang x86 C binaries carry no FDEs (the FETCH failure)."""
+        from repro.elf.parser import ELFFile
+
+        elf = ELFFile(sample_c_binary.data)
+        sec = elf.section(".eh_frame")
+        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
+        assert not eh.fdes

@@ -1,0 +1,95 @@
+"""Tests for the .eh_frame_hdr search-table index."""
+
+import pytest
+
+from repro.elf.ehframehdr import (
+    EhFrameHdrError,
+    build_eh_frame_hdr,
+    parse_eh_frame_hdr,
+)
+from repro.elf.parser import ELFFile
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        entries = [(0x1000, 0x5020), (0x1100, 0x5038), (0x1200, 0x5050)]
+        data = build_eh_frame_hdr(0x4000, 0x5000, entries)
+        hdr = parse_eh_frame_hdr(data, 0x4000)
+        assert hdr.eh_frame_addr == 0x5000
+        assert hdr.fde_count == 3
+        assert hdr.table == sorted(entries)
+        assert hdr.function_starts() == {0x1000, 0x1100, 0x1200}
+
+    def test_entries_get_sorted(self):
+        entries = [(0x3000, 3), (0x1000, 1), (0x2000, 2)]
+        data = build_eh_frame_hdr(0x4000, 0x5000, entries)
+        hdr = parse_eh_frame_hdr(data, 0x4000)
+        assert [loc for loc, _ in hdr.table] == [0x1000, 0x2000, 0x3000]
+
+    def test_empty_table(self):
+        data = build_eh_frame_hdr(0x4000, 0x5000, [])
+        hdr = parse_eh_frame_hdr(data, 0x4000)
+        assert hdr.fde_count == 0
+
+    def test_lookup_binary_search(self):
+        entries = [(0x1000, 11), (0x1100, 22), (0x1200, 33)]
+        data = build_eh_frame_hdr(0x4000, 0x5000, entries)
+        hdr = parse_eh_frame_hdr(data, 0x4000)
+        assert hdr.lookup(0x1000) == 11
+        assert hdr.lookup(0x10FF) == 11
+        assert hdr.lookup(0x1150) == 22
+        assert hdr.lookup(0x9999) == 33
+        assert hdr.lookup(0x0FFF) is None
+
+    def test_bad_version_raises(self):
+        data = bytearray(build_eh_frame_hdr(0x4000, 0x5000, []))
+        data[0] = 9
+        with pytest.raises(EhFrameHdrError):
+            parse_eh_frame_hdr(bytes(data), 0x4000)
+
+    def test_truncated_raises(self):
+        data = build_eh_frame_hdr(0x4000, 0x5000, [(0x1000, 1)])
+        with pytest.raises(EhFrameHdrError):
+            parse_eh_frame_hdr(data[:8], 0x4000)
+
+
+class TestOnSynthBinary:
+    def test_hdr_matches_eh_frame(self, sample_binary):
+        from repro.elf.ehframe import parse_eh_frame
+
+        elf = ELFFile(sample_binary.data)
+        hdr_sec = elf.section(".eh_frame_hdr")
+        eh_sec = elf.section(".eh_frame")
+        assert hdr_sec is not None
+        hdr = parse_eh_frame_hdr(hdr_sec.data, hdr_sec.sh_addr)
+        assert hdr.eh_frame_addr == eh_sec.sh_addr
+        eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, elf.is64)
+        assert hdr.fde_count == len(eh.fdes)
+        assert hdr.function_starts() == {f.pc_begin for f in eh.fdes}
+        # Each table entry's FDE address points at the matching record.
+        by_start = {f.pc_begin: f for f in eh.fdes}
+        for loc, fde_addr in hdr.table:
+            fde = by_start[loc]
+            assert fde_addr == eh_sec.sh_addr + fde.offset
+
+    def test_hdr_on_real_binary(self, tmp_path):
+        """GNU ld's real .eh_frame_hdr parses identically."""
+        import shutil
+        import subprocess
+
+        gcc = shutil.which("gcc")
+        if not gcc:
+            pytest.skip("gcc unavailable")
+        src = tmp_path / "t.c"
+        src.write_text("int main(void) { return 0; }\n")
+        out = tmp_path / "t"
+        subprocess.run(
+            [gcc, "-O2", "-fcf-protection=full", "-o", str(out),
+             str(src)],
+            check=True, capture_output=True,
+        )
+        elf = ELFFile.from_path(out)
+        hdr_sec = elf.section(".eh_frame_hdr")
+        hdr = parse_eh_frame_hdr(hdr_sec.data, hdr_sec.sh_addr)
+        assert hdr.fde_count > 0
+        assert hdr.eh_frame_addr == elf.section(".eh_frame").sh_addr

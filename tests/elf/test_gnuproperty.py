@@ -1,0 +1,108 @@
+"""Tests for .note.gnu.property CET feature detection."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.elf.gnuproperty import (
+    CetFeatures,
+    build_cet_note,
+    parse_cet_features,
+)
+from repro.elf.parser import ELFFile
+
+
+class TestNoteRoundTrip:
+    def test_full_cet(self):
+        from repro.elf.gnuproperty import _parse_note
+
+        note = build_cet_note(ibt=True, shstk=True)
+        features = _parse_note(note, is64=True)
+        assert features.ibt and features.shstk
+        assert features.full
+
+    def test_ibt_only(self):
+        from repro.elf.gnuproperty import _parse_note
+
+        features = _parse_note(build_cet_note(ibt=True, shstk=False),
+                               is64=True)
+        assert features.ibt and not features.shstk
+        assert not features.full
+        assert features.any
+
+    def test_neither(self):
+        from repro.elf.gnuproperty import _parse_note
+
+        features = _parse_note(build_cet_note(ibt=False, shstk=False),
+                               is64=True)
+        assert not features.any
+
+    def test_32bit_alignment(self):
+        from repro.elf.gnuproperty import _parse_note
+
+        features = _parse_note(build_cet_note(is64=False), is64=False)
+        assert features.full
+
+
+class TestOnBinaries:
+    def test_synth_binaries_advertise_full_cet(self, sample_binary):
+        elf = ELFFile(sample_binary.data)
+        features = parse_cet_features(elf)
+        assert features.full
+
+    def test_funseeker_reports_cet_enabled(self, sample_binary):
+        from repro.core.funseeker import FunSeeker
+
+        result = FunSeeker.from_bytes(sample_binary.data).identify()
+        assert result.cet_enabled
+
+    def test_binary_without_note_is_not_cet(self):
+        from repro.elf import constants as C
+        from repro.elf.writer import ElfWriter, SectionSpec
+
+        w = ElfWriter(is64=True, machine=C.EM_X86_64, pie=False)
+        w.add_section(SectionSpec(
+            name=".text", sh_type=C.SHT_PROGBITS,
+            sh_flags=C.SHF_ALLOC | C.SHF_EXECINSTR, data=b"\xc3",
+            sh_addr=w.base_addr + 0x1000))
+        assert not parse_cet_features(ELFFile(w.build())).any
+
+    def test_garbage_note_is_harmless(self, sample_binary):
+        """The public API must absorb malformed notes silently."""
+        data = bytearray(sample_binary.data)
+        elf = ELFFile(bytes(data))
+        sec = elf.section(".note.gnu.property")
+        for i in range(sec.sh_offset, sec.sh_offset + sec.sh_size):
+            data[i] = 0xFF
+        features = parse_cet_features(ELFFile(bytes(data)))
+        assert features == CetFeatures()
+
+    @pytest.mark.skipif(not shutil.which("gcc"), reason="gcc unavailable")
+    def test_real_gcc_object_advertises_cet(self, tmp_path):
+        """A -fcf-protection=full *object* carries the feature bits.
+
+        (Final Debian executables lose them: the linker ANDs the
+        feature sets and the distro CRT objects are built without CET —
+        which is precisely why production tools check this note.)
+        """
+        src = tmp_path / "t.c"
+        src.write_text("int main(void){return 0;}\n")
+        out = tmp_path / "t.o"
+        subprocess.run(
+            ["gcc", "-O2", "-fcf-protection=full", "-c", "-o", str(out),
+             str(src)],
+            check=True, capture_output=True)
+        features = parse_cet_features(ELFFile.from_path(out))
+        assert features.ibt and features.shstk
+
+    @pytest.mark.skipif(not shutil.which("gcc"), reason="gcc unavailable")
+    def test_non_cet_build_detected(self, tmp_path):
+        src = tmp_path / "t.c"
+        src.write_text("int main(void){return 0;}\n")
+        out = tmp_path / "t"
+        subprocess.run(
+            ["gcc", "-O2", "-fcf-protection=none", "-o", str(out),
+             str(src)],
+            check=True, capture_output=True)
+        assert not parse_cet_features(ELFFile.from_path(out)).ibt

@@ -1,0 +1,107 @@
+"""Tests for LSDA parsing against the synthetic writer."""
+
+import pytest
+
+from repro.elf.ehframe import parse_eh_frame
+from repro.elf.lsda import (
+    LsdaError,
+    landing_pads_from_exception_info,
+    parse_lsda,
+)
+from repro.synth.ehwriter import (
+    FdeRequest,
+    build_eh_frame,
+    build_gcc_except_table,
+    patch_eh_frame,
+)
+
+
+class TestRoundTrip:
+    def test_single_lsda(self):
+        table, offsets = build_gcc_except_table(
+            [[(0x10, 0x5, 0x80), (0x20, 0x8, 0x90)]]
+        )
+        lsda = parse_lsda(table, 0x6000, 0x6000 + offsets[0],
+                          function_start=0x1000, is64=True)
+        assert lsda.lp_start == 0x1000
+        assert len(lsda.call_sites) == 2
+        assert lsda.call_sites[0].start == 0x1010
+        assert lsda.call_sites[0].length == 0x5
+        assert lsda.call_sites[0].landing_pad == 0x1080
+        assert lsda.landing_pads == {0x1080, 0x1090}
+
+    def test_zero_landing_pad_means_none(self):
+        table, offsets = build_gcc_except_table([[(0x10, 0x5, 0)]])
+        lsda = parse_lsda(table, 0x6000, 0x6000 + offsets[0],
+                          function_start=0x1000, is64=True)
+        assert lsda.call_sites[0].landing_pad == 0
+        assert lsda.landing_pads == set()
+
+    def test_multiple_lsdas_aligned(self):
+        table, offsets = build_gcc_except_table(
+            [[(0x1, 0x1, 0x10)], [(0x2, 0x2, 0x20)], [(0x3, 0x3, 0x30)]]
+        )
+        assert all(off % 4 == 0 for off in offsets)
+        for i, off in enumerate(offsets):
+            lsda = parse_lsda(table, 0x6000, 0x6000 + off,
+                              function_start=0x1000 * (i + 1), is64=True)
+            assert len(lsda.call_sites) == 1
+
+    def test_out_of_section_address_raises(self):
+        table, _ = build_gcc_except_table([[(1, 1, 1)]])
+        with pytest.raises(LsdaError):
+            parse_lsda(table, 0x6000, 0x9999, 0x1000, is64=True)
+
+    def test_truncated_lsda_raises(self):
+        table, offsets = build_gcc_except_table([[(0x10, 0x5, 0x80)]])
+        with pytest.raises(LsdaError):
+            parse_lsda(table[:4], 0x6000, 0x6000 + offsets[0], 0x1000,
+                       is64=True)
+
+
+class TestLandingPadCollection:
+    def test_pads_via_fde_lsda_pointers(self):
+        table, offsets = build_gcc_except_table(
+            [[(0x10, 0x4, 0x50)], [(0x8, 0x4, 0x40)]]
+        )
+        fdes = [
+            FdeRequest(0, 0x100, lsda_offset=offsets[0]),
+            FdeRequest(1, 0x100, lsda_offset=offsets[1]),
+            FdeRequest(2, 0x100),  # no LSDA
+        ]
+        blob = build_eh_frame(fdes, personality_addr=0)
+        eh_data = patch_eh_frame(blob, 0x5000, 0x6000,
+                                 [0x1000, 0x2000, 0x3000])
+        eh = parse_eh_frame(eh_data, 0x5000, is64=True)
+        pads = landing_pads_from_exception_info(eh, table, 0x6000,
+                                                is64=True)
+        assert pads == {0x1050, 0x2040}
+
+    def test_malformed_lsda_skipped_not_fatal(self):
+        fdes = [FdeRequest(0, 0x100, lsda_offset=0x0)]
+        blob = build_eh_frame(fdes, personality_addr=0)
+        eh_data = patch_eh_frame(blob, 0x5000, 0x6000, [0x1000])
+        eh = parse_eh_frame(eh_data, 0x5000, is64=True)
+        # A garbage one-byte "table" cannot parse; collection proceeds.
+        pads = landing_pads_from_exception_info(eh, b"\xff", 0x6000,
+                                                is64=True)
+        assert pads == set()
+
+    def test_sample_binary_pads_are_endbr_sites(self, sample_binary):
+        """Every landing pad in the synthetic C++ binary carries endbr."""
+        from repro.elf.parser import ELFFile
+        from repro.x86.decoder import decode
+        from repro.x86.insn import InsnClass
+
+        elf = ELFFile(sample_binary.data)
+        eh_sec = elf.section(".eh_frame")
+        get_sec = elf.section(".gcc_except_table")
+        eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, elf.is64)
+        pads = landing_pads_from_exception_info(
+            eh, get_sec.data, get_sec.sh_addr, elf.is64
+        )
+        assert pads, "C++ sample must have landing pads"
+        txt = elf.section(".text")
+        for pad in pads:
+            insn = decode(txt.data, pad - txt.sh_addr, pad, 64)
+            assert insn.klass == InsnClass.ENDBR64

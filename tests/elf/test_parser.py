@@ -1,0 +1,174 @@
+"""Tests for the ELF container parser against writer-produced images."""
+
+import pytest
+
+from repro.elf import constants as C
+from repro.elf.parser import ELFFile, ElfParseError, strip_symbols
+from repro.elf.writer import ElfWriter, SectionSpec, SymbolSpec
+
+
+def _minimal_image(is64=True, pie=False) -> bytes:
+    writer = ElfWriter(is64=is64, machine=C.EM_X86_64 if is64 else C.EM_386,
+                       pie=pie)
+    base = writer.base_addr
+    writer.add_section(SectionSpec(
+        name=".text", sh_type=C.SHT_PROGBITS,
+        sh_flags=C.SHF_ALLOC | C.SHF_EXECINSTR,
+        data=b"\xf3\x0f\x1e\xfa\xc3" + b"\x90" * 11,
+        sh_addr=base + 0x1000, sh_addralign=16,
+    ))
+    writer.add_section(SectionSpec(
+        name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+        data=b"hello\x00", sh_addr=base + 0x2000,
+    ))
+    writer.add_symbol(SymbolSpec(
+        name="main", value=base + 0x1000, size=5, bind=C.STB_GLOBAL,
+        typ=C.STT_FUNC, section=".text",
+    ))
+    writer.entry = base + 0x1000
+    return writer.build()
+
+
+class TestHeaderParsing:
+    def test_not_elf_raises(self):
+        with pytest.raises(ElfParseError):
+            ELFFile(b"not an elf file at all")
+
+    def test_empty_raises(self):
+        with pytest.raises(ElfParseError):
+            ELFFile(b"")
+
+    def test_64_bit_header(self):
+        elf = ELFFile(_minimal_image(is64=True))
+        assert elf.is64
+        assert elf.machine == C.EM_X86_64
+        assert not elf.header.is_pie
+
+    def test_32_bit_header(self):
+        elf = ELFFile(_minimal_image(is64=False))
+        assert not elf.is64
+        assert elf.machine == C.EM_386
+
+    def test_pie_flag(self):
+        assert ELFFile(_minimal_image(pie=True)).header.is_pie
+
+    def test_entry_point(self):
+        elf = ELFFile(_minimal_image())
+        assert elf.header.e_entry == elf.section(".text").sh_addr
+
+    def test_bad_class_raises(self):
+        data = bytearray(_minimal_image())
+        data[C.EI_CLASS] = 9
+        with pytest.raises(ElfParseError):
+            ELFFile(bytes(data))
+
+    def test_big_endian_rejected(self):
+        data = bytearray(_minimal_image())
+        data[C.EI_DATA] = C.ELFDATA2MSB
+        with pytest.raises(ElfParseError):
+            ELFFile(bytes(data))
+
+
+class TestSections:
+    def test_section_lookup(self):
+        elf = ELFFile(_minimal_image())
+        txt = elf.section(".text")
+        assert txt is not None
+        assert txt.is_exec and txt.is_alloc
+        assert txt.data.startswith(b"\xf3\x0f\x1e\xfa")
+
+    def test_missing_section_is_none(self):
+        assert ELFFile(_minimal_image()).section(".nosuch") is None
+
+    def test_section_at_addr(self):
+        elf = ELFFile(_minimal_image())
+        txt = elf.section(".text")
+        assert elf.section_at_addr(txt.sh_addr) is txt
+        assert elf.section_at_addr(txt.sh_addr + 3) is txt
+        assert elf.section_at_addr(0x1) is None
+
+    def test_exec_sections_sorted(self):
+        elf = ELFFile(_minimal_image())
+        execs = elf.exec_sections()
+        assert [s.name for s in execs] == [".text"]
+
+    def test_read_at_addr(self):
+        elf = ELFFile(_minimal_image())
+        ro = elf.section(".rodata")
+        assert elf.read_at_addr(ro.sh_addr, 5) == b"hello"
+        assert elf.read_at_addr(ro.sh_addr, 10_000) is None
+
+    def test_contains_addr_bounds(self):
+        elf = ELFFile(_minimal_image())
+        txt = elf.section(".text")
+        assert txt.contains_addr(txt.sh_addr)
+        assert txt.contains_addr(txt.end_addr - 1)
+        assert not txt.contains_addr(txt.end_addr)
+
+
+class TestSymbols:
+    def test_symbols_resolved(self):
+        elf = ELFFile(_minimal_image())
+        syms = {s.name: s for s in elf.symbols()}
+        assert "main" in syms
+        main = syms["main"]
+        assert main.is_function
+        assert main.is_defined
+        assert not main.is_local
+        assert main.value == elf.section(".text").sh_addr
+
+    def test_is_stripped_false_when_symtab_present(self):
+        assert not ELFFile(_minimal_image()).is_stripped
+
+
+class TestStripSymbols:
+    def test_strip_removes_symbols(self):
+        stripped = strip_symbols(_minimal_image())
+        elf = ELFFile(stripped)
+        assert elf.is_stripped
+        assert elf.symbols() == []
+
+    def test_strip_preserves_sections(self):
+        original = ELFFile(_minimal_image())
+        stripped = ELFFile(strip_symbols(_minimal_image()))
+        assert stripped.section(".text").data == \
+            original.section(".text").data
+        assert stripped.section(".rodata").data == \
+            original.section(".rodata").data
+
+    def test_strip_is_idempotent(self):
+        once = strip_symbols(_minimal_image())
+        assert strip_symbols(once) == once
+
+
+class TestSegments:
+    def test_load_segments_cover_alloc_sections(self):
+        elf = ELFFile(_minimal_image())
+        loads = [s for s in elf.segments if s.p_type == C.PT_LOAD]
+        assert loads
+        txt = elf.section(".text")
+        assert any(s.p_vaddr <= txt.sh_addr
+                   and txt.end_addr <= s.p_vaddr + s.p_memsz
+                   for s in loads)
+
+    def test_gnu_stack_present(self):
+        elf = ELFFile(_minimal_image())
+        assert any(s.p_type == C.PT_GNU_STACK for s in elf.segments)
+
+
+class TestOnSynthBinary:
+    def test_sample_parses(self, sample_elf):
+        assert sample_elf.is64
+        assert sample_elf.section(".text") is not None
+        assert sample_elf.section(".plt") is not None
+        assert sample_elf.section(".eh_frame") is not None
+
+    def test_sample_symbols_match_ground_truth(self, sample_binary):
+        elf = ELFFile(sample_binary.data)
+        sym_addrs = {s.value for s in elf.symbols()
+                     if s.is_function and s.is_defined}
+        gt = sample_binary.ground_truth
+        # Every non-omitted ground-truth function has a symbol; fragments
+        # also carry symbols (they are excluded from GT, not symtab).
+        for entry in gt.entries:
+            assert entry.address in sym_addrs

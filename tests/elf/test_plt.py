@@ -1,0 +1,71 @@
+"""Tests for PLT stub-to-import-name resolution."""
+
+from repro.elf.parser import ELFFile
+from repro.elf.plt import build_plt_map
+from repro.synth import CompilerProfile, generate_program, link_program
+
+
+def _plt_map_for(profile: CompilerProfile, seed=21):
+    spec = generate_program("plt_demo", 30, profile, seed=seed)
+    binary = link_program(spec, profile)
+    elf = ELFFile(binary.data)
+    return build_plt_map(elf), elf, spec
+
+
+class TestPltResolution:
+    def test_x64_stub_names(self):
+        pm, elf, spec = _plt_map_for(CompilerProfile("gcc", "O2", 64, True))
+        names = set(pm.stub_to_name.values())
+        assert "__libc_start_main" in names
+
+    def test_every_import_has_a_stub(self):
+        # Declared imports plus linker-collected ones (e.g. abort from
+        # cold fragments) must all resolve; declared ones are a subset.
+        pm, elf, spec = _plt_map_for(CompilerProfile("gcc", "O2", 64, True))
+        assert set(pm.stub_to_name.values()) >= set(spec.imports)
+
+    def test_x86_nonpic_stubs(self):
+        pm, elf, spec = _plt_map_for(
+            CompilerProfile("gcc", "O2", 32, False))
+        assert set(pm.stub_to_name.values()) >= set(spec.imports)
+
+    def test_x86_pic_stubs(self):
+        pm, elf, spec = _plt_map_for(CompilerProfile("gcc", "O2", 32, True))
+        assert set(pm.stub_to_name.values()) >= set(spec.imports)
+
+    def test_stub_addresses_inside_plt(self):
+        pm, elf, _spec = _plt_map_for(CompilerProfile("gcc", "O2", 64, True))
+        plt = elf.section(".plt")
+        for addr in pm.stub_to_name:
+            assert plt.contains_addr(addr)
+            assert pm.in_plt(addr)
+
+    def test_name_at_miss_is_none(self):
+        pm, elf, _spec = _plt_map_for(CompilerProfile("gcc", "O2", 64, True))
+        assert pm.name_at(0xDEADBEEF) is None
+
+    def test_in_plt_bounds(self):
+        pm, elf, _spec = _plt_map_for(CompilerProfile("gcc", "O2", 64, True))
+        plt = elf.section(".plt")
+        assert pm.in_plt(plt.sh_addr)
+        assert not pm.in_plt(plt.end_addr)
+
+    def test_plt0_header_has_no_name(self):
+        """The resolver stub (PLT0) must not be attributed to an import."""
+        pm, elf, _spec = _plt_map_for(CompilerProfile("gcc", "O2", 64, True))
+        plt = elf.section(".plt")
+        assert plt.sh_addr not in pm.stub_to_name
+
+    def test_empty_binary_yields_empty_map(self):
+        from repro.elf import constants as C
+        from repro.elf.writer import ElfWriter, SectionSpec
+
+        w = ElfWriter(is64=True, machine=C.EM_X86_64, pie=False)
+        w.add_section(SectionSpec(
+            name=".text", sh_type=C.SHT_PROGBITS,
+            sh_flags=C.SHF_ALLOC | C.SHF_EXECINSTR, data=b"\xc3",
+            sh_addr=w.base_addr + 0x1000,
+        ))
+        pm = build_plt_map(ELFFile(w.build()))
+        assert pm.stub_to_name == {}
+        assert not pm.in_plt(0x1000)

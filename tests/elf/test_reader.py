@@ -1,0 +1,184 @@
+"""Unit tests for the little-endian byte reader and DW_EH_PE decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.elf import constants as C
+from repro.elf.reader import ByteReader, ReaderError, eh_pointer_size
+
+
+class TestFixedWidthReads:
+    def test_u8_u16_u32_u64(self):
+        r = ByteReader(bytes([0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                              0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E,
+                              0x0F]))
+        assert r.u8() == 0x01
+        assert r.u16() == 0x0302
+        assert r.u32() == 0x07060504
+        assert r.u64() == 0x0F0E0D0C0B0A0908
+
+    def test_signed_reads(self):
+        r = ByteReader(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"
+                       b"\xff\xff\xff")
+        assert r.s8() == -1
+        assert r.s16() == -1
+        assert r.s32() == -1
+        assert r.s64() == -1
+
+    def test_uword_width(self):
+        r = ByteReader(b"\x01\x00\x00\x00\x02\x00\x00\x00\x00\x00\x00\x00")
+        assert r.uword(is64=False) == 1
+        assert r.uword(is64=True) == 2
+
+    def test_read_past_end_raises(self):
+        r = ByteReader(b"\x01")
+        r.u8()
+        with pytest.raises(ReaderError):
+            r.u8()
+
+    def test_seek_and_skip(self):
+        r = ByteReader(b"abcdef")
+        r.skip(2)
+        assert r.bytes(1) == b"c"
+        r.seek(0)
+        assert r.bytes(1) == b"a"
+        with pytest.raises(ReaderError):
+            r.seek(100)
+        with pytest.raises(ReaderError):
+            r.seek(-1)
+
+    def test_remaining_and_eof(self):
+        r = ByteReader(b"ab")
+        assert r.remaining() == 2
+        assert not r.eof()
+        r.bytes(2)
+        assert r.eof()
+
+
+class TestCString:
+    def test_reads_until_nul(self):
+        r = ByteReader(b"hello\x00world\x00")
+        assert r.cstring() == b"hello"
+        assert r.cstring() == b"world"
+
+    def test_unterminated_raises(self):
+        r = ByteReader(b"hello")
+        with pytest.raises(ReaderError):
+            r.cstring()
+
+    def test_empty_string(self):
+        r = ByteReader(b"\x00")
+        assert r.cstring() == b""
+
+
+class TestLeb128:
+    def test_uleb_small(self):
+        assert ByteReader(b"\x05").uleb128() == 5
+
+    def test_uleb_multibyte(self):
+        # 624485 is the classic DWARF spec example: 0xE5 0x8E 0x26.
+        assert ByteReader(b"\xe5\x8e\x26").uleb128() == 624485
+
+    def test_sleb_negative(self):
+        # -123456 encodes as 0xC0 0xBB 0x78.
+        assert ByteReader(b"\xc0\xbb\x78").sleb128() == -123456
+
+    def test_sleb_positive(self):
+        assert ByteReader(b"\x3f").sleb128() == 63
+        assert ByteReader(b"\x40").sleb128() == -64
+
+    def test_uleb_overlong_raises(self):
+        with pytest.raises(ReaderError):
+            ByteReader(b"\x80" * 11 + b"\x01").uleb128()
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_uleb_roundtrip(self, value):
+        encoded = _encode_uleb(value)
+        assert ByteReader(encoded).uleb128() == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62 - 1))
+    def test_sleb_roundtrip(self, value):
+        encoded = _encode_sleb(value)
+        assert ByteReader(encoded).sleb128() == value
+
+
+def _encode_uleb(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _encode_sleb(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        done = (value == 0 and not byte & 0x40) or \
+               (value == -1 and byte & 0x40)
+        if done:
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+class TestEhPointer:
+    def test_omit_returns_none(self):
+        r = ByteReader(b"")
+        assert r.eh_pointer(C.DW_EH_PE_omit) is None
+
+    def test_absptr_64(self):
+        r = ByteReader(b"\x10\x00\x00\x00\x00\x00\x00\x00")
+        assert r.eh_pointer(C.DW_EH_PE_absptr, is64=True) == 0x10
+
+    def test_absptr_32(self):
+        r = ByteReader(b"\x10\x00\x00\x00")
+        assert r.eh_pointer(C.DW_EH_PE_absptr, is64=False) == 0x10
+
+    def test_pcrel_sdata4(self):
+        r = ByteReader(b"\xfc\xff\xff\xff")  # -4
+        enc = C.DW_EH_PE_pcrel | C.DW_EH_PE_sdata4
+        assert r.eh_pointer(enc, pc=0x1000) == 0xFFC
+
+    def test_datarel(self):
+        r = ByteReader(b"\x08\x00\x00\x00")
+        enc = C.DW_EH_PE_datarel | C.DW_EH_PE_udata4
+        assert r.eh_pointer(enc, data_base=0x2000) == 0x2008
+
+    def test_funcrel(self):
+        r = ByteReader(b"\x04\x00")
+        enc = C.DW_EH_PE_funcrel | C.DW_EH_PE_udata2
+        assert r.eh_pointer(enc, func_base=0x3000) == 0x3004
+
+    def test_uleb_format(self):
+        r = ByteReader(b"\x85\x02")
+        assert r.eh_pointer(C.DW_EH_PE_uleb128) == 261
+
+    def test_sdata8_negative_wraps(self):
+        r = ByteReader(b"\xff" * 8)
+        value = r.eh_pointer(C.DW_EH_PE_sdata8, is64=True)
+        assert value == (1 << 64) - 1
+
+    def test_bad_format_raises(self):
+        r = ByteReader(b"\x00" * 8)
+        with pytest.raises(ReaderError):
+            r.eh_pointer(0x0D)  # undefined value format
+
+
+class TestEhPointerSize:
+    def test_fixed_sizes(self):
+        assert eh_pointer_size(C.DW_EH_PE_omit, True) == 0
+        assert eh_pointer_size(C.DW_EH_PE_absptr, True) == 8
+        assert eh_pointer_size(C.DW_EH_PE_absptr, False) == 4
+        assert eh_pointer_size(C.DW_EH_PE_udata2, True) == 2
+        assert eh_pointer_size(C.DW_EH_PE_sdata4, True) == 4
+        assert eh_pointer_size(C.DW_EH_PE_udata8, False) == 8
+
+    def test_variable_size_returns_none(self):
+        assert eh_pointer_size(C.DW_EH_PE_uleb128, True) is None
+        assert eh_pointer_size(C.DW_EH_PE_sleb128, False) is None

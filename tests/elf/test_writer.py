@@ -1,0 +1,133 @@
+"""Tests for the ELF image builder."""
+
+import pytest
+
+from repro.elf import constants as C
+from repro.elf.parser import ELFFile
+from repro.elf.writer import ElfWriter, SectionSpec, SymbolSpec
+
+
+def _writer(is64=True, pie=True) -> ElfWriter:
+    return ElfWriter(is64=is64,
+                     machine=C.EM_X86_64 if is64 else C.EM_386, pie=pie)
+
+
+def _text(addr: int, size: int = 16) -> SectionSpec:
+    return SectionSpec(
+        name=".text", sh_type=C.SHT_PROGBITS,
+        sh_flags=C.SHF_ALLOC | C.SHF_EXECINSTR, data=b"\x90" * size,
+        sh_addr=addr,
+    )
+
+
+class TestBaseAddress:
+    def test_pie_defaults_to_zero_base(self):
+        assert _writer(pie=True).base_addr == 0
+
+    def test_nonpie_64_base(self):
+        assert _writer(pie=False).base_addr == 0x400000
+
+    def test_nonpie_32_base(self):
+        assert ElfWriter(is64=False, machine=C.EM_386,
+                         pie=False).base_addr == 0x8048000
+
+
+class TestLayoutInvariants:
+    def test_overlapping_sections_rejected(self):
+        w = _writer(pie=False)
+        w.add_section(_text(w.base_addr + 0x1000, 32))
+        w.add_section(SectionSpec(
+            name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+            data=b"x" * 8, sh_addr=w.base_addr + 0x1010,
+        ))
+        with pytest.raises(ValueError, match="overlap"):
+            w.build()
+
+    def test_file_offset_congruent_to_vaddr(self):
+        w = _writer(pie=False)
+        w.add_section(_text(w.base_addr + 0x1234))
+        data = w.build()
+        elf = ELFFile(data)
+        txt = elf.section(".text")
+        assert txt.sh_offset % 0x1000 == txt.sh_addr % 0x1000
+
+    def test_section_overlapping_header_rejected(self):
+        w = _writer(pie=False)
+        w.add_section(_text(w.base_addr + 8))
+        with pytest.raises(ValueError, match="header"):
+            w.build()
+
+
+class TestRoundTrip:
+    def test_section_contents_roundtrip(self):
+        w = _writer(pie=False)
+        payload = bytes(range(256)) * 3
+        w.add_section(SectionSpec(
+            name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+            data=payload, sh_addr=w.base_addr + 0x1000,
+        ))
+        elf = ELFFile(w.build())
+        assert elf.section(".rodata").data == payload
+
+    def test_multiple_permission_runs_make_multiple_loads(self):
+        w = _writer(pie=False)
+        base = w.base_addr
+        w.add_section(_text(base + 0x1000))
+        w.add_section(SectionSpec(
+            name=".rodata", sh_type=C.SHT_PROGBITS, sh_flags=C.SHF_ALLOC,
+            data=b"ro", sh_addr=base + 0x2000,
+        ))
+        w.add_section(SectionSpec(
+            name=".data", sh_type=C.SHT_PROGBITS,
+            sh_flags=C.SHF_ALLOC | C.SHF_WRITE, data=b"rw",
+            sh_addr=base + 0x3000,
+        ))
+        elf = ELFFile(w.build())
+        loads = [s for s in elf.segments if s.p_type == C.PT_LOAD]
+        flags = {s.p_flags for s in loads}
+        assert C.PF_R | C.PF_X in flags
+        assert C.PF_R in flags
+        assert C.PF_R | C.PF_W in flags
+
+    def test_symbol_binding_order_locals_first(self):
+        w = _writer(pie=False)
+        w.add_section(_text(w.base_addr + 0x1000))
+        w.add_symbol(SymbolSpec(name="glob", value=1, size=0,
+                                bind=C.STB_GLOBAL, typ=C.STT_FUNC,
+                                section=".text"))
+        w.add_symbol(SymbolSpec(name="loc", value=2, size=0,
+                                bind=C.STB_LOCAL, typ=C.STT_FUNC,
+                                section=".text"))
+        elf = ELFFile(w.build())
+        syms = [s for s in elf.symbols() if s.name]
+        assert [s.name for s in syms] == ["loc", "glob"]
+
+    def test_symbol_shndx_resolution(self):
+        w = _writer(pie=False)
+        w.add_section(_text(w.base_addr + 0x1000))
+        w.add_symbol(SymbolSpec(name="f", value=5, size=1,
+                                bind=C.STB_GLOBAL, typ=C.STT_FUNC,
+                                section=".text"))
+        w.add_symbol(SymbolSpec(name="undef", value=0, size=0,
+                                bind=C.STB_GLOBAL, typ=C.STT_FUNC))
+        elf = ELFFile(w.build())
+        syms = {s.name: s for s in elf.symbols()}
+        assert syms["f"].is_defined
+        assert not syms["undef"].is_defined
+
+    def test_32_bit_roundtrip(self):
+        w = _writer(is64=False, pie=False)
+        w.add_section(_text(w.base_addr + 0x1000))
+        w.add_symbol(SymbolSpec(name="m", value=w.base_addr + 0x1000,
+                                size=4, bind=C.STB_GLOBAL, typ=C.STT_FUNC,
+                                section=".text"))
+        elf = ELFFile(w.build())
+        assert not elf.is64
+        assert elf.symbols()[-1].name == "m"
+
+    def test_empty_writer_builds(self):
+        data = _writer().build()
+        elf = ELFFile(data)
+        names = {s.name for s in elf.sections}
+        assert ".shstrtab" in names
+        assert ".symtab" in names

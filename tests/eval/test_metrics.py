@@ -1,0 +1,98 @@
+"""Tests for precision/recall metrics."""
+
+from hypothesis import given, strategies as st
+
+from repro.eval.metrics import (
+    Confusion,
+    false_negatives,
+    false_positives,
+    score,
+)
+
+
+class TestScore:
+    def test_perfect(self):
+        conf = score({1, 2, 3}, {1, 2, 3})
+        assert conf.precision == 1.0
+        assert conf.recall == 1.0
+        assert conf.f1 == 1.0
+
+    def test_counts(self):
+        conf = score({1, 2, 3, 4}, {3, 4, 5})
+        assert conf.tp == 2
+        assert conf.fp == 1
+        assert conf.fn == 2
+        assert conf.precision == 2 / 3
+        assert conf.recall == 0.5
+
+    def test_empty_detection(self):
+        conf = score({1, 2}, set())
+        assert conf.precision == 0.0
+        assert conf.recall == 0.0
+        assert conf.f1 == 0.0
+
+    def test_empty_ground_truth(self):
+        conf = score(set(), {1})
+        assert conf.recall == 0.0
+        assert conf.precision == 0.0
+
+    def test_both_empty(self):
+        conf = score(set(), set())
+        assert conf.precision == 0.0 and conf.recall == 0.0
+
+    def test_fp_fn_helpers(self):
+        assert false_positives({1}, {1, 2}) == {2}
+        assert false_negatives({1, 3}, {1, 2}) == {3}
+
+
+class TestConfusionPooling:
+    def test_add(self):
+        a = Confusion(tp=5, fp=1, fn=2)
+        b = Confusion(tp=3, fp=0, fn=1)
+        a.add(b)
+        assert (a.tp, a.fp, a.fn) == (8, 1, 3)
+
+    @given(
+        st.sets(st.integers(0, 200)),
+        st.sets(st.integers(0, 200)),
+    )
+    def test_invariants(self, gt, detected):
+        conf = score(gt, detected)
+        assert conf.tp + conf.fn == len(gt)
+        assert conf.tp + conf.fp == len(detected)
+        assert 0.0 <= conf.precision <= 1.0
+        assert 0.0 <= conf.recall <= 1.0
+        assert 0.0 <= conf.f1 <= 1.0
+
+
+class TestBoundaryScoring:
+    def test_exact_match(self):
+        from repro.eval.metrics import score_boundaries
+
+        truth = {0x1000: 0x1040, 0x1040: 0x1080}
+        conf = score_boundaries(truth, dict(truth))
+        assert conf.precision == 1.0 and conf.recall == 1.0
+
+    def test_tolerance_window(self):
+        from repro.eval.metrics import score_boundaries
+
+        truth = {0x1000: 0x1040}
+        detected = {0x1000: 0x104C}
+        assert score_boundaries(truth, detected).tp == 0
+        assert score_boundaries(truth, detected, tolerance=16).tp == 1
+
+    def test_wrong_entry_is_fp_and_fn(self):
+        from repro.eval.metrics import score_boundaries
+
+        conf = score_boundaries({0x1000: 0x1040}, {0x2000: 0x2040})
+        assert conf.tp == 0
+        assert conf.fp == 1
+        assert conf.fn == 1
+
+    def test_missing_detection(self):
+        from repro.eval.metrics import score_boundaries
+
+        conf = score_boundaries({0x1000: 0x1040, 0x2000: 0x2040},
+                                {0x1000: 0x1040})
+        assert conf.tp == 1
+        assert conf.fn == 1

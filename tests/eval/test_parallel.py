@@ -1,0 +1,81 @@
+"""Tests for the parallel evaluation runner."""
+
+import pytest
+
+from repro.baselines import FunSeekerDetector, NaiveEndbrDetector
+from repro.eval.parallel import run_evaluation_parallel
+from repro.eval.runner import run_evaluation
+
+
+class TestParallelRunner:
+    def test_matches_serial_results(self, tiny_corpus):
+        subset = tiny_corpus[:6]
+        serial = run_evaluation(subset, {
+            "funseeker": FunSeekerDetector(),
+            "naive-endbr": NaiveEndbrDetector(),
+        })
+        parallel = run_evaluation_parallel(
+            subset, ["funseeker", "naive-endbr"], workers=2)
+
+        def key(rec):
+            return (rec.suite, rec.program, rec.tool, rec.opt,
+                    rec.bits, rec.pie)
+
+        s = {key(r): (r.confusion.tp, r.confusion.fp, r.confusion.fn)
+             for r in serial.records}
+        p = {key(r): (r.confusion.tp, r.confusion.fp, r.confusion.fn)
+             for r in parallel.records}
+        assert s == p
+
+    def test_single_worker_inprocess(self, tiny_corpus):
+        report = run_evaluation_parallel(
+            tiny_corpus[:2], ["funseeker"], workers=1)
+        assert len(report.records) == 2
+        assert report.pooled().recall > 0.9
+
+    def test_unknown_detector_rejected(self, tiny_corpus):
+        with pytest.raises(ValueError, match="unknown"):
+            run_evaluation_parallel(tiny_corpus[:1], ["nonexistent"])
+
+    def test_empty_corpus(self):
+        report = run_evaluation_parallel([], ["funseeker"], workers=1)
+        assert report.records == []
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_corpus):
+        return run_evaluation(tiny_corpus[:4], {
+            "funseeker": FunSeekerDetector(),
+        })
+
+    def test_json_roundtrips(self, report):
+        import json
+
+        from repro.eval.export import report_to_json
+
+        doc = json.loads(report_to_json(report))
+        assert doc["summary"]["funseeker"]["binaries"] == 4
+        assert len(doc["records"]) == 4
+        rec = doc["records"][0]
+        assert {"suite", "tool", "tp", "precision"} <= set(rec)
+        assert doc["summary"]["funseeker"]["recall"] > 0.9
+
+    def test_csv_shape(self, report):
+        from repro.eval.export import report_to_csv
+
+        lines = report_to_csv(report).strip().splitlines()
+        assert len(lines) == 5  # header + 4 rows
+        assert lines[0].startswith("suite,program,compiler")
+
+    def test_cli_evaluate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.json"
+        assert main(["evaluate", "--scale", "tiny",
+                     "--tools", "funseeker", "--workers", "1",
+                     "--output", str(out)]) == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["funseeker"]["binaries"] == 24

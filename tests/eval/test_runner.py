@@ -1,0 +1,100 @@
+"""Tests for the evaluation runner and error analysis."""
+
+import pytest
+
+from repro.baselines import FunSeekerDetector, NaiveEndbrDetector
+from repro.eval.runner import analyze_errors, run_evaluation
+
+
+@pytest.fixture(scope="module")
+def report(tiny_corpus):
+    return run_evaluation(
+        tiny_corpus[:8],
+        {"funseeker": FunSeekerDetector(), "naive": NaiveEndbrDetector()},
+    )
+
+
+class TestRunEvaluation:
+    def test_record_count(self, report, tiny_corpus):
+        assert len(report.records) == 8 * 2
+
+    def test_records_carry_provenance(self, report):
+        rec = report.records[0]
+        assert rec.suite in ("coreutils", "binutils", "spec")
+        assert rec.compiler in ("gcc", "clang")
+        assert rec.bits in (32, 64)
+        assert rec.opt
+        assert rec.elapsed_seconds >= 0
+
+    def test_filtered(self, report):
+        fs = report.filtered(tool="funseeker")
+        assert len(fs.records) == 8
+        assert all(r.tool == "funseeker" for r in fs.records)
+        both = report.filtered(tool="funseeker", bits=64)
+        assert all(r.bits == 64 for r in both.records)
+
+    def test_pooled_counts(self, report):
+        fs = report.filtered(tool="funseeker")
+        pooled = fs.pooled()
+        assert pooled.tp == sum(r.confusion.tp for r in fs.records)
+
+    def test_funseeker_beats_naive(self, report):
+        fs = report.filtered(tool="funseeker").pooled()
+        naive = report.filtered(tool="naive").pooled()
+        assert fs.f1 > naive.f1
+
+    def test_mean_time(self, report):
+        assert report.filtered(tool="funseeker").mean_time() > 0
+        from repro.eval.runner import EvalReport
+
+        assert EvalReport().mean_time() == 0.0
+
+    def test_tools_and_suites(self, report):
+        assert report.tools() == ["funseeker", "naive"]
+        assert set(report.suites()) <= {"coreutils", "binutils", "spec"}
+
+
+class TestErrorAnalysis:
+    def test_perfect_detection_no_errors(self, tiny_corpus):
+        entry = tiny_corpus[0]
+        gt = entry.binary.ground_truth.function_starts
+        breakdown = analyze_errors(entry, set(gt))
+        assert breakdown.fn_total == 0
+        assert breakdown.fp_total == 0
+
+    def test_dead_function_miss_classified(self, tiny_corpus):
+        entry = next(
+            e for e in tiny_corpus
+            if any(g.is_dead and g.is_function
+                   for g in e.binary.ground_truth.entries)
+        )
+        gt = entry.binary.ground_truth
+        dead = next(g.address for g in gt.entries
+                    if g.is_dead and g.is_function)
+        breakdown = analyze_errors(entry, gt.function_starts - {dead})
+        assert breakdown.fn_dead == 1
+        assert breakdown.fn_tail_target == 0
+
+    def test_fragment_fp_classified(self, tiny_corpus):
+        entry = next(e for e in tiny_corpus
+                     if e.binary.ground_truth.fragment_starts)
+        gt = entry.binary.ground_truth
+        frag = next(iter(gt.fragment_starts))
+        breakdown = analyze_errors(entry, gt.function_starts | {frag})
+        assert breakdown.fp_fragment == 1
+        assert breakdown.fp_other == 0
+
+    def test_other_fp_classified(self, tiny_corpus):
+        entry = tiny_corpus[0]
+        gt = entry.binary.ground_truth
+        breakdown = analyze_errors(entry, gt.function_starts | {0x1})
+        assert breakdown.fp_other == 1
+
+    def test_merge(self):
+        from repro.eval.runner import ErrorBreakdown
+
+        a = ErrorBreakdown(fn_dead=1, fp_fragment=2)
+        b = ErrorBreakdown(fn_tail_target=3, fp_other=1)
+        a.merge(b)
+        assert a.fn_total == 4
+        assert a.fp_total == 3

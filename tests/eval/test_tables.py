@@ -1,0 +1,81 @@
+"""Tests for the table/figure renderers (smoke + shape checks)."""
+
+import pytest
+
+from repro.analysis.function_props import ENDBR
+from repro.eval.tables import (
+    error_breakdown,
+    figure3,
+    table1,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(tiny_corpus):
+    return tiny_corpus
+
+
+class TestTable1:
+    def test_renders_and_returns_results(self, corpus):
+        text, results = table1(corpus)
+        assert "TABLE I" in text
+        assert results
+        for (compiler, suite), (entry_f, indir_f, exc_f) in results.items():
+            assert compiler in ("gcc", "clang")
+            assert abs(entry_f + indir_f + exc_f - 1.0) < 1e-9
+
+    def test_spec_has_exception_share(self, corpus):
+        _text, results = table1(corpus)
+        for compiler in ("gcc", "clang"):
+            if (compiler, "spec") in results:
+                assert results[(compiler, "spec")][2] > 0.03
+            if (compiler, "coreutils") in results:
+                assert results[(compiler, "coreutils")][2] == 0.0
+
+
+class TestFigure3:
+    def test_venn_shape(self, corpus):
+        text, venn = figure3(corpus)
+        assert "FIGURE 3" in text
+        assert venn.total > 0
+        frac = venn.with_property(ENDBR) / venn.total
+        assert 0.8 < frac < 0.95
+
+
+class TestTable2:
+    def test_config_orderings(self, corpus):
+        text, report = table2(corpus)
+        assert "TABLE II" in text
+        p = {i: report.filtered(tool=f"cfg{i}").pooled()
+             for i in (1, 2, 3, 4)}
+        # The paper's structural relations.
+        assert p[2].precision >= p[1].precision
+        assert p[3].precision < p[2].precision - 0.3
+        assert p[4].precision > p[3].precision + 0.3
+        assert p[3].recall >= p[2].recall
+        assert p[4].recall >= p[2].recall
+
+
+class TestTable3:
+    def test_tool_orderings(self, corpus):
+        text, report = table3(corpus)
+        assert "TABLE III" in text
+        pooled = {t: report.filtered(tool=t).pooled()
+                  for t in ("funseeker", "ida", "ghidra", "fetch")}
+        fs = pooled["funseeker"]
+        assert fs.precision > 0.97 and fs.recall > 0.97
+        assert pooled["ida"].recall < fs.recall
+        assert pooled["fetch"].recall < fs.recall  # x86 clang collapse
+        assert "mean time/binary" in text
+
+
+class TestErrorBreakdown:
+    def test_paper_categories(self, corpus):
+        text, total = error_breakdown(corpus)
+        assert "error analysis" in text
+        if total.fn_total:
+            assert total.fn_dead / total.fn_total > 0.5
+        if total.fp_total:
+            assert total.fp_fragment / total.fp_total == 1.0

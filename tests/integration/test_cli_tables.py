@@ -1,0 +1,80 @@
+"""CLI coverage for the table / dataset / analysis subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTableCommands:
+    @pytest.mark.parametrize("command", ["table1", "figure3", "errors"])
+    def test_analysis_commands_run(self, command, capsys):
+        assert main([command, "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out or "paper" in out
+
+    def test_table2_renders_configs(self, capsys):
+        assert main(["table2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "total" in out
+
+    def test_table3_renders_tools_and_timing(self, capsys):
+        assert main(["table3", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE III" in out
+        assert "mean time/binary" in out
+
+
+class TestDatasetCommands:
+    def test_dataset_roundtrip(self, tmp_path, capsys):
+        assert main(["dataset", str(tmp_path / "ds"),
+                     "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 24 binaries" in out
+        from repro.synth.dataset import load_dataset
+
+        assert len(load_dataset(tmp_path / "ds")) == 24
+
+    def test_corpus_info(self, capsys):
+        assert main(["corpus-info", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "DATASET" in out
+        assert "coreutils" in out
+        assert "configurations: 4" in out
+
+
+class TestBinaryCommands:
+    @pytest.fixture(scope="class")
+    def binary_path(self, tmp_path_factory):
+        from repro.synth import (
+            CompilerProfile,
+            generate_program,
+            link_program,
+        )
+
+        profile = CompilerProfile("gcc", "O2", 64, True)
+        spec = generate_program("clibin", 30, profile, seed=17, cxx=True)
+        path = tmp_path_factory.mktemp("cli2") / "bin"
+        path.write_bytes(link_program(spec, profile).data)
+        return str(path)
+
+    def test_cfg_command(self, binary_path, capsys):
+        assert main(["cfg", binary_path]) == 0
+        out = capsys.readouterr().out
+        assert "basic blocks" in out
+
+    def test_disasm_command(self, binary_path, capsys):
+        assert main(["disasm", binary_path, "--limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "endbr64" in out
+        assert "<_start>" in out
+
+    def test_disasm_unlimited(self, binary_path, capsys):
+        assert main(["disasm", binary_path, "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "more lines" not in out
+
+    def test_identify_robust_flag(self, binary_path, capsys):
+        assert main(["identify", binary_path, "--robust"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()

@@ -1,0 +1,134 @@
+"""Robustness fuzzing: mutated inputs must fail *predictably*.
+
+A production analysis tool gets fed malformed binaries. Every public
+entry point must either succeed or raise its documented error type —
+never IndexError/struct.error/KeyError from the guts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.funseeker import FunSeeker
+from repro.elf.dwarf import DwarfError, parse_subprograms
+from repro.elf.ehframe import EhFrameError, parse_eh_frame
+from repro.elf.ehframehdr import EhFrameHdrError, parse_eh_frame_hdr
+from repro.elf.lsda import LsdaError, parse_lsda
+from repro.elf.parser import ELFFile, ElfParseError
+from repro.elf.plt import build_plt_map
+from repro.elf.reader import ReaderError
+from repro.synth import CompilerProfile, generate_program, link_program
+
+#: Exceptions a parser is allowed to raise on malformed input.
+#: ValueError covers FunSeeker's documented unsupported-architecture
+#: rejection (a mutation can rewrite e_machine).
+DOCUMENTED = (ElfParseError, EhFrameError, EhFrameHdrError, LsdaError,
+              DwarfError, ReaderError, ValueError)
+
+
+@pytest.fixture(scope="module")
+def base_image() -> bytes:
+    profile = CompilerProfile("gcc", "O2", 64, True)
+    spec = generate_program("fuzz", 25, profile, seed=1, cxx=True)
+    return link_program(spec, profile).data
+
+
+mutations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**31),
+              st.integers(min_value=0, max_value=255)),
+    min_size=1, max_size=16,
+)
+
+
+def _mutate(data: bytes, muts) -> bytes:
+    out = bytearray(data)
+    for pos, value in muts:
+        out[pos % len(out)] = value
+    return bytes(out)
+
+
+class TestMutationFuzz:
+    @given(mutations)
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_elffile_parse_is_total(self, base_image, muts):
+        data = _mutate(base_image, muts)
+        try:
+            elf = ELFFile(data)
+            elf.symbols()
+            elf.dynamic_symbols()
+            elf.exec_sections()
+            elf.relocations(".rela.plt")
+        except DOCUMENTED:
+            pass
+
+    @given(mutations)
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_funseeker_is_total(self, base_image, muts):
+        data = _mutate(base_image, muts)
+        try:
+            FunSeeker.from_bytes(data).identify()
+        except DOCUMENTED:
+            pass
+
+    @given(mutations)
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_exception_parsers_are_total(self, base_image, muts):
+        data = _mutate(base_image, muts)
+        try:
+            elf = ELFFile(data)
+        except DOCUMENTED:
+            return
+        eh = elf.section(".eh_frame")
+        if eh is not None:
+            try:
+                parsed = parse_eh_frame(eh.data, eh.sh_addr, elf.is64)
+                get = elf.section(".gcc_except_table")
+                if get is not None:
+                    for fde in parsed.fdes:
+                        if fde.lsda_address is not None:
+                            try:
+                                parse_lsda(get.data, get.sh_addr,
+                                           fde.lsda_address,
+                                           fde.pc_begin, elf.is64)
+                            except DOCUMENTED:
+                                pass
+            except DOCUMENTED:
+                pass
+        hdr = elf.section(".eh_frame_hdr")
+        if hdr is not None:
+            try:
+                parse_eh_frame_hdr(hdr.data, hdr.sh_addr)
+            except DOCUMENTED:
+                pass
+
+    @given(mutations)
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_dwarf_parser_is_total(self, base_image, muts):
+        data = _mutate(base_image, muts)
+        try:
+            parse_subprograms(ELFFile(data))
+        except DOCUMENTED:
+            pass
+
+    @given(mutations)
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_plt_map_is_total(self, base_image, muts):
+        data = _mutate(base_image, muts)
+        try:
+            build_plt_map(ELFFile(data))
+        except DOCUMENTED:
+            pass
+
+
+class TestRandomGarbage:
+    @given(st.binary(min_size=0, max_size=512))
+    @settings(max_examples=150, deadline=None)
+    def test_random_bytes_never_crash_unexpectedly(self, data):
+        try:
+            FunSeeker.from_bytes(data).identify()
+        except DOCUMENTED:
+            pass

@@ -1,0 +1,167 @@
+"""Tests for function-body code generation."""
+
+import pytest
+
+from repro.synth.codegen import (
+    fragment_symbol,
+    generate_function,
+    plt_symbol,
+)
+from repro.synth.ir import FunctionSpec
+from repro.synth.profiles import CompilerProfile
+from repro.x86.decoder import decode
+from repro.x86.insn import InsnClass
+from repro.x86.sweep import linear_sweep
+
+P64 = CompilerProfile("gcc", "O2", 64, True)
+P64_O0 = CompilerProfile("gcc", "O0", 64, True)
+P32 = CompilerProfile("gcc", "O2", 32, False)
+
+
+def _body(spec: FunctionSpec, profile=P64) -> bytes:
+    return bytes(generate_function(spec, profile).code.buf)
+
+
+class TestEndbrPlacement:
+    def test_endbr_at_entry_when_enabled(self):
+        code = _body(FunctionSpec(name="f", has_endbr=True, seed=1))
+        assert code.startswith(b"\xf3\x0f\x1e\xfa")
+
+    def test_no_endbr_when_disabled(self):
+        code = _body(FunctionSpec(name="f", has_endbr=False, seed=1))
+        assert not code.startswith(b"\xf3\x0f\x1e")
+
+    def test_endbr32_in_32bit(self):
+        code = _body(FunctionSpec(name="f", has_endbr=True, seed=1), P32)
+        assert code.startswith(b"\xf3\x0f\x1e\xfb")
+
+
+class TestBodyIntegrity:
+    @pytest.mark.parametrize("profile", [P64, P64_O0, P32])
+    def test_body_decodes_completely(self, profile):
+        spec = FunctionSpec(name="f", filler=20, jump_table_cases=8,
+                            landing_pads=2, seed=9,
+                            plt_callees=["printf"],
+                            setjmp_sites=["setjmp"])
+        art = generate_function(spec, profile)
+        code = bytes(art.code.buf)
+        # Resolve fixups with dummy values so the stream decodes.
+        patched = bytearray(code)
+        for fx in art.code.fixups:
+            pass  # rel32 fields are zero-filled, already decodable
+        insns = list(linear_sweep(bytes(patched), 0x1000, profile.bits))
+        assert sum(i.length for i in insns) == len(code)
+
+    def test_ends_with_ret_or_jmp(self):
+        spec = FunctionSpec(name="f", seed=3)
+        code = _body(spec)
+        insns = list(linear_sweep(code, 0, 64))
+        assert insns[-1].klass == InsnClass.RET
+
+    def test_tail_call_emits_jmp(self):
+        spec = FunctionSpec(name="f", tail_call_target="g", seed=3)
+        art = generate_function(spec, P64)
+        assert any(fx.symbol == "g" for fx in art.code.fixups)
+
+
+class TestSetjmpSites:
+    def test_endbr_follows_setjmp_call(self):
+        spec = FunctionSpec(name="f", setjmp_sites=["setjmp"], seed=5)
+        art = generate_function(spec, P64)
+        code = bytes(art.code.buf)
+        insns = list(linear_sweep(code, 0, 64))
+        # Find the call with a fixup to plt:setjmp; the next insn must
+        # be the end-branch (Fig. 2a).
+        call_offsets = {fx.offset - 1 for fx in art.code.fixups
+                        if fx.symbol == plt_symbol("setjmp")}
+        assert call_offsets
+        for i, insn in enumerate(insns):
+            if insn.addr in call_offsets:
+                assert insns[i + 1].klass == InsnClass.ENDBR64
+
+    def test_invalid_setjmp_name_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", setjmp_sites=["printf"])
+
+
+class TestLandingPads:
+    def test_callsites_recorded(self):
+        spec = FunctionSpec(name="f", landing_pads=2,
+                            plt_callees=["printf", "malloc"], seed=6)
+        art = generate_function(spec, P64)
+        assert len(art.eh_callsites) == 2
+        code = bytes(art.code.buf)
+        for _start, _length, pad in art.eh_callsites:
+            insn = decode(code, pad, pad, 64)
+            assert insn.klass == InsnClass.ENDBR64
+
+    def test_pads_inside_function_bounds(self):
+        spec = FunctionSpec(name="f", landing_pads=3, seed=6)
+        art = generate_function(spec, P64)
+        for _s, _l, pad in art.eh_callsites:
+            assert 0 < pad < len(art.code.buf)
+
+
+class TestJumpTables:
+    def test_rodata_emitted(self):
+        spec = FunctionSpec(name="f", jump_table_cases=10, seed=7)
+        art = generate_function(spec, P64)
+        assert len(art.rodata) == 1
+        table = art.rodata[0]
+        assert len(table.fixups) == 10
+
+    def test_notrack_dispatch_present(self):
+        spec = FunctionSpec(name="f", jump_table_cases=10, seed=7)
+        code = bytes(generate_function(spec, P64).code.buf)
+        insns = list(linear_sweep(code, 0, 64))
+        assert any(i.klass == InsnClass.JMP_INDIRECT and i.notrack
+                   for i in insns)
+
+    def test_pie_uses_relative_table(self):
+        spec = FunctionSpec(name="f", jump_table_cases=6, seed=7)
+        art = generate_function(spec, CompilerProfile("gcc", "O2", 64, True))
+        from repro.synth.encoder import FixupKind
+
+        assert all(fx.kind == FixupKind.REL32
+                   for fx in art.rodata[0].fixups)
+
+    def test_nonpie_uses_absolute_table(self):
+        spec = FunctionSpec(name="f", jump_table_cases=6, seed=7)
+        art = generate_function(
+            spec, CompilerProfile("gcc", "O2", 64, False))
+        from repro.synth.encoder import FixupKind
+
+        assert all(fx.kind == FixupKind.ABS64
+                   for fx in art.rodata[0].fixups)
+
+
+class TestFragments:
+    def test_cold_fragment_generated(self):
+        spec = FunctionSpec(name="f", cold_fragment=True, seed=8)
+        art = generate_function(spec, P64)
+        names = [n for n, _ in art.fragments]
+        assert fragment_symbol("f", "cold") in names
+
+    def test_part_fragment_generated_and_called(self):
+        spec = FunctionSpec(name="f", part_fragment=True, seed=8)
+        art = generate_function(spec, P64)
+        names = [n for n, _ in art.fragments]
+        part = fragment_symbol("f", "part")
+        assert part in names
+        assert any(fx.symbol == part for fx in art.code.fixups)
+
+    def test_fragment_has_no_endbr(self):
+        spec = FunctionSpec(name="f", cold_fragment=True,
+                            part_fragment=True, seed=8)
+        art = generate_function(spec, P64)
+        for _name, code in art.fragments:
+            assert not bytes(code.buf).startswith(b"\xf3\x0f\x1e")
+
+
+class TestThunk:
+    def test_thunk_shape(self):
+        spec = FunctionSpec(name="__x86.get_pc_thunk.bx", is_thunk=True,
+                            has_endbr=False, seed=1)
+        art = generate_function(spec, P32)
+        code = bytes(art.code.buf)
+        assert code == b"\x8b\x1c\x24\xc3"  # mov ebx,[esp]; ret

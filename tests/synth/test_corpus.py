@@ -1,0 +1,66 @@
+"""Tests for corpus construction."""
+
+import pytest
+
+from repro.elf.parser import ELFFile
+from repro.synth.corpus import build_corpus, iter_corpus
+
+
+class TestTinyCorpus:
+    def test_size_and_composition(self, tiny_corpus):
+        assert len(tiny_corpus) == (3 + 1 + 2) * 4
+        suites = {e.suite for e in tiny_corpus}
+        assert suites == {"coreutils", "binutils", "spec"}
+
+    def test_entries_parse(self, tiny_corpus):
+        for entry in tiny_corpus[:6]:
+            elf = ELFFile(entry.binary.data)
+            assert elf.section(".text") is not None
+
+    def test_stripped_variant_has_no_symbols(self, tiny_corpus):
+        for entry in tiny_corpus[:6]:
+            assert ELFFile(entry.stripped).is_stripped
+            assert not ELFFile(entry.binary.data).is_stripped
+
+    def test_same_program_across_configs(self, tiny_corpus):
+        """Each program appears once per configuration, like the paper's
+        one-source-many-configs builds."""
+        by_program = {}
+        for entry in tiny_corpus:
+            by_program.setdefault((entry.suite, entry.program), []).append(
+                entry.profile.config_name)
+        for configs in by_program.values():
+            assert len(configs) == 4
+            assert len(set(configs)) == 4
+
+    def test_ground_truth_nonempty(self, tiny_corpus):
+        for entry in tiny_corpus:
+            assert len(entry.binary.ground_truth.function_starts) > 5
+
+    def test_labels_unique(self, tiny_corpus):
+        labels = [e.label for e in tiny_corpus]
+        assert len(labels) == len(set(labels))
+
+
+class TestDeterminism:
+    def test_rebuild_is_identical(self, tiny_corpus):
+        rebuilt = build_corpus("tiny")
+        assert len(rebuilt) == len(tiny_corpus)
+        for a, b in zip(tiny_corpus, rebuilt):
+            assert a.binary.data == b.binary.data
+
+    def test_seed_changes_corpus(self):
+        a = next(iter_corpus("tiny", seed=1))
+        b = next(iter_corpus("tiny", seed=2))
+        assert a.binary.data != b.binary.data
+
+
+class TestScales:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_corpus("gigantic")
+
+    def test_iter_is_lazy(self):
+        it = iter_corpus("full")
+        first = next(it)  # must not materialize the whole corpus
+        assert first.suite == "coreutils"

@@ -1,0 +1,87 @@
+"""Tests for dataset serialization."""
+
+import json
+
+import pytest
+
+from repro.synth.dataset import (
+    _profile_from_config,
+    load_dataset,
+    save_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("dataset")
+    manifest = save_dataset(root, scale="tiny", seed=7)
+    return root, manifest
+
+
+class TestSave:
+    def test_manifest_written(self, dataset_dir):
+        root, manifest = dataset_dir
+        on_disk = json.loads((root / "manifest.json").read_text())
+        assert on_disk == manifest
+        assert len(manifest["binaries"]) == 24  # tiny scale
+
+    def test_files_exist(self, dataset_dir):
+        root, manifest = dataset_dir
+        record = manifest["binaries"][0]
+        directory = root / record["path"]
+        assert (directory / "binary.elf").exists()
+        assert (directory / "binary.stripped.elf").exists()
+        assert (directory / "ground_truth.json").exists()
+
+    def test_stripped_differs_from_original(self, dataset_dir):
+        root, manifest = dataset_dir
+        record = manifest["binaries"][0]
+        directory = root / record["path"]
+        assert (directory / "binary.elf").read_bytes() != \
+            (directory / "binary.stripped.elf").read_bytes()
+
+
+class TestLoad:
+    def test_roundtrip_matches_generation(self, dataset_dir):
+        from repro.synth.corpus import build_corpus
+
+        root, _manifest = dataset_dir
+        loaded = load_dataset(root)
+        regenerated = build_corpus("tiny", seed=7)
+        assert len(loaded) == len(regenerated)
+        for a, b in zip(loaded, regenerated):
+            assert a.label == b.label
+            assert a.binary.data == b.binary.data
+            assert a.stripped == b.stripped
+            assert a.binary.ground_truth.function_starts == \
+                b.binary.ground_truth.function_starts
+
+    def test_loaded_entries_are_analyzable(self, dataset_dir):
+        from repro.core.funseeker import FunSeeker
+        from repro.eval.metrics import score
+
+        root, _manifest = dataset_dir
+        entry = load_dataset(root)[0]
+        result = FunSeeker.from_bytes(entry.stripped).identify()
+        conf = score(entry.binary.ground_truth.function_starts,
+                     result.functions)
+        assert conf.recall > 0.9
+
+    def test_bad_format_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": 99}')
+        with pytest.raises(ValueError):
+            load_dataset(tmp_path)
+
+
+class TestConfigParsing:
+    @pytest.mark.parametrize("config,compiler,bits,pie", [
+        ("gcc-x64-O2-pie", "gcc", 64, True),
+        ("clang-x32-Os-nopie", "clang", 32, False),
+        ("gcc-x32-O0-pie", "gcc", 32, True),
+    ])
+    def test_roundtrip(self, config, compiler, bits, pie):
+        profile = _profile_from_config(config)
+        assert profile.compiler == compiler
+        assert profile.bits == bits
+        assert profile.pie == pie
+        assert profile.config_name == config

@@ -1,0 +1,182 @@
+"""Tests for the synthetic toolchain's instruction encoder."""
+
+import pytest
+
+from repro.synth.encoder import Asm, FixupKind
+from repro.x86.decoder import decode
+from repro.x86.insn import InsnClass
+from repro.x86.sweep import linear_sweep
+
+
+def _decode_all(code: bytes, bits: int = 64):
+    return list(linear_sweep(code, 0x1000, bits))
+
+
+class TestBasics:
+    def test_endbr_bytes(self):
+        a64 = Asm(64)
+        a64.endbr()
+        assert bytes(a64.code.buf) == b"\xf3\x0f\x1e\xfa"
+        a32 = Asm(32)
+        a32.endbr()
+        assert bytes(a32.code.buf) == b"\xf3\x0f\x1e\xfb"
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Asm(16)
+
+    def test_prologue_epilogue_decode(self):
+        asm = Asm(64)
+        asm.push_bp()
+        asm.mov_bp_sp()
+        asm.sub_sp(0x20)
+        asm.leave()
+        asm.ret()
+        insns = _decode_all(bytes(asm.finish().buf))
+        assert insns[-1].klass == InsnClass.RET
+        assert sum(i.length for i in insns) == len(asm.code.buf)
+
+    def test_large_sub_sp_uses_imm32(self):
+        asm = Asm(64)
+        asm.sub_sp(0x400)
+        insn = decode(bytes(asm.code.buf), 0, 0, 64)
+        assert insn.length == 7
+
+
+class TestLabels:
+    def test_local_rel32_resolution(self):
+        asm = Asm(64)
+        asm.jmp(".Ltarget")
+        asm.raw(b"\x90" * 3)
+        asm.label(".Ltarget")
+        asm.ret()
+        code = asm.finish()
+        insn = decode(bytes(code.buf), 0, 0x1000, 64)
+        assert insn.klass == InsnClass.JMP_DIRECT
+        assert insn.target == 0x1008
+
+    def test_rel8_resolution(self):
+        asm = Asm(64)
+        asm.jcc_short("e", ".Lskip")
+        asm.raw(b"\x90" * 5)
+        asm.label(".Lskip")
+        asm.ret()
+        code = asm.finish()
+        insn = decode(bytes(code.buf), 0, 0x1000, 64)
+        assert insn.klass == InsnClass.JCC
+        assert insn.target == 0x1007
+
+    def test_rel8_out_of_range_raises(self):
+        asm = Asm(64)
+        asm.jmp_short(".Lfar")
+        asm.raw(b"\x90" * 200)
+        asm.label(".Lfar")
+        with pytest.raises(ValueError, match="out of range"):
+            asm.finish()
+
+    def test_rel8_unresolved_raises(self):
+        asm = Asm(64)
+        asm.jmp_short(".Lmissing")
+        with pytest.raises(ValueError, match="unresolved"):
+            asm.finish()
+
+    def test_duplicate_label_raises(self):
+        asm = Asm(64)
+        asm.label(".L0")
+        with pytest.raises(ValueError, match="duplicate"):
+            asm.label(".L0")
+
+    def test_external_symbol_becomes_fixup(self):
+        asm = Asm(64)
+        asm.call("other_function")
+        code = asm.finish()
+        assert len(code.fixups) == 1
+        fixup = code.fixups[0]
+        assert fixup.kind == FixupKind.REL32
+        assert fixup.symbol == "other_function"
+        assert fixup.offset == 1
+
+
+class TestAddressing:
+    def test_lea_rip_fixup_field_position(self):
+        asm = Asm(64)
+        asm.lea_rip(0, "some_data")
+        code = asm.finish()
+        assert code.fixups[0].offset == 3
+        assert len(code.buf) == 7
+
+    def test_lea_rip_32bit_rejected(self):
+        with pytest.raises(ValueError):
+            Asm(32).lea_rip(0, "x")
+
+    def test_mov_imm_sym_abs32(self):
+        asm = Asm(32)
+        asm.mov_imm_sym(0, "func")
+        code = asm.finish()
+        assert code.fixups[0].kind == FixupKind.ABS32
+        assert len(code.buf) == 5
+
+    def test_push_imm_sym(self):
+        asm = Asm(32)
+        asm.push_imm_sym("func")
+        code = asm.finish()
+        assert code.buf[0] == 0x68
+        assert code.fixups[0].kind == FixupKind.ABS32
+
+
+class TestNotrack:
+    def test_notrack_jmp_reg(self):
+        asm = Asm(64)
+        asm.jmp_reg(0, notrack=True)
+        insn = decode(bytes(asm.code.buf), 0, 0, 64)
+        assert insn.klass == InsnClass.JMP_INDIRECT
+        assert insn.notrack
+
+    def test_notrack_jump_table_dispatch(self):
+        asm = Asm(64)
+        asm.notrack_jmp_table("tbl", scale8=True)
+        code = asm.finish()
+        insn = decode(bytes(code.buf), 0, 0, 64)
+        assert insn.klass == InsnClass.JMP_INDIRECT
+        assert insn.notrack
+        assert code.fixups[0].kind == FixupKind.ABS32
+
+
+class TestPadding:
+    @pytest.mark.parametrize("count", [1, 2, 5, 9, 16, 23, 64])
+    def test_nop_pad_is_all_nops(self, count):
+        asm = Asm(64)
+        asm.nop_pad(count)
+        assert len(asm.code.buf) == count
+        for insn in _decode_all(bytes(asm.code.buf)):
+            assert insn.klass == InsnClass.NOP
+
+    def test_align(self):
+        asm = Asm(64)
+        asm.raw(b"\xc3")
+        asm.align(16)
+        assert len(asm.code.buf) == 16
+
+    def test_align_noop_when_aligned(self):
+        asm = Asm(64)
+        asm.raw(b"\x90" * 16)
+        asm.align(16)
+        assert len(asm.code.buf) == 16
+
+
+class TestFiller:
+    def test_filler_decodes_cleanly(self):
+        import random
+
+        asm = Asm(64)
+        asm.filler(random.Random(1), 50)
+        insns = _decode_all(bytes(asm.code.buf))
+        assert sum(i.length for i in insns) == len(asm.code.buf)
+
+    def test_filler_32_decodes_cleanly(self):
+        import random
+
+        asm = Asm(32)
+        asm.filler(random.Random(2), 50)
+        insns = _decode_all(bytes(asm.code.buf), bits=32)
+        assert sum(i.length for i in insns) == len(asm.code.buf)

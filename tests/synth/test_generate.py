@@ -1,0 +1,112 @@
+"""Tests for the calibrated program generator."""
+
+from repro.synth.generate import (
+    DEFAULT_SUITES,
+    generate_program,
+    generate_suite,
+)
+from repro.synth.profiles import CompilerProfile
+
+P = CompilerProfile("gcc", "O2", 64, True)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = generate_program("p", 80, P, seed=1, cxx=True)
+        b = generate_program("p", 80, P, seed=1, cxx=True)
+        assert [f.name for f in a.functions] == \
+            [f.name for f in b.functions]
+        assert [f.callees for f in a.functions] == \
+            [f.callees for f in b.functions]
+        assert [f.seed for f in a.functions] == \
+            [f.seed for f in b.functions]
+
+    def test_different_seed_different_program(self):
+        a = generate_program("p", 80, P, seed=1)
+        b = generate_program("p", 80, P, seed=2)
+        assert [f.callees for f in a.functions] != \
+            [f.callees for f in b.functions]
+
+    def test_suite_determinism(self):
+        s1 = generate_suite("coreutils", P, seed=3)
+        s2 = generate_suite("coreutils", P, seed=3)
+        assert [p.name for p in s1] == [p.name for p in s2]
+        assert len(s1) == DEFAULT_SUITES["coreutils"].programs
+
+
+class TestPopulationShape:
+    def test_scaffolding_present(self):
+        spec = generate_program("p", 50, P, seed=5)
+        names = {f.name for f in spec.functions}
+        assert {"_start", "_init", "_fini", "main"} <= names
+
+    def test_spec_validates(self):
+        for seed in range(5):
+            spec = generate_program("p", 60, P, seed=seed, cxx=True)
+            spec.validate()  # raises on inconsistency
+
+    def test_endbr_fraction_near_paper(self):
+        """Figure 3: ~89% of functions carry an entry end-branch."""
+        total = endbr = 0
+        for seed in range(8):
+            spec = generate_program("p", 120, P, seed=seed)
+            for fn in spec.functions:
+                total += 1
+                endbr += fn.has_endbr
+        assert 0.80 < endbr / total < 0.95
+
+    def test_live_statics_are_called(self):
+        spec = generate_program("p", 100, P, seed=6)
+        called = set()
+        for fn in spec.functions:
+            called.update(fn.callees)
+            if fn.tail_call_target:
+                called.add(fn.tail_call_target)
+            called.update(fn.takes_address_of)
+        for fn in spec.functions:
+            if fn.is_static and not fn.is_dead and not fn.has_endbr \
+                    and not fn.is_thunk:
+                assert fn.name in called, fn.name
+
+    def test_dead_functions_unreferenced(self):
+        spec = generate_program("p", 100, P, seed=7)
+        referenced = set()
+        for fn in spec.functions:
+            referenced.update(fn.callees)
+            referenced.update(fn.takes_address_of)
+            if fn.tail_call_target:
+                referenced.add(fn.tail_call_target)
+        for fn in spec.functions:
+            if fn.is_dead:
+                assert fn.name not in referenced
+
+    def test_cxx_programs_have_landing_pads(self):
+        spec = generate_program("p", 80, P, seed=8, cxx=True)
+        assert any(f.landing_pads for f in spec.functions)
+
+    def test_c_programs_have_no_landing_pads(self):
+        spec = generate_program("p", 80, P, seed=8, cxx=False)
+        assert not any(f.landing_pads for f in spec.functions)
+
+    def test_get_pc_thunk_only_for_32bit_pic(self):
+        spec64 = generate_program("p", 40, P, seed=9)
+        assert not any(f.is_thunk for f in spec64.functions)
+        p32 = CompilerProfile("gcc", "O2", 32, True)
+        spec32 = generate_program("p", 40, p32, seed=9)
+        assert any(f.is_thunk for f in spec32.functions)
+
+    def test_fragments_follow_profile(self):
+        o0 = CompilerProfile("gcc", "O0", 64, True)
+        spec = generate_program("p", 100, o0, seed=10)
+        assert not any(f.cold_fragment or f.part_fragment
+                       for f in spec.functions)
+        clang = CompilerProfile("clang", "O2", 64, True)
+        spec_c = generate_program("p", 100, clang, seed=10)
+        assert not any(f.part_fragment for f in spec_c.functions)
+
+    def test_main_is_address_taken(self):
+        spec = generate_program("p", 30, P, seed=11)
+        main = spec.function("main")
+        assert main.address_taken and main.has_endbr
+        start = spec.function("_start")
+        assert "main" in start.takes_address_of

@@ -1,0 +1,171 @@
+"""Tests for the synthetic linker: whole-binary invariants."""
+
+import pytest
+
+from repro.elf.ehframe import parse_eh_frame
+from repro.elf.lsda import landing_pads_from_exception_info
+from repro.elf.parser import ELFFile
+from repro.elf.plt import build_plt_map
+from repro.synth import (
+    CompilerProfile,
+    LinkError,
+    generate_program,
+    link_program,
+)
+from repro.synth.ir import FunctionSpec, ProgramSpec
+from repro.x86.decoder import decode
+from repro.x86.insn import InsnClass
+from repro.x86.sweep import linear_sweep
+
+ALL_PROFILES = [
+    CompilerProfile(c, o, b, p)
+    for c in ("gcc", "clang")
+    for o in ("O0", "O2")
+    for b in (64, 32)
+    for p in (True, False)
+]
+
+
+@pytest.fixture(scope="module", params=ALL_PROFILES,
+                ids=lambda p: p.config_name)
+def linked(request):
+    profile = request.param
+    spec = generate_program("lnk", 50, profile, seed=13, cxx=True)
+    return link_program(spec, profile), profile
+
+
+class TestAcrossConfigurations:
+    def test_parses_as_elf(self, linked):
+        binary, profile = linked
+        elf = ELFFile(binary.data)
+        assert elf.is64 == (profile.bits == 64)
+        assert elf.header.is_pie == profile.pie
+
+    def test_ground_truth_endbr_consistency(self, linked):
+        binary, profile = linked
+        elf = ELFFile(binary.data)
+        txt = elf.section(".text")
+        for entry in binary.ground_truth.entries:
+            if not entry.is_function:
+                continue
+            insn = decode(txt.data, entry.address - txt.sh_addr,
+                          entry.address, profile.bits)
+            assert insn.is_endbr == entry.has_endbr, entry.name
+
+    def test_text_decodes_completely(self, linked):
+        binary, profile = linked
+        elf = ELFFile(binary.data)
+        txt = elf.section(".text")
+        insns = list(linear_sweep(txt.data, txt.sh_addr, profile.bits))
+        assert sum(i.length for i in insns) == txt.sh_size
+
+    def test_direct_calls_resolve_to_entries_or_plt(self, linked):
+        binary, profile = linked
+        elf = ELFFile(binary.data)
+        txt = elf.section(".text")
+        plt_map = build_plt_map(elf)
+        known = binary.ground_truth.function_starts \
+            | binary.ground_truth.fragment_starts
+        for insn in linear_sweep(txt.data, txt.sh_addr, profile.bits):
+            if insn.klass != InsnClass.CALL_DIRECT:
+                continue
+            assert (insn.target in known
+                    or plt_map.name_at(insn.target) is not None), \
+                f"dangling call target {insn.target:#x}"
+
+    def test_entry_point_is_start(self, linked):
+        binary, _profile = linked
+        elf = ELFFile(binary.data)
+        start = binary.ground_truth.entry_named("_start")
+        assert elf.header.e_entry == start.address
+
+    def test_landing_pads_match_codegen(self, linked):
+        binary, profile = linked
+        elf = ELFFile(binary.data)
+        eh_sec = elf.section(".eh_frame")
+        get_sec = elf.section(".gcc_except_table")
+        if get_sec is None:
+            return
+        eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, elf.is64)
+        pads = landing_pads_from_exception_info(
+            eh, get_sec.data, get_sec.sh_addr, elf.is64)
+        txt = elf.section(".text")
+        for pad in pads:
+            insn = decode(txt.data, pad - txt.sh_addr, pad, profile.bits)
+            assert insn.is_endbr
+
+
+class TestFdePolicy:
+    def test_clang_x86_c_has_no_fdes(self):
+        profile = CompilerProfile("clang", "O2", 32, True)
+        spec = generate_program("nofde", 40, profile, seed=14, cxx=False)
+        binary = link_program(spec, profile)
+        elf = ELFFile(binary.data)
+        sec = elf.section(".eh_frame")
+        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
+        assert not eh.fdes
+
+    def test_clang_x86_cxx_keeps_lsda_fdes(self):
+        profile = CompilerProfile("clang", "O2", 32, True)
+        spec = generate_program("cxxfde", 40, profile, seed=14, cxx=True)
+        binary = link_program(spec, profile)
+        elf = ELFFile(binary.data)
+        sec = elf.section(".eh_frame")
+        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
+        assert eh.fdes
+        assert all(f.lsda_address for f in eh.fdes)
+
+    def test_gcc_fdes_cover_fragments(self):
+        profile = CompilerProfile("gcc", "O2", 64, True)
+        spec = generate_program("gfde", 60, profile, seed=15, cxx=False)
+        binary = link_program(spec, profile)
+        frags = binary.ground_truth.fragment_starts
+        if not frags:
+            pytest.skip("seed produced no fragments")
+        elf = ELFFile(binary.data)
+        sec = elf.section(".eh_frame")
+        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
+        starts = {f.pc_begin for f in eh.fdes}
+        assert frags <= starts
+
+
+class TestErrors:
+    def test_unresolved_symbol_raises(self):
+        profile = CompilerProfile("gcc", "O2", 64, True)
+        spec = ProgramSpec(
+            name="bad",
+            functions=[
+                FunctionSpec(name="main", seed=1),
+                FunctionSpec(name="_start", seed=2),
+            ],
+        )
+        # Inject a dangling fragment tail jump past validation.
+        spec.functions[0].fragment_tail_jumps.append("ghost.part.0")
+        with pytest.raises(LinkError):
+            link_program(spec, profile)
+
+    def test_validate_rejects_unknown_callee(self):
+        spec = ProgramSpec(
+            name="bad2",
+            functions=[FunctionSpec(name="main", callees=["nope"],
+                                    seed=1)],
+        )
+        with pytest.raises(ValueError, match="unknown"):
+            spec.validate()
+
+    def test_validate_rejects_duplicate_names(self):
+        spec = ProgramSpec(
+            name="bad3",
+            functions=[FunctionSpec(name="main", seed=1),
+                       FunctionSpec(name="main", seed=2)],
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.validate()
+
+    def test_validate_rejects_missing_entry(self):
+        spec = ProgramSpec(
+            name="bad4",
+            functions=[FunctionSpec(name="solo", seed=1)],
+        )
+        with pytest.raises(ValueError, match="entry"):
+            spec.validate()

@@ -1,0 +1,63 @@
+"""Property-based tests over the whole synth→link→analyze pipeline.
+
+Hypothesis generates random (but valid) program specs across the full
+configuration space; every generated binary must uphold the pipeline
+invariants: parseable ELF, fully-decodable text, ground-truth/endbr
+agreement, and FunSeeker finding every endbr'd live function.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.funseeker import FunSeeker
+from repro.elf.parser import ELFFile
+from repro.synth import CompilerProfile, generate_program, link_program
+from repro.x86.decoder import decode
+from repro.x86.sweep import linear_sweep
+
+profiles = st.builds(
+    CompilerProfile,
+    compiler=st.sampled_from(["gcc", "clang"]),
+    opt=st.sampled_from(["O0", "O1", "O2", "O3", "Os", "Ofast"]),
+    bits=st.sampled_from([32, 64]),
+    pie=st.booleans(),
+)
+
+specs = st.tuples(
+    profiles,
+    st.integers(min_value=5, max_value=60),   # function count
+    st.integers(min_value=0, max_value=2**30),  # seed
+    st.booleans(),                            # cxx
+)
+
+
+@given(specs)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_generated_binaries_uphold_invariants(params):
+    profile, n, seed, cxx = params
+    spec = generate_program("fuzz", n, profile, seed=seed, cxx=cxx)
+    binary = link_program(spec, profile)
+
+    elf = ELFFile(binary.data)
+    assert elf.is64 == (profile.bits == 64)
+
+    txt = elf.section(".text")
+    insns = list(linear_sweep(txt.data, txt.sh_addr, profile.bits))
+    assert sum(i.length for i in insns) == txt.sh_size, \
+        "synthetic text must decode with zero gaps"
+
+    gt = binary.ground_truth
+    for entry in gt.entries:
+        if not entry.is_function:
+            continue
+        insn = decode(txt.data, entry.address - txt.sh_addr,
+                      entry.address, profile.bits)
+        assert insn.is_endbr == entry.has_endbr
+
+    result = FunSeeker(elf).identify()
+    live_endbr = {e.address for e in gt.entries
+                  if e.is_function and e.has_endbr}
+    assert live_endbr <= result.functions, \
+        "every end-branched function must be identified"
+    # False positives may only be fragments.
+    assert result.functions - gt.function_starts <= gt.fragment_starts

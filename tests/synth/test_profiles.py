@@ -1,0 +1,68 @@
+"""Tests for compiler profiles and configuration matrices."""
+
+import pytest
+
+from repro.synth.profiles import (
+    CompilerProfile,
+    default_matrix,
+    sampled_matrix,
+)
+
+
+class TestValidation:
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerProfile("icc", "O2", 64, True)
+
+    def test_unknown_opt_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerProfile("gcc", "O9", 64, True)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerProfile("gcc", "O2", 16, True)
+
+
+class TestDerivedPolicies:
+    def test_frame_pointer_only_at_o0(self):
+        assert CompilerProfile("gcc", "O0", 64, True).uses_frame_pointer
+        assert not CompilerProfile("gcc", "O2", 64, True).uses_frame_pointer
+
+    def test_clang_x86_omits_c_fdes(self):
+        assert not CompilerProfile("clang", "O2", 32, True).emits_fde_for_c
+        assert CompilerProfile("clang", "O2", 64, True).emits_fde_for_c
+        assert CompilerProfile("gcc", "O2", 32, True).emits_fde_for_c
+
+    def test_fragments_gcc_optimized_only(self):
+        assert CompilerProfile("gcc", "O2", 64, True).emits_cold_fragments
+        assert not CompilerProfile("gcc", "O0", 64, True).emits_cold_fragments
+        assert not CompilerProfile("clang", "O3", 64, True) \
+            .emits_cold_fragments
+
+    def test_get_pc_thunk_32bit_pic_only(self):
+        assert CompilerProfile("gcc", "O2", 32, True).uses_get_pc_thunk
+        assert not CompilerProfile("gcc", "O2", 32, False).uses_get_pc_thunk
+        assert not CompilerProfile("gcc", "O2", 64, True).uses_get_pc_thunk
+
+    def test_alignment(self):
+        assert CompilerProfile("gcc", "Os", 64, True).function_alignment == 2
+        assert CompilerProfile("gcc", "O2", 64, True).function_alignment == 16
+
+    def test_config_name(self):
+        profile = CompilerProfile("clang", "Os", 32, False)
+        assert profile.config_name == "clang-x32-Os-nopie"
+
+
+class TestMatrices:
+    def test_default_matrix_is_48(self):
+        """The paper's 24 configurations per compiler (§III-A)."""
+        matrix = default_matrix()
+        assert len(matrix) == 48
+        assert len(set(p.config_name for p in matrix)) == 48
+
+    def test_sampled_matrix_covers_all_axes(self):
+        matrix = sampled_matrix()
+        assert {p.compiler for p in matrix} == {"gcc", "clang"}
+        assert {p.bits for p in matrix} == {32, 64}
+        assert {p.pie for p in matrix} == {True, False}
+        assert len({p.opt for p in matrix}) >= 3

@@ -1,0 +1,304 @@
+"""Unit tests for the x86/x86-64 decoder: known encodings in, exact
+lengths and classifications out."""
+
+import pytest
+
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import InsnClass
+
+
+def d64(data: bytes, addr: int = 0x1000):
+    return decode(data, 0, addr, 64)
+
+
+def d32(data: bytes, addr: int = 0x1000):
+    return decode(data, 0, addr, 32)
+
+
+class TestEndbr:
+    def test_endbr64(self):
+        insn = d64(b"\xf3\x0f\x1e\xfa")
+        assert insn.klass == InsnClass.ENDBR64
+        assert insn.length == 4
+        assert insn.is_endbr
+
+    def test_endbr32(self):
+        insn = d32(b"\xf3\x0f\x1e\xfb")
+        assert insn.klass == InsnClass.ENDBR32
+        assert insn.length == 4
+
+    def test_0f1e_without_f3_is_not_endbr(self):
+        insn = d64(b"\x0f\x1e\xfa")
+        assert insn.klass != InsnClass.ENDBR64
+
+    def test_0f1e_with_other_modrm_is_not_endbr(self):
+        insn = d64(b"\xf3\x0f\x1e\xc8")
+        assert not insn.is_endbr
+
+
+class TestDirectBranches:
+    def test_call_rel32(self):
+        insn = d64(b"\xe8\x10\x00\x00\x00", addr=0x1000)
+        assert insn.klass == InsnClass.CALL_DIRECT
+        assert insn.length == 5
+        assert insn.target == 0x1015
+
+    def test_call_negative_rel32(self):
+        insn = d64(b"\xe8\xfb\xff\xff\xff", addr=0x1000)
+        assert insn.target == 0x1000  # 5 - 5
+
+    def test_jmp_rel32(self):
+        insn = d64(b"\xe9\x00\x01\x00\x00", addr=0x2000)
+        assert insn.klass == InsnClass.JMP_DIRECT
+        assert insn.target == 0x2105
+
+    def test_jmp_rel8(self):
+        insn = d64(b"\xeb\x10", addr=0x2000)
+        assert insn.klass == InsnClass.JMP_DIRECT
+        assert insn.length == 2
+        assert insn.target == 0x2012
+
+    def test_jmp_rel8_backward(self):
+        insn = d64(b"\xeb\xfe", addr=0x2000)
+        assert insn.target == 0x2000  # self-loop
+
+    def test_jcc_rel8(self):
+        insn = d64(b"\x74\x05", addr=0x3000)
+        assert insn.klass == InsnClass.JCC
+        assert insn.target == 0x3007
+
+    def test_jcc_rel32(self):
+        insn = d64(b"\x0f\x84\x00\x02\x00\x00", addr=0x3000)
+        assert insn.klass == InsnClass.JCC
+        assert insn.length == 6
+        assert insn.target == 0x3206
+
+    def test_loop_is_conditional(self):
+        insn = d64(b"\xe2\xf0", addr=0x4000)
+        assert insn.klass == InsnClass.JCC
+
+    def test_wraparound_masked_32(self):
+        insn = d32(b"\xe9\x00\x00\x00\x80", addr=0x8000_0000)
+        assert insn.target == (0x8000_0000 + 5 - 0x8000_0000) & 0xFFFFFFFF
+
+
+class TestIndirectBranches:
+    def test_call_reg(self):
+        insn = d64(b"\xff\xd0")
+        assert insn.klass == InsnClass.CALL_INDIRECT
+        assert insn.target is None
+
+    def test_jmp_reg(self):
+        insn = d64(b"\xff\xe0")
+        assert insn.klass == InsnClass.JMP_INDIRECT
+
+    def test_notrack_jmp(self):
+        insn = d64(b"\x3e\xff\xe2")
+        assert insn.klass == InsnClass.JMP_INDIRECT
+        assert insn.notrack
+
+    def test_notrack_mem_indexed(self):
+        # notrack jmp *table(,%rax,8): 3e ff 24 c5 imm32
+        insn = d64(b"\x3e\xff\x24\xc5\x00\x20\x40\x00")
+        assert insn.klass == InsnClass.JMP_INDIRECT
+        assert insn.notrack
+        assert insn.length == 8
+
+    def test_jmp_mem_rip(self):
+        insn = d64(b"\xff\x25\x10\x00\x00\x00")
+        assert insn.klass == InsnClass.JMP_INDIRECT
+        assert insn.length == 6
+
+    def test_ff_group_non_branch(self):
+        insn = d64(b"\xff\xc0")  # inc eax
+        assert insn.klass == InsnClass.OTHER
+
+
+class TestReturns:
+    @pytest.mark.parametrize("raw,length", [
+        (b"\xc3", 1), (b"\xc2\x08\x00", 3), (b"\xcb", 1),
+        (b"\xca\x04\x00", 3),
+    ])
+    def test_ret_forms(self, raw, length):
+        insn = d64(raw)
+        assert insn.klass == InsnClass.RET
+        assert insn.length == length
+        assert insn.is_terminator
+
+
+class TestAddressMaterialization:
+    def test_lea_rip_relative(self):
+        # lea rax, [rip + 0x100] at 0x1000, length 7.
+        insn = d64(b"\x48\x8d\x05\x00\x01\x00\x00", addr=0x1000)
+        assert insn.klass == InsnClass.LEA
+        assert insn.target == 0x1107
+
+    def test_lea_register_form_has_no_target(self):
+        insn = d64(b"\x48\x8d\x44\x24\x08")  # lea rax, [rsp+8]
+        assert insn.klass == InsnClass.LEA
+        assert insn.target is None
+
+    def test_lea_abs32_in_32bit(self):
+        insn = d32(b"\x8d\x05\x00\x20\x40\x00")
+        assert insn.target == 0x402000
+
+    def test_mov_imm32(self):
+        insn = d64(b"\xb8\x00\x20\x40\x00")
+        assert insn.klass == InsnClass.MOV_IMM
+        assert insn.target == 0x402000
+
+    def test_mov_imm64(self):
+        insn = d64(b"\x48\xb8" + (0x1234567890).to_bytes(8, "little"))
+        assert insn.length == 10
+        assert insn.target == 0x1234567890
+
+    def test_push_imm32(self):
+        insn = d32(b"\x68\x00\x20\x40\x00")
+        assert insn.klass == InsnClass.PUSH_IMM
+        assert insn.target == 0x402000
+
+
+class TestLengths:
+    @pytest.mark.parametrize("raw,length", [
+        (b"\x55", 1),                                  # push rbp
+        (b"\x48\x89\xe5", 3),                          # mov rbp, rsp
+        (b"\x48\x83\xec\x10", 4),                      # sub rsp, 0x10
+        (b"\x48\x81\xec\x00\x01\x00\x00", 7),          # sub rsp, 0x100
+        (b"\x8b\x45\xf8", 3),                          # mov eax,[rbp-8]
+        (b"\x48\x8b\x84\x24\x80\x00\x00\x00", 8),      # mov rax,[rsp+0x80]
+        (b"\x66\x0f\x1f\x44\x00\x00", 6),              # nopw
+        (b"\x0f\x1f\x84\x00\x00\x00\x00\x00", 8),      # nopl
+        (b"\xf2\x0f\x58\xc1", 4),                      # addsd xmm0,xmm1
+        (b"\x66\x0f\xef\xc0", 4),                      # pxor xmm0,xmm0
+        (b"\xc5\xf8\x77", 3),                          # vzeroupper
+        (b"\xc5\xf1\x58\xc2", 4),                      # vaddpd (VEX2)
+        (b"\xc4\xe2\x79\x18\x05\x00\x00\x00\x00", 9),  # vbroadcastss rip
+        (b"\x48\x0f\xaf\xc3", 4),                      # imul rax, rbx
+        (b"\x0f\xb6\xc0", 3),                          # movzx eax, al
+        (b"\xf6\xc1\x01", 3),                          # test cl, 1
+        (b"\xf7\xc1\x00\x01\x00\x00", 6),              # test ecx, 0x100
+        (b"\xf7\xd8", 2),                              # neg eax
+        (b"\xc8\x10\x00\x00", 4),                      # enter 0x10, 0
+        (b"\xa8\x01", 2),                              # test al, 1
+        (b"\x6b\xc0\x07", 3),                          # imul eax, eax, 7
+        (b"\x69\xc0\x00\x01\x00\x00", 6),              # imul eax,eax,0x100
+    ])
+    def test_known_lengths_64(self, raw, length):
+        assert d64(raw).length == length
+
+    @pytest.mark.parametrize("raw,length", [
+        (b"\x55", 1),                                  # push ebp
+        (b"\x89\xe5", 2),                              # mov ebp, esp
+        (b"\xa1\x00\x20\x40\x00", 5),                  # mov eax, moffs32
+        (b"\x40", 1),                                  # inc eax (not REX!)
+        (b"\x66\xb8\x01\x00", 4),                      # mov ax, 1
+        (b"\x61", 1),                                  # popa
+        (b"\x8d\x83\x00\x01\x00\x00", 6),              # lea eax,[ebx+256]
+    ])
+    def test_known_lengths_32(self, raw, length):
+        assert d32(raw).length == length
+
+    def test_moffs_64(self):
+        insn = d64(b"\xa1" + b"\x00" * 8)  # mov eax, moffs64
+        assert insn.length == 9
+
+    def test_rex_is_prefix_only_in_64(self):
+        insn64 = d64(b"\x48\x01\xd8")  # add rax, rbx
+        assert insn64.length == 3
+        insn32 = d32(b"\x48")          # dec eax
+        assert insn32.length == 1
+
+
+class TestModePolicies:
+    def test_invalid_in_64(self):
+        with pytest.raises(DecodeError):
+            d64(b"\x06")  # push es
+        with pytest.raises(DecodeError):
+            d64(b"\x27")  # daa
+        with pytest.raises(DecodeError):
+            d64(b"\xce")  # into
+
+    def test_valid_in_32(self):
+        assert d32(b"\x06").length == 1
+        assert d32(b"\x27").length == 1
+
+    def test_invalid_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            d64(b"\x0f\x04")
+
+    def test_truncated_raises(self):
+        with pytest.raises(DecodeError):
+            d64(b"\xe8\x01\x02")
+        with pytest.raises(DecodeError):
+            d64(b"\x0f")
+        with pytest.raises(DecodeError):
+            d64(b"\x48")
+
+    def test_bad_bits_raises(self):
+        with pytest.raises(ValueError):
+            decode(b"\x90", 0, 0, 16)
+
+    def test_prefix_only_raises(self):
+        with pytest.raises(DecodeError):
+            d64(b"\x66\x66\x66")
+
+
+class TestVexEvex:
+    def test_evex_length(self):
+        # vmovups zmm0, [rax]: 62 f1 7c 48 10 00
+        insn = d64(b"\x62\xf1\x7c\x48\x10\x00")
+        assert insn.length == 6
+
+    def test_evex_with_disp8(self):
+        # vmovups zmm0, [rax+0x40] (compressed disp8):
+        insn = d64(b"\x62\xf1\x7c\x48\x10\x40\x01")
+        assert insn.length == 7
+
+    def test_vex3_0f3a_has_imm8(self):
+        # vpalignr xmm0, xmm1, xmm2, 4: c4 e3 71 0f c2 04
+        insn = d64(b"\xc4\xe3\x71\x0f\xc2\x04")
+        assert insn.length == 6
+
+    def test_c4_in_32bit_is_les_when_memory_operand(self):
+        # c4 01: modrm 0x01 has mod!=3 -> LES in 32-bit mode.
+        insn = d32(b"\xc4\x01")
+        assert insn.length == 2
+
+    def test_62_in_32bit_is_bound_when_memory_operand(self):
+        insn = d32(b"\x62\x03")
+        assert insn.length == 2
+
+    def test_62_in_64bit_is_evex(self):
+        with pytest.raises(DecodeError):
+            d64(b"\x62\x03")  # truncated EVEX payload
+
+
+class TestMisc:
+    def test_nop(self):
+        assert d64(b"\x90").klass == InsnClass.NOP
+
+    def test_multibyte_nop(self):
+        assert d64(b"\x0f\x1f\x40\x00").klass == InsnClass.NOP
+
+    def test_int3(self):
+        assert d64(b"\xcc").klass == InsnClass.INT3
+
+    def test_hlt_is_terminator(self):
+        insn = d64(b"\xf4")
+        assert insn.klass == InsnClass.HLT
+        assert insn.is_terminator
+
+    def test_ud2(self):
+        insn = d64(b"\x0f\x0b")
+        assert insn.klass == InsnClass.UD
+        assert insn.is_terminator
+
+    def test_insn_str_and_mnemonic(self):
+        insn = d64(b"\x3e\xff\xe0")
+        assert insn.mnemonic() == "notrack jmp*"
+        insn2 = d64(b"\xe8\x00\x00\x00\x00")
+        assert insn2.mnemonic() == "call"
+
+    def test_insn_end(self):
+        insn = d64(b"\xe8\x00\x00\x00\x00", addr=0x100)
+        assert insn.end == 0x105

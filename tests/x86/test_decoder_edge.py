@@ -1,0 +1,162 @@
+"""Edge-case decoder tests: unusual prefixes, addressing modes, and
+mode-dependent encodings beyond the common compiler output."""
+
+import pytest
+
+from repro.x86.decoder import DecodeError, decode
+from repro.x86.insn import InsnClass
+
+
+def d64(raw, addr=0x1000):
+    return decode(raw, 0, addr, 64)
+
+
+def d32(raw, addr=0x1000):
+    return decode(raw, 0, addr, 32)
+
+
+class TestAddressSizeOverride:
+    def test_67_prefix_in_64bit(self):
+        # mov eax, [ebx] with 32-bit addressing.
+        insn = d64(b"\x67\x8b\x03")
+        assert insn.length == 3
+
+    def test_16bit_addressing_in_32bit_mode(self):
+        # 67 8b 46 08: mov eax, [bp+8] (16-bit ModRM form).
+        insn = d32(b"\x67\x8b\x46\x08")
+        assert insn.length == 4
+
+    def test_16bit_disp16_form(self):
+        # 67 8b 06 34 12: mov eax, [0x1234].
+        insn = d32(b"\x67\x8b\x06\x34\x12")
+        assert insn.length == 5
+
+    def test_moffs_with_addr_override_64(self):
+        # 67 a1: mov eax, moffs32 in 64-bit mode -> 4-byte offset.
+        insn = d64(b"\x67\xa1\x00\x10\x00\x00")
+        assert insn.length == 6
+
+    def test_moffs_with_addr_override_32(self):
+        # 67 a1: 16-bit offset in 32-bit mode.
+        insn = d32(b"\x67\xa1\x00\x10")
+        assert insn.length == 4
+
+
+class TestOperandSizeOverride:
+    def test_rel16_branch_in_32bit(self):
+        # 66 e9: jmp rel16 (2-byte displacement).
+        insn = d32(b"\x66\xe9\x10\x00", addr=0x1000)
+        assert insn.klass == InsnClass.JMP_DIRECT
+        assert insn.length == 4
+        assert insn.target == 0x1014
+
+    def test_rel32_forced_in_64bit(self):
+        # 66 e9 in 64-bit mode still takes rel32.
+        insn = d64(b"\x66\xe9\x10\x00\x00\x00")
+        assert insn.length == 6
+
+    def test_mov_imm16(self):
+        insn = d64(b"\x66\xb8\x34\x12")
+        assert insn.length == 4
+        # 16-bit immediate is not pointer material.
+        assert insn.klass == InsnClass.OTHER
+
+    def test_far_pointer_32bit(self):
+        # 9a: call far ptr16:32 (6-byte operand).
+        insn = d32(b"\x9a\x00\x00\x00\x00\x08\x00")
+        assert insn.length == 7
+
+    def test_far_pointer_16bit_operand(self):
+        insn = d32(b"\x66\x9a\x00\x00\x08\x00")
+        assert insn.length == 6
+
+
+class TestUndefinedGroupEncodings:
+    def test_ff_7_undefined(self):
+        with pytest.raises(DecodeError):
+            d64(b"\xff\xff")
+        with pytest.raises(DecodeError):
+            d32(b"\xff\xf8")
+
+    def test_fe_above_1_undefined(self):
+        with pytest.raises(DecodeError):
+            d64(b"\xfe\xd0")
+
+    def test_fe_inc_dec_valid(self):
+        assert d64(b"\xfe\xc0").length == 2  # inc al
+        assert d64(b"\xfe\xc8").length == 2  # dec al
+
+
+class TestSibEncodings:
+    def test_sib_with_base_5_mod_0(self):
+        # mov eax, [rbp*? base=5 mod=0] -> disp32 follows SIB.
+        insn = d64(b"\x8b\x04\x25\x00\x10\x00\x00")
+        assert insn.length == 7
+
+    def test_sib_with_index_scale(self):
+        # mov eax, [rax + rbx*8].
+        insn = d64(b"\x8b\x04\xd8")
+        assert insn.length == 3
+
+    def test_sib_mod1_disp8(self):
+        insn = d64(b"\x8b\x44\x24\x08")  # mov eax, [rsp+8]
+        assert insn.length == 4
+
+    def test_sib_mod2_disp32(self):
+        insn = d64(b"\x8b\x84\x24\x00\x01\x00\x00")
+        assert insn.length == 7
+
+
+class TestGroup3Immediates:
+    def test_f7_test_imm32(self):
+        insn = d64(b"\xf7\x05\x00\x00\x00\x00\x01\x00\x00\x00")
+        assert insn.length == 10  # test dword [rip], imm32
+
+    def test_f7_test_imm16(self):
+        insn = d32(b"\x66\xf7\xc0\x01\x00")  # test ax, 1
+        assert insn.length == 5
+
+    def test_f7_not_has_no_imm(self):
+        insn = d64(b"\xf7\xd0")  # not eax
+        assert insn.length == 2
+
+    def test_f6_test_imm8(self):
+        insn = d64(b"\xf6\xc4\x01")  # test ah, 1
+        assert insn.length == 3
+
+
+class TestX87:
+    @pytest.mark.parametrize("raw,length", [
+        (b"\xd9\xee", 2),                      # fldz
+        (b"\xdd\x45\xf8", 3),                  # fld qword [rbp-8]
+        (b"\xd8\xc1", 2),                      # fadd st(1)
+        (b"\xdf\xe0", 2),                      # fnstsw ax
+        (b"\xd9\x05\x00\x00\x00\x00", 6),      # fld dword [rip]
+    ])
+    def test_x87_lengths(self, raw, length):
+        assert d64(raw).length == length
+
+
+class TestThreeByteMaps:
+    def test_0f38_modrm(self):
+        insn = d64(b"\x66\x0f\x38\x17\xc1")  # ptest xmm0, xmm1
+        assert insn.length == 5
+
+    def test_0f3a_has_imm8(self):
+        insn = d64(b"\x66\x0f\x3a\x0f\xc1\x08")  # palignr
+        assert insn.length == 6
+
+    def test_crc32(self):
+        insn = d64(b"\xf2\x0f\x38\xf1\xc1")
+        assert insn.length == 5
+
+
+class TestTruncationEverywhere:
+    @pytest.mark.parametrize("raw", [
+        b"\x0f\x38", b"\x0f\x3a", b"\x8b", b"\x8b\x04",
+        b"\x8b\x05\x00\x00", b"\xc7\xc0\x00", b"\xf7\x05\x00",
+        b"\xc4\xe2", b"\xc5", b"\x62\xf1\x7c",
+    ])
+    def test_truncated_raises(self, raw):
+        with pytest.raises(DecodeError):
+            d64(raw)

@@ -1,0 +1,111 @@
+"""Property-based tests for the decoder and linear sweep."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.x86.decoder import DecodeError, decode, decode_raw
+from repro.x86.insn import InsnClass
+from repro.x86.sweep import linear_sweep
+
+#: Valid single instructions used to build random streams.
+KNOWN_64 = [
+    b"\xf3\x0f\x1e\xfa",              # endbr64
+    b"\x55",                          # push rbp
+    b"\x48\x89\xe5",                  # mov rbp, rsp
+    b"\x48\x83\xec\x20",              # sub rsp, 0x20
+    b"\xe8\x10\x00\x00\x00",          # call +0x10
+    b"\xe9\x20\x00\x00\x00",          # jmp +0x20
+    b"\x74\x05",                      # je +5
+    b"\xc3",                          # ret
+    b"\x90",                          # nop
+    b"\x0f\x1f\x44\x00\x00",          # nop5
+    b"\x89\xc2",                      # mov edx, eax
+    b"\x8b\x45\xf8",                  # mov eax, [rbp-8]
+    b"\xf2\x0f\x58\xc1",              # addsd
+    b"\xff\xd0",                      # call rax
+    b"\x3e\xff\xe0",                  # notrack jmp rax
+    b"\x48\x8d\x05\x10\x00\x00\x00",  # lea rax, [rip+0x10]
+    b"\xb8\x01\x00\x00\x00",          # mov eax, 1
+    b"\xc5\xf8\x77",                  # vzeroupper
+]
+
+
+class TestDecodeRobustness:
+    @given(st.binary(min_size=1, max_size=20), st.sampled_from([32, 64]))
+    @settings(max_examples=400)
+    def test_never_crashes_on_garbage(self, data, bits):
+        """Arbitrary bytes either decode or raise DecodeError — nothing
+        else escapes."""
+        try:
+            insn = decode(data, 0, 0x1000, bits)
+        except DecodeError:
+            return
+        assert 1 <= insn.length <= 15
+        assert insn.length <= len(data)
+
+    @given(st.binary(min_size=1, max_size=20), st.sampled_from([32, 64]))
+    @settings(max_examples=200)
+    def test_deterministic(self, data, bits):
+        def run():
+            try:
+                return decode_raw(data, 0, 0x1000, bits)
+            except DecodeError as exc:
+                return ("error", str(exc))
+
+        assert run() == run()
+
+    @given(st.binary(min_size=1, max_size=20))
+    @settings(max_examples=200)
+    def test_raw_and_wrapped_agree(self, data):
+        try:
+            raw = decode_raw(data, 0, 0x1000, 64)
+        except DecodeError:
+            raw = None
+        try:
+            insn = decode(data, 0, 0x1000, 64)
+        except DecodeError:
+            insn = None
+        if raw is None:
+            assert insn is None
+        else:
+            assert insn is not None
+            assert (insn.length, int(insn.klass), insn.target,
+                    insn.notrack) == raw
+
+
+class TestSweepProperties:
+    @given(st.lists(st.sampled_from(KNOWN_64), min_size=1, max_size=40))
+    @settings(max_examples=200)
+    def test_sweep_recovers_exact_boundaries(self, chunks):
+        """A stream built from valid instructions sweeps losslessly."""
+        data = b"".join(chunks)
+        insns = list(linear_sweep(data, 0x1000, 64))
+        expected = []
+        pos = 0x1000
+        for chunk in chunks:
+            expected.append(pos)
+            pos += len(chunk)
+        assert [i.addr for i in insns] == expected
+
+    @given(st.lists(st.sampled_from(KNOWN_64), min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100)
+    def test_sweep_resyncs_after_junk_byte(self, chunks, junk):
+        """One junk byte between valid runs never derails more than a
+        bounded window of the stream."""
+        data = b"".join(chunks) + bytes([junk]) + b"".join(chunks)
+        insns = list(linear_sweep(data, 0, 64))
+        covered = sum(i.length for i in insns)
+        # The sweep must consume nearly the whole buffer (junk may eat
+        # up to one maximal instruction window).
+        assert covered >= len(data) - 16
+
+    @given(st.lists(st.sampled_from(KNOWN_64), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_sweep_classes_preserved(self, chunks):
+        data = b"".join(chunks)
+        insns = list(linear_sweep(data, 0, 64))
+        n_endbr = sum(1 for c in chunks if c == b"\xf3\x0f\x1e\xfa")
+        assert sum(1 for i in insns
+                   if i.klass == InsnClass.ENDBR64) == n_endbr
+        n_ret = sum(1 for c in chunks if c == b"\xc3")
+        assert sum(1 for i in insns if i.klass == InsnClass.RET) == n_ret

@@ -1,0 +1,95 @@
+"""Tests for register def-use extraction."""
+
+from repro.x86.defuse import (
+    SYSV_ARG_REGS,
+    args_read_before_write,
+    def_use,
+)
+
+RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI = range(8)
+
+
+class TestDefUse:
+    def test_mov_reg_reg(self):
+        du = def_use(b"\x48\x89\xc2", 64)  # mov rdx, rax
+        assert RAX in du.reads
+        assert RDX in du.writes
+        assert RDX not in du.reads
+
+    def test_rmw_reads_and_writes_dest(self):
+        du = def_use(b"\x48\x01\xd8", 64)  # add rax, rbx
+        assert du.reads == frozenset({RAX, RBX})
+        assert du.writes == frozenset({RAX})
+
+    def test_cmp_writes_nothing(self):
+        du = def_use(b"\x48\x39\xd8", 64)  # cmp rax, rbx
+        assert du.writes == frozenset()
+        assert du.reads == frozenset({RAX, RBX})
+
+    def test_memory_operand_reads_address_regs(self):
+        du = def_use(b"\x48\x8b\x44\x1d\x08", 64)  # mov rax,[rbp+rbx+8]
+        assert {RBP, RBX} <= du.reads
+        assert du.writes == frozenset({RAX})
+
+    def test_lea_reads_address_not_memory(self):
+        du = def_use(b"\x48\x8d\x04\x1f", 64)  # lea rax, [rdi+rbx]
+        assert {RDI, RBX} <= du.reads
+        assert RAX in du.writes
+
+    def test_store_reads_value_and_address(self):
+        du = def_use(b"\x48\x89\x45\xf8", 64)  # mov [rbp-8], rax
+        assert {RAX, RBP} <= du.reads
+        assert du.writes == frozenset()
+
+    def test_push_pop_touch_rsp(self):
+        du = def_use(b"\x55", 64)  # push rbp
+        assert RBP in du.reads and RSP in du.writes
+        du = def_use(b"\x5d", 64)  # pop rbp
+        assert RBP in du.writes and RSP in du.writes
+
+    def test_xor_self_is_read_write(self):
+        du = def_use(b"\x31\xc0", 64)  # xor eax, eax
+        assert du.reads == frozenset({RAX})
+        assert du.writes == frozenset({RAX})
+
+    def test_unmodeled_is_empty(self):
+        du = def_use(b"\x0f\x58\xc1", 64)  # addps
+        assert du.reads == frozenset() and du.writes == frozenset()
+
+    def test_imm_contributes_nothing(self):
+        du = def_use(b"\xb8\x01\x00\x00\x00", 64)  # mov eax, 1
+        assert du.reads == frozenset()
+        assert du.writes == frozenset({RAX})
+
+
+class TestArgConsumption:
+    def test_reads_args_before_write(self):
+        block = [
+            b"\x48\x89\xf8",   # mov rax, rdi   (reads rdi)
+            b"\x48\x01\xf0",   # add rax, rsi   (reads rsi)
+            b"\xc3",
+        ]
+        consumed = args_read_before_write(block, 64)
+        assert consumed == frozenset({RDI, RSI})
+
+    def test_write_shadows_later_read(self):
+        block = [
+            b"\x48\x31\xff",   # xor rdi, rdi   (writes rdi)
+            b"\x48\x89\xf8",   # mov rax, rdi   (read after write)
+        ]
+        consumed = args_read_before_write(block, 64)
+        assert RDI in consumed  # xor reads rdi first (RMW)
+
+    def test_pure_write_then_read_not_consumed(self):
+        block = [
+            b"\xbf\x01\x00\x00\x00",  # mov edi, 1 (pure write)
+            b"\x48\x89\xf8",          # mov rax, rdi
+        ]
+        consumed = args_read_before_write(block, 64)
+        assert RDI not in consumed
+
+    def test_arg_registers_are_sysv(self):
+        assert SYSV_ARG_REGS == (7, 6, 2, 1, 8, 9)
+
+    def test_empty_block(self):
+        assert args_read_before_write([], 64) == frozenset()

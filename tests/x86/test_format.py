@@ -1,0 +1,85 @@
+"""Tests for the disassembly text formatter."""
+
+from repro.x86.decoder import decode
+from repro.x86.format import format_insn, format_listing
+
+
+def _fmt(raw: bytes, bits: int = 64, addr: int = 0x1000, symbols=None):
+    insn = decode(raw, 0, addr, bits)
+    return format_insn(insn, raw, bits, symbols).text
+
+
+class TestControlFlow:
+    def test_endbr(self):
+        assert _fmt(b"\xf3\x0f\x1e\xfa") == "endbr64"
+        assert _fmt(b"\xf3\x0f\x1e\xfb", bits=32) == "endbr32"
+
+    def test_call_with_symbol(self):
+        text = _fmt(b"\xe8\x10\x00\x00\x00",
+                    symbols={0x1015: "helper"})
+        assert text == "call   0x1015 <helper>"
+
+    def test_call_without_symbol(self):
+        assert _fmt(b"\xe8\x10\x00\x00\x00") == "call   0x1015"
+
+    def test_jcc(self):
+        assert _fmt(b"\x74\x05").startswith("je")
+        assert _fmt(b"\x0f\x8f\x00\x01\x00\x00").startswith("jg")
+
+    def test_notrack_jmp(self):
+        assert _fmt(b"\x3e\xff\xe0") == "notrack jmp    *%rax"
+
+    def test_call_indirect_reg(self):
+        assert _fmt(b"\xff\xd0") == "call   *%rax"
+
+    def test_ret_forms(self):
+        assert _fmt(b"\xc3") == "ret"
+        assert _fmt(b"\xc2\x08\x00") == "ret    0x8"
+
+
+class TestDataMovement:
+    def test_lea_rip(self):
+        text = _fmt(b"\x48\x8d\x05\x00\x01\x00\x00",
+                    symbols={0x1107: "table"})
+        assert text == "lea    rax, [rip+0x1107 <table>]"
+
+    def test_mov_imm(self):
+        assert _fmt(b"\xb8\x34\x12\x00\x00") == "mov    rax, 0x1234"
+
+    def test_push_pop_reg(self):
+        assert _fmt(b"\x41\x54") == "push   r12"
+        assert _fmt(b"\x5b") == "pop    rbx"
+
+    def test_alu_pair(self):
+        assert _fmt(b"\x01\xd0") == "add    eax, edx"
+        assert _fmt(b"\x48\x01\xd0") == "add    rax, rdx"
+        assert _fmt(b"\x31\xc0") == "xor    eax, eax"
+
+    def test_mov_reg_pair(self):
+        assert _fmt(b"\x89\xc2") == "mov    edx, eax"
+        assert _fmt(b"\x8b\x45\xf8") == "mov    eax, [rbp-0x8]"
+
+
+class TestListing:
+    def test_full_function(self):
+        code = (b"\xf3\x0f\x1e\xfa"      # endbr64
+                b"\x55"                   # push rbp
+                b"\x48\x89\xe5"           # mov rbp, rsp
+                b"\xc3")                  # ret
+        lines = format_listing(code, 0x1000, 64)
+        assert [line.text for line in lines] == [
+            "endbr64", "push   rbp", "mov    rbp, rsp", "ret"]
+        rendered = lines[0].render()
+        assert rendered.startswith("    1000:")
+        assert "f3 0f 1e fa" in rendered
+
+    def test_bad_byte_rendered(self):
+        lines = format_listing(b"\x06\xc3", 0x1000, 64)
+        assert lines[0].text == ".byte 0x06"
+        assert lines[1].text == "ret"
+
+    def test_listing_covers_everything(self, sample_elf):
+        txt = sample_elf.section(".text")
+        lines = format_listing(txt.data[:512], txt.sh_addr, 64)
+        covered = sum(len(line.raw) for line in lines)
+        assert covered == 512

@@ -1,0 +1,198 @@
+"""Tests for structured operand extraction."""
+
+import pytest
+
+from repro.x86.operands import (
+    Imm,
+    Mem,
+    OperandError,
+    Reg,
+    analyze_operands,
+)
+
+
+def render(raw: bytes, bits: int = 64) -> str:
+    return analyze_operands(raw, bits).render()
+
+
+class TestRegisterForms:
+    def test_mov_reg_reg(self):
+        assert render(b"\x89\xc2") == "mov    edx, eax"
+        assert render(b"\x48\x89\xc2") == "mov    rdx, rax"
+
+    def test_rm_direction(self):
+        assert render(b"\x8b\xc2") == "mov    eax, edx"
+
+    def test_rex_extended_registers(self):
+        assert render(b"\x4d\x89\xc7") == "mov    r15, r8"
+
+    def test_byte_registers(self):
+        d = analyze_operands(b"\x88\xe0", 64)  # mov al, ah
+        assert d.render() == "mov    al, ah"
+        d = analyze_operands(b"\x40\x88\xe0", 64)  # REX: spl not ah
+        assert d.render() == "mov    al, spl"
+
+    def test_push_pop(self):
+        assert render(b"\x55") == "push   rbp"
+        assert render(b"\x41\x5c") == "pop    r12"
+        assert render(b"\x55", bits=32) == "push   ebp"
+
+    def test_alu(self):
+        assert render(b"\x01\xd8") == "add    eax, ebx"
+        assert render(b"\x29\xd8") == "sub    eax, ebx"
+        assert render(b"\x31\xc0") == "xor    eax, eax"
+        assert render(b"\x85\xc0") == "test   eax, eax"
+
+
+class TestMemoryForms:
+    def test_base_disp8(self):
+        assert render(b"\x8b\x45\xf8") == "mov    eax, [rbp-0x8]"
+
+    def test_base_disp32(self):
+        assert render(b"\x8b\x80\x00\x01\x00\x00") == \
+            "mov    eax, [rax+0x100]"
+
+    def test_rip_relative(self):
+        assert render(b"\x48\x8b\x05\x10\x00\x00\x00") == \
+            "mov    rax, [rip+0x10]"
+
+    def test_sib_scaled_index(self):
+        assert render(b"\x8b\x04\xd8") == "mov    eax, [rax+rbx*8]"
+
+    def test_sib_disp_only(self):
+        assert render(b"\x8b\x04\xc5\x00\x10\x00\x00") == \
+            "mov    eax, [rax*8+0x1000]"
+
+    def test_sib_rsp_base(self):
+        assert render(b"\x8b\x44\x24\x08") == "mov    eax, [rsp+0x8]"
+
+    def test_lea(self):
+        assert render(b"\x48\x8d\x45\xf0") == "lea    rax, [rbp-0x10]"
+
+    def test_32bit_addressing(self):
+        assert render(b"\x8b\x45\xfc", bits=32) == \
+            "mov    eax, [ebp-0x4]"
+
+
+class TestImmediates:
+    def test_mov_imm32(self):
+        d = analyze_operands(b"\xb8\x34\x12\x00\x00", 64)
+        assert d.operands == (Reg(0, 32, False), Imm(0x1234, 32))
+
+    def test_mov_imm64(self):
+        d = analyze_operands(
+            b"\x48\xb8" + (0xDEADBEEF).to_bytes(8, "little"), 64)
+        assert d.operands[1] == Imm(0xDEADBEEF, 64)
+
+    def test_grp1_imm8(self):
+        assert render(b"\x83\xc0\x07") == "add    eax, 0x7"
+        assert render(b"\x48\x83\xec\x20") == "sub    rsp, 0x20"
+
+    def test_grp1_imm32(self):
+        assert render(b"\x81\xc4\x00\x01\x00\x00") == \
+            "add    esp, 0x100"
+
+    def test_shift_forms(self):
+        assert render(b"\xc1\xe0\x02") == "shl    eax, 0x2"
+        assert render(b"\xd1\xe0") == "shl    eax, 0x1"
+        assert render(b"\xd3\xe0") == "shl    eax, cl"
+
+    def test_grp3_test(self):
+        assert render(b"\xf7\xc1\x00\x01\x00\x00") == \
+            "test   ecx, 0x100"
+        assert render(b"\xf7\xd8") == "neg    eax"
+
+    def test_imul_three_operand(self):
+        assert render(b"\x6b\xc0\x07") == "imul   eax, eax, 0x7"
+
+
+class TestTwoByte:
+    def test_movzx(self):
+        assert render(b"\x0f\xb6\xc0") == "movzx  eax, al"
+
+    def test_cmov(self):
+        assert render(b"\x0f\x44\xc2") == "cmov   eax, edx"
+
+    def test_setcc(self):
+        assert render(b"\x0f\x94\xc0") == "set    al"
+
+    def test_imul_two_operand(self):
+        assert render(b"\x48\x0f\xaf\xc3") == "imul   rax, rbx"
+
+
+class TestErrors:
+    def test_unmodeled_raises(self):
+        with pytest.raises(OperandError):
+            analyze_operands(b"\x0f\x58\xc1", 64)  # addps
+
+    def test_truncated_raises(self):
+        with pytest.raises(OperandError):
+            analyze_operands(b"\x8b", 64)
+        with pytest.raises(OperandError):
+            analyze_operands(b"", 64)
+
+    def test_undefined_group_raises(self):
+        with pytest.raises(OperandError):
+            analyze_operands(b"\xff\xff", 64)  # FF /7
+
+
+class TestConsistencyWithDecoder:
+    def test_operand_lengths_agree(self, sample_elf):
+        """Wherever operands are modeled, their consumed bytes must be
+        consistent with the length decoder (spot check on real-shaped
+        code)."""
+        from repro.x86.sweep import linear_sweep
+
+        txt = sample_elf.section(".text")
+        checked = 0
+        for insn in linear_sweep(txt.data[:4096], txt.sh_addr, 64):
+            raw = txt.data[insn.addr - txt.sh_addr:
+                           insn.addr - txt.sh_addr + insn.length]
+            try:
+                decoded = analyze_operands(raw, 64)
+            except OperandError:
+                continue
+            assert decoded.mnemonic
+            checked += 1
+        assert checked > 100
+
+
+class TestOperandProperties:
+    """Property-based consistency between the operand model and the
+    length decoder."""
+
+    def test_never_crashes_on_decoded_instructions(self, sample_elf):
+        from repro.x86.defuse import def_use
+        from repro.x86.sweep import linear_sweep
+
+        txt = sample_elf.section(".text")
+        for insn in linear_sweep(txt.data, txt.sh_addr, 64):
+            raw = txt.data[insn.addr - txt.sh_addr:
+                           insn.addr - txt.sh_addr + insn.length]
+            try:
+                decoded = analyze_operands(raw, 64)
+            except OperandError:
+                continue
+            # Register numbers stay in architectural range.
+            du = def_use(raw, 64)
+            for reg in du.reads | du.writes:
+                assert 0 <= reg < 16
+            # Rendering never produces empty text.
+            assert decoded.render().strip()
+
+    def test_hypothesis_garbage_never_escapes(self):
+        from hypothesis import given, settings, strategies as st
+
+        @given(st.binary(min_size=0, max_size=16),
+               st.sampled_from([32, 64]))
+        @settings(max_examples=300)
+        def run(raw, bits):
+            try:
+                decoded = analyze_operands(raw, bits)
+            except OperandError:
+                return
+            assert decoded.mnemonic
+            for op in decoded.operands:
+                assert op.render()
+
+        run()

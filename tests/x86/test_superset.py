@@ -1,0 +1,78 @@
+"""Tests for superset disassembly and the robust sweep."""
+
+from repro.x86.insn import InsnClass
+from repro.x86.superset import data_regions, robust_sweep, viable_offsets
+
+
+def _clean_code() -> bytes:
+    return (b"\xf3\x0f\x1e\xfa"      # endbr64
+            b"\x55"                   # push rbp
+            b"\x48\x89\xe5"           # mov rbp, rsp
+            b"\xc3")                  # ret
+
+
+class TestViableOffsets:
+    def test_clean_code_fully_viable_at_boundaries(self):
+        code = _clean_code()
+        viable = viable_offsets(code, 64)
+        for off in (0, 4, 5, 8):
+            assert viable[off]
+
+    def test_undefined_run_is_nonviable(self):
+        code = _clean_code() + b"\xff\xff\xff\xff" + _clean_code()
+        viable = viable_offsets(code, 64)
+        assert not viable[9]
+        assert not viable[10]
+        assert viable[13]  # second function start
+
+    def test_empty(self):
+        assert viable_offsets(b"", 64) == []
+
+
+class TestRobustSweep:
+    def test_identical_on_clean_code(self):
+        from repro.x86.sweep import linear_sweep
+
+        code = _clean_code() * 5
+        plain = [(i.addr, i.klass) for i in linear_sweep(code, 0, 64)]
+        robust = [(i.addr, i.klass) for i in robust_sweep(code, 0, 64)]
+        assert plain == robust
+
+    def test_skips_phantom_endbr_in_data(self):
+        # ret; [data: ff ff c3 endbr ff ff]; real endbr function.
+        data_blob = b"\xff\xff\xc3\xf3\x0f\x1e\xfa\xff\xff"
+        code = b"\xc3" + data_blob + _clean_code()
+        robust = list(robust_sweep(code, 0, 64))
+        endbrs = [i.addr for i in robust
+                  if i.klass == InsnClass.ENDBR64]
+        assert endbrs == [1 + len(data_blob)]
+
+    def test_plain_sweep_is_fooled_by_the_same_blob(self):
+        from repro.x86.sweep import linear_sweep
+
+        data_blob = b"\xff\xff\xc3\xf3\x0f\x1e\xfa\xff\xff"
+        code = b"\xc3" + data_blob + _clean_code()
+        plain = [i.addr for i in linear_sweep(code, 0, 64)
+                 if i.klass == InsnClass.ENDBR64]
+        assert 4 in plain  # the phantom marker
+
+    def test_addresses_use_base(self):
+        insns = list(robust_sweep(_clean_code(), 0x4000, 64))
+        assert insns[0].addr == 0x4000
+
+
+class TestDataRegions:
+    def test_detects_embedded_run(self):
+        code = _clean_code() + b"\xff" * 16 + _clean_code()
+        regions = data_regions(code, 64)
+        assert len(regions) == 1
+        start, length = regions[0]
+        assert start >= 9
+        assert length >= 8
+
+    def test_clean_code_has_no_regions(self):
+        assert data_regions(_clean_code() * 4, 64) == []
+
+    def test_min_size_threshold(self):
+        code = _clean_code() + b"\xff\xff" + _clean_code()
+        assert data_regions(code, 64, min_size=8) == []

@@ -1,0 +1,50 @@
+"""Tests for linear-sweep disassembly."""
+
+from repro.x86.insn import InsnClass, TERMINATOR_CLASSES
+from repro.x86.sweep import linear_sweep, sweep_section
+
+
+class TestLinearSweep:
+    def test_empty_buffer(self):
+        assert list(linear_sweep(b"", 0x1000, 64)) == []
+
+    def test_simple_function(self):
+        code = (b"\xf3\x0f\x1e\xfa"   # endbr64
+                b"\x55"               # push rbp
+                b"\x48\x89\xe5"       # mov rbp, rsp
+                b"\xc3")              # ret
+        insns = list(linear_sweep(code, 0x1000, 64))
+        assert [i.addr for i in insns] == [0x1000, 0x1004, 0x1005, 0x1008]
+        assert insns[0].klass == InsnClass.ENDBR64
+        assert insns[-1].klass == InsnClass.RET
+
+    def test_error_advances_one_byte(self):
+        # 0x06 is invalid in 64-bit; the next byte starts a valid ret.
+        code = b"\x06\xc3"
+        insns = list(linear_sweep(code, 0x2000, 64))
+        assert [i.addr for i in insns] == [0x2001]
+
+    def test_addresses_offset_by_base(self):
+        insns = list(linear_sweep(b"\x90\x90", 0xDEAD0, 64))
+        assert [i.addr for i in insns] == [0xDEAD0, 0xDEAD1]
+
+    def test_sweep_section_object(self, sample_elf):
+        txt = sample_elf.section(".text")
+        insns = sweep_section(txt, 64)
+        assert insns
+        assert insns[0].addr == txt.sh_addr
+        assert insns[-1].end <= txt.end_addr
+
+    def test_full_coverage_on_synth_text(self, sample_elf):
+        """Compiler-like synthetic text decodes with zero errors."""
+        txt = sample_elf.section(".text")
+        insns = sweep_section(txt, 64)
+        assert sum(i.length for i in insns) == txt.sh_size
+
+
+class TestTerminators:
+    def test_terminator_set(self):
+        assert InsnClass.RET in TERMINATOR_CLASSES
+        assert InsnClass.JMP_DIRECT in TERMINATOR_CLASSES
+        assert InsnClass.CALL_DIRECT not in TERMINATOR_CLASSES
+        assert InsnClass.JCC not in TERMINATOR_CLASSES
