@@ -9,6 +9,8 @@
     funseeker report <binary>             # JSON analysis + IBT audit
     funseeker table1|table2|table3|figure3|errors|all [--scale S]
     funseeker evaluate [--tools ...] [--format json|csv] [--output F]
+                       [--timeout S] [--retries N] [--fail-fast]
+    funseeker fuzz [--budget N] [--seed S]  # fault-injection harness
     funseeker dataset <dir> [--scale S]   # persist the corpus
     funseeker corpus-info [--scale S]     # §III-A dataset account
     funseeker bti-demo                    # ARM BTI extension demo
@@ -95,8 +97,29 @@ def main(argv: list[str] | None = None) -> int:
                       choices=["json", "csv"])
     p_ev.add_argument("--workers", type=int, default=None,
                       help="process-pool size (default: CPU count)")
+    p_ev.add_argument("--timeout", type=float, default=None,
+                      help="wall-clock seconds per (binary, tool) cell")
+    p_ev.add_argument("--retries", type=int, default=0,
+                      help="extra attempts for a raising cell")
+    p_ev.add_argument("--fail-fast", action="store_true",
+                      help="abort the sweep on the first failed cell "
+                           "(default: keep going and report failures)")
     p_ev.add_argument("--output", default="-",
                       help="output path, '-' for stdout")
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="fault-injection harness: mutate synthesized ELFs and "
+             "assert no uncaught exception / hang / silent degradation")
+    p_fz.add_argument("--budget", type=int, default=500,
+                      help="number of mutants (default 500)")
+    p_fz.add_argument("--seed", type=int, default=2022)
+    p_fz.add_argument("--families", default=None,
+                      help="comma-separated mutator families "
+                           "(default: all)")
+    p_fz.add_argument("--timeout", type=float, default=None,
+                      help="wall-clock seconds per pipeline run "
+                           "(default 5)")
 
     args = parser.parse_args(argv)
     try:
@@ -125,12 +148,16 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_table(args)
 
 
 def _cmd_evaluate(args) -> int:
+    from repro.errors import EvaluationAborted
     from repro.eval.export import report_to_csv, report_to_json
     from repro.eval.parallel import run_evaluation_parallel
+    from repro.eval.tables import failure_summary
     from repro.synth.corpus import build_corpus
 
     tools = [t.strip() for t in args.tools.split(",") if t.strip()]
@@ -138,7 +165,17 @@ def _cmd_evaluate(args) -> int:
     corpus = build_corpus(args.scale, seed=args.seed)
     print(f"evaluating {tools} over {len(corpus)} binaries ...",
           file=sys.stderr)
-    report = run_evaluation_parallel(corpus, tools, workers=args.workers)
+    try:
+        report = run_evaluation_parallel(
+            corpus, tools,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            keep_going=not args.fail_fast,
+        )
+    except EvaluationAborted as exc:
+        print(f"aborted (--fail-fast): {exc}", file=sys.stderr)
+        return 2
     text = (report_to_json(report) if args.format == "json"
             else report_to_csv(report))
     if args.output == "-":
@@ -147,7 +184,32 @@ def _cmd_evaluate(args) -> int:
         with open(args.output, "w") as f:
             f.write(text)
         print(f"wrote {args.output}", file=sys.stderr)
+    if report.failures:
+        print(failure_summary(report), file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import run_fuzz
+    from repro.fuzz.harness import DEFAULT_CASE_TIMEOUT
+
+    families = None
+    if args.families:
+        families = [f.strip() for f in args.families.split(",")
+                    if f.strip()]
+    timeout = (args.timeout if args.timeout is not None
+               else DEFAULT_CASE_TIMEOUT)
+    print(f"fuzzing: {args.budget} mutants, seed {args.seed} ...",
+          file=sys.stderr)
+    try:
+        report = run_fuzz(args.budget, seed=args.seed, families=families,
+                          case_timeout=timeout)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args) -> int:

@@ -34,6 +34,7 @@ from repro.elf.ehframe import EhFrameError, parse_eh_frame
 from repro.elf.lsda import landing_pads_from_exception_info
 from repro.elf.parser import ELFFile
 from repro.elf.plt import build_plt_map
+from repro.errors import Diagnostics, Severity
 
 
 class Config(enum.Enum):
@@ -63,49 +64,81 @@ class FunSeekerResult:
     #: ``cet_enabled`` False flags a legacy input whose results rest on
     #: direct-call targets alone.
     cet_enabled: bool = False
+    #: Structured account of every parse anomaly tolerated while
+    #: producing this result (see :mod:`repro.errors`). Empty on a
+    #: clean, fully-parsed input.
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
 
 
 class FunSeeker:
-    """Function identification for one CET-enabled ELF binary."""
+    """Function identification for one CET-enabled ELF binary.
 
-    def __init__(self, elf: ELFFile, config: Config = Config.FULL) -> None:
-        if elf.machine not in (C.EM_386, C.EM_X86_64):
-            raise ValueError(
+    With ``strict=False`` an unsupported architecture becomes a
+    recorded diagnostic and :meth:`identify` returns an empty result
+    instead of the constructor raising — the mode corpus sweeps over
+    untrusted inputs use (pair it with a degraded-mode
+    :class:`~repro.elf.parser.ELFFile`).
+    """
+
+    def __init__(
+        self,
+        elf: ELFFile,
+        config: Config = Config.FULL,
+        *,
+        strict: bool = True,
+    ) -> None:
+        self._supported = elf.machine in (C.EM_386, C.EM_X86_64)
+        if not self._supported:
+            message = (
                 f"FunSeeker targets x86/x86-64 binaries "
                 f"(e_machine={elf.machine}); for AArch64 use "
                 f"repro.arm.identify_functions_bti"
             )
+            if strict:
+                raise ValueError(message)
+            elf.diagnostics.record(
+                "funseeker", message, severity=Severity.ERROR,
+            )
         self.elf = elf
         self.config = config
+        self.strict = strict
 
     @classmethod
-    def from_bytes(cls, data: bytes, config: Config = Config.FULL) -> "FunSeeker":
-        return cls(ELFFile(data), config)
+    def from_bytes(
+        cls, data: bytes, config: Config = Config.FULL, *,
+        strict: bool = True,
+    ) -> "FunSeeker":
+        return cls(ELFFile(data, strict=strict), config, strict=strict)
 
     @classmethod
     def from_path(
-        cls, path: str | os.PathLike, config: Config = Config.FULL
+        cls, path: str | os.PathLike, config: Config = Config.FULL, *,
+        strict: bool = True,
     ) -> "FunSeeker":
-        return cls(ELFFile.from_path(path), config)
+        return cls(ELFFile.from_path(path, strict=strict), config,
+                   strict=strict)
 
     # -- PARSE ------------------------------------------------------------
 
     def _parse_exception_info(self) -> set[int]:
         """Landing-pad addresses from .eh_frame + .gcc_except_table.
 
-        Missing or malformed exception metadata yields an empty set —
-        plain C binaries simply have no ``.gcc_except_table``.
+        Missing or malformed exception metadata yields a partial (or
+        empty) set — plain C binaries simply have no
+        ``.gcc_except_table``, and a corrupt FDE or LSDA drops only the
+        landing pads it described, recorded on the file's diagnostics.
         """
         except_sec = self.elf.section(C.SECTION_GCC_EXCEPT_TABLE)
         eh_sec = self.elf.section(C.SECTION_EH_FRAME)
         if except_sec is None or eh_sec is None:
             return set()
-        try:
-            eh = parse_eh_frame(eh_sec.data, eh_sec.sh_addr, self.elf.is64)
-        except EhFrameError:
-            return set()
+        eh = parse_eh_frame(
+            eh_sec.data, eh_sec.sh_addr, self.elf.is64,
+            diagnostics=self.elf.diagnostics,
+        )
         return landing_pads_from_exception_info(
-            eh, except_sec.data, except_sec.sh_addr, self.elf.is64
+            eh, except_sec.data, except_sec.sh_addr, self.elf.is64,
+            diagnostics=self.elf.diagnostics,
         )
 
     # -- main algorithm ----------------------------------------------------
@@ -114,12 +147,16 @@ class FunSeeker:
         """Run the algorithm and return identified function entries."""
         started = time.perf_counter()
 
+        if not self._supported:
+            return FunSeekerResult(functions=set(),
+                                   diagnostics=self.elf.diagnostics)
         txt = self.elf.section(C.SECTION_TEXT)
         if txt is None or not txt.data:
-            return FunSeekerResult(functions=set())
+            return FunSeekerResult(functions=set(),
+                                   diagnostics=self.elf.diagnostics)
         bits = 64 if self.elf.is64 else 32
         landing_pads = self._parse_exception_info()
-        plt_map = build_plt_map(self.elf)
+        plt_map = build_plt_map(self.elf, diagnostics=self.elf.diagnostics)
 
         sweep = disassemble(txt.data, txt.sh_addr, bits)
 
@@ -149,7 +186,9 @@ class FunSeeker:
         elapsed = time.perf_counter() - started
         return FunSeekerResult(
             functions=functions,
-            cet_enabled=parse_cet_features(self.elf).any,
+            cet_enabled=parse_cet_features(
+                self.elf, diagnostics=self.elf.diagnostics).any,
+            diagnostics=self.elf.diagnostics,
             endbr_all=set(sweep.endbr_addrs),
             endbr_filtered=e_set if self.config is not Config.RAW else set(),
             call_targets=set(sweep.call_targets),

@@ -57,12 +57,16 @@ class RobustFunSeeker(FunSeeker):
         import time
 
         started = time.perf_counter()
+        if not self._supported:
+            return FunSeekerResult(functions=set(),
+                                   diagnostics=self.elf.diagnostics)
         txt = self.elf.section(C.SECTION_TEXT)
         if txt is None or not txt.data:
-            return FunSeekerResult(functions=set())
+            return FunSeekerResult(functions=set(),
+                                   diagnostics=self.elf.diagnostics)
         bits = 64 if self.elf.is64 else 32
         landing_pads = self._parse_exception_info()
-        plt_map = build_plt_map(self.elf)
+        plt_map = build_plt_map(self.elf, diagnostics=self.elf.diagnostics)
 
         sweep = disassemble_robust(txt.data, txt.sh_addr, bits)
         filtered = filter_endbr(sweep, plt_map, landing_pads)
@@ -82,4 +86,5 @@ class RobustFunSeeker(FunSeeker):
             landing_pads=landing_pads,
             insn_count=sweep.insn_count,
             elapsed_seconds=time.perf_counter() - started,
+            diagnostics=self.elf.diagnostics,
         )

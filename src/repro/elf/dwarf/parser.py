@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 from repro.elf.dwarf import constants as D
 from repro.elf.parser import ELFFile
 from repro.elf.reader import ByteReader, ReaderError
+from repro.errors import ReproError
 
 
-class DwarfError(Exception):
+class DwarfError(ReproError):
     """Raised on malformed DWARF data."""
 
 

@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 
 from repro.elf import constants as C
 from repro.elf.reader import ByteReader, ReaderError
+from repro.errors import Diagnostics, ReproError
 
 
-class EhFrameError(Exception):
+class EhFrameError(ReproError):
     """Raised on malformed ``.eh_frame`` contents."""
 
 
@@ -68,7 +69,13 @@ class EhFrame:
         return None
 
 
-def parse_eh_frame(data: bytes, section_addr: int, is64: bool) -> EhFrame:
+def parse_eh_frame(
+    data: bytes,
+    section_addr: int,
+    is64: bool,
+    *,
+    diagnostics: Diagnostics | None = None,
+) -> EhFrame:
     """Parse an ``.eh_frame`` section.
 
     Parameters
@@ -79,11 +86,18 @@ def parse_eh_frame(data: bytes, section_addr: int, is64: bool) -> EhFrame:
         Virtual address of the section (needed for ``DW_EH_PE_pcrel``).
     is64:
         Whether the binary is 64-bit (affects ``DW_EH_PE_absptr`` width).
+    diagnostics:
+        When given, malformed entries are recorded there and parsing
+        resynchronizes on the next record (the length field frames each
+        entry independently), returning a partial :class:`EhFrame`
+        instead of raising :class:`EhFrameError`.
     """
     result = EhFrame()
     r = ByteReader(data)
     while r.remaining() >= 4:
         entry_offset = r.pos
+        body_start: int | None = None
+        length = 0
         try:
             length = r.u32()
             if length == 0:
@@ -107,10 +121,28 @@ def parse_eh_frame(data: bytes, section_addr: int, is64: bool) -> EhFrame:
                 fde = _parse_fde(r, entry_offset, cie, section_addr, is64)
                 result.fdes.append(fde)
             r.seek(body_start + length)
-        except ReaderError as exc:
-            raise EhFrameError(
-                f"truncated .eh_frame entry at {entry_offset:#x}: {exc}"
-            ) from exc
+        except (ReaderError, EhFrameError) as exc:
+            if diagnostics is None:
+                if isinstance(exc, EhFrameError):
+                    raise
+                raise EhFrameError(
+                    f"truncated .eh_frame entry at {entry_offset:#x}: {exc}"
+                ) from exc
+            diagnostics.record(
+                "eh_frame",
+                f"malformed entry at offset {entry_offset:#x}: {exc}",
+                address=section_addr + entry_offset,
+                error=exc,
+            )
+            # The length field frames each record, so a bad entry body
+            # does not poison its successors: skip to the next record
+            # when the frame is intact, otherwise stop with what we have.
+            if body_start is None:
+                break
+            try:
+                r.seek(body_start + length)
+            except ReaderError:
+                break
     return result
 
 

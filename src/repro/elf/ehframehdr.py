@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.elf import constants as C
 from repro.elf.reader import ByteReader, ReaderError
+from repro.errors import Diagnostics, ReproError
 
 _VERSION = 1
 _ENC_PCREL_SDATA4 = C.DW_EH_PE_pcrel | C.DW_EH_PE_sdata4       # 0x1b
@@ -25,7 +26,7 @@ _ENC_DATAREL_SDATA4 = C.DW_EH_PE_datarel | C.DW_EH_PE_sdata4   # 0x3b
 _ENC_UDATA4 = C.DW_EH_PE_udata4                                # 0x03
 
 
-class EhFrameHdrError(Exception):
+class EhFrameHdrError(ReproError):
     """Raised on malformed ``.eh_frame_hdr`` contents."""
 
 
@@ -84,9 +85,20 @@ def build_eh_frame_hdr(
     return bytes(out)
 
 
-def parse_eh_frame_hdr(data: bytes, hdr_addr: int) -> EhFrameHdr:
-    """Parse a header produced by GNU ld (or this module)."""
+def parse_eh_frame_hdr(
+    data: bytes,
+    hdr_addr: int,
+    *,
+    diagnostics: Diagnostics | None = None,
+) -> EhFrameHdr:
+    """Parse a header produced by GNU ld (or this module).
+
+    With ``diagnostics`` given, a truncated search table yields the
+    entries read so far plus a recorded diagnostic instead of raising;
+    corruption before the table still returns an empty header.
+    """
     r = ByteReader(data)
+    hdr: EhFrameHdr | None = None
     try:
         version = r.u8()
         if version != _VERSION:
@@ -104,11 +116,28 @@ def parse_eh_frame_hdr(data: bytes, hdr_addr: int) -> EhFrameHdr:
         if count is None:
             return hdr
         for _ in range(count):
+            before = r.pos
             loc = r.eh_pointer(table_enc, pc=hdr_addr + r.pos,
                                data_base=hdr_addr, is64=True)
             fde = r.eh_pointer(table_enc, pc=hdr_addr + r.pos,
                                data_base=hdr_addr, is64=True)
+            if r.pos == before:
+                # DW_EH_PE_omit consumes nothing; a corrupt count would
+                # otherwise spin here for billions of no-op iterations.
+                raise EhFrameHdrError(
+                    f"non-advancing table encoding {table_enc:#x}")
             hdr.table.append((loc, fde))
         return hdr
-    except ReaderError as exc:
-        raise EhFrameHdrError(f"truncated .eh_frame_hdr: {exc}") from exc
+    except (ReaderError, EhFrameHdrError) as exc:
+        if diagnostics is None:
+            if isinstance(exc, EhFrameHdrError):
+                raise
+            raise EhFrameHdrError(
+                f"truncated .eh_frame_hdr: {exc}") from exc
+        diagnostics.record(
+            "eh_frame_hdr",
+            f"malformed .eh_frame_hdr: {exc}",
+            address=hdr_addr,
+            error=exc,
+        )
+        return hdr if hdr is not None else EhFrameHdr(eh_frame_addr=0)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.elf.parser import ELFFile
 from repro.elf.reader import ByteReader, ReaderError
+from repro.errors import Diagnostics
 
 SECTION_NAME = ".note.gnu.property"
 
@@ -44,33 +45,54 @@ class CetFeatures:
         return self.ibt or self.shstk
 
 
-def parse_cet_features(elf: ELFFile) -> CetFeatures:
-    """Read the advertised CET features; absent note means none."""
+def parse_cet_features(
+    elf: ELFFile, *, diagnostics: Diagnostics | None = None
+) -> CetFeatures:
+    """Read the advertised CET features; absent note means none.
+
+    A truncated or malformed note yields whatever feature bits were
+    decoded before the corruption (the partial property set). The
+    tolerated error is recorded on ``diagnostics`` when given, falling
+    back to the file's own collector — never silently swallowed.
+    """
     sec = elf.section(SECTION_NAME)
     if sec is None or not sec.data:
         return CetFeatures()
-    try:
-        return _parse_note(sec.data, elf.is64)
-    except ReaderError:
-        return CetFeatures()
+    sink = diagnostics if diagnostics is not None else elf.diagnostics
+    features, error = _parse_note(sec.data, elf.is64)
+    if error is not None:
+        sink.record(
+            "gnu_property",
+            f"malformed .note.gnu.property: {error}",
+            address=sec.sh_addr,
+            error=error,
+        )
+    return features
 
 
-def _parse_note(data: bytes, is64: bool) -> CetFeatures:
+def _parse_note(
+    data: bytes, is64: bool
+) -> tuple[CetFeatures, ReaderError | None]:
+    """Decode the note, returning the features found so far alongside
+    the error that stopped the walk (``None`` on a clean parse)."""
     r = ByteReader(data)
     align = 8 if is64 else 4
-    while r.remaining() >= 12:
-        namesz = r.u32()
-        descsz = r.u32()
-        note_type = r.u32()
-        name = r.bytes(namesz)
-        r.skip((-namesz) % 4)
-        desc_start = r.pos
-        if note_type == NT_GNU_PROPERTY_TYPE_0 and name == b"GNU\x00":
-            features = _parse_properties(r, desc_start + descsz, align)
-            if features is not None:
-                return features
-        r.seek(desc_start + descsz + ((-descsz) % align))
-    return CetFeatures()
+    try:
+        while r.remaining() >= 12:
+            namesz = r.u32()
+            descsz = r.u32()
+            note_type = r.u32()
+            name = r.bytes(namesz)
+            r.skip((-namesz) % 4)
+            desc_start = r.pos
+            if note_type == NT_GNU_PROPERTY_TYPE_0 and name == b"GNU\x00":
+                features = _parse_properties(r, desc_start + descsz, align)
+                if features is not None:
+                    return features, None
+            r.seek(desc_start + descsz + ((-descsz) % align))
+    except ReaderError as exc:
+        return CetFeatures(), exc
+    return CetFeatures(), None
 
 
 def _parse_properties(

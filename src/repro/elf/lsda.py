@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 
 from repro.elf import constants as C
 from repro.elf.reader import ByteReader, ReaderError
+from repro.errors import Diagnostics, ReproError
 
 
-class LsdaError(Exception):
+class LsdaError(ReproError):
     """Raised on malformed LSDA contents."""
 
 
@@ -123,14 +124,20 @@ def _read_cs_value(r: ByteReader, encoding: int, is64: bool) -> int:
 
 
 def landing_pads_from_exception_info(
-    eh_frame, except_table_data: bytes, except_table_addr: int, is64: bool
+    eh_frame,
+    except_table_data: bytes,
+    except_table_addr: int,
+    is64: bool,
+    *,
+    diagnostics: Diagnostics | None = None,
 ) -> set[int]:
     """Collect every landing-pad address in a binary.
 
     Walks all FDEs carrying an LSDA pointer and parses the referenced
     LSDAs. Malformed individual LSDAs are skipped rather than aborting
     the whole scan, matching how a robust tool must behave on real-world
-    binaries.
+    binaries; when ``diagnostics`` is given, each skip is recorded there
+    (source ``"lsda"``) so degraded parses stay observable.
     """
     pads: set[int] = set()
     for fde in eh_frame.fdes:
@@ -144,7 +151,14 @@ def landing_pads_from_exception_info(
                 fde.pc_begin,
                 is64,
             )
-        except LsdaError:
+        except LsdaError as exc:
+            if diagnostics is not None:
+                diagnostics.record(
+                    "lsda",
+                    f"skipped LSDA of FDE at {fde.pc_begin:#x}: {exc}",
+                    address=fde.lsda_address,
+                    error=exc,
+                )
             continue
         pads.update(lsda.landing_pads)
     return pads

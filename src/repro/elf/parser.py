@@ -4,6 +4,17 @@
 symbol tables, and relocation tables of a 32- or 64-bit little-endian
 ELF file. It is deliberately strict about the structures this project
 relies on and permissive about everything else.
+
+Two parse modes exist:
+
+- **strict** (the default): structure-level corruption raises
+  :class:`ElfParseError`. This is what unit tests and the synthetic
+  toolchain want — corruption there is a bug.
+- **degraded** (``strict=False``): corruption is recorded as a
+  :class:`~repro.errors.Diagnostic` on ``self.diagnostics`` and parsing
+  continues with partial results (missing sections, empty names, a
+  truncated symbol list). No input, however mangled, raises. This is
+  what corpus sweeps over untrusted binaries want.
 """
 
 from __future__ import annotations
@@ -14,9 +25,16 @@ import struct
 from repro.elf import constants as C
 from repro.elf.reader import ByteReader, ReaderError
 from repro.elf.types import ElfHeader, Relocation, Section, Segment, Symbol
+from repro.errors import Diagnostics, ReproError, Severity
+
+_EMPTY_HEADER = ElfHeader(
+    ei_class=C.ELFCLASS64, ei_data=C.ELFDATA2LSB, e_type=C.ET_NONE,
+    e_machine=0, e_entry=0, e_phoff=0, e_shoff=0, e_flags=0, e_ehsize=0,
+    e_phentsize=0, e_phnum=0, e_shentsize=0, e_shnum=0, e_shstrndx=0,
+)
 
 
-class ElfParseError(Exception):
+class ElfParseError(ReproError):
     """Raised when a file is not a parseable ELF object."""
 
 
@@ -27,18 +45,41 @@ class ELFFile:
     ----------
     data:
         Raw file contents.
+    strict:
+        When ``True`` (default), malformed structures raise
+        :class:`ElfParseError`. When ``False``, they are recorded on
+        :attr:`diagnostics` and parsing continues with partial results;
+        the constructor never raises.
+    diagnostics:
+        Optional shared collector. A fresh one is created when omitted,
+        so ``elf.diagnostics`` is always usable.
 
     Use :meth:`from_path` to load from disk.
     """
 
-    def __init__(self, data: bytes) -> None:
-        if len(data) < C.EI_NIDENT or data[:4] != C.ELFMAG:
-            raise ElfParseError("not an ELF file (bad magic)")
+    def __init__(
+        self,
+        data: bytes,
+        *,
+        strict: bool = True,
+        diagnostics: Diagnostics | None = None,
+    ) -> None:
         self.data = data
-        self.header = self._parse_header()
-        self.sections: list[Section] = self._parse_sections()
-        self.segments: list[Segment] = self._parse_segments()
+        self.strict = strict
+        self.diagnostics = diagnostics if diagnostics is not None \
+            else Diagnostics()
+        self.header = _EMPTY_HEADER
+        self.sections: list[Section] = []
+        self.segments: list[Segment] = []
         self._sections_by_name: dict[str, Section] = {}
+
+        if len(data) < C.EI_NIDENT or data[:4] != C.ELFMAG:
+            self._fail("not an ELF file (bad magic)")
+            return
+        if not self._parse_header_checked():
+            return
+        self.sections = self._parse_sections()
+        self.segments = self._parse_segments()
         for sec in self.sections:
             # Keep the first occurrence; duplicate names are rare and the
             # first (e.g. the sole .text) is the one analyses want.
@@ -47,9 +88,33 @@ class ELFFile:
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def from_path(cls, path: str | os.PathLike) -> "ELFFile":
+    def from_path(
+        cls, path: str | os.PathLike, *, strict: bool = True
+    ) -> "ELFFile":
         with open(path, "rb") as f:
-            return cls(f.read())
+            return cls(f.read(), strict=strict)
+
+    @classmethod
+    def degraded(cls, data: bytes) -> "ELFFile":
+        """Parse with degraded-mode semantics: never raises."""
+        return cls(data, strict=False)
+
+    # -- error handling -------------------------------------------------------
+
+    def _fail(
+        self,
+        message: str,
+        *,
+        address: int | None = None,
+        error: BaseException | None = None,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        """Raise in strict mode; record a diagnostic in degraded mode."""
+        if self.strict:
+            raise ElfParseError(message) from error
+        self.diagnostics.record(
+            "elf", message, severity=severity, address=address, error=error,
+        )
 
     # -- header / tables ------------------------------------------------------
 
@@ -61,14 +126,18 @@ class ELFFile:
     def machine(self) -> int:
         return self.header.e_machine
 
-    def _parse_header(self) -> ElfHeader:
+    def _parse_header_checked(self) -> bool:
+        """Parse the file header; return False when nothing past the
+        identification bytes is trustworthy."""
         ident = self.data[: C.EI_NIDENT]
         ei_class = ident[C.EI_CLASS]
         ei_data = ident[C.EI_DATA]
         if ei_class not in (C.ELFCLASS32, C.ELFCLASS64):
-            raise ElfParseError(f"bad EI_CLASS {ei_class}")
+            self._fail(f"bad EI_CLASS {ei_class}")
+            return False
         if ei_data != C.ELFDATA2LSB:
-            raise ElfParseError("only little-endian ELF is supported")
+            self._fail("only little-endian ELF is supported")
+            return False
         r = ByteReader(self.data, C.EI_NIDENT)
         try:
             e_type = r.u16()
@@ -90,8 +159,17 @@ class ELFFile:
             e_shnum = r.u16()
             e_shstrndx = r.u16()
         except ReaderError as exc:
-            raise ElfParseError(f"truncated ELF header: {exc}") from exc
-        return ElfHeader(
+            self._fail(f"truncated ELF header: {exc}", error=exc)
+            # Keep the identification bytes so is64 reflects EI_CLASS
+            # even when the rest of the header is missing.
+            self.header = ElfHeader(
+                ei_class=ei_class, ei_data=ei_data, e_type=C.ET_NONE,
+                e_machine=0, e_entry=0, e_phoff=0, e_shoff=0, e_flags=0,
+                e_ehsize=0, e_phentsize=0, e_phnum=0, e_shentsize=0,
+                e_shnum=0, e_shstrndx=0,
+            )
+            return False
+        self.header = ElfHeader(
             ei_class=ei_class,
             ei_data=ei_data,
             e_type=e_type,
@@ -107,30 +185,61 @@ class ELFFile:
             e_shnum=e_shnum,
             e_shstrndx=e_shstrndx,
         )
+        return True
 
     def _parse_sections(self) -> list[Section]:
         hdr = self.header
         if hdr.e_shoff == 0 or hdr.e_shnum == 0:
             return []
+        shentsize = hdr.e_shentsize
+        min_entsize = 64 if hdr.is64 else 40
+        if shentsize < min_entsize:
+            self._fail(
+                f"e_shentsize {shentsize} below structure size "
+                f"{min_entsize}",
+                address=hdr.e_shoff,
+            )
+            if self.strict:  # unreachable; keeps intent explicit
+                return []
+            shentsize = min_entsize
         raw: list[tuple[int, ...]] = []
         for i in range(hdr.e_shnum):
-            off = hdr.e_shoff + i * hdr.e_shentsize
-            r = ByteReader(self.data, off)
+            off = hdr.e_shoff + i * shentsize
+            r = ByteReader(self.data, off) if off <= len(self.data) \
+                else ByteReader(b"")
             try:
                 if hdr.is64:
                     fields = struct.unpack("<IIQQQQIIQQ", r.bytes(64))
                 else:
                     fields = struct.unpack("<IIIIIIIIII", r.bytes(40))
             except ReaderError as exc:
-                raise ElfParseError(f"truncated section header {i}") from exc
+                self._fail(f"truncated section header {i}", address=off,
+                           error=exc)
+                break  # degraded: keep the headers parsed so far
             raw.append(fields)
 
-        # Resolve names through the section-header string table.
+        # Resolve names through the section-header string table. An
+        # out-of-range e_shstrndx is corruption: strict mode rejects the
+        # file, degraded mode leaves every section unnamed.
         shstr = b""
-        if hdr.e_shstrndx < len(raw):
+        if hdr.e_shstrndx == C.SHN_UNDEF:
+            pass  # legitimately nameless (e.g. a minimal loader image)
+        elif hdr.e_shstrndx < len(raw):
             f = raw[hdr.e_shstrndx]
             str_off, str_size = f[4], f[5]
+            if str_off > len(self.data):
+                self._fail(
+                    f"section-name string table offset {str_off:#x} "
+                    f"outside file",
+                    address=str_off, severity=Severity.WARNING,
+                )
             shstr = self.data[str_off : str_off + str_size]
+        else:
+            self._fail(
+                f"e_shstrndx {hdr.e_shstrndx} out of range "
+                f"(only {len(raw)} section headers)",
+                severity=Severity.WARNING,
+            )
 
         sections: list[Section] = []
         for i, f in enumerate(raw):
@@ -141,6 +250,13 @@ class ELFFile:
                 data = b""
             else:
                 data = self.data[sh_offset : sh_offset + sh_size]
+                if len(data) < sh_size and not self.strict:
+                    self.diagnostics.record(
+                        "elf",
+                        f"section {i} ({name or '?'}) data truncated: "
+                        f"{len(data)} of {sh_size} bytes in file",
+                        address=sh_offset,
+                    )
             sections.append(
                 Section(
                     index=i,
@@ -165,7 +281,9 @@ class ELFFile:
             return []
         segments: list[Segment] = []
         for i in range(hdr.e_phnum):
-            r = ByteReader(self.data, hdr.e_phoff + i * hdr.e_phentsize)
+            off = hdr.e_phoff + i * hdr.e_phentsize
+            r = ByteReader(self.data, off) if off <= len(self.data) \
+                else ByteReader(b"")
             try:
                 if hdr.is64:
                     p_type = r.u32()
@@ -186,7 +304,9 @@ class ELFFile:
                     p_flags = r.u32()
                     p_align = r.u32()
             except ReaderError as exc:
-                raise ElfParseError(f"truncated program header {i}") from exc
+                self._fail(f"truncated program header {i}", address=off,
+                           error=exc)
+                break
             segments.append(
                 Segment(p_type, p_flags, p_offset, p_vaddr, p_paddr,
                         p_filesz, p_memsz, p_align)
@@ -229,24 +349,41 @@ class ELFFile:
         if 0 <= sec.sh_link < len(self.sections):
             strtab = self.sections[sec.sh_link].data
         entsize = sec.sh_entsize or (24 if self.is64 else 16)
+        min_entsize = 24 if self.is64 else 16
+        if entsize < min_entsize:
+            self._fail(
+                f"symbol table {sec.name!r} sh_entsize {entsize} below "
+                f"structure size {min_entsize}",
+            )
+            if self.strict:  # unreachable; keeps intent explicit
+                return []
+            entsize = min_entsize
         out: list[Symbol] = []
         count = len(sec.data) // entsize if entsize else 0
         r = ByteReader(sec.data)
-        for _ in range(count):
-            if self.is64:
-                name_off = r.u32()
-                info = r.u8()
-                other = r.u8()
-                shndx = r.u16()
-                value = r.u64()
-                size = r.u64()
-            else:
-                name_off = r.u32()
-                value = r.u32()
-                size = r.u32()
-                info = r.u8()
-                other = r.u8()
-                shndx = r.u16()
+        for i in range(count):
+            r.seek(i * entsize)
+            try:
+                if self.is64:
+                    name_off = r.u32()
+                    info = r.u8()
+                    other = r.u8()
+                    shndx = r.u16()
+                    value = r.u64()
+                    size = r.u64()
+                else:
+                    name_off = r.u32()
+                    value = r.u32()
+                    size = r.u32()
+                    info = r.u8()
+                    other = r.u8()
+                    shndx = r.u16()
+            except ReaderError as exc:
+                self._fail(
+                    f"truncated symbol {i} in {sec.name!r}",
+                    address=sec.sh_offset + i * entsize, error=exc,
+                )
+                break
             out.append(
                 Symbol(
                     name=_str_at(strtab, name_off),
@@ -299,12 +436,19 @@ class ELFFile:
             entsize = 12 if is_rela else 8
         out: list[Relocation] = []
         r = ByteReader(sec.data)
-        for _ in range(len(sec.data) // entsize):
-            offset = r.uword(is64)
-            info = r.uword(is64)
-            addend = 0
-            if is_rela:
-                addend = r.s64() if is64 else r.s32()
+        for i in range(len(sec.data) // entsize):
+            try:
+                offset = r.uword(is64)
+                info = r.uword(is64)
+                addend = 0
+                if is_rela:
+                    addend = r.s64() if is64 else r.s32()
+            except ReaderError as exc:
+                self._fail(
+                    f"truncated relocation {i} in {section_name!r}",
+                    address=sec.sh_offset + i * entsize, error=exc,
+                )
+                break
             sym_idx = C.r_sym(info, is64)
             rtype = C.r_type(info, is64)
             name = syms[sym_idx].name if sym_idx < len(syms) else ""

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.elf import constants as C
 from repro.elf.parser import ELFFile
 from repro.elf.types import Section
+from repro.errors import Diagnostics, ReproError
 
 _PLT_SECTIONS = (C.SECTION_PLT, C.SECTION_PLT_SEC, C.SECTION_PLT_GOT)
 _PLT_ENTRY_SIZE = 16
@@ -42,9 +43,27 @@ class PLTMap:
         return any(lo <= addr < hi for lo, hi in self.plt_ranges)
 
 
-def build_plt_map(elf: ELFFile) -> PLTMap:
-    """Construct the PLT map for a parsed ELF file."""
-    got_to_name = _got_slot_names(elf)
+def build_plt_map(
+    elf: ELFFile, *, diagnostics: Diagnostics | None = None
+) -> PLTMap:
+    """Construct the PLT map for a parsed ELF file.
+
+    With ``diagnostics`` given, a malformed relocation or dynamic-symbol
+    table degrades to an empty (or partial) import map with a recorded
+    diagnostic — indirect-return filtering then simply has fewer names
+    to work with — instead of aborting the analysis.
+    """
+    try:
+        got_to_name = _got_slot_names(elf)
+    except ReproError as exc:
+        if diagnostics is None:
+            raise
+        diagnostics.record(
+            "plt",
+            f"unusable PLT relocations, import names dropped: {exc}",
+            error=exc,
+        )
+        got_to_name = {}
     result = PLTMap()
     for name in _PLT_SECTIONS:
         sec = elf.section(name)

@@ -10,9 +10,10 @@ from __future__ import annotations
 import struct
 
 from repro.elf import constants as C
+from repro.errors import ReproError
 
 
-class ReaderError(Exception):
+class ReaderError(ReproError):
     """Raised when a read would run past the end of the buffer."""
 
 

@@ -1,0 +1,147 @@
+"""Error taxonomy and structured diagnostics for the analysis pipeline.
+
+Every exception this project raises on malformed input derives from
+:class:`ReproError`, so callers can distinguish *documented* failure
+modes (a truncated ``.eh_frame``, an out-of-range string-table index)
+from genuine bugs (``IndexError`` escaping a parser).
+
+The second half of the module is the degraded-mode machinery: instead
+of aborting on a structure-level error, a parser may record a
+:class:`Diagnostic` into a :class:`Diagnostics` collector and continue
+with partial results. The collector is threaded through
+:class:`~repro.elf.parser.ELFFile`, the exception-metadata parsers, and
+:class:`~repro.core.funseeker.FunSeeker`, and surfaces on
+``FunSeekerResult.diagnostics``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+
+class ReproError(Exception):
+    """Base class of every documented analysis-pipeline error."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the evaluation harness itself (not by parsers)."""
+
+
+class CellTimeoutError(EvaluationError):
+    """One (binary, tool) evaluation cell exceeded its wall-clock budget."""
+
+
+class EvaluationAborted(EvaluationError):
+    """A fail-fast evaluation sweep stopped at its first failure."""
+
+
+class FuzzInvariantError(ReproError):
+    """The fault-injection harness observed an invariant violation."""
+
+
+class Severity(enum.Enum):
+    """How badly a recorded anomaly degrades the analysis."""
+
+    #: Harmless irregularity; results unaffected.
+    INFO = "info"
+    #: Partial results: some structure was skipped or truncated.
+    WARNING = "warning"
+    #: A whole analysis stage was abandoned.
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured record of a tolerated parse anomaly.
+
+    Parameters
+    ----------
+    source:
+        The subsystem that observed the anomaly (``"elf"``,
+        ``"eh_frame"``, ``"eh_frame_hdr"``, ``"lsda"``,
+        ``"gnu_property"``, ``"plt"``, ``"funseeker"``, ``"eval"``).
+    message:
+        Human-readable description.
+    severity:
+        Impact classification.
+    address:
+        Virtual address or file offset the anomaly was observed at,
+        when one is meaningful.
+    error_type:
+        Class name of the exception that was tolerated, if any.
+    """
+
+    source: str
+    message: str
+    severity: Severity = Severity.WARNING
+    address: int | None = None
+    error_type: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the documented diagnostics schema)."""
+        return {
+            "source": self.source,
+            "message": self.message,
+            "severity": self.severity.value,
+            "address": self.address,
+            "error_type": self.error_type,
+        }
+
+
+@dataclass
+class Diagnostics:
+    """Append-only collector of :class:`Diagnostic` records.
+
+    One collector instance is shared across all parsing stages of a
+    single binary, so the final result carries the complete account of
+    everything that was tolerated along the way.
+    """
+
+    records: list[Diagnostic] = field(default_factory=list)
+
+    def record(
+        self,
+        source: str,
+        message: str,
+        *,
+        severity: Severity = Severity.WARNING,
+        address: int | None = None,
+        error: BaseException | None = None,
+    ) -> Diagnostic:
+        """Append one diagnostic and return it."""
+        diag = Diagnostic(
+            source=source,
+            message=message,
+            severity=severity,
+            address=address,
+            error_type=type(error).__name__ if error is not None else None,
+        )
+        self.records.append(diag)
+        return diag
+
+    def merge(self, other: "Diagnostics") -> None:
+        self.records.extend(other.records)
+
+    def by_source(self, source: str) -> list[Diagnostic]:
+        return [d for d in self.records if d.source == source]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        # Truthiness means "collector exists", not "non-empty": parsers
+        # test ``if diagnostics:`` to pick degraded vs strict behavior
+        # and must not flip modes once the first record lands.
+        return True
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.records)
+
+    def to_dicts(self) -> list[dict]:
+        return [d.to_dict() for d in self.records]

@@ -1,6 +1,7 @@
 """Evaluation harness: metrics, experiment runner, table renderers."""
 
 from repro.eval.export import report_to_csv, report_to_json
+from repro.eval.isolation import FailureRecord
 from repro.eval.metrics import (
     Confusion,
     false_negatives,
@@ -18,6 +19,7 @@ from repro.eval.runner import (
 )
 from repro.eval.tables import (
     error_breakdown,
+    failure_summary,
     figure3,
     table1,
     table2,
@@ -28,9 +30,11 @@ __all__ = [
     "Confusion",
     "ErrorBreakdown",
     "EvalReport",
+    "FailureRecord",
     "RunRecord",
     "analyze_errors",
     "error_breakdown",
+    "failure_summary",
     "false_negatives",
     "false_positives",
     "figure3",

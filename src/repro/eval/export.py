@@ -41,6 +41,26 @@ def _rows(report: EvalReport) -> list[dict]:
     return rows
 
 
+def _failure_rows(report: EvalReport) -> list[dict]:
+    return [
+        {
+            "suite": f.suite,
+            "program": f.program,
+            "compiler": f.compiler,
+            "bits": f.bits,
+            "pie": f.pie,
+            "opt": f.opt,
+            "tool": f.tool,
+            "phase": f.phase,
+            "error_type": f.error_type,
+            "message": f.message,
+            "attempts": f.attempts,
+            "elapsed_seconds": round(f.elapsed_seconds, 6),
+        }
+        for f in report.failures
+    ]
+
+
 def report_to_json(report: EvalReport) -> str:
     """Serialize a report with per-tool pooled summaries attached."""
     summary = {}
@@ -53,9 +73,17 @@ def report_to_json(report: EvalReport) -> str:
             "f1": round(pooled.f1, 6),
             "mean_seconds": round(sub.mean_time(), 6),
             "binaries": len(sub.records),
+            "failures": len(sub.failures),
         }
-    return json.dumps({"summary": summary, "records": _rows(report)},
-                      indent=1)
+    return json.dumps(
+        {
+            "summary": summary,
+            "success_rate": round(report.success_rate(), 6),
+            "records": _rows(report),
+            "failures": _failure_rows(report),
+        },
+        indent=1,
+    )
 
 
 def report_to_csv(report: EvalReport) -> str:

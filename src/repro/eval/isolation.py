@@ -1,0 +1,120 @@
+"""Per-cell fault isolation for evaluation sweeps.
+
+One evaluation *cell* is a single (binary, tool) run. At corpus scale
+(the paper's 8,136 binaries, or a production sweep over untrusted
+inputs) a cell must be allowed to fail — crash, raise, or hang —
+without taking the sweep down with it. This module provides the three
+pieces the serial and parallel runners share:
+
+- :class:`FailureRecord` — the structured account of one failed cell.
+- :func:`deadline` — a wall-clock watchdog around one cell.
+- :func:`run_cell` — bounded-retry execution of one cell body.
+
+The watchdog uses ``SIGALRM``, which interrupts pure-Python loops (the
+realistic hang mode for this code base). It only arms on the main
+thread of a process; elsewhere it degrades to unenforced execution —
+worker processes run cells on their main thread, so both the serial
+runner and pool workers get real enforcement.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import CellTimeoutError
+
+#: Evaluation phases a cell can fail in.
+PHASE_PARSE = "parse"
+PHASE_DETECT = "detect"
+PHASE_WORKER = "worker"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed (binary, tool) evaluation cell.
+
+    Carries the same provenance fields as
+    :class:`~repro.eval.runner.RunRecord` so ``EvalReport.filtered``
+    treats successes and failures uniformly.
+    """
+
+    suite: str
+    program: str
+    compiler: str
+    bits: int
+    pie: bool
+    opt: str
+    tool: str
+    phase: str               # PHASE_PARSE / PHASE_DETECT / PHASE_WORKER
+    error_type: str
+    message: str
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_timeout(self) -> bool:
+        return self.error_type == CellTimeoutError.__name__
+
+
+def _alarm_usable() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`CellTimeoutError` if the body outlives ``seconds``.
+
+    ``None`` (or a non-positive value) disables enforcement, as does
+    running off the main thread, where ``SIGALRM`` cannot be armed.
+    """
+    if not seconds or seconds <= 0 or not _alarm_usable():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(
+            f"evaluation cell exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_cell(
+    body: Callable[[], object],
+    *,
+    timeout: float | None = None,
+    retries: int = 0,
+) -> tuple[object | None, BaseException | None, int, float]:
+    """Execute one cell body with watchdog and bounded retry.
+
+    Returns ``(result, error, attempts, elapsed_seconds)``. ``error``
+    is ``None`` on success; otherwise it is the exception of the final
+    attempt. Timeouts are not retried — a deterministic pipeline that
+    blew its budget once will blow it again.
+    """
+    started = time.perf_counter()
+    error: BaseException | None = None
+    attempts = 0
+    for _ in range(max(0, retries) + 1):
+        attempts += 1
+        try:
+            with deadline(timeout):
+                result = body()
+            return result, None, attempts, time.perf_counter() - started
+        except CellTimeoutError as exc:
+            error = exc
+            break
+        except Exception as exc:
+            error = exc
+    return None, error, attempts, time.perf_counter() - started

@@ -8,6 +8,14 @@ identical (up to timing jitter) to the serial one.
 Detectors are addressed by registry name (``repro.baselines``), not by
 instance — worker processes construct their own, so nothing stateful
 crosses the fork boundary.
+
+Fault isolation mirrors the serial runner: each (binary, tool) cell is
+guarded in the worker (exceptions and ``timeout`` become
+:class:`~repro.eval.isolation.FailureRecord` entries), and the parent
+additionally guards against the worker itself dying — a crashed or
+wedged worker costs its own job a failure record, not the sweep.
+``multiprocessing.Pool`` respawns replacement workers, so the
+remaining jobs still run.
 """
 
 from __future__ import annotations
@@ -17,9 +25,21 @@ from collections.abc import Iterable
 
 from repro.baselines import ALL_DETECTORS
 from repro.elf.parser import ELFFile
+from repro.errors import EvaluationAborted
+from repro.eval.isolation import (
+    PHASE_DETECT,
+    PHASE_PARSE,
+    PHASE_WORKER,
+    FailureRecord,
+    run_cell,
+)
 from repro.eval.metrics import score
 from repro.eval.runner import EvalReport, RunRecord
 from repro.synth.corpus import CorpusEntry
+
+#: Extra wall-clock (seconds) the parent grants a worker beyond the
+#: per-cell budgets before declaring it lost.
+_BACKSTOP_GRACE = 30.0
 
 
 def run_evaluation_parallel(
@@ -27,6 +47,9 @@ def run_evaluation_parallel(
     tool_names: list[str],
     *,
     workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    keep_going: bool = True,
 ) -> EvalReport:
     """Evaluate ``tool_names`` over ``corpus`` using a process pool.
 
@@ -34,19 +57,64 @@ def run_evaluation_parallel(
     :data:`repro.baselines.ALL_DETECTORS`. ``workers`` defaults to the
     CPU count; ``workers=1`` degrades to in-process execution (useful
     under debuggers).
+
+    ``timeout`` bounds each (binary, tool) cell in wall-clock seconds
+    (enforced inside the worker, with a parent-side backstop for
+    workers that die outright); ``retries`` re-runs raising cells.
+    With ``keep_going=False`` the first failed cell aborts the sweep
+    via :class:`~repro.errors.EvaluationAborted`.
     """
     unknown = [t for t in tool_names if t not in ALL_DETECTORS]
     if unknown:
         raise ValueError(f"unknown detectors: {unknown}")
     jobs = [_job_payload(entry, tool_names) for entry in corpus]
-    if workers == 1:
-        results = [_evaluate_one(job) for job in jobs]
-    else:
-        with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_evaluate_one, jobs)
     report = EvalReport()
-    for records in results:
+
+    def _absorb(records: list[RunRecord],
+                failures: list[FailureRecord]) -> None:
         report.records.extend(records)
+        report.failures.extend(failures)
+        if failures and not keep_going:
+            f = failures[0]
+            raise EvaluationAborted(
+                f"[{f.suite}/{f.program}/{f.tool}] {f.phase}: "
+                f"{f.error_type}: {f.message}"
+            )
+
+    if workers == 1:
+        for job in jobs:
+            records, failures = _evaluate_job(job, timeout, retries)
+            _absorb(records, failures)
+        return report
+
+    # A worker enforces its own per-cell deadline; the parent-side
+    # backstop only has to catch workers that never report back at all
+    # (hard crash, uninterruptible hang).
+    backstop = None
+    if timeout is not None:
+        per_job_cells = len(tool_names) + 1  # + the shared parse
+        backstop = (timeout * (retries + 1) * per_job_cells
+                    + _BACKSTOP_GRACE)
+
+    pool = multiprocessing.Pool(processes=workers)
+    try:
+        pending = [
+            (job, pool.apply_async(_evaluate_job, (job, timeout, retries)))
+            for job in jobs
+        ]
+        for job, handle in pending:
+            try:
+                records, failures = handle.get(backstop)
+            except multiprocessing.TimeoutError:
+                records, failures = [], _lost_worker_failures(
+                    job, f"worker exceeded {backstop:g}s backstop")
+            except Exception as exc:  # worker died mid-job
+                records, failures = [], _lost_worker_failures(
+                    job, f"worker crashed: {type(exc).__name__}: {exc}")
+            _absorb(records, failures)
+    finally:
+        pool.terminate()
+        pool.join()
     return report
 
 
@@ -65,14 +133,77 @@ def _job_payload(entry: CorpusEntry, tool_names: list[str]) -> tuple:
     )
 
 
-def _evaluate_one(job: tuple) -> list[RunRecord]:
+def _job_provenance(job: tuple) -> dict:
+    (_stripped, _gt, suite, program, compiler, bits, pie, opt,
+     _tool_names) = job
+    return {
+        "suite": suite,
+        "program": program,
+        "compiler": compiler,
+        "bits": bits,
+        "pie": pie,
+        "opt": opt,
+    }
+
+
+def _lost_worker_failures(job: tuple, message: str) -> list[FailureRecord]:
+    """Failure records for every cell of a job whose worker was lost."""
+    prov = _job_provenance(job)
+    tool_names = job[-1]
+    return [
+        FailureRecord(
+            **prov,
+            tool=name,
+            phase=PHASE_WORKER,
+            error_type="WorkerLost",
+            message=message,
+        )
+        for name in tool_names
+    ]
+
+
+def _evaluate_job(
+    job: tuple, timeout: float | None = None, retries: int = 0
+) -> tuple[list[RunRecord], list[FailureRecord]]:
+    """Evaluate one corpus entry; never raises.
+
+    Runs in a pool worker (or in-process for ``workers=1``). Every
+    cell failure is returned as data so nothing propagates across the
+    process boundary as an exception.
+    """
     (stripped, gt, suite, program, compiler, bits, pie, opt,
      tool_names) = job
-    elf = ELFFile(stripped)
+    prov = _job_provenance(job)
+    records: list[RunRecord] = []
+    failures: list[FailureRecord] = []
+
+    def _fail(tool: str, phase: str, error: BaseException,
+              attempts: int, elapsed: float) -> None:
+        failures.append(FailureRecord(
+            **prov,
+            tool=tool,
+            phase=phase,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=attempts,
+            elapsed_seconds=elapsed,
+        ))
+
+    elf, error, attempts, elapsed = run_cell(
+        lambda: ELFFile(stripped), timeout=timeout, retries=retries)
+    if error is not None:
+        for name in tool_names:
+            _fail(name, PHASE_PARSE, error, attempts, elapsed)
+        return records, failures
+
     gt_set = set(gt)
-    records = []
     for name in tool_names:
-        result = ALL_DETECTORS[name]().detect(elf)
+        result, error, attempts, elapsed = run_cell(
+            lambda n=name: ALL_DETECTORS[n]().detect(elf),
+            timeout=timeout, retries=retries)
+        if error is not None:
+            _fail(name, PHASE_DETECT, error, attempts, elapsed)
+            continue
         records.append(RunRecord(
             suite=suite,
             program=program,
@@ -84,4 +215,4 @@ def _evaluate_one(job: tuple) -> list[RunRecord]:
             confusion=score(gt_set, result.functions),
             elapsed_seconds=result.elapsed_seconds,
         ))
-    return records
+    return records, failures

@@ -13,6 +13,13 @@ from dataclasses import dataclass, field
 
 from repro.baselines.base import FunctionDetector
 from repro.elf.parser import ELFFile
+from repro.errors import EvaluationAborted
+from repro.eval.isolation import (
+    PHASE_DETECT,
+    PHASE_PARSE,
+    FailureRecord,
+    run_cell,
+)
 from repro.eval.metrics import Confusion, score
 from repro.synth.corpus import CorpusEntry
 
@@ -34,15 +41,24 @@ class RunRecord:
 
 @dataclass
 class EvalReport:
-    """All run records of one evaluation sweep."""
+    """All run records (and failed cells) of one evaluation sweep."""
 
     records: list[RunRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
 
     def filtered(self, **criteria) -> "EvalReport":
-        """Records matching all given attribute=value criteria."""
+        """Records matching all given attribute=value criteria.
+
+        Failures share the provenance fields, so they are filtered by
+        the same criteria (a criterion naming a field failures lack,
+        e.g. ``confusion``, simply excludes all failures).
+        """
         out = [r for r in self.records
                if all(getattr(r, k) == v for k, v in criteria.items())]
-        return EvalReport(records=out)
+        fails = [f for f in self.failures
+                 if all(getattr(f, k, None) == v
+                        for k, v in criteria.items())]
+        return EvalReport(records=out, failures=fails)
 
     def pooled(self) -> Confusion:
         """Pooled confusion counts over all records."""
@@ -58,31 +74,101 @@ class EvalReport:
                 / len(self.records))
 
     def tools(self) -> list[str]:
-        return sorted({r.tool for r in self.records})
+        return sorted({r.tool for r in self.records}
+                      | {f.tool for f in self.failures})
 
     def suites(self) -> list[str]:
-        return sorted({r.suite for r in self.records})
+        return sorted({r.suite for r in self.records}
+                      | {f.suite for f in self.failures})
+
+    def success_rate(self) -> float:
+        """Fraction of attempted cells that produced a record."""
+        attempted = len(self.records) + len(self.failures)
+        if attempted == 0:
+            return 1.0
+        return len(self.records) / attempted
+
+
+def _provenance(entry: CorpusEntry) -> dict:
+    profile = entry.profile
+    return {
+        "suite": entry.suite,
+        "program": entry.program,
+        "compiler": profile.compiler,
+        "bits": profile.bits,
+        "pie": profile.pie,
+        "opt": profile.opt,
+    }
+
+
+def _failure(
+    prov: dict, tool: str, phase: str, error: BaseException,
+    attempts: int, elapsed: float,
+) -> FailureRecord:
+    return FailureRecord(
+        **prov,
+        tool=tool,
+        phase=phase,
+        error_type=type(error).__name__,
+        message=str(error),
+        attempts=attempts,
+        elapsed_seconds=elapsed,
+    )
 
 
 def run_evaluation(
     corpus: Iterable[CorpusEntry],
     detectors: dict[str, FunctionDetector],
+    *,
+    timeout: float | None = None,
+    retries: int = 0,
+    keep_going: bool = True,
 ) -> EvalReport:
-    """Run every detector on every (stripped) corpus binary."""
+    """Run every detector on every (stripped) corpus binary.
+
+    Each (binary, tool) cell runs in isolation: an exception or a
+    blown ``timeout`` (seconds of wall clock, enforced via ``SIGALRM``
+    on the main thread) becomes a :class:`FailureRecord` on
+    ``report.failures`` and the sweep continues. ``retries`` re-runs a
+    raising cell up to that many extra times before recording the
+    failure. With ``keep_going=False`` the first failure aborts the
+    sweep by raising :class:`~repro.errors.EvaluationAborted`.
+    """
     report = EvalReport()
+
+    def _record_failure(failure: FailureRecord) -> None:
+        report.failures.append(failure)
+        if not keep_going:
+            raise EvaluationAborted(
+                f"[{failure.suite}/{failure.program}/{failure.tool}] "
+                f"{failure.phase}: {failure.error_type}: {failure.message}"
+            )
+
     for entry in corpus:
-        elf = ELFFile(entry.stripped)
+        prov = _provenance(entry)
+        elf, error, attempts, elapsed = run_cell(
+            lambda: ELFFile(entry.stripped),
+            timeout=timeout, retries=retries,
+        )
+        if error is not None:
+            # The parse serves every tool of this entry: fail each cell.
+            for tool_name in detectors:
+                _record_failure(_failure(
+                    prov, tool_name, PHASE_PARSE, error, attempts, elapsed))
+            continue
         gt = entry.binary.ground_truth.function_starts
-        profile = entry.profile
         for tool_name, detector in detectors.items():
-            result = detector.detect(elf)
+            result, error, attempts, elapsed = run_cell(
+                lambda d=detector: d.detect(elf),
+                timeout=timeout, retries=retries,
+            )
+            if error is not None:
+                _record_failure(_failure(
+                    prov, tool_name, PHASE_DETECT, error, attempts,
+                    elapsed))
+                continue
             report.records.append(RunRecord(
-                suite=entry.suite,
-                program=entry.program,
-                compiler=profile.compiler,
-                bits=profile.bits,
-                pie=profile.pie,
-                opt=profile.opt,
+                **prov,
                 tool=tool_name,
                 confusion=score(gt, result.functions),
                 elapsed_seconds=result.elapsed_seconds,

@@ -47,6 +47,27 @@ def _pct(value: float) -> str:
     return f"{100 * value:6.2f}"
 
 
+def failure_summary(report: EvalReport) -> str:
+    """Render the failed cells of a sweep, one line per cell.
+
+    Returns an empty string for a clean report so renderers can append
+    it unconditionally.
+    """
+    if not report.failures:
+        return ""
+    lines = [
+        f"FAILED CELLS: {len(report.failures)} "
+        f"(success rate {100 * report.success_rate():.2f}%)"
+    ]
+    for f in report.failures:
+        lines.append(
+            f"  {f.suite}/{f.program} [{f.compiler} x{f.bits} {f.opt}] "
+            f"{f.tool}: {f.phase} {f.error_type}: {f.message} "
+            f"(attempts={f.attempts})"
+        )
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # Table I
 # ---------------------------------------------------------------------------
@@ -169,6 +190,9 @@ def table2(corpus: list[CorpusEntry]) -> tuple[str, EvalReport]:
             f"R{_pct(pooled.recall)}|{ref[1]:5.1f}"
         )
     lines.append(f"{'total':16s} " + "  ".join(total_cells))
+    failures = failure_summary(report)
+    if failures:
+        lines.append(failures)
     return "\n".join(lines), report
 
 
@@ -226,6 +250,9 @@ def table3(corpus: list[CorpusEntry]) -> tuple[str, EvalReport]:
         f"{paper.TABLE3_TIME['funseeker']}s vs "
         f"{paper.TABLE3_TIME['fetch']}s = {paper.TABLE3_SPEEDUP}x)"
     )
+    failures = failure_summary(report)
+    if failures:
+        lines.append(failures)
     return "\n".join(lines), report
 
 

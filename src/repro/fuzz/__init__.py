@@ -1,0 +1,19 @@
+"""Binary fault-injection harness.
+
+Deterministic, seeded mutators over synthesized CET ELFs plus a driver
+that asserts the robustness invariant — *no uncaught exception, no
+hang, diagnostics populated* — across the mutation matrix. See
+``docs/robustness.md``.
+"""
+
+from repro.fuzz.harness import FuzzCaseFailure, FuzzReport, run_fuzz
+from repro.fuzz.mutators import MUTATOR_FAMILIES, Mutant, mutate
+
+__all__ = [
+    "FuzzCaseFailure",
+    "FuzzReport",
+    "MUTATOR_FAMILIES",
+    "Mutant",
+    "mutate",
+    "run_fuzz",
+]

@@ -1,0 +1,210 @@
+"""Fault-injection driver: assert the robustness invariant.
+
+For every mutant of a synthesized CET binary, the full analysis
+pipeline (``ELFFile`` parse + :class:`FunSeeker` identification) must
+satisfy three properties:
+
+1. **No uncaught exception** — the strict pipeline may reject the
+   input, but only with a documented error
+   (:class:`~repro.errors.ReproError` subclasses, or ``ValueError``
+   for unsupported machines).
+2. **No hang** — both pipelines finish within a per-case wall-clock
+   deadline.
+3. **Diagnostics populated** — the degraded pipeline
+   (``strict=False``) never raises at all, and whenever the strict
+   pipeline rejected the input it records at least one diagnostic
+   explaining what it skipped.
+
+Everything is deterministic: ``run_fuzz(budget, seed=S)`` visits the
+same mutants in the same order on every run, so a failure report is a
+reproduction recipe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.funseeker import FunSeeker
+from repro.elf.parser import ELFFile
+from repro.errors import CellTimeoutError, FuzzInvariantError, ReproError
+from repro.eval.isolation import deadline
+from repro.fuzz.mutators import MUTATOR_FAMILIES, Mutant
+from repro.synth.generate import generate_program
+from repro.synth.linker import link_program
+from repro.synth.profiles import CompilerProfile
+
+#: Errors the *strict* pipeline is allowed to raise on malformed input.
+DOCUMENTED_ERRORS = (ReproError, ValueError)
+
+#: Default wall-clock budget per pipeline run, seconds.
+DEFAULT_CASE_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True)
+class FuzzCaseFailure:
+    """One invariant violation, with its reproduction recipe."""
+
+    family: str
+    label: str
+    base: str
+    index: int           # case index within the run
+    kind: str            # "uncaught" | "hang" | "degraded-raise" |
+                         # "no-diagnostics"
+    stage: str           # "strict" | "degraded"
+    error_type: str
+    message: str
+
+    def render(self) -> str:
+        return (f"[{self.kind}] case {self.index} {self.family} "
+                f"({self.label}) on {self.base}, {self.stage} stage: "
+                f"{self.error_type}: {self.message}")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    budget: int
+    seed: int
+    per_family: dict[str, int] = field(default_factory=dict)
+    strict_rejected: int = 0     # strict raised a documented error
+    diagnosed: int = 0           # degraded runs with >= 1 diagnostic
+    failures: list[FuzzCaseFailure] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_family.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        fams = ", ".join(f"{k}={v}" for k, v in self.per_family.items())
+        lines = [
+            f"fuzz: {self.total} mutants (seed {self.seed}) — {fams}",
+            f"  strict rejected {self.strict_rejected} "
+            f"(documented errors), degraded diagnosed {self.diagnosed}",
+        ]
+        if self.ok:
+            lines.append("  invariant holds: no uncaught exception, "
+                         "no hang, diagnostics populated")
+        else:
+            lines.append(f"  INVARIANT VIOLATIONS: {len(self.failures)}")
+            lines.extend("  " + f.render() for f in self.failures)
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise FuzzInvariantError(
+                f"{len(self.failures)} invariant violation(s); first: "
+                f"{self.failures[0].render()}"
+            )
+
+
+def default_base_images() -> dict[str, bytes]:
+    """Small synthesized CET binaries the mutators start from.
+
+    Both carry ``.eh_frame`` and (via ``cxx=True``)
+    ``.gcc_except_table``, so every mutator family has a real target.
+    Kept small — the harness runs the full pipeline twice per mutant.
+    """
+    out = {}
+    for name, profile, n in (
+        ("gcc-x64-pie", CompilerProfile("gcc", "O2", 64, True), 14),
+        ("clang-x86", CompilerProfile("clang", "O1", 32, False), 10),
+    ):
+        spec = generate_program(f"fuzzbase-{name}", n, profile,
+                                seed=0xCE7, cxx=True)
+        out[name] = link_program(spec, profile).data
+    return out
+
+
+def _case_rng(seed: int, family: str, index: int) -> random.Random:
+    # String seeding is stable across processes and interpreter runs
+    # (unlike hashing a tuple, which PYTHONHASHSEED would randomize).
+    return random.Random(f"{seed}:{family}:{index}")
+
+
+def check_mutant(
+    mutant: Mutant,
+    *,
+    base: str,
+    index: int,
+    case_timeout: float | None = DEFAULT_CASE_TIMEOUT,
+    report: FuzzReport,
+) -> None:
+    """Run both pipelines on one mutant, recording violations."""
+
+    def _fail(kind: str, stage: str, error: BaseException | None) -> None:
+        report.failures.append(FuzzCaseFailure(
+            family=mutant.family, label=mutant.label, base=base,
+            index=index, kind=kind, stage=stage,
+            error_type=type(error).__name__ if error else "",
+            message=str(error) if error else "",
+        ))
+
+    strict_rejected = False
+    try:
+        with deadline(case_timeout):
+            elf = ELFFile(mutant.data)
+            FunSeeker(elf).identify()
+    except CellTimeoutError as exc:
+        _fail("hang", "strict", exc)
+    except DOCUMENTED_ERRORS:
+        strict_rejected = True
+        report.strict_rejected += 1
+    except Exception as exc:
+        _fail("uncaught", "strict", exc)
+
+    try:
+        with deadline(case_timeout):
+            elf = ELFFile(mutant.data, strict=False)
+            FunSeeker(elf, strict=False).identify()
+    except CellTimeoutError as exc:
+        _fail("hang", "degraded", exc)
+    except Exception as exc:
+        _fail("degraded-raise", "degraded", exc)
+    else:
+        if len(elf.diagnostics):
+            report.diagnosed += 1
+        elif strict_rejected:
+            # Strict saw something worth rejecting; degraded mode must
+            # say what it glossed over.
+            _fail("no-diagnostics", "degraded", None)
+
+
+def run_fuzz(
+    budget: int = 500,
+    *,
+    seed: int = 2022,
+    families: list[str] | None = None,
+    case_timeout: float | None = DEFAULT_CASE_TIMEOUT,
+    base_images: dict[str, bytes] | None = None,
+) -> FuzzReport:
+    """Run ``budget`` mutants round-robin across families and bases.
+
+    ``families`` defaults to all of :data:`MUTATOR_FAMILIES`; unknown
+    names raise ``ValueError``. The run is fully determined by
+    ``(budget, seed, families, base_images)``.
+    """
+    names = list(families) if families else list(MUTATOR_FAMILIES)
+    unknown = [n for n in names if n not in MUTATOR_FAMILIES]
+    if unknown:
+        raise ValueError(f"unknown mutator families: {unknown}")
+    bases = base_images if base_images is not None else default_base_images()
+    base_items = sorted(bases.items())
+
+    report = FuzzReport(budget=budget, seed=seed,
+                        per_family=dict.fromkeys(names, 0))
+    for i in range(budget):
+        family = names[i % len(names)]
+        base_name, base_data = base_items[(i // len(names))
+                                          % len(base_items)]
+        rng = _case_rng(seed, family, i)
+        mutant = MUTATOR_FAMILIES[family](base_data, rng)
+        report.per_family[family] += 1
+        check_mutant(mutant, base=base_name, index=i,
+                     case_timeout=case_timeout, report=report)
+    return report

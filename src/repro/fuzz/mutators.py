@@ -1,0 +1,286 @@
+"""Deterministic seeded mutators over ELF images.
+
+Each mutator family is a pure function ``(data, rng) -> Mutant``: given
+a valid base image and a seeded :class:`random.Random`, it returns one
+corrupted copy. Determinism is the point — a failing mutant is fully
+reproduced by ``(base image, family, seed)``, so every harness failure
+is a regression test waiting to be checked in.
+
+The families target the structures the parsers actually walk:
+
+- ``bitflip``    — random single/multi bit flips anywhere in the image.
+- ``truncate``   — cut the image at (or one byte around) structure
+  boundaries: header end, program/section header table entries,
+  section payload edges.
+- ``header``     — boundary values into ELF header fields
+  (``e_shoff``, ``e_shstrndx``, ``e_shentsize``, ``e_machine``, ...).
+- ``shdr``       — corrupt one field of one section header.
+- ``ehframe``    — scramble bytes inside ``.eh_frame`` (length framing,
+  CIE/FDE bodies, pointer encodings).
+- ``lsda``       — scramble bytes inside ``.gcc_except_table``.
+
+The section locator below is intentionally independent of
+``repro.elf.parser`` — the mutators must keep working on images the
+real parser is too hardened to misread.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One corrupted image plus enough metadata to reproduce it."""
+
+    family: str
+    label: str
+    data: bytes
+
+
+# ---------------------------------------------------------------------------
+# Minimal raw ELF view (valid base images only)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _HeaderView:
+    """Raw header fields of a *valid* base image."""
+
+    is64: bool
+    e_phoff: int
+    e_phentsize: int
+    e_phnum: int
+    e_shoff: int
+    e_shentsize: int
+    e_shnum: int
+    e_shstrndx: int
+
+    # (offset, struct format) of the corruptible ELF header fields.
+    @property
+    def fields(self) -> dict[str, tuple[int, str]]:
+        if self.is64:
+            return {
+                "e_type": (16, "<H"), "e_machine": (18, "<H"),
+                "e_entry": (24, "<Q"), "e_phoff": (32, "<Q"),
+                "e_shoff": (40, "<Q"), "e_phentsize": (54, "<H"),
+                "e_phnum": (56, "<H"), "e_shentsize": (58, "<H"),
+                "e_shnum": (60, "<H"), "e_shstrndx": (62, "<H"),
+            }
+        return {
+            "e_type": (16, "<H"), "e_machine": (18, "<H"),
+            "e_entry": (24, "<I"), "e_phoff": (28, "<I"),
+            "e_shoff": (32, "<I"), "e_phentsize": (42, "<H"),
+            "e_phnum": (44, "<H"), "e_shentsize": (46, "<H"),
+            "e_shnum": (48, "<H"), "e_shstrndx": (50, "<H"),
+        }
+
+
+def _header_view(data: bytes) -> _HeaderView:
+    is64 = data[4] == 2
+    if is64:
+        e_phoff, e_shoff = struct.unpack_from("<QQ", data, 32)[0], \
+            struct.unpack_from("<Q", data, 40)[0]
+        phentsize, phnum, shentsize, shnum, shstrndx = struct.unpack_from(
+            "<5H", data, 54)
+    else:
+        e_phoff = struct.unpack_from("<I", data, 28)[0]
+        e_shoff = struct.unpack_from("<I", data, 32)[0]
+        phentsize, phnum, shentsize, shnum, shstrndx = struct.unpack_from(
+            "<5H", data, 42)
+    return _HeaderView(
+        is64=is64, e_phoff=e_phoff, e_phentsize=phentsize, e_phnum=phnum,
+        e_shoff=e_shoff, e_shentsize=shentsize, e_shnum=shnum,
+        e_shstrndx=shstrndx,
+    )
+
+
+def _section_ranges(data: bytes) -> dict[str, tuple[int, int]]:
+    """Map section name -> (file offset, size) from a valid image."""
+    hdr = _header_view(data)
+    shdrs = []
+    for i in range(hdr.e_shnum):
+        base = hdr.e_shoff + i * hdr.e_shentsize
+        if hdr.is64:
+            name, _typ, _flags, _addr, offset, size = struct.unpack_from(
+                "<IIQQQQ", data, base)
+        else:
+            name, _typ, _flags, _addr, offset, size = struct.unpack_from(
+                "<IIIIII", data, base)
+        shdrs.append((name, offset, size))
+    if not 0 < hdr.e_shstrndx < len(shdrs):
+        return {}
+    str_off, str_size = shdrs[hdr.e_shstrndx][1:]
+    strtab = data[str_off:str_off + str_size]
+    out = {}
+    for name_off, offset, size in shdrs:
+        end = strtab.find(b"\0", name_off)
+        if end < 0:
+            continue
+        name = strtab[name_off:end].decode("latin-1")
+        out[name] = (offset, size)
+    return out
+
+
+def _boundaries(data: bytes) -> list[int]:
+    """File offsets of structure edges — the truncation targets."""
+    hdr = _header_view(data)
+    edges = {0, 16, 52 if not hdr.is64 else 64, len(data)}
+    for i in range(hdr.e_phnum + 1):
+        edges.add(hdr.e_phoff + i * hdr.e_phentsize)
+    for i in range(hdr.e_shnum + 1):
+        edges.add(hdr.e_shoff + i * hdr.e_shentsize)
+    for offset, size in _section_ranges(data).values():
+        edges.add(offset)
+        edges.add(offset + size)
+    return sorted(e for e in edges if 0 <= e <= len(data))
+
+
+def _put(data: bytearray, offset: int, fmt: str, value: int) -> None:
+    mask = (1 << (8 * struct.calcsize(fmt))) - 1
+    struct.pack_into(fmt, data, offset, value & mask)
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+
+def mutate_bitflip(data: bytes, rng: random.Random) -> Mutant:
+    """Flip 1..8 random bits anywhere in the image."""
+    out = bytearray(data)
+    n = rng.randint(1, 8)
+    spots = []
+    for _ in range(n):
+        pos = rng.randrange(len(out))
+        bit = rng.randrange(8)
+        out[pos] ^= 1 << bit
+        spots.append(f"{pos:#x}.{bit}")
+    return Mutant("bitflip", f"flip {','.join(spots)}", bytes(out))
+
+
+def mutate_truncate(data: bytes, rng: random.Random) -> Mutant:
+    """Cut the image at (or one byte around) a structure boundary."""
+    edges = _boundaries(data)
+    cut = rng.choice(edges) + rng.choice((-1, 0, 1))
+    cut = max(0, min(len(data) - 1, cut))
+    return Mutant("truncate", f"cut at {cut:#x}/{len(data):#x}",
+                  data[:cut])
+
+
+#: Boundary values a header/section field gets corrupted to. ``None``
+#: slots are filled per-image (file length, random word).
+_BOUNDARY_VALUES = (0, 1, 0xFF, 0xFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF)
+
+
+def _boundary_value(data: bytes, rng: random.Random) -> int:
+    pool = _BOUNDARY_VALUES + (
+        len(data), len(data) - 1, len(data) + 1,
+        rng.getrandbits(32),
+    )
+    return rng.choice(pool)
+
+
+def mutate_header(data: bytes, rng: random.Random) -> Mutant:
+    """Write a boundary value into one ELF header field."""
+    hdr = _header_view(data)
+    field = rng.choice(sorted(hdr.fields))
+    offset, fmt = hdr.fields[field]
+    value = _boundary_value(data, rng)
+    out = bytearray(data)
+    _put(out, offset, fmt, value)
+    return Mutant("header", f"{field} <- {value:#x}", bytes(out))
+
+
+def mutate_shdr(data: bytes, rng: random.Random) -> Mutant:
+    """Corrupt one field of one section header."""
+    hdr = _header_view(data)
+    if hdr.e_shnum == 0:
+        return mutate_bitflip(data, rng)
+    idx = rng.randrange(hdr.e_shnum)
+    if hdr.is64:
+        fields = {"sh_name": (0, "<I"), "sh_type": (4, "<I"),
+                  "sh_offset": (24, "<Q"), "sh_size": (32, "<Q"),
+                  "sh_link": (40, "<I"), "sh_entsize": (56, "<Q")}
+    else:
+        fields = {"sh_name": (0, "<I"), "sh_type": (4, "<I"),
+                  "sh_offset": (16, "<I"), "sh_size": (20, "<I"),
+                  "sh_link": (24, "<I"), "sh_entsize": (36, "<I")}
+    field = rng.choice(sorted(fields))
+    rel, fmt = fields[field]
+    offset = hdr.e_shoff + idx * hdr.e_shentsize + rel
+    if offset + struct.calcsize(fmt) > len(data):
+        return mutate_bitflip(data, rng)
+    value = _boundary_value(data, rng)
+    out = bytearray(data)
+    _put(out, offset, fmt, value)
+    return Mutant("shdr", f"shdr[{idx}].{field} <- {value:#x}",
+                  bytes(out))
+
+
+def _scramble_section(
+    data: bytes, rng: random.Random, family: str, section: str
+) -> Mutant:
+    """Scramble bytes inside one named section.
+
+    Three sub-modes: random byte writes (decoder confusion), zeroed
+    32-bit words (kills length framing), and 0xFF runs (maximal
+    lengths/offsets). Falls back to bit flips when the base image
+    lacks the section.
+    """
+    ranges = _section_ranges(data)
+    if section not in ranges or ranges[section][1] == 0:
+        return mutate_bitflip(data, rng)
+    offset, size = ranges[section]
+    out = bytearray(data)
+    mode = rng.choice(("bytes", "zero", "ones"))
+    if mode == "bytes":
+        n = rng.randint(1, min(16, size))
+        for _ in range(n):
+            out[offset + rng.randrange(size)] = rng.randrange(256)
+        label = f"{section}: {n} random bytes"
+    elif mode == "zero":
+        pos = offset + rng.randrange(max(1, size - 3))
+        out[pos:pos + 4] = b"\0\0\0\0"
+        label = f"{section}: zero word at {pos - offset:#x}"
+    else:
+        start = rng.randrange(size)
+        run = rng.randint(1, min(32, size - start))
+        out[offset + start:offset + start + run] = b"\xff" * run
+        label = f"{section}: 0xff run [{start:#x}:{start + run:#x}]"
+    if bytes(out) == data:
+        # The scramble landed on bytes that already held the written
+        # value; force a real change so no budget is spent on no-ops.
+        pos = offset + rng.randrange(size)
+        out[pos] ^= 1 << rng.randrange(8)
+        label += " (+forced flip)"
+    return Mutant(family, label, bytes(out))
+
+
+def mutate_ehframe(data: bytes, rng: random.Random) -> Mutant:
+    """Scramble ``.eh_frame`` — CIE/FDE framing and bodies."""
+    return _scramble_section(data, rng, "ehframe", ".eh_frame")
+
+
+def mutate_lsda(data: bytes, rng: random.Random) -> Mutant:
+    """Scramble ``.gcc_except_table`` — LSDA call-site tables."""
+    return _scramble_section(data, rng, "lsda", ".gcc_except_table")
+
+
+#: Family name -> mutator, in matrix order.
+MUTATOR_FAMILIES: dict[str, Callable[[bytes, random.Random], Mutant]] = {
+    "bitflip": mutate_bitflip,
+    "truncate": mutate_truncate,
+    "header": mutate_header,
+    "shdr": mutate_shdr,
+    "ehframe": mutate_ehframe,
+    "lsda": mutate_lsda,
+}
+
+
+def mutate(family: str, data: bytes, rng: random.Random) -> Mutant:
+    """Apply one named mutator family."""
+    return MUTATOR_FAMILIES[family](data, rng)

@@ -1,0 +1,157 @@
+"""Degraded-mode parsing: strict rejects, degraded diagnoses.
+
+Covers the robustness contracts added with the fault-injection
+harness:
+
+- out-of-range ``e_shstrndx`` / section-name offsets (strict:
+  ``ElfParseError``; degraded: empty names + diagnostic);
+- malformed ``.note.gnu.property`` recorded instead of swallowed;
+- totality: no prefix-truncation of a CET binary makes the degraded
+  pipeline raise;
+- checked-in fuzz regression samples stay handled.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.core.funseeker import FunSeeker
+from repro.elf.gnuproperty import SECTION_NAME, parse_cet_features
+from repro.elf.parser import ELFFile, ElfParseError
+from repro.errors import Diagnostics, Severity
+from repro.fuzz.mutators import _boundaries, _section_ranges
+
+E_SHSTRNDX_OFF64 = 62
+
+
+def _with_shstrndx(data: bytes, value: int) -> bytes:
+    out = bytearray(data)
+    struct.pack_into("<H", out, E_SHSTRNDX_OFF64, value)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# e_shstrndx / section-name corruption (satellite: parser hardening)
+# ---------------------------------------------------------------------------
+
+
+def test_out_of_range_shstrndx_strict_raises(sample_binary):
+    bad = _with_shstrndx(sample_binary.data, 0xFFF0)
+    with pytest.raises(ElfParseError, match="e_shstrndx"):
+        ELFFile(bad)
+
+
+def test_out_of_range_shstrndx_degraded_parses_nameless(sample_binary):
+    bad = _with_shstrndx(sample_binary.data, 0xFFF0)
+    elf = ELFFile(bad, strict=False)
+    # Sections survive, just without names.
+    assert elf.sections
+    assert all(s.name == "" for s in elf.sections)
+    records = elf.diagnostics.by_source("elf")
+    assert any("e_shstrndx" in d.message for d in records)
+    assert all(d.severity is Severity.WARNING for d in records)
+
+
+def test_string_table_offset_outside_file(sample_binary):
+    data = sample_binary.data
+    hdr = ELFFile(data).header
+    # Point the string table's sh_offset past EOF.
+    shoff = hdr.e_shoff + hdr.e_shstrndx * hdr.e_shentsize
+    out = bytearray(data)
+    struct.pack_into("<Q", out, shoff + 24, len(data) + 0x1000)
+    with pytest.raises(ElfParseError):
+        ELFFile(bytes(out))
+    elf = ELFFile(bytes(out), strict=False)
+    assert elf.sections
+    assert elf.diagnostics.by_source("elf")
+
+
+# ---------------------------------------------------------------------------
+# .note.gnu.property (satellite: no silently swallowed ReaderError)
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_note(data: bytes) -> bytes:
+    offset, size = _section_ranges(data)[SECTION_NAME]
+    out = bytearray(data)
+    # A namesz that runs past the section: the note walk must fail.
+    struct.pack_into("<I", out, offset, 0xFFFF)
+    return bytes(out)
+
+
+def test_malformed_gnu_property_is_recorded(sample_binary):
+    elf = ELFFile(_corrupt_note(sample_binary.data))
+    diags = Diagnostics()
+    features = parse_cet_features(elf, diagnostics=diags)
+    assert not features.any  # nothing decoded before the bad header
+    records = diags.by_source("gnu_property")
+    assert len(records) == 1
+    assert "malformed" in records[0].message
+
+
+def test_malformed_gnu_property_falls_back_to_elf_collector(sample_binary):
+    elf = ELFFile(_corrupt_note(sample_binary.data))
+    parse_cet_features(elf)
+    assert elf.diagnostics.by_source("gnu_property")
+
+
+# ---------------------------------------------------------------------------
+# totality under prefix truncation (satellite: property-style test)
+# ---------------------------------------------------------------------------
+
+
+def _truncation_lengths(data: bytes) -> list[int]:
+    """Every structure boundary plus a coarse sweep of all lengths."""
+    step = max(1, len(data) // 128)
+    lengths = set(range(0, len(data) + 1, step))
+    for edge in _boundaries(data):
+        lengths.update((edge - 1, edge, edge + 1))
+    return sorted(n for n in lengths if 0 <= n <= len(data))
+
+
+def test_degraded_pipeline_total_under_prefix_truncation(sample_binary):
+    data = sample_binary.data
+    for n in _truncation_lengths(data):
+        prefix = data[:n]
+        elf = ELFFile(prefix, strict=False)       # must not raise
+        result = FunSeeker(elf, strict=False).identify()  # must not raise
+        if n < len(data):
+            # Anything short of the full image loses structure; the
+            # pipeline has to say so, not silently return less.
+            assert len(elf.diagnostics) > 0, f"silent at length {n}"
+            assert result.diagnostics is elf.diagnostics
+
+
+def test_strict_pipeline_raises_only_documented_on_truncation(
+        sample_binary):
+    from repro.errors import ReproError
+
+    data = sample_binary.data
+    for n in _truncation_lengths(data):
+        try:
+            FunSeeker(ELFFile(data[:n])).identify()
+        except (ReproError, ValueError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# checked-in fuzz regression samples
+# ---------------------------------------------------------------------------
+
+REGRESSION_DIR = Path(__file__).parent / "data" / "fuzz_regressions"
+SAMPLES = sorted(REGRESSION_DIR.glob("*.bin"))
+
+
+def test_regression_samples_exist():
+    assert len(SAMPLES) >= 4
+
+
+@pytest.mark.parametrize("path", SAMPLES, ids=lambda p: p.stem)
+def test_regression_sample_degraded_total(path):
+    data = path.read_bytes()
+    elf = ELFFile(data, strict=False)
+    FunSeeker(elf, strict=False).identify()
+    assert len(elf.diagnostics) > 0

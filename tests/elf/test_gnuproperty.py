@@ -18,15 +18,16 @@ class TestNoteRoundTrip:
         from repro.elf.gnuproperty import _parse_note
 
         note = build_cet_note(ibt=True, shstk=True)
-        features = _parse_note(note, is64=True)
+        features, error = _parse_note(note, is64=True)
+        assert error is None
         assert features.ibt and features.shstk
         assert features.full
 
     def test_ibt_only(self):
         from repro.elf.gnuproperty import _parse_note
 
-        features = _parse_note(build_cet_note(ibt=True, shstk=False),
-                               is64=True)
+        features, _ = _parse_note(build_cet_note(ibt=True, shstk=False),
+                                  is64=True)
         assert features.ibt and not features.shstk
         assert not features.full
         assert features.any
@@ -34,14 +35,14 @@ class TestNoteRoundTrip:
     def test_neither(self):
         from repro.elf.gnuproperty import _parse_note
 
-        features = _parse_note(build_cet_note(ibt=False, shstk=False),
-                               is64=True)
+        features, _ = _parse_note(build_cet_note(ibt=False, shstk=False),
+                                  is64=True)
         assert not features.any
 
     def test_32bit_alignment(self):
         from repro.elf.gnuproperty import _parse_note
 
-        features = _parse_note(build_cet_note(is64=False), is64=False)
+        features, _ = _parse_note(build_cet_note(is64=False), is64=False)
         assert features.full
 
 

@@ -1,0 +1,18 @@
+"""Shared fuzz-harness fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.harness import default_base_images
+
+
+@pytest.fixture(scope="session")
+def fuzz_bases() -> dict[str, bytes]:
+    return default_base_images()
+
+
+@pytest.fixture(scope="session")
+def fuzz_base(fuzz_bases) -> bytes:
+    """The 64-bit PIE base image."""
+    return fuzz_bases["gcc-x64-pie"]

@@ -1,0 +1,67 @@
+"""Fault-injection harness tests (including the tier-1 smoke run)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FuzzInvariantError
+from repro.fuzz import run_fuzz
+from repro.fuzz.harness import FuzzCaseFailure, FuzzReport
+
+
+@pytest.mark.fuzz_smoke
+def test_smoke_invariant_holds(fuzz_bases):
+    """No uncaught exception, no hang, diagnostics populated.
+
+    A slice of the full ``python -m repro fuzz`` run, sized to stay
+    well under ten seconds while touching every mutator family on both
+    base images.
+    """
+    report = run_fuzz(150, seed=2022, base_images=fuzz_bases)
+    assert report.ok, report.render()
+    assert report.total == 150
+    assert all(count > 0 for count in report.per_family.values())
+    # The families are aggressive enough that some mutants must be
+    # rejected by the strict pipeline and diagnosed by the degraded one.
+    assert report.strict_rejected > 0
+    assert report.diagnosed >= report.strict_rejected
+    report.raise_on_failure()  # no-op on a clean report
+
+
+def test_run_is_deterministic(fuzz_base):
+    bases = {"base": fuzz_base}
+    a = run_fuzz(36, seed=7, base_images=bases)
+    b = run_fuzz(36, seed=7, base_images=bases)
+    assert a.per_family == b.per_family
+    assert a.strict_rejected == b.strict_rejected
+    assert a.diagnosed == b.diagnosed
+    assert a.failures == b.failures
+
+
+def test_family_subset(fuzz_base):
+    report = run_fuzz(10, seed=3, families=["truncate", "ehframe"],
+                      base_images={"base": fuzz_base})
+    assert set(report.per_family) == {"truncate", "ehframe"}
+    assert report.total == 10
+
+
+def test_unknown_family_rejected(fuzz_base):
+    with pytest.raises(ValueError, match="unknown mutator"):
+        run_fuzz(1, families=["nosuch"],
+                 base_images={"base": fuzz_base})
+
+
+def test_report_failure_accounting():
+    report = FuzzReport(budget=1, seed=0, per_family={"bitflip": 1})
+    assert report.ok
+    report.failures.append(FuzzCaseFailure(
+        family="bitflip", label="flip 0x10.3", base="base", index=0,
+        kind="uncaught", stage="strict", error_type="KeyError",
+        message="boom",
+    ))
+    assert not report.ok
+    rendered = report.render()
+    assert "INVARIANT VIOLATIONS" in rendered
+    assert "KeyError" in rendered
+    with pytest.raises(FuzzInvariantError, match="uncaught"):
+        report.raise_on_failure()
