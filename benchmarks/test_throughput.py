@@ -1,22 +1,39 @@
 """Microbenchmarks: decoder and detector throughput.
 
-These are conventional pytest-benchmark measurements (multiple rounds)
-of the hot paths behind Table III's timing column: the linear-sweep
-decoder, the full FunSeeker pipeline, and the FETCH-like pipeline on
-the same binary.
+Two kinds of measurement live here:
+
+- conventional pytest-benchmark runs of the hot paths behind Table
+  III's timing column (linear sweep, each detector, the superset
+  front end) — each round clears the binary's analysis context first,
+  so the numbers reflect the *uncached* cost the paper compares;
+- the cache trajectory benchmark, which regenerates a multi-detector
+  Table III sweep three times (no disk cache / cold cache / warm
+  cache), checks the outputs are bit-identical, and publishes
+  ``BENCH_throughput.json`` at the repo root.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.baselines import (
+    ALL_DETECTORS,
     FetchLikeDetector,
     FunSeekerDetector,
     GhidraLikeDetector,
     IdaLikeDetector,
 )
+from repro.cache import DiskCache, set_default_cache
+from repro.cache.context import _ATTR as _CTX_ATTR
 from repro.core.disassemble import disassemble
 from repro.elf.parser import ELFFile
+from repro.eval.runner import run_evaluation
 from repro.synth import CompilerProfile, generate_program, link_program
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_SCHEMA = "bench-throughput/v1"
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +48,18 @@ def big_elf(big_binary):
     return ELFFile(big_binary.data)
 
 
+def _cold_detect(detector, elf):
+    """Run one detection with a fresh analysis context.
+
+    The in-memory context would otherwise serve memoized sweeps after
+    the first benchmark round, and these benchmarks exist to measure
+    the real per-tool cost.
+    """
+    if hasattr(elf, _CTX_ATTR):
+        delattr(elf, _CTX_ATTR)
+    return detector.detect(elf)
+
+
 def test_linear_sweep_throughput(benchmark, big_elf):
     txt = big_elf.section(".text")
     result = benchmark(disassemble, txt.data, txt.sh_addr, 64)
@@ -41,25 +70,34 @@ def test_linear_sweep_throughput(benchmark, big_elf):
 
 def test_funseeker_throughput(benchmark, big_elf):
     detector = FunSeekerDetector()
+    result = benchmark(_cold_detect, detector, big_elf)
+    assert result.functions
+
+
+def test_funseeker_warm_context_throughput(benchmark, big_elf):
+    """The shared-artifact path: repeat identification on one parsed
+    binary pays only the E'/C/J' set algebra, not the decode."""
+    detector = FunSeekerDetector()
+    _cold_detect(detector, big_elf)  # prime the context
     result = benchmark(detector.detect, big_elf)
     assert result.functions
 
 
 def test_fetch_throughput(benchmark, big_elf):
     detector = FetchLikeDetector()
-    result = benchmark(detector.detect, big_elf)
+    result = benchmark(_cold_detect, detector, big_elf)
     assert result.functions
 
 
 def test_ghidra_throughput(benchmark, big_elf):
     detector = GhidraLikeDetector()
-    result = benchmark(detector.detect, big_elf)
+    result = benchmark(_cold_detect, detector, big_elf)
     assert result.functions
 
 
 def test_ida_throughput(benchmark, big_elf):
     detector = IdaLikeDetector()
-    result = benchmark(detector.detect, big_elf)
+    result = benchmark(_cold_detect, detector, big_elf)
     assert result.functions
 
 
@@ -67,9 +105,15 @@ def test_robust_sweep_throughput(benchmark, big_elf):
     """The superset-validated front end pays a constant-factor cost
     over plain sweep (full-offset viability pass)."""
     from repro.core.robust import disassemble_robust
+    from repro.x86.superset import clear_index_memo
 
     txt = big_elf.section(".text")
-    result = benchmark(disassemble_robust, txt.data, txt.sh_addr, 64)
+
+    def _run():
+        clear_index_memo()  # measure the decode-at-every-offset pass
+        return disassemble_robust(txt.data, txt.sh_addr, 64)
+
+    result = benchmark(_run)
     assert result.insn_count > 10000
 
 
@@ -84,5 +128,104 @@ def test_byteweight_throughput(benchmark, big_binary, big_elf):
         [(txt.data, txt.sh_addr,
           big_binary.ground_truth.function_starts)])
     detector = ByteWeightLikeDetector(tree)
-    result = benchmark(detector.detect, big_elf)
+    result = benchmark(_cold_detect, detector, big_elf)
     assert result.functions
+
+
+# ---------------------------------------------------------------------------
+# Cache trajectory: BENCH_throughput.json
+# ---------------------------------------------------------------------------
+
+_SWEEP_TOOLS = ("funseeker", "ida", "ghidra", "fetch", "naive-endbr")
+
+
+def _table3_sweep(corpus) -> tuple[float, dict]:
+    """One serial multi-detector sweep; returns wall time and outcomes."""
+    detectors = {name: ALL_DETECTORS[name]() for name in _SWEEP_TOOLS}
+    started = time.perf_counter()
+    report = run_evaluation(corpus, detectors)
+    wall = time.perf_counter() - started
+    assert not report.failures, [f.message for f in report.failures]
+    per_tool: dict[str, float] = {name: 0.0 for name in _SWEEP_TOOLS}
+    outputs: dict[tuple, tuple] = {}
+    for rec in report.records:
+        per_tool[rec.tool] += rec.elapsed_seconds
+        key = (rec.suite, rec.program, rec.compiler, rec.bits, rec.pie,
+               rec.opt, rec.tool)
+        outputs[key] = (rec.confusion.tp, rec.confusion.fp,
+                        rec.confusion.fn)
+    return wall, {"per_tool": per_tool, "outputs": outputs}
+
+
+def test_cache_trajectory_emits_bench_json(corpus, tmp_path):
+    total_bytes = sum(len(e.stripped) for e in corpus)
+
+    set_default_cache(None)
+    uncached_wall, uncached = _table3_sweep(corpus)
+
+    cache = DiskCache(tmp_path / "cache")
+    set_default_cache(cache)
+    cold_wall, cold = _table3_sweep(corpus)
+    warm_wall, warm = _table3_sweep(corpus)
+    set_default_cache(None)
+
+    assert cold["outputs"] == uncached["outputs"], \
+        "cold-cache sweep diverged from uncached"
+    assert warm["outputs"] == uncached["outputs"], \
+        "warm-cache sweep diverged from uncached"
+    assert cache.stats.hits > 0
+
+    def _mbps(wall: float) -> float:
+        return total_bytes / 1e6 / wall if wall else 0.0
+
+    per_tool_speedup = {
+        name: (uncached["per_tool"][name] / warm["per_tool"][name]
+               if warm["per_tool"][name] else float("inf"))
+        for name in _SWEEP_TOOLS
+    }
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "description": "Table III regeneration: multi-detector serial "
+                       "sweep without disk cache, with an empty cache "
+                       "(cold), and against the populated cache (warm)",
+        "tools": list(_SWEEP_TOOLS),
+        "binaries": len(corpus),
+        "total_bytes": total_bytes,
+        "runs": {
+            "uncached": {
+                "wall_seconds": round(uncached_wall, 4),
+                "mb_per_s": round(_mbps(uncached_wall), 3),
+                "per_tool_seconds": {
+                    k: round(v, 4)
+                    for k, v in uncached["per_tool"].items()},
+            },
+            "cold": {
+                "wall_seconds": round(cold_wall, 4),
+                "mb_per_s": round(_mbps(cold_wall), 3),
+                "per_tool_seconds": {
+                    k: round(v, 4) for k, v in cold["per_tool"].items()},
+            },
+            "warm": {
+                "wall_seconds": round(warm_wall, 4),
+                "mb_per_s": round(_mbps(warm_wall), 3),
+                "per_tool_seconds": {
+                    k: round(v, 4) for k, v in warm["per_tool"].items()},
+            },
+        },
+        "speedup": {
+            "warm_vs_uncached_wall": round(uncached_wall / warm_wall, 2),
+            "per_tool_detect": {
+                k: round(v, 2) for k, v in per_tool_speedup.items()},
+        },
+        "identical_outputs": True,
+        # census minus "root": the cache lives in a throwaway tmp dir
+        # and the committed document must not embed machine paths.
+        "cache": {k: v for k, v in cache.census().items() if k != "root"},
+    }
+    out = REPO_ROOT / "BENCH_throughput.json"
+    out.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"\nwrote {out}")
+    print(f"warm-vs-uncached wall speedup: "
+          f"{doc['speedup']['warm_vs_uncached_wall']}x")
+    assert uncached_wall / warm_wall >= 3.0, \
+        "warm-cache Table III regeneration below the 3x bar"

@@ -14,8 +14,8 @@ import abc
 import time
 from dataclasses import dataclass, field
 
+from repro.cache.context import get_context
 from repro.elf import constants as C
-from repro.elf.ehframe import EhFrameError, parse_eh_frame
 from repro.elf.parser import ELFFile
 from repro.x86.decoder import DecodeError, decode
 from repro.x86.insn import InsnClass
@@ -36,10 +36,26 @@ class FunctionDetector(abc.ABC):
     #: Human-readable tool name used in reports.
     name: str = "detector"
 
+    #: Whether whole-run results may be served from the content-addressed
+    #: disk cache. Only safe when the output is a pure function of the
+    #: binary image and the tool name — detectors carrying external
+    #: state (e.g. a trained model) must opt out.
+    cacheable: bool = True
+
     def detect(self, elf: ELFFile) -> DetectionResult:
-        """Run detection with wall-clock timing."""
+        """Run detection with wall-clock timing.
+
+        Entry sets of ``cacheable`` detectors flow through the binary's
+        analysis context, which consults the disk cache (when one is
+        configured) under the key ``(content hash, tool name)``.
+        """
         started = time.perf_counter()
-        functions = self._detect(elf)
+        if self.cacheable:
+            functions = get_context(elf).detector_result(
+                self.name, lambda: self._detect(elf)
+            )
+        else:
+            functions = self._detect(elf)
         elapsed = time.perf_counter() - started
         return DetectionResult(tool=self.name, functions=functions,
                                elapsed_seconds=elapsed)
@@ -62,17 +78,13 @@ def text_section(elf: ELFFile):
 
 
 def fde_starts(elf: ELFFile) -> tuple[set[int], list[tuple[int, int]]]:
-    """FDE ``pc_begin`` values and ranges, or empty when unparseable."""
-    sec = elf.section(C.SECTION_EH_FRAME)
-    if sec is None or not sec.data:
-        return set(), []
-    try:
-        eh = parse_eh_frame(sec.data, sec.sh_addr, elf.is64)
-    except EhFrameError:
-        return set(), []
-    starts = {fde.pc_begin for fde in eh.fdes}
-    ranges = [(fde.pc_begin, fde.pc_end) for fde in eh.fdes]
-    return starts, ranges
+    """FDE ``pc_begin`` values and ranges, or empty when unparseable.
+
+    Strict-parse semantics (a malformed ``.eh_frame`` yields empty
+    results, not a partial parse), memoized on the file's analysis
+    context so eh_frame-seeded detectors share one parse per binary.
+    """
+    return get_context(elf).fde_starts()
 
 
 def recursive_traversal(

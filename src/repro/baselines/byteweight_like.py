@@ -110,6 +110,10 @@ class ByteWeightLikeDetector(FunctionDetector):
 
     name = "byteweight"
 
+    #: Output depends on the trained tree and threshold, which the
+    #: content-addressed cache key cannot see — never cache results.
+    cacheable = False
+
     def __init__(self, tree: PrefixTree, threshold: float = 0.5) -> None:
         self.tree = tree
         self.threshold = threshold

@@ -8,8 +8,8 @@ ablation reference point alongside FunSeeker's config ①.
 
 from __future__ import annotations
 
-from repro.baselines.base import FunctionDetector, text_section
-from repro.core.disassemble import disassemble
+from repro.baselines.base import FunctionDetector
+from repro.cache.context import get_context
 from repro.elf.parser import ELFFile
 
 
@@ -19,9 +19,7 @@ class NaiveEndbrDetector(FunctionDetector):
     name = "naive-endbr"
 
     def _detect(self, elf: ELFFile) -> set[int]:
-        txt = text_section(elf)
-        if txt is None or not txt.data:
+        sweep = get_context(elf).sweep()
+        if sweep is None:
             return set()
-        bits = 64 if elf.is64 else 32
-        sweep = disassemble(txt.data, txt.sh_addr, bits)
         return set(sweep.endbr_addrs)

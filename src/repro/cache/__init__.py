@@ -1,0 +1,37 @@
+"""Two-level analysis-artifact cache.
+
+Level 1 — :mod:`repro.cache.context`: an in-memory
+:class:`~repro.cache.context.AnalysisContext` attached to each parsed
+:class:`~repro.elf.parser.ELFFile`, memoizing the artifacts every
+detector otherwise recomputes (sweep results, exception metadata, PLT
+map, CET features). Always on; shared wherever an ``ELFFile`` instance
+is shared.
+
+Level 2 — :mod:`repro.cache.disk`: an opt-in content-addressed on-disk
+cache (``$REPRO_CACHE_DIR`` or the CLI's ``--cache-dir``) keyed by the
+SHA-256 of the binary image and versioned by a schema tag, so repeated
+benchmark and table regenerations skip re-analysis entirely.
+
+Invariant: cached and uncached runs are bit-identical — enforced by the
+no-new-diagnostics store guard and strict document codecs, and tested
+over the fuzz mutation corpus.
+"""
+
+from repro.cache.context import AnalysisContext, get_context
+from repro.cache.disk import (
+    DiskCache,
+    SCHEMA_TAG,
+    default_cache,
+    reset_default_cache,
+    set_default_cache,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "DiskCache",
+    "SCHEMA_TAG",
+    "default_cache",
+    "get_context",
+    "reset_default_cache",
+    "set_default_cache",
+]

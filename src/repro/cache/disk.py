@@ -1,0 +1,217 @@
+"""Content-addressed on-disk cache for analysis artifacts.
+
+Layout::
+
+    <root>/                      default .repro-cache/, or $REPRO_CACHE_DIR
+      <schema-tag>/              one directory per document schema version
+        <hash>.<artifact>.json   sha256 of the *binary image*, not the path
+
+Keys are the SHA-256 of the analyzed file's bytes, so a rebuilt or
+copied binary with identical content hits, and any edit misses — no
+mtime heuristics. Invalidation is structural: a code change that alters
+any cached document's shape bumps :data:`SCHEMA_TAG`, which moves every
+new entry into a fresh subdirectory; stale schema directories are
+reclaimed by ``repro cache clear`` (or by eviction, which walks the
+whole root).
+
+Writes are atomic (tmp file + ``os.replace``) so a crashed run never
+leaves a half-written entry, and loads treat any unreadable or
+malformed entry as a miss. The cache is an accelerator, never a point
+of failure: every filesystem error degrades to "no cache".
+
+The process-wide default instance is **opt-in**: it exists only when
+``REPRO_CACHE_DIR`` is set (or a CLI flag / test installed one via
+:func:`set_default_cache`). The in-memory layer
+(:mod:`repro.cache.context`) is always on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump whenever any document produced by repro.cache.serialize (or the
+#: meaning of an artifact name) changes shape.
+SCHEMA_TAG = "v1"
+
+#: Environment variable that opts a process into the disk cache.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default eviction bound (entries per cache root, across schemas).
+DEFAULT_MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Session counters plus an on-disk census."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class DiskCache:
+    """One content-addressed cache root.
+
+    ``max_entries`` bounds the number of entry files across all schema
+    directories; the oldest (by mtime) are evicted after each store
+    that overflows the bound.
+    """
+
+    root: Path
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- paths --------------------------------------------------------------
+
+    def _schema_dir(self) -> Path:
+        return self.root / SCHEMA_TAG
+
+    def _entry_path(self, content_hash: str, artifact: str) -> Path:
+        return self._schema_dir() / f"{content_hash}.{artifact}.json"
+
+    # -- operations ---------------------------------------------------------
+
+    def get(self, content_hash: str, artifact: str) -> dict | None:
+        """Load one document, or ``None`` on any kind of miss."""
+        path = self._entry_path(content_hash, artifact)
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(doc, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return doc
+
+    def put(self, content_hash: str, artifact: str, doc: dict) -> bool:
+        """Store one document atomically; best-effort, never raises."""
+        directory = self._schema_dir()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    json.dump(doc, f, sort_keys=True, separators=(",", ":"))
+                os.replace(tmp, self._entry_path(content_hash, artifact))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.stats.stores += 1
+        self._evict()
+        return True
+
+    def _entries(self) -> list[Path]:
+        """Every entry file under the root, across schema directories."""
+        if not self.root.is_dir():
+            return []
+        return [
+            p
+            for schema_dir in self.root.iterdir()
+            if schema_dir.is_dir()
+            for p in schema_dir.glob("*.json")
+            if not p.name.startswith(".tmp-")
+        ]
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        def _mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+        for path in sorted(entries, key=_mtime)[:excess]:
+            try:
+                path.unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every entry (all schema versions); return the count."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def census(self) -> dict:
+        """On-disk state merged with session counters."""
+        entries = self._entries()
+        size = 0
+        for p in entries:
+            try:
+                size += p.stat().st_size
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "schema": SCHEMA_TAG,
+            "entries": len(entries),
+            "total_bytes": size,
+            **self.stats.to_dict(),
+        }
+
+
+# -- process-wide default ---------------------------------------------------
+
+_UNSET = object()
+_default_cache: DiskCache | None | object = _UNSET
+
+
+def default_cache() -> DiskCache | None:
+    """The process's disk cache, or ``None`` when not opted in.
+
+    Resolved lazily from :data:`ENV_CACHE_DIR` on first use, so forked
+    evaluation workers inherit the parent's opt-in through the
+    environment without any explicit plumbing.
+    """
+    global _default_cache
+    if _default_cache is _UNSET:
+        path = os.environ.get(ENV_CACHE_DIR)
+        _default_cache = DiskCache(Path(path)) if path else None
+    return _default_cache  # type: ignore[return-value]
+
+
+def set_default_cache(cache: DiskCache | None) -> None:
+    """Install (or disable, with ``None``) the process disk cache."""
+    global _default_cache
+    _default_cache = cache
+
+
+def reset_default_cache() -> None:
+    """Forget the resolved default; next use re-reads the environment."""
+    global _default_cache
+    _default_cache = _UNSET

@@ -1,0 +1,167 @@
+"""JSON-document codecs for cached analysis artifacts.
+
+Every artifact the disk cache stores round-trips through a plain-JSON
+document here. The codecs are deliberately explicit (no pickle): a
+cache entry written by one version of the code must either load into an
+identical object or fail loudly, never deserialize into something
+subtly different. Structural changes to any of these documents require
+bumping :data:`repro.cache.disk.SCHEMA_TAG`.
+
+All integer sets are stored as sorted lists so documents are
+deterministic for a given artifact — byte-identical cache files for
+byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.elf.gnuproperty import CetFeatures
+from repro.elf.plt import PLTMap
+from repro.x86.insn import InsnClass
+
+if TYPE_CHECKING:
+    # Imported lazily in sweep_from_doc: repro.core transitively
+    # imports this package, so a module-level import would make the
+    # cache unimportable except through repro.core.
+    from repro.core.disassemble import SweepResult
+
+
+class SerializationError(ValueError):
+    """A cache document does not match the expected shape."""
+
+
+def _int_set(value) -> set[int]:
+    """A JSON list of ints as a set; anything else is malformed.
+
+    Explicit because ``set()`` accepts any iterable — ``set("oops")``
+    would quietly turn a corrupt document into a set of characters.
+    """
+    if not isinstance(value, list) \
+            or not all(isinstance(v, int) for v in value):
+        raise SerializationError(f"expected a list of ints, got {value!r}")
+    return set(value)
+
+
+# -- SweepResult ------------------------------------------------------------
+
+
+def sweep_to_doc(sweep: SweepResult) -> dict:
+    return {
+        "endbr_addrs": sorted(sweep.endbr_addrs),
+        "call_targets": sorted(sweep.call_targets),
+        "jump_targets": sorted(sweep.jump_targets),
+        "call_sites": [[s.addr, s.target] for s in sweep.call_sites],
+        "jump_sites": [[s.addr, s.target] for s in sweep.jump_sites],
+        "external_call_sites": [
+            [s.addr, s.target] for s in sweep.external_call_sites
+        ],
+        "endbr_predecessor": {
+            str(addr): [int(klass), target]
+            for addr, (klass, target)
+            in sorted(sweep.endbr_predecessor.items())
+        },
+        "text_start": sweep.text_start,
+        "text_end": sweep.text_end,
+        "insn_count": sweep.insn_count,
+    }
+
+
+def sweep_from_doc(doc: dict) -> SweepResult:
+    from repro.core.disassemble import BranchSite, SweepResult
+
+    try:
+        return SweepResult(
+            endbr_addrs=_int_set(doc["endbr_addrs"]),
+            call_targets=_int_set(doc["call_targets"]),
+            jump_targets=_int_set(doc["jump_targets"]),
+            call_sites=[
+                BranchSite(a, t, True) for a, t in doc["call_sites"]
+            ],
+            jump_sites=[
+                BranchSite(a, t, False) for a, t in doc["jump_sites"]
+            ],
+            external_call_sites=[
+                BranchSite(a, t, True)
+                for a, t in doc["external_call_sites"]
+            ],
+            endbr_predecessor={
+                int(addr): (InsnClass(klass), target)
+                for addr, (klass, target)
+                in doc["endbr_predecessor"].items()
+            },
+            text_start=doc["text_start"],
+            text_end=doc["text_end"],
+            insn_count=doc["insn_count"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad sweep document: {exc}") from exc
+
+
+# -- FDE starts / ranges ----------------------------------------------------
+
+
+def fde_to_doc(starts: set[int], ranges: list[tuple[int, int]]) -> dict:
+    return {"starts": sorted(starts), "ranges": sorted(ranges)}
+
+
+def fde_from_doc(doc: dict) -> tuple[set[int], list[tuple[int, int]]]:
+    try:
+        return (_int_set(doc["starts"]),
+                [(lo, hi) for lo, hi in doc["ranges"]])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad fde document: {exc}") from exc
+
+
+# -- address sets (landing pads, detector results) --------------------------
+
+
+def addrs_to_doc(addrs: set[int]) -> dict:
+    return {"addrs": sorted(addrs)}
+
+
+def addrs_from_doc(doc: dict) -> set[int]:
+    try:
+        return _int_set(doc["addrs"])
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad address-set document: {exc}") from exc
+
+
+# -- PLT map ----------------------------------------------------------------
+
+
+def plt_to_doc(plt: PLTMap) -> dict:
+    return {
+        "stub_to_name": {
+            str(addr): name
+            for addr, name in sorted(plt.stub_to_name.items())
+        },
+        "plt_ranges": sorted(plt.plt_ranges),
+    }
+
+
+def plt_from_doc(doc: dict) -> PLTMap:
+    try:
+        return PLTMap(
+            stub_to_name={
+                int(addr): name
+                for addr, name in doc["stub_to_name"].items()
+            },
+            plt_ranges=[(lo, hi) for lo, hi in doc["plt_ranges"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad plt document: {exc}") from exc
+
+
+# -- CET features -----------------------------------------------------------
+
+
+def cet_to_doc(features: CetFeatures) -> dict:
+    return {"ibt": features.ibt, "shstk": features.shstk}
+
+
+def cet_from_doc(doc: dict) -> CetFeatures:
+    try:
+        return CetFeatures(ibt=bool(doc["ibt"]), shstk=bool(doc["shstk"]))
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad cet document: {exc}") from exc

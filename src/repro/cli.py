@@ -10,6 +10,8 @@
     funseeker table1|table2|table3|figure3|errors|all [--scale S]
     funseeker evaluate [--tools ...] [--format json|csv] [--output F]
                        [--timeout S] [--retries N] [--fail-fast]
+                       [--cache-dir D]
+    funseeker cache stats|clear [--cache-dir D]  # on-disk artifact cache
     funseeker fuzz [--budget N] [--seed S]  # fault-injection harness
     funseeker dataset <dir> [--scale S]   # persist the corpus
     funseeker corpus-info [--scale S]     # §III-A dataset account
@@ -69,6 +71,10 @@ def main(argv: list[str] | None = None) -> int:
         p_tab.add_argument("--scale", default="tiny",
                            choices=["tiny", "small", "full"])
         p_tab.add_argument("--seed", type=int, default=2022)
+        p_tab.add_argument("--cache-dir", default=None,
+                           help="content-addressed analysis cache "
+                                "directory (default: off, or "
+                                "$REPRO_CACHE_DIR)")
 
     sub.add_parser("bti-demo", help="ARM BTI extension demonstration (§VI)")
 
@@ -106,6 +112,16 @@ def main(argv: list[str] | None = None) -> int:
                            "(default: keep going and report failures)")
     p_ev.add_argument("--output", default="-",
                       help="output path, '-' for stdout")
+    p_ev.add_argument("--cache-dir", default=None,
+                      help="content-addressed analysis cache directory "
+                           "(default: off, or $REPRO_CACHE_DIR)")
+
+    p_ca = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk analysis-artifact cache")
+    p_ca.add_argument("action", choices=["stats", "clear"])
+    p_ca.add_argument("--cache-dir", default=".repro-cache",
+                      help="cache directory (default .repro-cache)")
 
     p_fz = sub.add_parser(
         "fuzz",
@@ -148,9 +164,36 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     return _cmd_table(args)
+
+
+def _configure_cache(cache_dir: str | None) -> None:
+    """Opt the process into the disk cache when a directory is given."""
+    if cache_dir:
+        from pathlib import Path
+
+        from repro.cache import DiskCache, set_default_cache
+
+        set_default_cache(DiskCache(Path(cache_dir)))
+
+
+def _cmd_cache(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.cache import DiskCache
+
+    cache = DiskCache(Path(args.cache_dir))
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {args.cache_dir}")
+        return 0
+    print(json.dumps(cache.census(), indent=1))
+    return 0
 
 
 def _cmd_evaluate(args) -> int:
@@ -161,6 +204,7 @@ def _cmd_evaluate(args) -> int:
     from repro.synth.corpus import build_corpus
 
     tools = [t.strip() for t in args.tools.split(",") if t.strip()]
+    _configure_cache(args.cache_dir)
     print(f"building '{args.scale}' corpus ...", file=sys.stderr)
     corpus = build_corpus(args.scale, seed=args.seed)
     print(f"evaluating {tools} over {len(corpus)} binaries ...",
@@ -365,6 +409,7 @@ def _cmd_table(args) -> int:
     from repro.eval import tables
     from repro.synth.corpus import build_corpus
 
+    _configure_cache(args.cache_dir)
     print(f"building '{args.scale}' corpus ...", file=sys.stderr)
     corpus = build_corpus(args.scale, seed=args.seed)
     print(f"{len(corpus)} binaries", file=sys.stderr)

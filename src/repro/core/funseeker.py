@@ -26,14 +26,11 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro.core.disassemble import disassemble
+from repro.cache.context import get_context
 from repro.core.filter_endbr import filter_endbr
 from repro.core.tailcall import select_tail_calls
 from repro.elf import constants as C
-from repro.elf.ehframe import EhFrameError, parse_eh_frame
-from repro.elf.lsda import landing_pads_from_exception_info
 from repro.elf.parser import ELFFile
-from repro.elf.plt import build_plt_map
 from repro.errors import Diagnostics, Severity
 
 
@@ -127,19 +124,10 @@ class FunSeeker:
         empty) set — plain C binaries simply have no
         ``.gcc_except_table``, and a corrupt FDE or LSDA drops only the
         landing pads it described, recorded on the file's diagnostics.
+        Memoized on the file's analysis context, so repeat runs and
+        other consumers of the same ``ELFFile`` share one parse.
         """
-        except_sec = self.elf.section(C.SECTION_GCC_EXCEPT_TABLE)
-        eh_sec = self.elf.section(C.SECTION_EH_FRAME)
-        if except_sec is None or eh_sec is None:
-            return set()
-        eh = parse_eh_frame(
-            eh_sec.data, eh_sec.sh_addr, self.elf.is64,
-            diagnostics=self.elf.diagnostics,
-        )
-        return landing_pads_from_exception_info(
-            eh, except_sec.data, except_sec.sh_addr, self.elf.is64,
-            diagnostics=self.elf.diagnostics,
-        )
+        return get_context(self.elf).landing_pads()
 
     # -- main algorithm ----------------------------------------------------
 
@@ -150,15 +138,13 @@ class FunSeeker:
         if not self._supported:
             return FunSeekerResult(functions=set(),
                                    diagnostics=self.elf.diagnostics)
-        txt = self.elf.section(C.SECTION_TEXT)
-        if txt is None or not txt.data:
+        ctx = get_context(self.elf)
+        sweep = ctx.sweep()
+        if sweep is None:
             return FunSeekerResult(functions=set(),
                                    diagnostics=self.elf.diagnostics)
-        bits = 64 if self.elf.is64 else 32
         landing_pads = self._parse_exception_info()
-        plt_map = build_plt_map(self.elf, diagnostics=self.elf.diagnostics)
-
-        sweep = disassemble(txt.data, txt.sh_addr, bits)
+        plt_map = ctx.plt_map()
 
         if self.config is Config.RAW:
             e_set = sweep.endbr_addrs
@@ -181,13 +167,10 @@ class FunSeeker:
             )
             functions.update(tail_targets)
 
-        from repro.elf.gnuproperty import parse_cet_features
-
         elapsed = time.perf_counter() - started
         return FunSeekerResult(
             functions=functions,
-            cet_enabled=parse_cet_features(
-                self.elf, diagnostics=self.elf.diagnostics).any,
+            cet_enabled=ctx.cet_features().any,
             diagnostics=self.elf.diagnostics,
             endbr_all=set(sweep.endbr_addrs),
             endbr_filtered=e_set if self.config is not Config.RAW else set(),

@@ -8,12 +8,11 @@ failure the paper defers to future work.
 
 from __future__ import annotations
 
+from repro.cache.context import get_context
 from repro.core.disassemble import BranchSite, SweepResult
 from repro.core.filter_endbr import filter_endbr
 from repro.core.funseeker import FunSeeker, FunSeekerResult
 from repro.core.tailcall import select_tail_calls
-from repro.elf import constants as C
-from repro.elf.plt import build_plt_map
 from repro.x86.insn import Insn, InsnClass
 from repro.x86.superset import robust_sweep
 
@@ -60,15 +59,13 @@ class RobustFunSeeker(FunSeeker):
         if not self._supported:
             return FunSeekerResult(functions=set(),
                                    diagnostics=self.elf.diagnostics)
-        txt = self.elf.section(C.SECTION_TEXT)
-        if txt is None or not txt.data:
+        ctx = get_context(self.elf)
+        sweep = ctx.robust_sweep_result()
+        if sweep is None:
             return FunSeekerResult(functions=set(),
                                    diagnostics=self.elf.diagnostics)
-        bits = 64 if self.elf.is64 else 32
         landing_pads = self._parse_exception_info()
-        plt_map = build_plt_map(self.elf, diagnostics=self.elf.diagnostics)
-
-        sweep = disassemble_robust(txt.data, txt.sh_addr, bits)
+        plt_map = ctx.plt_map()
         filtered = filter_endbr(sweep, plt_map, landing_pads)
         functions = filtered | sweep.call_targets
         tails = select_tail_calls(

@@ -7,7 +7,11 @@ identical (up to timing jitter) to the serial one.
 
 Detectors are addressed by registry name (``repro.baselines``), not by
 instance — worker processes construct their own, so nothing stateful
-crosses the fork boundary.
+crosses the fork boundary. Each worker parses its job's binary once
+and runs every tool against that one ``ELFFile``, so the per-binary
+analysis context (:mod:`repro.cache`) is built once per job and shared
+across the job's tools; the opt-in disk cache crosses the fork
+boundary through the inherited ``REPRO_CACHE_DIR`` environment.
 
 Fault isolation mirrors the serial runner: each (binary, tool) cell is
 guarded in the worker (exceptions and ``timeout`` become

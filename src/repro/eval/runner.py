@@ -23,6 +23,10 @@ from repro.eval.isolation import (
 from repro.eval.metrics import Confusion, score
 from repro.synth.corpus import CorpusEntry
 
+#: Sentinel distinguishing "attribute absent" from "attribute is None"
+#: in :meth:`EvalReport.filtered`.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class RunRecord:
@@ -51,12 +55,15 @@ class EvalReport:
 
         Failures share the provenance fields, so they are filtered by
         the same criteria (a criterion naming a field failures lack,
-        e.g. ``confusion``, simply excludes all failures).
+        e.g. ``confusion``, simply excludes all failures). A missing
+        attribute never matches — not even a criterion whose value is
+        ``None`` — hence the sentinel rather than a ``None`` default.
         """
         out = [r for r in self.records
-               if all(getattr(r, k) == v for k, v in criteria.items())]
+               if all(getattr(r, k, _MISSING) == v
+                      for k, v in criteria.items())]
         fails = [f for f in self.failures
-                 if all(getattr(f, k, None) == v
+                 if all(getattr(f, k, _MISSING) == v
                         for k, v in criteria.items())]
         return EvalReport(records=out, failures=fails)
 
@@ -125,6 +132,11 @@ def run_evaluation(
     keep_going: bool = True,
 ) -> EvalReport:
     """Run every detector on every (stripped) corpus binary.
+
+    Each entry is parsed once and the same ``ELFFile`` is handed to
+    every detector, so its analysis context (:mod:`repro.cache`) is
+    shared: the sweep, exception metadata, and PLT map are computed by
+    whichever tool needs them first and reused by the rest.
 
     Each (binary, tool) cell runs in isolation: an exception or a
     blown ``timeout`` (seconds of wall clock, enforced via ``SIGALRM``

@@ -23,53 +23,6 @@ class DecodeError(Exception):
     """Raised when bytes do not form a valid instruction."""
 
 
-def _build_prefix_kinds() -> list[int]:
-    """Byte -> legacy-prefix kind (0 = not a prefix).
-
-    1=opsize 2=addrsize 3=REP/F3 4=REPNE/F2 5=DS/NOTRACK 6=other.
-    """
-    t = [0] * 256
-    t[0x66] = 1
-    t[0x67] = 2
-    t[0xF3] = 3
-    t[0xF2] = 4
-    t[0x3E] = 5
-    for b in (0x26, 0x2E, 0x36, 0x64, 0x65, 0xF0):
-        t[b] = 6
-    return t
-
-
-_PREFIX_KIND = _build_prefix_kinds()
-
-
-def _build_interesting() -> tuple[list[bool], list[bool]]:
-    """Opcodes (one-byte map, 0F map) that _classify can act on.
-
-    Everything else is InsnClass.OTHER; the hot path skips the
-    classification call entirely for those.
-    """
-    one = [False] * 256
-    for op in (0xE8, 0xE9, 0xEB, 0xC3, 0xC2, 0xCB, 0xCA, 0xFF, 0x90,
-               0xCC, 0xF4, 0x8D, 0xC7, 0x68):
-        one[op] = True
-    for op in range(0x70, 0x80):
-        one[op] = True
-    for op in range(0xE0, 0xE4):
-        one[op] = True
-    for op in range(0xB8, 0xC0):
-        one[op] = True
-    two = [False] * 256
-    two[0x1E] = True   # endbr (with F3)
-    two[0x1F] = True   # nop
-    two[0x0B] = True   # ud2
-    two[0xB9] = True   # ud1
-    two[0xFF] = True   # ud0
-    for op in range(0x80, 0x90):
-        two[op] = True
-    return one, two
-
-
-_INTERESTING1, _INTERESTING2 = _build_interesting()
 _OTHER = int(InsnClass.OTHER)
 
 
@@ -117,34 +70,40 @@ def decode_raw(
         limit = n
 
     # ---- prefixes ---------------------------------------------------------
+    # Single-pass scanner: one mode-specific table lookup classifies
+    # each byte as prefix, REX, or opcode start — the common no-prefix
+    # case costs exactly one lookup.
     opsize16 = False
     addrsize = False
     rep_f3 = False
     seg_3e = False
     rex = 0
-    kinds = _PREFIX_KIND
+    kinds = OP.PREFIX_KIND_64 if is64 else OP.PREFIX_KIND
     b = data[pos]
-    # Fast path: the overwhelmingly common case is no prefix at all.
-    if kinds[b] or (is64 and 0x40 <= b <= 0x4F):
-        while pos < limit:
-            b = data[pos]
-            kind = kinds[b]
-            if kind == 0:
-                if is64 and 0x40 <= b <= 0x4F:
-                    rex = b
-                    pos += 1  # REX must immediately precede the opcode
+    kind = kinds[b]
+    if kind:
+        while True:
+            if kind == OP.PK_REX:
+                rex = b
+                pos += 1  # REX must immediately precede the opcode
                 break
-            if kind == 1:
+            if kind == OP.PK_OPSIZE:
                 opsize16 = True
-            elif kind == 2:
+            elif kind == OP.PK_ADDRSIZE:
                 addrsize = True
-            elif kind == 3:
+            elif kind == OP.PK_REP:
                 rep_f3 = True
-            elif kind == 4:
+            elif kind == OP.PK_REPNE:
                 rep_f3 = False
-            elif kind == 5:
+            elif kind == OP.PK_NOTRACK:
                 seg_3e = True
             pos += 1
+            if pos >= limit:
+                break
+            b = data[pos]
+            kind = kinds[b]
+            if not kind:
+                break
     if pos >= limit:
         raise DecodeError("ran out of bytes in prefixes")
 
@@ -212,7 +171,7 @@ def decode_raw(
             pos = _skip_mem_operand(data, pos, limit, modrm, is64, addrsize)
 
     # ---- immediate -----------------------------------------------------------
-    imm_kind = sp >> OP.IMM_SHIFT
+    imm_kind = (sp >> OP.IMM_SHIFT) & 0xF
     opsize = 64 if rex_w else (16 if opsize16 else 32)
     imm_pos = pos
     if imm_kind:
@@ -226,11 +185,10 @@ def decode_raw(
     if length > MAX_INSN_LEN:
         raise DecodeError("instruction longer than 15 bytes")
 
-    # Fast path: most instructions carry no classification of interest.
-    if opcode_map == 1:
-        if not _INTERESTING1[opcode]:
-            return length, _OTHER, None, False
-    elif opcode_map != 2 or not _INTERESTING2[opcode]:
+    # Fast path: most instructions carry no classification of interest;
+    # the spec already fetched carries the INTERESTING bit, so no second
+    # table lookup is needed.
+    if not sp & OP.INTERESTING:
         return length, _OTHER, None, False
 
     return _classify(
@@ -242,14 +200,6 @@ def decode_raw(
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
-
-
-def _effective_opsize(is64: bool, rex_w: bool, opsize16: bool) -> int:
-    if is64 and rex_w:
-        return 64
-    if opsize16:
-        return 16
-    return 32
 
 
 def _imm_size(
@@ -267,9 +217,9 @@ def _imm_size(
     if imm_kind == OP.IMM_IV:
         return {16: 2, 32: 4, 64: 8}[opsize]
     if imm_kind == OP.IMM_RELZ:
-        # Near-branch displacements are always 32-bit in 64-bit mode.
-        if is64:
-            return 4
+        # A 0x66 operand-size prefix shrinks the displacement to rel16
+        # in 32- AND 64-bit mode (Intel truncates [ER]IP to 16 bits);
+        # REX.W keeps the usual 32-bit displacement.
         return 2 if opsize == 16 else 4
     if imm_kind == OP.IMM_AP:
         return 4 if opsize == 16 else 6
@@ -433,17 +383,23 @@ def _classify(
     target: int | None = None
     notrack = False
     end = addr + length
+    # With a 16-bit operand size the instruction pointer truncates to
+    # 16 bits, so relative-branch targets wrap within the low word.
+    branch_mask = 0xFFFF if opsize == 16 else _mask(is64)
 
     if opcode_map == 1:
         if opcode == 0xE8:
             klass = InsnClass.CALL_DIRECT
-            target = (end + _read_imm(data, imm_pos, imm_size, True)) & _mask(is64)
+            target = (end + _read_imm(data, imm_pos, imm_size, True)) \
+                & branch_mask
         elif opcode in (0xE9, 0xEB):
             klass = InsnClass.JMP_DIRECT
-            target = (end + _read_imm(data, imm_pos, imm_size, True)) & _mask(is64)
+            target = (end + _read_imm(data, imm_pos, imm_size, True)) \
+                & branch_mask
         elif 0x70 <= opcode <= 0x7F or 0xE0 <= opcode <= 0xE3:
             klass = InsnClass.JCC
-            target = (end + _read_imm(data, imm_pos, imm_size, True)) & _mask(is64)
+            target = (end + _read_imm(data, imm_pos, imm_size, True)) \
+                & branch_mask
         elif opcode in (0xC3, 0xC2, 0xCB, 0xCA):
             klass = InsnClass.RET
         elif opcode == 0xFF and modrm >= 0:
@@ -477,7 +433,8 @@ def _classify(
             klass = InsnClass.ENDBR64 if modrm == 0xFA else InsnClass.ENDBR32
         elif 0x80 <= opcode <= 0x8F:
             klass = InsnClass.JCC
-            target = (end + _read_imm(data, imm_pos, imm_size, True)) & _mask(is64)
+            target = (end + _read_imm(data, imm_pos, imm_size, True)) \
+                & branch_mask
         elif opcode == 0x1F:
             klass = InsnClass.NOP
         elif opcode == 0x0B or opcode == 0xB9 or opcode == 0xFF:

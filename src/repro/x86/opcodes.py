@@ -8,11 +8,19 @@ compiler-generated binaries requires (paper §IV-B).
 
 Spec layout::
 
-    bit 0      MODRM    — a ModRM byte (and possibly SIB/disp) follows
-    bit 1      INV64    — undefined in 64-bit mode
-    bit 2      INV32    — undefined in 32-bit mode
-    bit 3      INVALID  — undefined in both modes
+    bit 0      MODRM       — a ModRM byte (and possibly SIB/disp) follows
+    bit 1      INV64       — undefined in 64-bit mode
+    bit 2      INV32       — undefined in 32-bit mode
+    bit 3      INVALID     — undefined in both modes
     bits 4-7   immediate kind (IMM_*)
+    bit 8      INTERESTING — the decoder's classifier can act on this
+               opcode; everything else short-circuits to OTHER
+
+Besides the opcode maps, this module precomputes the 256-entry prefix
+dispatch tables (:data:`PREFIX_KIND` / :data:`PREFIX_KIND_64`) so the
+decoder's prefix scanner is a single table lookup per byte — REX
+detection in 64-bit mode included — instead of a lookup plus range
+checks.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ MODRM = 1
 INV64 = 2
 INV32 = 4
 INVALID = 8
+INTERESTING = 1 << 8
 
 IMM_NONE = 0
 IMM_IB = 1       # 1-byte immediate
@@ -44,7 +53,7 @@ def spec(flags: int = 0, imm: int = IMM_NONE) -> int:
 
 def spec_imm(value: int) -> int:
     """Extract the immediate kind from a spec."""
-    return value >> IMM_SHIFT
+    return (value >> IMM_SHIFT) & 0xF
 
 
 _PREFIX_BYTES = frozenset(
@@ -55,6 +64,39 @@ _PREFIX_BYTES = frozenset(
 def is_legacy_prefix(byte: int) -> bool:
     """Whether a byte is a legacy (non-REX) instruction prefix."""
     return byte in _PREFIX_BYTES
+
+
+# Prefix kinds dispatched by the decoder's single-pass scanner.
+PK_NONE = 0
+PK_OPSIZE = 1    # 0x66
+PK_ADDRSIZE = 2  # 0x67
+PK_REP = 3       # 0xF3
+PK_REPNE = 4     # 0xF2
+PK_NOTRACK = 5   # 0x3E (DS segment; CET NOTRACK on indirect branches)
+PK_OTHER = 6     # remaining segment overrides and LOCK
+PK_REX = 7       # 0x40-0x4F, 64-bit mode only
+
+
+def _build_prefix_kinds(*, with_rex: bool) -> list[int]:
+    """Byte -> prefix kind, one 256-entry table per mode."""
+    t = [PK_NONE] * 256
+    t[0x66] = PK_OPSIZE
+    t[0x67] = PK_ADDRSIZE
+    t[0xF3] = PK_REP
+    t[0xF2] = PK_REPNE
+    t[0x3E] = PK_NOTRACK
+    for b in (0x26, 0x2E, 0x36, 0x64, 0x65, 0xF0):
+        t[b] = PK_OTHER
+    if with_rex:
+        for b in range(0x40, 0x50):
+            t[b] = PK_REX
+    return t
+
+
+#: Prefix dispatch for 32-bit mode (0x40-0x4F are INC/DEC opcodes).
+PREFIX_KIND: list[int] = _build_prefix_kinds(with_rex=False)
+#: Prefix dispatch for 64-bit mode (0x40-0x4F are REX prefixes).
+PREFIX_KIND_64: list[int] = _build_prefix_kinds(with_rex=True)
 
 
 def _build_one_byte() -> list[int]:
@@ -243,8 +285,32 @@ def _build_two_byte() -> list[int]:
     return t
 
 
+def _mark_interesting(table: list[int], opcodes) -> None:
+    for op in opcodes:
+        table[op] |= INTERESTING
+
+
 ONE_BYTE: list[int] = _build_one_byte()
 TWO_BYTE: list[int] = _build_two_byte()
+
+# Opcodes the decoder's _classify can act on (branches, returns,
+# end-branch markers, padding, address materialization). The hot path
+# returns InsnClass.OTHER without a classification call for the rest.
+_mark_interesting(ONE_BYTE, (
+    0xE8, 0xE9, 0xEB, 0xC3, 0xC2, 0xCB, 0xCA, 0xFF, 0x90, 0xCC, 0xF4,
+    0x8D, 0xC7, 0x68,
+    *range(0x70, 0x80),   # Jcc rel8
+    *range(0xE0, 0xE4),   # LOOPcc / JCXZ
+    *range(0xB8, 0xC0),   # MOV r, imm
+))
+_mark_interesting(TWO_BYTE, (
+    0x1E,                 # endbr (with F3)
+    0x1F,                 # nop
+    0x0B,                 # ud2
+    0xB9,                 # ud1
+    0xFF,                 # ud0
+    *range(0x80, 0x90),   # Jcc rel32
+))
 
 #: 0F 38 map: every defined opcode takes a ModRM byte and no immediate.
 THREE_BYTE_38: list[int] = [spec(MODRM)] * 256

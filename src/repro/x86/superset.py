@@ -13,19 +13,124 @@ successors all decode, terminated by an instruction with no fall-through
 viable chains, so a sweep that jumps from the end of one instruction to
 the next viable offset skips embedded data instead of grinding through
 it byte by byte.
+
+The decode-at-every-offset pass is materialized as a
+:class:`DecodeIndex`: one right-to-left pass decodes each offset exactly
+once and the viability DP shares every suffix result, so overlapping
+chains never restart a decode. ``viable_offsets``, ``robust_sweep`` and
+``data_regions`` all draw from the same index (memoized per buffer), so
+a pipeline that needs several of these pays for the decode pass once.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterator
+from dataclasses import dataclass, field
 
-from repro.x86.decoder import DecodeError, decode, decode_raw
+from repro.x86.decoder import DecodeError, decode_raw
 from repro.x86.insn import Insn, InsnClass
 
 _TERMINATORS = frozenset(
     int(k) for k in (InsnClass.JMP_DIRECT, InsnClass.JMP_INDIRECT,
                      InsnClass.RET, InsnClass.HLT, InsnClass.UD)
 )
+
+
+@dataclass
+class DecodeIndex:
+    """Per-offset decode results for one code buffer.
+
+    ``lengths[i] == 0`` marks a decode failure at offset ``i``; targets
+    and NOTRACK flags are stored sparsely. ``viable`` has one extra
+    trailing entry for the end-of-region sentinel.
+    """
+
+    base_addr: int
+    bits: int
+    lengths: list[int]
+    klasses: list[int]
+    targets: dict[int, int] = field(default_factory=dict)
+    notracks: set[int] = field(default_factory=set)
+    viable: list[bool] = field(default_factory=list)
+
+    def insn_at(self, offset: int) -> Insn | None:
+        """Reconstruct the decoded instruction starting at ``offset``."""
+        length = self.lengths[offset]
+        if length == 0:
+            return None
+        return Insn(
+            addr=self.base_addr + offset,
+            length=length,
+            klass=InsnClass(self.klasses[offset]),
+            target=self.targets.get(offset),
+            notrack=offset in self.notracks,
+        )
+
+
+def build_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
+    """Decode every offset once, right to left, with suffix sharing.
+
+    Viability is a pure suffix property: ``viable[i]`` only consults
+    ``viable[i + length]``, already final when ``i`` is visited, so the
+    whole decode-at-every-offset pass is a single linear scan instead of
+    one chain walk per offset.
+    """
+    n = len(data)
+    lengths = [0] * n
+    klasses = [0] * n
+    targets: dict[int, int] = {}
+    notracks: set[int] = set()
+    viable = [False] * (n + 1)
+    viable[n] = True
+    terminators = _TERMINATORS
+    for i in range(n - 1, -1, -1):
+        try:
+            length, klass, target, notrack = decode_raw(
+                data, i, base_addr + i, bits
+            )
+        except DecodeError:
+            continue
+        lengths[i] = length
+        klasses[i] = klass
+        if target is not None:
+            targets[i] = target
+        if notrack:
+            notracks.add(i)
+        if i + length > n:
+            continue
+        if klass in terminators or viable[i + length]:
+            viable[i] = True
+    return DecodeIndex(
+        base_addr=base_addr, bits=bits, lengths=lengths, klasses=klasses,
+        targets=targets, notracks=notracks, viable=viable,
+    )
+
+
+#: Most-recently-built indexes, keyed by buffer content. Bounded: each
+#: entry pins its buffer, and pipelines rarely juggle more than a
+#: couple of sections at a time.
+_INDEX_MEMO: OrderedDict[tuple[bytes, int, int], DecodeIndex] = OrderedDict()
+_INDEX_MEMO_MAX = 4
+
+
+def get_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
+    """Memoized :func:`build_index`."""
+    key = (data, bits, base_addr)
+    index = _INDEX_MEMO.get(key)
+    if index is not None:
+        _INDEX_MEMO.move_to_end(key)
+        return index
+    index = build_index(data, bits, base_addr)
+    _INDEX_MEMO[key] = index
+    while len(_INDEX_MEMO) > _INDEX_MEMO_MAX:
+        _INDEX_MEMO.popitem(last=False)
+    return index
+
+
+def clear_index_memo() -> None:
+    """Drop all memoized indexes (used by tests and cache eviction)."""
+    _INDEX_MEMO.clear()
 
 
 def viable_offsets(data: bytes, bits: int) -> list[bool]:
@@ -36,23 +141,7 @@ def viable_offsets(data: bytes, bits: int) -> list[bool]:
     flow, or falls through to a viable offset (or exactly to the end of
     the region).
     """
-    n = len(data)
-    viable = [False] * (n + 1)
-    viable[n] = True
-    lengths = [0] * n
-    klasses = [0] * n
-    for i in range(n - 1, -1, -1):
-        try:
-            length, klass, _target, _notrack = decode_raw(data, i, i, bits)
-        except DecodeError:
-            continue
-        lengths[i] = length
-        klasses[i] = klass
-        if i + length > n:
-            continue
-        if klass in _TERMINATORS or viable[i + length]:
-            viable[i] = True
-    return viable[:n]
+    return get_index(data, bits).viable[: len(data)]
 
 
 def robust_sweep(data: bytes, base_addr: int, bits: int) -> Iterator[Insn]:
@@ -61,9 +150,11 @@ def robust_sweep(data: bytes, base_addr: int, bits: int) -> Iterator[Insn]:
     Identical to plain linear sweep on clean compiler output. On a
     decode failure — or when the cursor lands on a non-viable offset —
     it skips forward to the next viable offset instead of decoding
-    garbage byte by byte.
+    garbage byte by byte. Instructions come straight from the decode
+    index: nothing on this path is decoded a second time.
     """
-    viable = viable_offsets(data, bits)
+    index = get_index(data, bits, base_addr)
+    viable = index.viable
     n = len(data)
     offset = 0
     while offset < n:
@@ -71,9 +162,8 @@ def robust_sweep(data: bytes, base_addr: int, bits: int) -> Iterator[Insn]:
             offset = _next_viable(data, viable, offset + 1, bits)
             if offset >= n:
                 return
-        try:
-            insn = decode(data, offset, base_addr + offset, bits)
-        except DecodeError:  # pragma: no cover - viable implies decodable
+        insn = index.insn_at(offset)
+        if insn is None:  # pragma: no cover - viable implies decodable
             offset += 1
             continue
         yield insn
@@ -94,7 +184,7 @@ def _next_viable(data: bytes, viable: list[bool], start: int,
     marker is an intentional, checkable landmark.
     """
     first = -1
-    for i in range(start, len(viable)):
+    for i in range(start, len(data)):
         if not viable[i]:
             continue
         if first < 0:
@@ -103,7 +193,7 @@ def _next_viable(data: bytes, viable: list[bool], start: int,
             return i
         if i - first >= _RESYNC_WINDOW:
             break
-    return first if first >= 0 else len(viable)
+    return first if first >= 0 else len(data)
 
 
 def data_regions(data: bytes, bits: int, *, min_size: int = 4) -> list[tuple[int, int]]:

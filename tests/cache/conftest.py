@@ -1,0 +1,32 @@
+"""Cache-test fixtures: disk-cache isolation.
+
+Every test in this package runs with the process-default disk cache
+reset afterwards, so a test that installs one can never leak it into
+the rest of the suite (which expects the always-on in-memory layer
+only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import DiskCache, reset_default_cache, set_default_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_cache():
+    yield
+    reset_default_cache()
+
+
+@pytest.fixture
+def disk_cache(tmp_path) -> DiskCache:
+    """A fresh disk cache rooted in a temp directory (not installed)."""
+    return DiskCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def installed_cache(disk_cache) -> DiskCache:
+    """A fresh disk cache installed as the process default."""
+    set_default_cache(disk_cache)
+    return disk_cache

@@ -1,0 +1,126 @@
+"""Cache-correctness property: cached and uncached runs are identical.
+
+For every detector and every input image — clean samples, the
+checked-in fuzz regression corpus, and a fresh seeded mutator batch —
+three evaluations must agree *exactly*:
+
+- **disabled**: no disk cache (the always-on in-memory layer only);
+- **cold**: empty disk cache, populated as a side effect;
+- **warm**: the same disk cache, now serving hits.
+
+"Agree" covers the whole observable outcome: the entry set, a raised
+exception's type, and the diagnostics recorded on the file — the last
+being exactly what the no-new-diagnostics store guard exists to
+protect.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import ALL_DETECTORS
+from repro.cache import DiskCache, set_default_cache
+from repro.elf.parser import ELFFile
+from repro.fuzz.mutators import MUTATOR_FAMILIES, mutate
+
+REGRESSION_DIR = (Path(__file__).resolve().parent.parent
+                  / "elf" / "data" / "fuzz_regressions")
+
+#: Seeded mutants per family layered on the clean sample binary.
+MUTANTS_PER_FAMILY = 3
+
+
+def _corpus(sample_binary) -> list[tuple[str, bytes]]:
+    images = [("clean-sample", sample_binary.data)]
+    for path in sorted(REGRESSION_DIR.glob("*.bin")):
+        images.append((f"regression:{path.name}", path.read_bytes()))
+    rng = random.Random(2022)
+    for family in MUTATOR_FAMILIES:
+        for i in range(MUTANTS_PER_FAMILY):
+            mutant = mutate(family, sample_binary.data, rng)
+            images.append((f"mutant:{family}-{i}", mutant.data))
+    return images
+
+
+def _evaluate_all(data: bytes) -> dict:
+    """One full multi-detector evaluation of one image.
+
+    Mirrors the production runners: parse once (degraded — the corpus
+    contains corrupt images), hand the same ``ELFFile`` to every tool.
+    Each tool's outcome is its sorted entry list or the type of the
+    exception it raised.
+    """
+    elf = ELFFile.degraded(data)
+    outcome: dict = {"parse_diagnostics": elf.diagnostics.to_dicts()}
+    for name, cls in sorted(ALL_DETECTORS.items()):
+        try:
+            outcome[name] = sorted(cls().detect(elf).functions)
+        except Exception as exc:  # noqa: BLE001 - outcome equality
+            outcome[name] = f"raised:{type(exc).__name__}"
+    outcome["final_diagnostics"] = elf.diagnostics.to_dicts()
+    return outcome
+
+
+@pytest.fixture(scope="module")
+def corpus(sample_binary):
+    return _corpus(sample_binary)
+
+
+def test_every_detector_identical_with_and_without_cache(
+    corpus, tmp_path_factory
+):
+    cache = DiskCache(tmp_path_factory.mktemp("cc") / "cache")
+    mismatches = []
+    for label, data in corpus:
+        set_default_cache(None)
+        disabled = _evaluate_all(data)
+        set_default_cache(cache)
+        cold = _evaluate_all(data)
+        warm = _evaluate_all(data)
+        for phase, got in (("cold", cold), ("warm", warm)):
+            if got != disabled:
+                keys = [k for k in disabled if got.get(k) != disabled[k]]
+                mismatches.append(f"{label}/{phase}: diverges on {keys}")
+    set_default_cache(None)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_byteweight_identical_and_never_disk_cached(
+    sample_binary, tmp_path
+):
+    """ByteWeight opts out of result caching (its output depends on the
+    trained tree, which the content hash cannot see) — but enabling the
+    cache must still leave its results untouched."""
+    from repro.baselines import ByteWeightLikeDetector, train_prefix_tree
+    from repro.cache import SCHEMA_TAG, get_context
+
+    elf = ELFFile(sample_binary.data)
+    txt = elf.section(".text")
+    tree = train_prefix_tree(
+        [(txt.data, txt.sh_addr, sample_binary.ground_truth.function_starts)]
+    )
+    detector = ByteWeightLikeDetector(tree)
+    set_default_cache(None)
+    uncached = detector.detect(elf).functions
+    cache = DiskCache(tmp_path / "cache")
+    set_default_cache(cache)
+    cached = detector.detect(ELFFile(sample_binary.data)).functions
+    assert cached == uncached
+    entry = (cache.root / SCHEMA_TAG /
+             f"{get_context(elf).content_hash}.tool.byteweight.json")
+    assert not entry.exists()
+
+
+def test_warm_runs_actually_hit_the_disk(corpus, tmp_path):
+    cache = DiskCache(tmp_path / "cache")
+    set_default_cache(cache)
+    _, data = corpus[0]  # the clean sample: fully cacheable
+    _evaluate_all(data)
+    assert cache.stats.stores > 0
+    _evaluate_all(data)
+    # The warm run short-circuits at the whole-detector layer, so it
+    # hits one entry per tool (never descending to the artifacts).
+    assert cache.stats.hits >= len(ALL_DETECTORS)

@@ -1,0 +1,148 @@
+"""Tests for the content-addressed on-disk cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cache import DiskCache, SCHEMA_TAG, default_cache
+from repro.cache.disk import (
+    ENV_CACHE_DIR,
+    reset_default_cache,
+    set_default_cache,
+)
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+class TestRoundTrip:
+    def test_put_get(self, disk_cache):
+        doc = {"addrs": [1, 2, 3]}
+        assert disk_cache.put(HASH_A, "tool.x", doc)
+        assert disk_cache.get(HASH_A, "tool.x") == doc
+
+    def test_absent_is_miss(self, disk_cache):
+        assert disk_cache.get(HASH_A, "sweep") is None
+        assert disk_cache.stats.misses == 1
+
+    def test_distinct_artifacts_distinct_entries(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        disk_cache.put(HASH_A, "fde", {"v": 2})
+        assert disk_cache.get(HASH_A, "sweep") == {"v": 1}
+        assert disk_cache.get(HASH_A, "fde") == {"v": 2}
+
+    def test_distinct_hashes_distinct_entries(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        assert disk_cache.get(HASH_B, "sweep") is None
+
+
+class TestSchemaVersioning:
+    def test_entries_live_under_schema_dir(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        entry = disk_cache.root / SCHEMA_TAG / f"{HASH_A}.sweep.json"
+        assert entry.is_file()
+
+    def test_other_schema_dir_is_invisible_to_get(self, disk_cache):
+        old = disk_cache.root / "v0"
+        old.mkdir(parents=True)
+        (old / f"{HASH_A}.sweep.json").write_text('{"v": 0}')
+        assert disk_cache.get(HASH_A, "sweep") is None
+
+    def test_clear_reclaims_all_schemas(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        old = disk_cache.root / "v0"
+        old.mkdir(parents=True)
+        (old / f"{HASH_A}.sweep.json").write_text('{"v": 0}')
+        assert disk_cache.clear() == 2
+        assert disk_cache.census()["entries"] == 0
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        path = disk_cache.root / SCHEMA_TAG / f"{HASH_A}.sweep.json"
+        path.write_text("{not json")
+        assert disk_cache.get(HASH_A, "sweep") is None
+
+    def test_non_dict_entry_is_a_miss(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        path = disk_cache.root / SCHEMA_TAG / f"{HASH_A}.sweep.json"
+        path.write_text("[1, 2]")
+        assert disk_cache.get(HASH_A, "sweep") is None
+
+    def test_unwritable_root_degrades_silently(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = DiskCache(blocked)
+        assert not cache.put(HASH_A, "sweep", {"v": 1})
+        assert cache.get(HASH_A, "sweep") is None
+
+    def test_no_tmp_litter_after_puts(self, disk_cache):
+        for i in range(5):
+            disk_cache.put(HASH_A, f"a{i}", {"v": i})
+        leftovers = [p for p in (disk_cache.root / SCHEMA_TAG).iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestEviction:
+    def test_oldest_entries_evicted(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_entries=3)
+        for i in range(5):
+            cache.put(HASH_A, f"art{i}", {"v": i})
+            # Distinct mtimes so eviction order is deterministic.
+            path = cache.root / SCHEMA_TAG / f"{HASH_A}.art{i}.json"
+            os.utime(path, (1000 + i, 1000 + i))
+            cache._evict()
+        census = cache.census()
+        assert census["entries"] == 3
+        assert cache.get(HASH_A, "art4") == {"v": 4}
+
+    def test_eviction_counted(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_entries=1)
+        cache.put(HASH_A, "a", {"v": 1})
+        cache.put(HASH_A, "b", {"v": 2})
+        assert cache.stats.evictions >= 1
+
+
+class TestStats:
+    def test_census_shape(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        disk_cache.get(HASH_A, "sweep")
+        disk_cache.get(HASH_A, "missing")
+        census = disk_cache.census()
+        assert census["schema"] == SCHEMA_TAG
+        assert census["entries"] == 1
+        assert census["total_bytes"] > 0
+        assert census["hits"] == 1
+        assert census["misses"] == 1
+        assert census["stores"] == 1
+
+    def test_documents_are_deterministic(self, disk_cache):
+        disk_cache.put(HASH_A, "a", {"b": 2, "a": 1})
+        disk_cache.put(HASH_B, "a", {"a": 1, "b": 2})
+        a = (disk_cache.root / SCHEMA_TAG / f"{HASH_A}.a.json").read_bytes()
+        b = (disk_cache.root / SCHEMA_TAG / f"{HASH_B}.a.json").read_bytes()
+        assert a == b
+        assert json.loads(a) == {"a": 1, "b": 2}
+
+
+class TestDefaultResolution:
+    def test_env_opt_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "envcache"))
+        reset_default_cache()
+        cache = default_cache()
+        assert cache is not None
+        assert str(cache.root) == str(tmp_path / "envcache")
+
+    def test_unset_env_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        reset_default_cache()
+        assert default_cache() is None
+
+    def test_explicit_install_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "ignored"))
+        installed = DiskCache(tmp_path / "explicit")
+        set_default_cache(installed)
+        assert default_cache() is installed

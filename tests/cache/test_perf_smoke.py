@@ -1,0 +1,48 @@
+"""Tier-1 perf smoke: the cold→warm disk-cache round trip works.
+
+Mirrors the ``fuzz_smoke`` pattern: a fast slice of the performance
+machinery runs in every tier-1 sweep, failing on cache-vs-nocache
+output divergence or a cache that never actually serves hits. Timing
+itself is *not* asserted here (tier-1 must stay deterministic); the
+benchmarks suite measures and publishes the speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ALL_DETECTORS
+from repro.cache import DiskCache, set_default_cache
+from repro.elf.parser import ELFFile
+
+pytestmark = pytest.mark.perf_smoke
+
+TOOLS = ("funseeker", "ida", "ghidra", "fetch", "naive-endbr")
+
+
+def _run_all(data: bytes) -> dict[str, list[int]]:
+    elf = ELFFile(data)
+    return {
+        name: sorted(ALL_DETECTORS[name]().detect(elf).functions)
+        for name in TOOLS
+    }
+
+
+def test_cold_warm_round_trip(sample_binary, tmp_path):
+    set_default_cache(None)
+    baseline = _run_all(sample_binary.data)
+    assert any(baseline.values())
+
+    cache = DiskCache(tmp_path / "cache")
+    set_default_cache(cache)
+    cold = _run_all(sample_binary.data)
+    assert cold == baseline, "cold cache run diverged from uncached"
+    assert cache.stats.stores > 0, "cold run populated nothing"
+
+    warm = _run_all(sample_binary.data)
+    assert warm == baseline, "warm cache run diverged from uncached"
+    assert cache.stats.hits > 0, "warm run never hit the cache"
+
+    # Every tool's whole-run result must have landed on disk.
+    census = cache.census()
+    assert census["entries"] >= len(TOOLS)

@@ -1,0 +1,75 @@
+"""Round-trip tests for the cache document codecs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import serialize as S
+from repro.cache.context import get_context
+from repro.elf.gnuproperty import CetFeatures
+from repro.elf.plt import PLTMap, build_plt_map
+
+
+def _json_round(doc: dict) -> dict:
+    """Simulate the disk hop: documents must survive JSON itself."""
+    return json.loads(json.dumps(doc))
+
+
+class TestSweepRoundTrip:
+    def test_real_sweep_survives(self, sample_elf):
+        sweep = get_context(sample_elf).sweep()
+        back = S.sweep_from_doc(_json_round(S.sweep_to_doc(sweep)))
+        assert back.endbr_addrs == sweep.endbr_addrs
+        assert back.call_targets == sweep.call_targets
+        assert back.jump_targets == sweep.jump_targets
+        assert back.call_sites == sweep.call_sites
+        assert back.jump_sites == sweep.jump_sites
+        assert back.external_call_sites == sweep.external_call_sites
+        assert back.endbr_predecessor == sweep.endbr_predecessor
+        assert back.text_start == sweep.text_start
+        assert back.text_end == sweep.text_end
+        assert back.insn_count == sweep.insn_count
+
+    def test_bad_document_raises(self):
+        with pytest.raises(S.SerializationError):
+            S.sweep_from_doc({"endbr_addrs": []})  # missing fields
+
+
+class TestSmallCodecs:
+    def test_fde(self):
+        starts = {0x1000, 0x2000}
+        ranges = [(0x1000, 0x1100), (0x2000, 0x2040)]
+        doc = _json_round(S.fde_to_doc(starts, ranges))
+        back_starts, back_ranges = S.fde_from_doc(doc)
+        assert back_starts == starts
+        assert back_ranges == sorted(ranges)
+
+    def test_addrs(self):
+        addrs = {5, 1, 9}
+        assert S.addrs_from_doc(_json_round(S.addrs_to_doc(addrs))) == addrs
+
+    def test_addrs_bad_doc(self):
+        with pytest.raises(S.SerializationError):
+            S.addrs_from_doc({"wrong": []})
+
+    def test_plt_real(self, sample_elf):
+        plt = build_plt_map(sample_elf)
+        back = S.plt_from_doc(_json_round(S.plt_to_doc(plt)))
+        assert back.stub_to_name == plt.stub_to_name
+        assert sorted(back.plt_ranges) == sorted(plt.plt_ranges)
+
+    def test_plt_synthetic(self):
+        plt = PLTMap(stub_to_name={0x1010: "setjmp"},
+                     plt_ranges=[(0x1000, 0x1100)])
+        back = S.plt_from_doc(_json_round(S.plt_to_doc(plt)))
+        assert back.stub_to_name == {0x1010: "setjmp"}
+        assert back.plt_ranges == [(0x1000, 0x1100)]
+
+    def test_cet(self):
+        for ibt in (False, True):
+            for shstk in (False, True):
+                features = CetFeatures(ibt=ibt, shstk=shstk)
+                back = S.cet_from_doc(_json_round(S.cet_to_doc(features)))
+                assert back == features

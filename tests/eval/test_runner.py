@@ -54,6 +54,58 @@ class TestRunEvaluation:
         assert set(report.suites()) <= {"coreutils", "binutils", "spec"}
 
 
+class TestFilteredMissingAttributes:
+    """Regression: a ``None``-valued criterion must not match records
+    or failures that *lack* the attribute — ``getattr(f, k, None)``
+    made ``filtered(confusion=None)`` keep every failure it documents
+    as excluded."""
+
+    @staticmethod
+    def _synthetic_report():
+        from repro.eval.isolation import PHASE_DETECT, FailureRecord
+        from repro.eval.metrics import Confusion
+        from repro.eval.runner import EvalReport, RunRecord
+
+        prov = dict(suite="coreutils", program="p", compiler="gcc",
+                    bits=64, pie=True, opt="O2")
+        report = EvalReport()
+        report.records.append(RunRecord(
+            **prov, tool="funseeker",
+            confusion=Confusion(tp=1, fp=0, fn=0), elapsed_seconds=0.1,
+        ))
+        # A record whose criterion attribute genuinely IS None.
+        report.records.append(RunRecord(
+            **prov, tool="weird", confusion=None, elapsed_seconds=0.1,
+        ))
+        report.failures.append(FailureRecord(
+            **prov, tool="fetch", phase=PHASE_DETECT,
+            error_type="ValueError", message="boom",
+        ))
+        return report
+
+    def test_none_criterion_excludes_failures(self):
+        report = self._synthetic_report()
+        out = report.filtered(confusion=None)
+        # Failures have no ``confusion`` attribute at all: excluded.
+        assert out.failures == []
+        # The record that really carries confusion=None still matches.
+        assert [r.tool for r in out.records] == ["weird"]
+
+    def test_none_criterion_against_failure_only_field(self):
+        report = self._synthetic_report()
+        # ``phase`` exists only on failures; a None criterion matches
+        # neither the records (missing) nor the failures (non-None).
+        out = report.filtered(phase=None)
+        assert out.records == []
+        assert out.failures == []
+
+    def test_real_values_still_match_failures(self):
+        report = self._synthetic_report()
+        out = report.filtered(tool="fetch")
+        assert out.records == []
+        assert [f.tool for f in out.failures] == ["fetch"]
+
+
 class TestErrorAnalysis:
     def test_perfect_detection_no_errors(self, tiny_corpus):
         entry = tiny_corpus[0]

@@ -50,10 +50,20 @@ class TestOperandSizeOverride:
         assert insn.length == 4
         assert insn.target == 0x1014
 
-    def test_rel32_forced_in_64bit(self):
-        # 66 e9 in 64-bit mode still takes rel32.
-        insn = d64(b"\x66\xe9\x10\x00\x00\x00")
+    def test_rel16_branch_in_64bit(self):
+        # 66 e9 honors the operand-size prefix in 64-bit mode too:
+        # jmp rel16 with RIP truncated to 16 bits.
+        insn = d64(b"\x66\xe9\x10\x00")
+        assert insn.klass == InsnClass.JMP_DIRECT
+        assert insn.length == 4
+        assert insn.target == 0x1014
+
+    def test_rel32_with_rex_w_in_64bit(self):
+        # REX.W keeps the ordinary 32-bit displacement.
+        insn = d64(b"\x48\xe9\x10\x00\x00\x00")
+        assert insn.klass == InsnClass.JMP_DIRECT
         assert insn.length == 6
+        assert insn.target == 0x1016
 
     def test_mov_imm16(self):
         insn = d64(b"\x66\xb8\x34\x12")
@@ -69,6 +79,55 @@ class TestOperandSizeOverride:
     def test_far_pointer_16bit_operand(self):
         insn = d32(b"\x66\x9a\x00\x00\x08\x00")
         assert insn.length == 6
+
+
+class TestPrefixedRelativeBranches:
+    """Regression: 0x66-prefixed E8/E9/Jcc immediates must decode as
+    rel16 in both modes. The old decoder sized them rel32 in 64-bit
+    mode, so ``66 E9 10 00`` raised ``truncated immediate`` and
+    desynchronized linear/superset sweeps at misaligned offsets."""
+
+    @pytest.mark.parametrize("mode", [d32, d64])
+    def test_call_rel16(self, mode):
+        insn = mode(b"\x66\xe8\x20\x00", addr=0x1000)
+        assert insn.klass == InsnClass.CALL_DIRECT
+        assert insn.length == 4
+        assert insn.target == 0x1024
+
+    @pytest.mark.parametrize("mode", [d32, d64])
+    def test_jmp_rel16_exact_four_bytes(self, mode):
+        # Exactly the four bytes of the instruction: no trailing slack
+        # for a phantom rel32 to consume.
+        insn = mode(b"\x66\xe9\x10\x00", addr=0x2000)
+        assert insn.klass == InsnClass.JMP_DIRECT
+        assert insn.length == 4
+        assert insn.target == 0x2014 & 0xFFFF
+
+    @pytest.mark.parametrize("mode", [d32, d64])
+    def test_jcc_rel16(self, mode):
+        # 66 0f 84: jz rel16.
+        insn = mode(b"\x66\x0f\x84\x08\x00", addr=0x1000)
+        assert insn.klass == InsnClass.JCC
+        assert insn.length == 5
+        assert insn.target == 0x100D
+
+    @pytest.mark.parametrize("mode", [d32, d64])
+    def test_negative_rel16_wraps_in_low_word(self, mode):
+        # The 16-bit instruction pointer wraps within the low word.
+        insn = mode(b"\x66\xe9\xf0\xff", addr=0x0002)
+        assert insn.length == 4
+        assert insn.target == (0x0006 - 0x10) & 0xFFFF
+
+    def test_misaligned_chain_stays_in_sync(self):
+        # A 66 E9 jump followed by a ret: the sweep must land on the
+        # ret, not swallow it as immediate bytes.
+        from repro.x86.decoder import decode_raw
+
+        code = b"\x66\xe9\x10\x00\xc3"
+        length, klass, _t, _n = decode_raw(code, 0, 0, 64)
+        assert (length, klass) == (4, int(InsnClass.JMP_DIRECT))
+        length, klass, _t, _n = decode_raw(code, 4, 4, 64)
+        assert (length, klass) == (1, int(InsnClass.RET))
 
 
 class TestUndefinedGroupEncodings:
