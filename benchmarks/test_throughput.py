@@ -8,7 +8,9 @@ Two kinds of measurement live here:
   so the numbers reflect the *uncached* cost the paper compares;
 - the cache trajectory benchmark, which regenerates a multi-detector
   Table III sweep three times (no disk cache / cold cache / warm
-  cache), checks the outputs are bit-identical, and publishes
+  cache), checks the outputs are bit-identical, measures the
+  observability subsystem's overhead (tracing on, and the projected
+  cost of the disabled null-recorder path), and publishes
   ``BENCH_throughput.json`` at the repo root.
 """
 
@@ -18,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.baselines import (
     ALL_DETECTORS,
     FetchLikeDetector,
@@ -157,11 +160,45 @@ def _table3_sweep(corpus) -> tuple[float, dict]:
     return wall, {"per_tool": per_tool, "outputs": outputs}
 
 
+def _null_op_costs(iterations: int = 200_000) -> tuple[float, float]:
+    """Measured per-call cost of the disabled recorder's span and add.
+
+    The disabled path is exactly these two operations sprinkled through
+    the pipeline, so (cost × call count) projects the overhead tracing
+    support adds to an untraced sweep — stabler than differencing two
+    noisy wall-clock runs.
+    """
+    null = obs.NullRecorder()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with null.span("x", attr=1):
+            pass
+    per_span = (time.perf_counter() - started) / iterations
+    started = time.perf_counter()
+    for _ in range(iterations):
+        null.add("x", 1)
+    per_add = (time.perf_counter() - started) / iterations
+    return per_span, per_add
+
+
 def test_cache_trajectory_emits_bench_json(corpus, tmp_path):
     total_bytes = sum(len(e.stripped) for e in corpus)
 
     set_default_cache(None)
     uncached_wall, uncached = _table3_sweep(corpus)
+
+    # Same uncached configuration with a live trace recorder: the
+    # outputs must not change, and the slowdown is the cost of tracing.
+    recorder = obs.set_recorder(obs.TraceRecorder())
+    try:
+        traced_wall, traced = _table3_sweep(corpus)
+    finally:
+        obs.set_recorder(None)
+    assert traced["outputs"] == uncached["outputs"], \
+        "traced sweep diverged from uncached"
+    obs_phase_seconds = recorder.phase_totals()
+    span_count = len(recorder.spans)
+    assert span_count > 0 and recorder.counters.get("detect.runs")
 
     cache = DiskCache(tmp_path / "cache")
     set_default_cache(cache)
@@ -222,6 +259,25 @@ def test_cache_trajectory_emits_bench_json(corpus, tmp_path):
         # and the committed document must not embed machine paths.
         "cache": {k: v for k, v in cache.census().items() if k != "root"},
     }
+    per_span, per_add = _null_op_costs()
+    # Counter adds are batched per region (one add per counter name per
+    # region, ~3 names), so spans dominate; 3 adds per span is a
+    # generous ceiling on the disabled path's call volume.
+    disabled_cost = span_count * (per_span + 3 * per_add)
+    disabled_overhead_pct = 100.0 * disabled_cost / uncached_wall
+    doc["obs"] = {
+        "traced_wall_seconds": round(traced_wall, 4),
+        "tracing_overhead_pct": round(
+            100.0 * (traced_wall - uncached_wall) / uncached_wall, 2),
+        "span_count": span_count,
+        "null_span_ns": round(per_span * 1e9, 1),
+        "null_add_ns": round(per_add * 1e9, 1),
+        "disabled_overhead_pct": round(disabled_overhead_pct, 4),
+        "phase_seconds": {
+            k: round(v, 4) for k, v in sorted(obs_phase_seconds.items())},
+    }
+    assert disabled_overhead_pct < 2.0, \
+        "disabled-path observability overhead above the 2% bar"
     out = REPO_ROOT / "BENCH_throughput.json"
     out.write_text(json.dumps(doc, indent=1) + "\n")
     print(f"\nwrote {out}")

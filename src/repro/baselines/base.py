@@ -14,6 +14,7 @@ import abc
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cache.context import get_context
 from repro.elf import constants as C
 from repro.elf.parser import ELFFile
@@ -50,13 +51,16 @@ class FunctionDetector(abc.ABC):
         configured) under the key ``(content hash, tool name)``.
         """
         started = time.perf_counter()
-        if self.cacheable:
-            functions = get_context(elf).detector_result(
-                self.name, lambda: self._detect(elf)
-            )
-        else:
-            functions = self._detect(elf)
+        with obs.span("detect", tool=self.name):
+            if self.cacheable:
+                functions = get_context(elf).detector_result(
+                    self.name, lambda: self._detect(elf)
+                )
+            else:
+                functions = self._detect(elf)
         elapsed = time.perf_counter() - started
+        obs.add("detect.runs", 1)
+        obs.add("detect.functions", len(functions))
         return DetectionResult(tool=self.name, functions=functions,
                                elapsed_seconds=elapsed)
 

@@ -31,6 +31,7 @@ import hashlib
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.cache import serialize as S
 from repro.cache.disk import default_cache
 from repro.elf import constants as C
@@ -72,8 +73,11 @@ class AnalysisContext:
     def _memoized(self, key: str, compute: Callable[[], Any]) -> Any:
         value = self._memo.get(key, _MISS)
         if value is _MISS:
+            obs.add("ctx.memo_misses", 1)
             value = compute()
             self._memo[key] = value
+        else:
+            obs.add("ctx.memo_hits", 1)
         return value
 
     def _disk_backed(
@@ -149,7 +153,8 @@ class AnalysisContext:
         def _compute() -> SweepResult:
             from repro.core.robust import disassemble_robust
 
-            return disassemble_robust(txt.data, txt.sh_addr, self.bits)
+            with obs.span("sweep.robust", bytes=len(txt.data)):
+                return disassemble_robust(txt.data, txt.sh_addr, self.bits)
 
         return self._memoized("robust_sweep", _compute)
 
@@ -161,16 +166,19 @@ class AnalysisContext:
         not degrade into a partial parse.
         """
         def _compute() -> tuple[set[int], list[tuple[int, int]]]:
-            sec = self.elf.section(C.SECTION_EH_FRAME)
-            if sec is None or not sec.data:
-                return set(), []
-            try:
-                eh = parse_eh_frame(sec.data, sec.sh_addr, self.elf.is64)
-            except EhFrameError:
-                return set(), []
-            starts = {fde.pc_begin for fde in eh.fdes}
-            ranges = [(fde.pc_begin, fde.pc_end) for fde in eh.fdes]
-            return starts, ranges
+            with obs.span("exceptions", artifact="fde"):
+                sec = self.elf.section(C.SECTION_EH_FRAME)
+                if sec is None or not sec.data:
+                    return set(), []
+                try:
+                    eh = parse_eh_frame(sec.data, sec.sh_addr,
+                                        self.elf.is64)
+                except EhFrameError:
+                    return set(), []
+                starts = {fde.pc_begin for fde in eh.fdes}
+                ranges = [(fde.pc_begin, fde.pc_end) for fde in eh.fdes]
+                obs.add("exceptions.fdes", len(eh.fdes))
+                return starts, ranges
 
         return self._through_disk(
             "fde",
@@ -187,19 +195,22 @@ class AnalysisContext:
         the FunSeeker pipeline's tolerance rules.
         """
         def _compute() -> set[int]:
-            elf = self.elf
-            except_sec = elf.section(C.SECTION_GCC_EXCEPT_TABLE)
-            eh_sec = elf.section(C.SECTION_EH_FRAME)
-            if except_sec is None or eh_sec is None:
-                return set()
-            eh = parse_eh_frame(
-                eh_sec.data, eh_sec.sh_addr, elf.is64,
-                diagnostics=elf.diagnostics,
-            )
-            return landing_pads_from_exception_info(
-                eh, except_sec.data, except_sec.sh_addr, elf.is64,
-                diagnostics=elf.diagnostics,
-            )
+            with obs.span("exceptions", artifact="landing_pads"):
+                elf = self.elf
+                except_sec = elf.section(C.SECTION_GCC_EXCEPT_TABLE)
+                eh_sec = elf.section(C.SECTION_EH_FRAME)
+                if except_sec is None or eh_sec is None:
+                    return set()
+                eh = parse_eh_frame(
+                    eh_sec.data, eh_sec.sh_addr, elf.is64,
+                    diagnostics=elf.diagnostics,
+                )
+                pads = landing_pads_from_exception_info(
+                    eh, except_sec.data, except_sec.sh_addr, elf.is64,
+                    diagnostics=elf.diagnostics,
+                )
+                obs.add("exceptions.landing_pads", len(pads))
+                return pads
 
         return self._through_disk(
             "landing_pads", _compute, S.addrs_to_doc, S.addrs_from_doc,
@@ -207,24 +218,26 @@ class AnalysisContext:
 
     def plt_map(self) -> PLTMap:
         """The PLT stub-to-import map, degraded-parse semantics."""
+        def _compute() -> PLTMap:
+            with obs.span("plt"):
+                return build_plt_map(
+                    self.elf, diagnostics=self.elf.diagnostics
+                )
+
         return self._through_disk(
-            "plt",
-            lambda: build_plt_map(
-                self.elf, diagnostics=self.elf.diagnostics
-            ),
-            S.plt_to_doc,
-            S.plt_from_doc,
+            "plt", _compute, S.plt_to_doc, S.plt_from_doc,
         )
 
     def cet_features(self) -> CetFeatures:
         """The advertised ``.note.gnu.property`` CET feature bits."""
+        def _compute() -> CetFeatures:
+            with obs.span("cet"):
+                return parse_cet_features(
+                    self.elf, diagnostics=self.elf.diagnostics
+                )
+
         return self._through_disk(
-            "cet",
-            lambda: parse_cet_features(
-                self.elf, diagnostics=self.elf.diagnostics
-            ),
-            S.cet_to_doc,
-            S.cet_from_doc,
+            "cet", _compute, S.cet_to_doc, S.cet_from_doc,
         )
 
     def detector_result(

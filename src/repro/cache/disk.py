@@ -30,8 +30,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro import obs
 
 #: Bump whenever any document produced by repro.cache.serialize (or the
 #: meaning of an artifact name) changes shape.
@@ -42,6 +45,11 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 #: Default eviction bound (entries per cache root, across schemas).
 DEFAULT_MAX_ENTRIES = 4096
+
+#: Age (seconds) past which an orphaned write temp file — left behind
+#: by a process killed mid-``put`` — is considered abandoned and
+#: reclaimable. Younger temp files may belong to a live writer.
+TMP_GRACE_SECONDS = 600.0
 
 
 @dataclass
@@ -96,11 +104,14 @@ class DiskCache:
                 doc = json.load(f)
         except (OSError, ValueError):
             self.stats.misses += 1
+            obs.add("cache.misses", 1)
             return None
         if not isinstance(doc, dict):
             self.stats.misses += 1
+            obs.add("cache.misses", 1)
             return None
         self.stats.hits += 1
+        obs.add("cache.hits", 1)
         return doc
 
     def put(self, content_hash: str, artifact: str, doc: dict) -> bool:
@@ -124,6 +135,7 @@ class DiskCache:
         except OSError:
             return False
         self.stats.stores += 1
+        obs.add("cache.stores", 1)
         self._evict()
         return True
 
@@ -139,7 +151,43 @@ class DiskCache:
             if not p.name.startswith(".tmp-")
         ]
 
+    def _stale_tmps(self, *, grace: float = TMP_GRACE_SECONDS) -> list[Path]:
+        """Orphaned ``.tmp-*`` write files older than the grace period.
+
+        ``_entries()`` deliberately hides temp files from hit/miss
+        lookups, but a worker killed mid-``put`` (e.g. by
+        ``pool.terminate()``) leaves them behind permanently — so
+        eviction and ``clear()`` must see them or they leak forever.
+        """
+        if not self.root.is_dir():
+            return []
+        cutoff = time.time() - grace
+        stale: list[Path] = []
+        for schema_dir in self.root.iterdir():
+            if not schema_dir.is_dir():
+                continue
+            for p in schema_dir.glob(".tmp-*"):
+                try:
+                    if p.stat().st_mtime <= cutoff:
+                        stale.append(p)
+                except OSError:
+                    pass
+        return stale
+
+    def _sweep_stale_tmps(self, *, grace: float = TMP_GRACE_SECONDS) -> int:
+        removed = 0
+        for path in self._stale_tmps(grace=grace):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            obs.add("cache.tmp_reclaimed", removed)
+        return removed
+
     def _evict(self) -> None:
+        self._sweep_stale_tmps()
         entries = self._entries()
         excess = len(entries) - self.max_entries
         if excess <= 0:
@@ -153,11 +201,17 @@ class DiskCache:
             try:
                 path.unlink()
                 self.stats.evictions += 1
+                obs.add("cache.evictions", 1)
             except OSError:
                 pass
 
     def clear(self) -> int:
-        """Delete every entry (all schema versions); return the count."""
+        """Delete every entry (all schema versions); return the count.
+
+        Also reclaims abandoned write temp files past their grace
+        period and prunes schema directories left empty — stale-schema
+        directories otherwise linger forever in ``cache stats`` output.
+        """
         removed = 0
         for path in self._entries():
             try:
@@ -165,7 +219,21 @@ class DiskCache:
                 removed += 1
             except OSError:
                 pass
+        removed += self._sweep_stale_tmps()
+        self._prune_empty_schema_dirs()
         return removed
+
+    def _prune_empty_schema_dirs(self) -> None:
+        """Remove emptied schema directories other than the current one."""
+        if not self.root.is_dir():
+            return
+        for schema_dir in self.root.iterdir():
+            if not schema_dir.is_dir() or schema_dir.name == SCHEMA_TAG:
+                continue
+            try:
+                schema_dir.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
 
     def census(self) -> dict:
         """On-disk state merged with session counters."""
@@ -181,6 +249,7 @@ class DiskCache:
             "schema": SCHEMA_TAG,
             "entries": len(entries),
             "total_bytes": size,
+            "stale_tmp_files": len(self._stale_tmps()),
             **self.stats.to_dict(),
         }
 

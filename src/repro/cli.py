@@ -10,7 +10,8 @@
     funseeker table1|table2|table3|figure3|errors|all [--scale S]
     funseeker evaluate [--tools ...] [--format json|csv] [--output F]
                        [--timeout S] [--retries N] [--fail-fast]
-                       [--cache-dir D]
+                       [--cache-dir D] [--trace PATH]
+    funseeker profile <binary> [--tools ...] [--trace PATH] [--json]
     funseeker cache stats|clear [--cache-dir D]  # on-disk artifact cache
     funseeker fuzz [--budget N] [--seed S]  # fault-injection harness
     funseeker dataset <dir> [--scale S]   # persist the corpus
@@ -115,6 +116,21 @@ def main(argv: list[str] | None = None) -> int:
     p_ev.add_argument("--cache-dir", default=None,
                       help="content-addressed analysis cache directory "
                            "(default: off, or $REPRO_CACHE_DIR)")
+    p_ev.add_argument("--trace", default=None,
+                      help="write a JSONL observability trace (spans + "
+                           "counters, merged across workers) to PATH")
+
+    p_pf = sub.add_parser(
+        "profile",
+        help="per-phase timing and counter profile of one binary")
+    p_pf.add_argument("binary")
+    p_pf.add_argument("--tools", default="funseeker",
+                      help="comma-separated detector names "
+                           "(default funseeker)")
+    p_pf.add_argument("--trace", default=None,
+                      help="write the JSONL observability trace to PATH")
+    p_pf.add_argument("--json", action="store_true",
+                      help="machine-readable summary instead of a table")
 
     p_ca = sub.add_parser(
         "cache",
@@ -164,6 +180,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "fuzz":
@@ -197,6 +215,10 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    import shutil
+    import tempfile
+
+    from repro import obs
     from repro.errors import EvaluationAborted
     from repro.eval.export import report_to_csv, report_to_json
     from repro.eval.parallel import run_evaluation_parallel
@@ -205,6 +227,12 @@ def _cmd_evaluate(args) -> int:
 
     tools = [t.strip() for t in args.tools.split(",") if t.strip()]
     _configure_cache(args.cache_dir)
+    trace_dir = None
+    if args.trace:
+        # Parent + each worker write JSONL part files here; they are
+        # merged into args.trace once the sweep finishes.
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+        obs.set_recorder(obs.TraceRecorder())
     print(f"building '{args.scale}' corpus ...", file=sys.stderr)
     corpus = build_corpus(args.scale, seed=args.seed)
     print(f"evaluating {tools} over {len(corpus)} binaries ...",
@@ -216,10 +244,16 @@ def _cmd_evaluate(args) -> int:
             timeout=args.timeout,
             retries=args.retries,
             keep_going=not args.fail_fast,
+            trace_dir=trace_dir,
         )
     except EvaluationAborted as exc:
         print(f"aborted (--fail-fast): {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_dir is not None:
+            _export_eval_trace(args.trace, trace_dir)
+            obs.set_recorder(None)
+            shutil.rmtree(trace_dir, ignore_errors=True)
     text = (report_to_json(report) if args.format == "json"
             else report_to_csv(report))
     if args.output == "-":
@@ -231,6 +265,83 @@ def _cmd_evaluate(args) -> int:
     if report.failures:
         print(failure_summary(report), file=sys.stderr)
         return 1
+    return 0
+
+
+def _export_eval_trace(out_path: str, trace_dir: str) -> None:
+    """Flush the parent recorder and merge all part files into one trace."""
+    import os
+    from pathlib import Path
+
+    from repro import obs
+
+    recorder = obs.recorder()
+    if recorder.enabled:
+        obs.append_payload(
+            Path(trace_dir) / f"worker-{os.getpid()}.jsonl",
+            recorder.drain())
+    parts = sorted(Path(trace_dir).glob("*.jsonl"))
+    trace = obs.merge_traces(out_path, parts)
+    print(f"wrote trace {out_path} ({len(trace.spans)} spans, "
+          f"{len(trace.counters)} counters, {len(parts)} part files)",
+          file=sys.stderr)
+
+
+def _cmd_profile(args) -> int:
+    import json
+    import time
+
+    from repro import obs
+
+    tools = [t.strip() for t in args.tools.split(",") if t.strip()]
+    unknown = [t for t in tools if t not in ALL_DETECTORS]
+    if unknown:
+        print(f"error: unknown detectors: {unknown} "
+              f"(known: {sorted(ALL_DETECTORS)})", file=sys.stderr)
+        return 2
+    recorder = obs.set_recorder(obs.TraceRecorder())
+    try:
+        started = time.perf_counter()
+        with obs.span("profile", binary=str(args.binary)):
+            elf = ELFFile.from_path(args.binary)
+            functions = {
+                name: len(ALL_DETECTORS[name]().detect(elf).functions)
+                for name in tools
+            }
+        elapsed = time.perf_counter() - started
+    finally:
+        obs.set_recorder(None)
+    phases = recorder.phase_totals()
+    counters = dict(recorder.counters)
+    spans = list(recorder.spans)
+    if args.trace:
+        obs.write_trace(args.trace, recorder.drain())
+        print(f"wrote trace {args.trace} ({len(spans)} spans)",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "binary": str(args.binary),
+            "elapsed_seconds": round(elapsed, 6),
+            "functions": functions,
+            "phases": {k: round(v, 6) for k, v in sorted(phases.items())},
+            "counters": counters,
+        }, indent=1, sort_keys=True))
+        return 0
+    print(f"profile of {args.binary} "
+          f"({', '.join(f'{t}: {n} functions' for t, n in functions.items())})")
+    print(f"\n{'phase':<18s} {'calls':>6s} {'total ms':>10s} {'%':>6s}")
+    calls: dict[str, int] = {}
+    for span in spans:
+        calls[span.name] = calls.get(span.name, 0) + 1
+    for name, total in sorted(phases.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * total / elapsed if elapsed else 0.0
+        print(f"{name:<18s} {calls[name]:6d} {total * 1000:10.3f} "
+              f"{share:6.1f}")
+    print(f"\n{'wall':<18s} {'':6s} {elapsed * 1000:10.3f} {100.0:6.1f}")
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]:g}")
     return 0
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.x86.decoder import DecodeError, decode_raw
 from repro.x86.insn import InsnClass
 
@@ -56,12 +57,18 @@ def disassemble(data: bytes, base_addr: int, bits: int) -> SweepResult:
 
     Decode failures advance one byte, per the paper.
     """
+    with obs.span("sweep", bytes=len(data)):
+        return _disassemble(data, base_addr, bits)
+
+
+def _disassemble(data: bytes, base_addr: int, bits: int) -> SweepResult:
     result = SweepResult(text_start=base_addr, text_end=base_addr + len(data))
     end = result.text_end
     # Previous instruction's (class, target); None after decode errors.
     prev: tuple[int, int | None] | None = None
     offset = 0
     count = 0
+    errors = 0
     n = len(data)
     endbr64 = int(InsnClass.ENDBR64)
     endbr32 = int(InsnClass.ENDBR32)
@@ -76,6 +83,7 @@ def disassemble(data: bytes, base_addr: int, bits: int) -> SweepResult:
         except DecodeError:
             offset += 1
             prev = None
+            errors += 1
             continue
         offset += length
         count += 1
@@ -99,4 +107,7 @@ def disassemble(data: bytes, base_addr: int, bits: int) -> SweepResult:
                 result.jump_sites.append(BranchSite(addr, target, False))
         prev = (klass, target)
     result.insn_count = count
+    obs.add("sweep.insns", count)
+    obs.add("sweep.decode_errors", errors)
+    obs.add("sweep.endbr_sites", len(result.endbr_addrs))
     return result

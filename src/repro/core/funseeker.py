@@ -26,6 +26,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cache.context import get_context
 from repro.core.filter_endbr import filter_endbr
 from repro.core.tailcall import select_tail_calls
@@ -149,7 +150,8 @@ class FunSeeker:
         if self.config is Config.RAW:
             e_set = sweep.endbr_addrs
         else:
-            e_set = filter_endbr(sweep, plt_map, landing_pads)
+            with obs.span("filter"):
+                e_set = filter_endbr(sweep, plt_map, landing_pads)
 
         functions = set(e_set)
         functions.update(sweep.call_targets)
@@ -158,13 +160,14 @@ class FunSeeker:
         if self.config is Config.ALL_JUMPS:
             functions.update(sweep.jump_targets)
         elif self.config is Config.FULL:
-            tail_targets = select_tail_calls(
-                sweep.jump_sites,
-                sweep.call_sites,
-                known_entries=functions,
-                text_start=sweep.text_start,
-                text_end=sweep.text_end,
-            )
+            with obs.span("tailcall"):
+                tail_targets = select_tail_calls(
+                    sweep.jump_sites,
+                    sweep.call_sites,
+                    known_entries=functions,
+                    text_start=sweep.text_start,
+                    text_end=sweep.text_end,
+                )
             functions.update(tail_targets)
 
         elapsed = time.perf_counter() - started

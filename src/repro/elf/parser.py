@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import struct
 
+from repro import obs
 from repro.elf import constants as C
 from repro.elf.reader import ByteReader, ReaderError
 from repro.elf.types import ElfHeader, Relocation, Section, Segment, Symbol
@@ -73,17 +74,22 @@ class ELFFile:
         self.segments: list[Segment] = []
         self._sections_by_name: dict[str, Section] = {}
 
-        if len(data) < C.EI_NIDENT or data[:4] != C.ELFMAG:
-            self._fail("not an ELF file (bad magic)")
-            return
-        if not self._parse_header_checked():
-            return
-        self.sections = self._parse_sections()
-        self.segments = self._parse_segments()
-        for sec in self.sections:
-            # Keep the first occurrence; duplicate names are rare and the
-            # first (e.g. the sole .text) is the one analyses want.
-            self._sections_by_name.setdefault(sec.name, sec)
+        with obs.span("parse", bytes=len(data)):
+            if len(data) < C.EI_NIDENT or data[:4] != C.ELFMAG:
+                self._fail("not an ELF file (bad magic)")
+                return
+            if not self._parse_header_checked():
+                return
+            self.sections = self._parse_sections()
+            self.segments = self._parse_segments()
+            for sec in self.sections:
+                # Keep the first occurrence; duplicate names are rare
+                # and the first (e.g. the sole .text) is the one
+                # analyses want.
+                self._sections_by_name.setdefault(sec.name, sec)
+            obs.add("parse.files", 1)
+            obs.add("parse.sections", len(self.sections))
+            obs.add("parse.segments", len(self.segments))
 
     # -- construction ---------------------------------------------------------
 

@@ -18,11 +18,11 @@ _FIELDS = ("suite", "program", "compiler", "bits", "pie", "opt", "tool",
            "elapsed_seconds")
 
 
-def _rows(report: EvalReport) -> list[dict]:
+def _rows(report: EvalReport, *, with_phases: bool = False) -> list[dict]:
     rows = []
     for rec in report.records:
         conf = rec.confusion
-        rows.append({
+        row = {
             "suite": rec.suite,
             "program": rec.program,
             "compiler": rec.compiler,
@@ -37,8 +37,27 @@ def _rows(report: EvalReport) -> list[dict]:
             "recall": round(conf.recall, 6),
             "f1": round(conf.f1, 6),
             "elapsed_seconds": round(rec.elapsed_seconds, 6),
-        })
+        }
+        if with_phases and rec.phase_seconds:
+            row["phases"] = {k: round(v, 6)
+                             for k, v in sorted(rec.phase_seconds.items())}
+        rows.append(row)
     return rows
+
+
+def _phase_totals(report: EvalReport) -> dict[str, float]:
+    """Per-phase span totals summed over the report's records.
+
+    Empty when the sweep ran without an observability recorder (the
+    default) — every record's ``phase_seconds`` is ``None`` then.
+    """
+    totals: dict[str, float] = {}
+    for rec in report.records:
+        if not rec.phase_seconds:
+            continue
+        for name, seconds in rec.phase_seconds.items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return {k: round(v, 6) for k, v in sorted(totals.items())}
 
 
 def _failure_rows(report: EvalReport) -> list[dict]:
@@ -75,15 +94,19 @@ def report_to_json(report: EvalReport) -> str:
             "binaries": len(sub.records),
             "failures": len(sub.failures),
         }
-    return json.dumps(
-        {
-            "summary": summary,
-            "success_rate": round(report.success_rate(), 6),
-            "records": _rows(report),
-            "failures": _failure_rows(report),
-        },
-        indent=1,
-    )
+        phases = _phase_totals(sub)
+        if phases:
+            summary[tool]["phase_seconds"] = phases
+    doc = {
+        "summary": summary,
+        "success_rate": round(report.success_rate(), 6),
+        "records": _rows(report, with_phases=True),
+        "failures": _failure_rows(report),
+    }
+    phases = _phase_totals(report)
+    if phases:
+        doc["phase_seconds"] = phases
+    return json.dumps(doc, indent=1)
 
 
 def report_to_csv(report: EvalReport) -> str:

@@ -20,13 +20,33 @@ additionally guards against the worker itself dying — a crashed or
 wedged worker costs its own job a failure record, not the sweep.
 ``multiprocessing.Pool`` respawns replacement workers, so the
 remaining jobs still run.
+
+Results are collected **out of order** against per-job absolute
+deadlines armed at dispatch: finished jobs are absorbed as soon as
+their handles are ready, and a job is only declared lost when its own
+backstop clock expires. Because a queued job's clock cannot fairly run
+while the pool is busy elsewhere, every completed job refreshes the
+deadlines of the jobs still pending — so one wedged worker costs the
+sweep roughly a single backstop beyond its useful work, never
+``jobs × backstop``, and an early loss never stalls the collection of
+already-finished later results.
+
+When ``trace_dir`` is given, each worker installs its own
+observability recorder (:mod:`repro.obs`) and appends its spans and
+counters to a per-worker JSONL part file after every job; the parent
+(or CLI) merges the parts into one trace with
+:func:`repro.obs.merge_traces`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from collections.abc import Iterable
+from pathlib import Path
 
+from repro import obs
 from repro.baselines import ALL_DETECTORS
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
@@ -45,6 +65,9 @@ from repro.synth.corpus import CorpusEntry
 #: per-cell budgets before declaring it lost.
 _BACKSTOP_GRACE = 30.0
 
+#: Sleep between handle polls when nothing completed this round.
+_POLL_INTERVAL = 0.02
+
 
 def run_evaluation_parallel(
     corpus: Iterable[CorpusEntry],
@@ -54,6 +77,7 @@ def run_evaluation_parallel(
     timeout: float | None = None,
     retries: int = 0,
     keep_going: bool = True,
+    trace_dir: str | os.PathLike | None = None,
 ) -> EvalReport:
     """Evaluate ``tool_names`` over ``corpus`` using a process pool.
 
@@ -66,7 +90,9 @@ def run_evaluation_parallel(
     (enforced inside the worker, with a parent-side backstop for
     workers that die outright); ``retries`` re-runs raising cells.
     With ``keep_going=False`` the first failed cell aborts the sweep
-    via :class:`~repro.errors.EvaluationAborted`.
+    via :class:`~repro.errors.EvaluationAborted`. ``trace_dir``
+    (optional) enables per-worker observability traces, written as
+    JSONL part files into that directory.
     """
     unknown = [t for t in tool_names if t not in ALL_DETECTORS]
     if unknown:
@@ -87,7 +113,8 @@ def run_evaluation_parallel(
 
     if workers == 1:
         for job in jobs:
-            records, failures = _evaluate_job(job, timeout, retries)
+            records, failures = _evaluate_job(job, timeout, retries,
+                                              trace_dir)
             _absorb(records, failures)
         return report
 
@@ -100,26 +127,104 @@ def run_evaluation_parallel(
         backstop = (timeout * (retries + 1) * per_job_cells
                     + _BACKSTOP_GRACE)
 
-    pool = multiprocessing.Pool(processes=workers)
+    pool = multiprocessing.Pool(
+        processes=workers,
+        initializer=_worker_obs_init,
+        initargs=(None if trace_dir is None else str(trace_dir),),
+    )
+    lost_worker = False
     try:
+        # Absolute per-job deadlines, armed at dispatch. `pending` is
+        # mutated in place as handles complete or expire.
+        now = time.monotonic()
         pending = [
-            (job, pool.apply_async(_evaluate_job, (job, timeout, retries)))
+            [job,
+             pool.apply_async(_evaluate_job,
+                              (job, timeout, retries,
+                               None if trace_dir is None
+                               else str(trace_dir))),
+             None if backstop is None else now + backstop]
             for job in jobs
         ]
-        for job, handle in pending:
-            try:
-                records, failures = handle.get(backstop)
-            except multiprocessing.TimeoutError:
-                records, failures = [], _lost_worker_failures(
-                    job, f"worker exceeded {backstop:g}s backstop")
-            except Exception as exc:  # worker died mid-job
-                records, failures = [], _lost_worker_failures(
-                    job, f"worker crashed: {type(exc).__name__}: {exc}")
-            _absorb(records, failures)
-    finally:
+        while pending:
+            progressed = False
+            for item in list(pending):
+                job, handle, _deadline = item
+                if not handle.ready():
+                    continue
+                pending.remove(item)
+                progressed = True
+                try:
+                    records, failures = handle.get(0)
+                except Exception as exc:  # worker died mid-job
+                    lost_worker = True
+                    obs.add("eval.workers_lost", 1)
+                    records, failures = [], _lost_worker_failures(
+                        job, f"worker crashed: {type(exc).__name__}: "
+                             f"{exc}")
+                _absorb(records, failures)
+            if not pending:
+                break
+            now = time.monotonic()
+            if backstop is not None:
+                if progressed:
+                    # A completion proves the pool is alive; a pending
+                    # job may only just have been picked up by a
+                    # worker, so its backstop clock restarts now.
+                    fresh = now + backstop
+                    for item in pending:
+                        item[2] = fresh
+                else:
+                    for item in list(pending):
+                        if now < item[2]:
+                            continue
+                        pending.remove(item)
+                        lost_worker = True
+                        obs.add("eval.workers_lost", 1)
+                        _absorb([], _lost_worker_failures(
+                            item[0],
+                            f"worker exceeded {backstop:g}s backstop"))
+            if not progressed and pending:
+                time.sleep(_POLL_INTERVAL)
+    except BaseException:
+        # Abort path (--fail-fast, KeyboardInterrupt): drop the pool
+        # immediately, in-flight work included.
         pool.terminate()
         pool.join()
+        raise
+    # Clean completion: let in-flight worker code (e.g. a DiskCache.put
+    # or a trace flush) finish instead of killing it mid-write — unless
+    # a worker was declared lost, in which case join() could block on
+    # its wedged process forever.
+    if lost_worker:
+        pool.terminate()
+    else:
+        pool.close()
+    pool.join()
     return report
+
+
+def _worker_obs_init(trace_dir: str | None) -> None:
+    """Pool-worker initializer: give each worker its own recorder.
+
+    Workers must not inherit the parent recorder across ``fork`` —
+    spans the parent collected before the pool spawned would be
+    re-exported by every worker. Tracing runs get a fresh recorder;
+    otherwise the no-op default is (re)installed.
+    """
+    obs.set_recorder(obs.TraceRecorder() if trace_dir else None)
+
+
+def _flush_job_trace(trace_dir: str) -> None:
+    """Append this process's accumulated spans/counters to its part file."""
+    recorder = obs.recorder()
+    if not recorder.enabled:
+        return
+    path = Path(trace_dir) / f"worker-{os.getpid()}.jsonl"
+    try:
+        obs.append_payload(path, recorder.drain())
+    except OSError:
+        pass  # tracing is an accelerant, never a point of failure
 
 
 def _job_payload(entry: CorpusEntry, tool_names: list[str]) -> tuple:
@@ -167,7 +272,10 @@ def _lost_worker_failures(job: tuple, message: str) -> list[FailureRecord]:
 
 
 def _evaluate_job(
-    job: tuple, timeout: float | None = None, retries: int = 0
+    job: tuple,
+    timeout: float | None = None,
+    retries: int = 0,
+    trace_dir: str | None = None,
 ) -> tuple[list[RunRecord], list[FailureRecord]]:
     """Evaluate one corpus entry; never raises.
 
@@ -175,6 +283,16 @@ def _evaluate_job(
     cell failure is returned as data so nothing propagates across the
     process boundary as an exception.
     """
+    try:
+        return _evaluate_job_inner(job, timeout, retries)
+    finally:
+        if trace_dir is not None:
+            _flush_job_trace(trace_dir)
+
+
+def _evaluate_job_inner(
+    job: tuple, timeout: float | None, retries: int
+) -> tuple[list[RunRecord], list[FailureRecord]]:
     (stripped, gt, suite, program, compiler, bits, pie, opt,
      tool_names) = job
     prov = _job_provenance(job)
@@ -193,30 +311,36 @@ def _evaluate_job(
             elapsed_seconds=elapsed,
         ))
 
-    elf, error, attempts, elapsed = run_cell(
-        lambda: ELFFile(stripped), timeout=timeout, retries=retries)
-    if error is not None:
-        for name in tool_names:
-            _fail(name, PHASE_PARSE, error, attempts, elapsed)
-        return records, failures
-
-    gt_set = set(gt)
-    for name in tool_names:
-        result, error, attempts, elapsed = run_cell(
-            lambda n=name: ALL_DETECTORS[n]().detect(elf),
-            timeout=timeout, retries=retries)
+    with obs.span("entry", suite=suite, program=program):
+        elf, error, attempts, elapsed = run_cell(
+            lambda: ELFFile(stripped), timeout=timeout, retries=retries)
         if error is not None:
-            _fail(name, PHASE_DETECT, error, attempts, elapsed)
-            continue
-        records.append(RunRecord(
-            suite=suite,
-            program=program,
-            compiler=compiler,
-            bits=bits,
-            pie=pie,
-            opt=opt,
-            tool=name,
-            confusion=score(gt_set, result.functions),
-            elapsed_seconds=result.elapsed_seconds,
-        ))
+            for name in tool_names:
+                _fail(name, PHASE_PARSE, error, attempts, elapsed)
+            return records, failures
+
+        gt_set = set(gt)
+        for name in tool_names:
+            cell_mark = obs.mark()
+            result, error, attempts, elapsed = run_cell(
+                lambda n=name: ALL_DETECTORS[n]().detect(elf),
+                timeout=timeout, retries=retries)
+            if error is not None:
+                _fail(name, PHASE_DETECT, error, attempts, elapsed)
+                continue
+            with obs.span("score", tool=name):
+                confusion = score(gt_set, result.functions)
+            phases = obs.phase_totals(cell_mark) or None
+            records.append(RunRecord(
+                suite=suite,
+                program=program,
+                compiler=compiler,
+                bits=bits,
+                pie=pie,
+                opt=opt,
+                tool=name,
+                confusion=confusion,
+                elapsed_seconds=result.elapsed_seconds,
+                phase_seconds=phases,
+            ))
     return records, failures

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.baselines.base import FunctionDetector
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
@@ -41,6 +42,10 @@ class RunRecord:
     tool: str
     confusion: Confusion
     elapsed_seconds: float
+    #: Per-phase span totals (seconds) for this cell, keyed by span
+    #: name (``detect``/``sweep``/``filter``/...). Populated only when
+    #: an observability recorder is active; ``None`` otherwise.
+    phase_seconds: dict | None = None
 
 
 @dataclass
@@ -158,33 +163,41 @@ def run_evaluation(
 
     for entry in corpus:
         prov = _provenance(entry)
-        elf, error, attempts, elapsed = run_cell(
-            lambda: ELFFile(entry.stripped),
-            timeout=timeout, retries=retries,
-        )
-        if error is not None:
-            # The parse serves every tool of this entry: fail each cell.
-            for tool_name in detectors:
-                _record_failure(_failure(
-                    prov, tool_name, PHASE_PARSE, error, attempts, elapsed))
-            continue
-        gt = entry.binary.ground_truth.function_starts
-        for tool_name, detector in detectors.items():
-            result, error, attempts, elapsed = run_cell(
-                lambda d=detector: d.detect(elf),
+        with obs.span("entry", suite=entry.suite, program=entry.program):
+            elf, error, attempts, elapsed = run_cell(
+                lambda: ELFFile(entry.stripped),
                 timeout=timeout, retries=retries,
             )
             if error is not None:
-                _record_failure(_failure(
-                    prov, tool_name, PHASE_DETECT, error, attempts,
-                    elapsed))
+                # The parse serves every tool of this entry: fail each
+                # cell.
+                for tool_name in detectors:
+                    _record_failure(_failure(
+                        prov, tool_name, PHASE_PARSE, error, attempts,
+                        elapsed))
                 continue
-            report.records.append(RunRecord(
-                **prov,
-                tool=tool_name,
-                confusion=score(gt, result.functions),
-                elapsed_seconds=result.elapsed_seconds,
-            ))
+            gt = entry.binary.ground_truth.function_starts
+            for tool_name, detector in detectors.items():
+                cell_mark = obs.mark()
+                result, error, attempts, elapsed = run_cell(
+                    lambda d=detector: d.detect(elf),
+                    timeout=timeout, retries=retries,
+                )
+                if error is not None:
+                    _record_failure(_failure(
+                        prov, tool_name, PHASE_DETECT, error, attempts,
+                        elapsed))
+                    continue
+                with obs.span("score", tool=tool_name):
+                    confusion = score(gt, result.functions)
+                phases = obs.phase_totals(cell_mark) or None
+                report.records.append(RunRecord(
+                    **prov,
+                    tool=tool_name,
+                    confusion=confusion,
+                    elapsed_seconds=result.elapsed_seconds,
+                    phase_seconds=phases,
+                ))
     return report
 
 

@@ -1,0 +1,99 @@
+"""Lightweight, zero-dependency pipeline observability.
+
+Hierarchical timing spans, named counters, and a JSONL trace exporter,
+threaded through the analysis pipeline (parse → sweep → filter →
+tailcall → score) and both evaluation runners. Disabled by default:
+the module-level recorder is a :class:`~repro.obs.recorder.NullRecorder`
+whose operations are no-ops, so instrumented code pays one attribute
+call per region — never a conditional in a hot loop (hot loops
+accumulate locally and report once via :func:`add`).
+
+Usage::
+
+    from repro import obs
+
+    with obs.span("sweep", section=".text"):
+        ...
+        obs.add("sweep.insns", count)
+
+    recorder = obs.set_recorder(obs.TraceRecorder())   # enable
+    ...pipeline...
+    totals = recorder.phase_totals()                   # name -> seconds
+    obs.set_recorder(None)                             # back to no-op
+
+The span taxonomy, counter names and trace schema are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.recorder import NullRecorder, SpanRecord, TraceRecorder
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    Trace,
+    append_payload,
+    merge_traces,
+    read_trace,
+    write_trace,
+)
+
+_NULL = NullRecorder()
+_recorder: NullRecorder | TraceRecorder = _NULL
+
+
+def recorder() -> NullRecorder | TraceRecorder:
+    """The process's active recorder (never ``None``)."""
+    return _recorder
+
+
+def set_recorder(
+    rec: TraceRecorder | NullRecorder | None,
+) -> NullRecorder | TraceRecorder:
+    """Install a recorder (``None`` restores the no-op default)."""
+    global _recorder
+    _recorder = _NULL if rec is None else rec
+    return _recorder
+
+
+def enabled() -> bool:
+    return _recorder.enabled
+
+
+def span(name: str, **attrs):
+    """Open a timing span on the active recorder (context manager)."""
+    return _recorder.span(name, **attrs)
+
+
+def add(name: str, value: float = 1) -> None:
+    """Bump a named counter on the active recorder."""
+    _recorder.add(name, value)
+
+
+def mark() -> int:
+    """Snapshot the completed-span log position (0 when disabled)."""
+    return _recorder.mark()
+
+
+def phase_totals(mark: int = 0) -> dict[str, float]:
+    """Per-span-name duration totals since ``mark`` ({} when disabled)."""
+    return _recorder.phase_totals(mark)
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "NullRecorder",
+    "SpanRecord",
+    "Trace",
+    "TraceRecorder",
+    "add",
+    "append_payload",
+    "enabled",
+    "mark",
+    "merge_traces",
+    "phase_totals",
+    "read_trace",
+    "recorder",
+    "set_recorder",
+    "span",
+    "write_trace",
+]

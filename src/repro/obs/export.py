@@ -1,0 +1,162 @@
+"""Structured JSONL trace export, loading and cross-process merging.
+
+A trace file is newline-delimited JSON. Every line carries a ``type``:
+
+- ``meta`` — one per contributing process: schema tag, pid, wall-clock
+  epoch at export time.
+- ``span`` — one completed span (see
+  :meth:`repro.obs.recorder.SpanRecord.to_doc`), tagged with the pid
+  that recorded it.
+- ``counter`` — one named counter total for one process
+  (``{"type": "counter", "name": ..., "value": ..., "pid": ...}``).
+
+Multi-process evaluation writes one part file per worker (appended to
+after every job, so a killed worker loses at most its in-flight job's
+spans) and the parent merges the parts with :func:`merge_traces`:
+span lines are concatenated, counter lines are summed by name across
+processes. Loading is tolerant — a torn final line from a terminated
+worker is skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+TRACE_SCHEMA = "obs-trace/v1"
+
+
+@dataclass
+class Trace:
+    """One parsed trace: span dicts plus cross-process counter sums."""
+
+    metas: list[dict] = field(default_factory=list)
+    spans: list[dict] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def span_totals(self) -> dict[str, float]:
+        """Total duration per span name, across all processes."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            totals[span["name"]] = (
+                totals.get(span["name"], 0.0) + span["dur"])
+        return totals
+
+    def children(self, span_id: int, pid: int) -> list[dict]:
+        return [s for s in self.spans
+                if s["parent"] == span_id and s.get("pid") == pid]
+
+
+def _meta_line(pid: int) -> dict:
+    return {
+        "type": "meta",
+        "schema": TRACE_SCHEMA,
+        "pid": pid,
+        "unix_time": time.time(),
+    }
+
+
+def _payload_lines(payload: dict, pid: int) -> list[dict]:
+    lines = []
+    for span in payload.get("spans", ()):
+        lines.append({**span, "pid": pid})
+    for name, value in sorted(payload.get("counters", {}).items()):
+        lines.append(
+            {"type": "counter", "name": name, "value": value, "pid": pid})
+    return lines
+
+
+def write_trace(
+    path: str | Path, payload: dict, *, pid: int | None = None
+) -> None:
+    """Write one recorder payload (``recorder.drain()``) as a trace file."""
+    pid = os.getpid() if pid is None else pid
+    with open(path, "w", encoding="utf-8") as f:
+        for doc in [_meta_line(pid)] + _payload_lines(payload, pid):
+            f.write(json.dumps(doc, sort_keys=True) + "\n")
+
+
+def append_payload(
+    path: str | Path, payload: dict, *, pid: int | None = None
+) -> None:
+    """Append one payload to a per-process part file (created on first
+    use with its ``meta`` line)."""
+    if not payload.get("spans") and not payload.get("counters"):
+        return
+    pid = os.getpid() if pid is None else pid
+    path = Path(path)
+    fresh = not path.exists()
+    with open(path, "a", encoding="utf-8") as f:
+        docs = _payload_lines(payload, pid)
+        if fresh:
+            docs = [_meta_line(pid)] + docs
+        for doc in docs:
+            f.write(json.dumps(doc, sort_keys=True) + "\n")
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Parse a trace file; malformed lines (torn writes) are skipped."""
+    trace = Trace()
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return trace
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue  # torn final line of a killed worker
+        if not isinstance(doc, dict):
+            continue
+        kind = doc.get("type")
+        if kind == "meta":
+            trace.metas.append(doc)
+        elif kind == "span":
+            trace.spans.append(doc)
+        elif kind == "counter":
+            name = doc.get("name")
+            if isinstance(name, str):
+                trace.counters[name] = (
+                    trace.counters.get(name, 0) + doc.get("value", 0))
+    return trace
+
+
+def merge_traces(out_path: str | Path, part_paths) -> Trace:
+    """Merge per-process part files into one trace file.
+
+    Span and meta lines are concatenated; counters are summed by name
+    across processes and re-emitted as single aggregate lines (tagged
+    ``pid: 0``). Returns the merged trace.
+    """
+    merged = Trace()
+    for part in part_paths:
+        trace = read_trace(part)
+        merged.metas.extend(trace.metas)
+        merged.spans.extend(trace.spans)
+        for name, value in trace.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+    with open(out_path, "w", encoding="utf-8") as f:
+        head = {
+            "type": "meta",
+            "schema": TRACE_SCHEMA,
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+            "merged_parts": len(merged.metas),
+        }
+        f.write(json.dumps(head, sort_keys=True) + "\n")
+        for doc in merged.metas:
+            f.write(json.dumps(doc, sort_keys=True) + "\n")
+        for doc in merged.spans:
+            f.write(json.dumps(doc, sort_keys=True) + "\n")
+        for name in sorted(merged.counters):
+            f.write(json.dumps(
+                {"type": "counter", "name": name,
+                 "value": merged.counters[name], "pid": 0},
+                sort_keys=True) + "\n")
+    return merged

@@ -1,0 +1,190 @@
+"""Span/counter recorders — the core of the observability subsystem.
+
+Two recorder implementations share one duck-typed interface:
+
+- :class:`NullRecorder` — the module default. Every operation is a
+  no-op; ``span()`` returns a single preallocated null context manager,
+  so the disabled path costs one attribute lookup plus one call and
+  allocates nothing. Hot loops never branch on "is tracing on": they
+  accumulate locally and report once per region through ``add()``.
+- :class:`TraceRecorder` — hierarchical timing spans (a stack of open
+  spans; closing records duration, parent and depth), named counters,
+  and exception-aware unwinding (a span closed by an exception records
+  the exception type and still pops cleanly).
+
+Recorders are per-process. Worker processes install their own (see
+:mod:`repro.eval.parallel`) and the parent merges the exported traces;
+counters are summed across processes at merge time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    id: int
+    parent: int  # 0 = top level
+    name: str
+    depth: int
+    start: float  # perf_counter seconds
+    dur: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_doc(self) -> dict:
+        doc = {
+            "type": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "depth": self.depth,
+            "start": round(self.start, 9),
+            "dur": round(self.dur, 9),
+        }
+        if self.attrs:
+            doc["attrs"] = self.attrs
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled-path recorder: every operation is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def mark(self) -> int:
+        return 0
+
+    def phase_totals(self, mark: int = 0) -> dict[str, float]:
+        return {}
+
+    def drain(self) -> dict:
+        return {"spans": [], "counters": {}}
+
+
+class _ActiveSpan:
+    """Context manager for one open span of a :class:`TraceRecorder`."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "TraceRecorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def set(self, **attrs) -> "_ActiveSpan":
+        self.record.attrs.update(attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._close(self.record, exc_type)
+        return False  # never swallow the exception
+
+
+class TraceRecorder:
+    """Collects a span tree and named counters for one process."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []  # completed, in close order
+        self.counters: dict[str, float] = {}
+        self._stack: list[SpanRecord] = []
+        self._next_id = 1
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        record = SpanRecord(
+            id=self._next_id,
+            parent=self._stack[-1].id if self._stack else 0,
+            name=name,
+            depth=len(self._stack),
+            start=time.perf_counter(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        return _ActiveSpan(self, record)
+
+    def _close(self, record: SpanRecord, exc_type) -> None:
+        record.dur = time.perf_counter() - record.start
+        if exc_type is not None:
+            record.error = exc_type.__name__
+        # Pop up to and including `record`. An abandoned child (e.g. a
+        # generator span never exhausted) is closed here with whatever
+        # it accumulated, so an exception unwinding through nested
+        # spans leaves the stack consistent.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+            top.dur = time.perf_counter() - top.start
+            top.error = top.error or "AbandonedSpan"
+            self.spans.append(top)
+        self.spans.append(record)
+
+    # -- counters -----------------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- aggregation --------------------------------------------------------
+
+    def mark(self) -> int:
+        """A position in the completed-span log, for windowed totals."""
+        return len(self.spans)
+
+    def phase_totals(self, mark: int = 0) -> dict[str, float]:
+        """Total duration per span name, over spans closed since ``mark``."""
+        totals: dict[str, float] = {}
+        for span in self.spans[mark:]:
+            totals[span.name] = totals.get(span.name, 0.0) + span.dur
+        return totals
+
+    def drain(self) -> dict:
+        """Return and reset the accumulated spans/counters.
+
+        Open spans stay on the stack (they belong to a later drain);
+        span ids keep incrementing so drained batches never collide.
+        """
+        payload = {
+            "spans": [s.to_doc() for s in self.spans],
+            "counters": dict(self.counters),
+        }
+        self.spans = []
+        self.counters = {}
+        return payload

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.x86.decoder import DecodeError, decode_raw
 from repro.x86.insn import Insn, InsnClass
 
@@ -84,23 +85,28 @@ def build_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
     viable = [False] * (n + 1)
     viable[n] = True
     terminators = _TERMINATORS
-    for i in range(n - 1, -1, -1):
-        try:
-            length, klass, target, notrack = decode_raw(
-                data, i, base_addr + i, bits
-            )
-        except DecodeError:
-            continue
-        lengths[i] = length
-        klasses[i] = klass
-        if target is not None:
-            targets[i] = target
-        if notrack:
-            notracks.add(i)
-        if i + length > n:
-            continue
-        if klass in terminators or viable[i + length]:
-            viable[i] = True
+    errors = 0
+    with obs.span("superset.index", bytes=n):
+        for i in range(n - 1, -1, -1):
+            try:
+                length, klass, target, notrack = decode_raw(
+                    data, i, base_addr + i, bits
+                )
+            except DecodeError:
+                errors += 1
+                continue
+            lengths[i] = length
+            klasses[i] = klass
+            if target is not None:
+                targets[i] = target
+            if notrack:
+                notracks.add(i)
+            if i + length > n:
+                continue
+            if klass in terminators or viable[i + length]:
+                viable[i] = True
+        obs.add("superset.offsets_decoded", n - errors)
+        obs.add("superset.decode_errors", errors)
     return DecodeIndex(
         base_addr=base_addr, bits=bits, lengths=lengths, klasses=klasses,
         targets=targets, notracks=notracks, viable=viable,
@@ -120,7 +126,9 @@ def get_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
     index = _INDEX_MEMO.get(key)
     if index is not None:
         _INDEX_MEMO.move_to_end(key)
+        obs.add("superset.index_memo_hits", 1)
         return index
+    obs.add("superset.index_memo_misses", 1)
     index = build_index(data, bits, base_addr)
     _INDEX_MEMO[key] = index
     while len(_INDEX_MEMO) > _INDEX_MEMO_MAX:

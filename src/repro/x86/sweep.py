@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro import obs
 from repro.x86.decoder import DecodeError, decode
 from repro.x86.insn import Insn
 
@@ -19,20 +20,29 @@ def linear_sweep(data: bytes, base_addr: int, bits: int) -> Iterator[Insn]:
     """Yield instructions across ``data`` starting at ``base_addr``.
 
     Decode failures advance by one byte and continue (paper §IV-B); the
-    bad byte is simply not yielded.
+    bad byte is simply not yielded. Decode/error totals are reported to
+    the observability counters once, when the sweep is exhausted —
+    nothing is added to the per-instruction loop.
     """
     offset = 0
+    count = 0
+    errors = 0
     n = len(data)
     while offset < n:
         try:
             insn = decode(data, offset, base_addr + offset, bits)
         except DecodeError:
             offset += 1
+            errors += 1
             continue
         yield insn
+        count += 1
         offset += insn.length
+    obs.add("sweep.insns", count)
+    obs.add("sweep.decode_errors", errors)
 
 
 def sweep_section(section, bits: int) -> list[Insn]:
     """Linear-sweep one parsed ELF section object."""
-    return list(linear_sweep(section.data, section.sh_addr, bits))
+    with obs.span("sweep", bytes=len(section.data)):
+        return list(linear_sweep(section.data, section.sh_addr, bits))

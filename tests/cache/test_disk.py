@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 from repro.cache import DiskCache, SCHEMA_TAG, default_cache
 from repro.cache.disk import (
     ENV_CACHE_DIR,
+    TMP_GRACE_SECONDS,
     reset_default_cache,
     set_default_cache,
 )
@@ -104,6 +106,71 @@ class TestEviction:
         cache.put(HASH_A, "a", {"v": 1})
         cache.put(HASH_A, "b", {"v": 2})
         assert cache.stats.evictions >= 1
+
+
+def _orphan_tmp(cache: DiskCache, *, age: float, name: str = ".tmp-dead.json"):
+    """Plant a write temp file as a killed ``put`` would leave it."""
+    schema_dir = cache.root / SCHEMA_TAG
+    schema_dir.mkdir(parents=True, exist_ok=True)
+    path = schema_dir / name
+    path.write_text('{"half": ')
+    stamp = time.time() - age
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestTmpFileHygiene:
+    """Orphaned ``.tmp-*`` files (worker killed mid-put) are reclaimed."""
+
+    def test_orphan_invisible_to_lookups_and_census_entries(
+            self, disk_cache):
+        _orphan_tmp(disk_cache, age=2 * TMP_GRACE_SECONDS)
+        assert disk_cache.census()["entries"] == 0
+        assert disk_cache.census()["stale_tmp_files"] == 1
+
+    def test_clear_reclaims_stale_orphan(self, disk_cache):
+        path = _orphan_tmp(disk_cache, age=2 * TMP_GRACE_SECONDS)
+        assert disk_cache.clear() == 1
+        assert not path.exists()
+        assert disk_cache.census()["stale_tmp_files"] == 0
+
+    def test_evict_sweeps_stale_orphan_on_put(self, disk_cache):
+        path = _orphan_tmp(disk_cache, age=2 * TMP_GRACE_SECONDS)
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        assert not path.exists()
+        assert disk_cache.get(HASH_A, "sweep") == {"v": 1}
+
+    def test_fresh_tmp_survives_grace_period(self, disk_cache):
+        """A young temp file may belong to a live writer: keep it."""
+        path = _orphan_tmp(disk_cache, age=1.0)
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        disk_cache.clear()
+        assert path.exists()
+
+
+class TestSchemaDirPruning:
+    def test_clear_prunes_emptied_stale_schema_dir(self, disk_cache):
+        old = disk_cache.root / "v0"
+        old.mkdir(parents=True)
+        (old / f"{HASH_A}.sweep.json").write_text('{"v": 0}')
+        disk_cache.clear()
+        assert not old.exists()
+
+    def test_clear_keeps_current_schema_dir(self, disk_cache):
+        disk_cache.put(HASH_A, "sweep", {"v": 1})
+        disk_cache.clear()
+        assert (disk_cache.root / SCHEMA_TAG).is_dir()
+
+    def test_nonempty_stale_schema_dir_survives(self, disk_cache):
+        """A stale dir holding an unremovable file must not vanish."""
+        old = disk_cache.root / "v0"
+        old.mkdir(parents=True)
+        # Fresh tmp file: within grace, so clear() leaves it — and
+        # therefore must leave the directory too.
+        path = old / ".tmp-live.json"
+        path.write_text("{}")
+        disk_cache.clear()
+        assert old.is_dir() and path.exists()
 
 
 class TestStats:

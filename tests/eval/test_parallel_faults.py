@@ -1,0 +1,209 @@
+"""Fault-path tests for the parallel runner: lost workers, retries,
+and pool shutdown discipline.
+
+The detectors injected here are registered into ``ALL_DETECTORS``
+before the pool spawns, so forked workers inherit them; they opt out of
+the disk cache because their behavior is driven by side effects, not
+the binary image.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import ALL_DETECTORS
+from repro.baselines.base import FunctionDetector
+from repro.elf.parser import ELFFile
+from repro.eval import parallel as par
+from repro.eval.isolation import PHASE_DETECT, PHASE_WORKER
+from repro.eval.parallel import run_evaluation_parallel
+
+#: Trailing bytes appended to a corpus entry's image to mark it for the
+#: fault detectors. Appended junk is invisible to the section-table
+#: driven ELF parse, so the binary still analyzes normally.
+_WEDGE_MARKER = b"\xdeWEDGE\xad"
+
+_FLAKY_DIR_ENV = "REPRO_TEST_FLAKY_DIR"
+
+
+class _VanishingDetector(FunctionDetector):
+    """Kills its whole worker process on marked binaries."""
+
+    name = "vanisher"
+    cacheable = False
+
+    def _detect(self, elf: ELFFile) -> set[int]:
+        if _WEDGE_MARKER in elf.data:
+            os._exit(13)  # simulate a hard native crash: no cleanup
+        return set()
+
+
+class _FlakyDetector(FunctionDetector):
+    """Raises on the first attempt per binary, succeeds afterwards."""
+
+    name = "flaky"
+    cacheable = False
+
+    def _detect(self, elf: ELFFile) -> set[int]:
+        root = Path(os.environ[_FLAKY_DIR_ENV])
+        marker = root / hashlib.sha256(elf.data).hexdigest()[:16]
+        if not marker.exists():
+            marker.write_text("")
+            raise RuntimeError("transient flake")
+        return set()
+
+
+def _mark_for_wedge(entry):
+    return dataclasses.replace(
+        entry, stripped=entry.stripped + _WEDGE_MARKER)
+
+
+@pytest.fixture()
+def register_detectors(monkeypatch):
+    monkeypatch.setitem(ALL_DETECTORS, "vanisher", _VanishingDetector)
+    monkeypatch.setitem(ALL_DETECTORS, "flaky", _FlakyDetector)
+
+
+@pytest.fixture()
+def pool_spy(monkeypatch):
+    """Record close/terminate/join calls on the runner's pool."""
+    calls: list[str] = []
+    real_pool = multiprocessing.Pool
+
+    class SpyPool:
+        def __init__(self, *args, **kwargs):
+            self._pool = real_pool(*args, **kwargs)
+
+        def apply_async(self, *args, **kwargs):
+            return self._pool.apply_async(*args, **kwargs)
+
+        def close(self):
+            calls.append("close")
+            self._pool.close()
+
+        def terminate(self):
+            calls.append("terminate")
+            self._pool.terminate()
+
+        def join(self):
+            calls.append("join")
+            self._pool.join()
+
+    monkeypatch.setattr(multiprocessing, "Pool", SpyPool)
+    return calls
+
+
+class TestLostWorker:
+    def test_one_backstop_not_one_per_job(
+            self, tiny_corpus, register_detectors, monkeypatch, pool_spy):
+        """A wedged worker costs ~one backstop, and only its own job.
+
+        Five jobs, one marked: the marked job's worker dies without
+        reporting back, every other job completes normally, and the
+        sweep finishes roughly one backstop after the last useful work
+        — not ``jobs × backstop`` as head-of-line blocking would.
+        """
+        monkeypatch.setattr(par, "_BACKSTOP_GRACE", 2.0)
+        subset = list(tiny_corpus[:5])
+        subset[2] = _mark_for_wedge(subset[2])
+        tools = ["funseeker", "vanisher"]
+        # backstop = timeout * (retries+1) * (tools+1) + grace = 3.5s
+        started = time.monotonic()
+        report = run_evaluation_parallel(
+            subset, tools, workers=2, timeout=0.5)
+        wall = time.monotonic() - started
+        backstop = 0.5 * 1 * (len(tools) + 1) + 2.0
+        assert wall < 3 * backstop  # vs ~5 backstops under head-of-line
+
+        # Only the marked job is lost — both of its cells, as worker
+        # failures — and every other (binary, tool) cell has a record.
+        assert len(report.failures) == len(tools)
+        for failure in report.failures:
+            assert failure.phase == PHASE_WORKER
+            assert failure.error_type == "WorkerLost"
+            assert failure.program == subset[2].program
+        assert len(report.records) == (len(subset) - 1) * len(tools)
+
+        # A lost worker forces terminate(): join() would block forever
+        # on the wedged process.
+        assert "terminate" in pool_spy
+        assert "close" not in pool_spy
+
+    def test_lost_worker_does_not_block_other_results(
+            self, tiny_corpus, register_detectors, monkeypatch):
+        """Results finishing after the wedge are still absorbed."""
+        monkeypatch.setattr(par, "_BACKSTOP_GRACE", 2.0)
+        subset = list(tiny_corpus[:4])
+        subset[0] = _mark_for_wedge(subset[0])  # first job wedges
+        report = run_evaluation_parallel(
+            subset, ["vanisher"], workers=2, timeout=0.5)
+        assert len(report.records) == 3
+        assert [f.program for f in report.failures] == [subset[0].program]
+
+
+class TestRetries:
+    def test_flaky_cell_recovers_with_retry(
+            self, tiny_corpus, register_detectors, monkeypatch, tmp_path):
+        monkeypatch.setenv(_FLAKY_DIR_ENV, str(tmp_path))
+        report = run_evaluation_parallel(
+            tiny_corpus[:3], ["flaky"], workers=2, retries=1)
+        assert report.failures == []
+        assert len(report.records) == 3
+
+    def test_flaky_cell_fails_without_retry(
+            self, tiny_corpus, register_detectors, monkeypatch, tmp_path):
+        monkeypatch.setenv(_FLAKY_DIR_ENV, str(tmp_path))
+        report = run_evaluation_parallel(
+            tiny_corpus[:3], ["flaky"], workers=2, retries=0)
+        assert report.records == []
+        assert len(report.failures) == 3
+        for failure in report.failures:
+            assert failure.phase == PHASE_DETECT
+            assert failure.error_type == "RuntimeError"
+            assert failure.attempts == 1
+
+
+class TestWorkerTraces:
+    def test_counters_aggregate_across_worker_processes(
+            self, tiny_corpus, tmp_path):
+        from repro import obs
+
+        trace_dir = tmp_path / "parts"
+        trace_dir.mkdir()
+        report = run_evaluation_parallel(
+            tiny_corpus[:4], ["funseeker"], workers=2,
+            trace_dir=trace_dir)
+        assert len(report.records) == 4
+
+        parts = sorted(trace_dir.glob("worker-*.jsonl"))
+        assert parts
+        merged = obs.merge_traces(tmp_path / "merged.jsonl", parts)
+        # Counter sums span the worker processes that shared the jobs.
+        assert merged.counters.get("detect.runs") == 4
+        assert len([s for s in merged.spans if s["name"] == "entry"]) == 4
+        # The parent process's recorder stays the no-op default.
+        assert not obs.enabled()
+
+
+class TestPoolShutdown:
+    def test_clean_run_closes_instead_of_terminating(
+            self, tiny_corpus, pool_spy):
+        run_evaluation_parallel(tiny_corpus[:3], ["funseeker"], workers=2)
+        assert pool_spy == ["close", "join"]
+
+    def test_abort_terminates(self, tiny_corpus, register_detectors,
+                              monkeypatch, tmp_path, pool_spy):
+        from repro.errors import EvaluationAborted
+
+        monkeypatch.setenv(_FLAKY_DIR_ENV, str(tmp_path))
+        with pytest.raises(EvaluationAborted):
+            run_evaluation_parallel(
+                tiny_corpus[:3], ["flaky"], workers=2, keep_going=False)
+        assert pool_spy[0] == "terminate"

@@ -1,0 +1,106 @@
+"""End-to-end observability smoke tests (tier-1, ``obs_smoke`` marker).
+
+Profiles one synthetic binary through the CLI and sanity-checks the
+exported trace: it must parse as ``obs-trace/v1``, the span tree must
+nest sanely, and the root ``profile`` span must reconcile with the
+reported wall-clock within 5% — the acceptance bar for the trace being
+trustworthy as a performance artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import TRACE_SCHEMA, read_trace
+
+pytestmark = pytest.mark.obs_smoke
+
+
+@pytest.fixture(scope="module")
+def binary_path(tmp_path_factory):
+    from repro.synth import CompilerProfile, generate_program, link_program
+
+    profile = CompilerProfile("gcc", "O2", 64, True)
+    spec = generate_program("obs-smoke", 40, profile, seed=7, cxx=True)
+    binary = link_program(spec, profile)
+    path = tmp_path_factory.mktemp("obs") / "obs-smoke.bin"
+    path.write_bytes(binary.data)
+    return path
+
+
+class TestProfileCommand:
+    def _profile(self, binary_path, trace_path, capsys):
+        rc = main(["profile", str(binary_path), "--json",
+                   "--trace", str(trace_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        return json.loads(out)
+
+    def test_trace_reconciles_with_wall_clock(
+            self, binary_path, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        doc = self._profile(binary_path, trace_path, capsys)
+        trace = read_trace(trace_path)
+        assert [m["schema"] for m in trace.metas] == [TRACE_SCHEMA]
+
+        totals = trace.span_totals()
+        elapsed = doc["elapsed_seconds"]
+        # The root "profile" span covers the whole measured window.
+        assert totals["profile"] == pytest.approx(elapsed, rel=0.05)
+        # Phases reported by the CLI match the trace's own totals.
+        for name, seconds in doc["phases"].items():
+            assert totals[name] == pytest.approx(seconds, abs=1e-3)
+
+    def test_span_tree_nests_sanely(self, binary_path, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        self._profile(binary_path, trace_path, capsys)
+        trace = read_trace(trace_path)
+        spans = {s["id"]: s for s in trace.spans}
+        roots = [s for s in trace.spans if s["parent"] == 0]
+        assert [s["name"] for s in roots] == ["profile"]
+        for s in trace.spans:
+            if s["parent"] == 0:
+                assert s["depth"] == 0
+                continue
+            parent = spans[s["parent"]]
+            assert s["depth"] == parent["depth"] + 1
+            # A child's window sits inside its parent's.
+            assert s["start"] >= parent["start"] - 1e-9
+            assert (s["start"] + s["dur"]
+                    <= parent["start"] + parent["dur"] + 1e-9)
+        names = {s["name"] for s in trace.spans}
+        assert {"profile", "parse", "detect"} <= names
+
+    def test_counters_exported(self, binary_path, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        doc = self._profile(binary_path, trace_path, capsys)
+        trace = read_trace(trace_path)
+        assert trace.counters == doc["counters"]
+        assert trace.counters.get("parse.files") == 1
+        assert trace.counters.get("sweep.insns", 0) > 0
+        assert trace.counters.get("detect.runs") == 1
+
+    def test_unknown_tool_rejected(self, binary_path, capsys):
+        rc = main(["profile", str(binary_path), "--tools", "nonexistent"])
+        assert rc == 2
+        assert "unknown detectors" in capsys.readouterr().err
+
+
+class TestEvalTrace:
+    def test_eval_trace_merges_worker_parts(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.jsonl"
+        rc = main(["evaluate", "--scale", "tiny",
+                   "--tools", "funseeker", "--workers", "1",
+                   "--output", str(out), "--trace", str(trace_path)])
+        assert rc == 0
+        trace = read_trace(trace_path)
+        assert len([s for s in trace.spans if s["name"] == "entry"]) == 24
+        assert trace.counters.get("detect.runs") == 24
+        # Per-record phase breakdowns ride along in the report too.
+        doc = json.loads(out.read_text())
+        assert "phase_seconds" in doc
+        assert all("detect" in rec["phases"] for rec in doc["records"])

@@ -1,0 +1,167 @@
+"""Tests for the span/counter recorders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import NullRecorder, TraceRecorder
+
+
+@pytest.fixture()
+def rec():
+    return TraceRecorder()
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_and_depth(self, rec):
+        with rec.span("outer") as outer:
+            with rec.span("inner") as inner:
+                pass
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["outer"].parent == 0
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].parent == outer.record.id
+        assert by_name["inner"].depth == 1
+        # Children close before parents.
+        assert rec.spans[0].name == "inner"
+        assert inner.record.dur <= outer.record.dur
+
+    def test_sibling_spans_share_parent(self, rec):
+        with rec.span("outer") as outer:
+            with rec.span("a"):
+                pass
+            with rec.span("b"):
+                pass
+        parents = {s.name: s.parent for s in rec.spans}
+        assert parents["a"] == parents["b"] == outer.record.id
+
+    def test_ids_are_unique_and_monotonic(self, rec):
+        for _ in range(3):
+            with rec.span("x"):
+                pass
+        ids = [s.id for s in rec.spans]
+        assert ids == sorted(ids) and len(set(ids)) == 3
+
+    def test_attrs_captured_and_settable(self, rec):
+        with rec.span("parse", bytes=100) as sp:
+            sp.set(sections=7)
+        assert rec.spans[0].attrs == {"bytes": 100, "sections": 7}
+
+    def test_to_doc_shape(self, rec):
+        with rec.span("parse", bytes=100):
+            pass
+        doc = rec.spans[0].to_doc()
+        assert doc["type"] == "span"
+        assert {"id", "parent", "name", "depth", "start", "dur"} <= set(doc)
+        assert doc["attrs"] == {"bytes": 100}
+        assert "error" not in doc
+
+
+class TestExceptionUnwinding:
+    def test_exception_propagates_and_is_recorded(self, rec):
+        with pytest.raises(ValueError):
+            with rec.span("boom"):
+                raise ValueError("nope")
+        assert rec.spans[0].error == "ValueError"
+        assert not rec._stack
+
+    def test_unwinding_closes_nested_spans(self, rec):
+        with pytest.raises(RuntimeError):
+            with rec.span("outer"):
+                with rec.span("inner"):
+                    raise RuntimeError
+        errors = {s.name: s.error for s in rec.spans}
+        assert errors == {"inner": "RuntimeError", "outer": "RuntimeError"}
+
+    def test_abandoned_child_closed_by_parent(self, rec):
+        """A never-exited child span must not corrupt the stack."""
+        with rec.span("outer"):
+            rec.span("leaked")  # context manager discarded, never exited
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["leaked"].error == "AbandonedSpan"
+        assert by_name["outer"].error is None
+        assert not rec._stack
+
+
+class TestCounters:
+    def test_add_sums(self, rec):
+        rec.add("sweep.insns", 10)
+        rec.add("sweep.insns", 5)
+        rec.add("cache.hits")
+        assert rec.counters == {"sweep.insns": 15, "cache.hits": 1}
+
+
+class TestAggregation:
+    def test_phase_totals_sum_by_name(self, rec):
+        for _ in range(2):
+            with rec.span("detect"):
+                pass
+        with rec.span("score"):
+            pass
+        totals = rec.phase_totals()
+        assert set(totals) == {"detect", "score"}
+        assert totals["detect"] == pytest.approx(
+            sum(s.dur for s in rec.spans if s.name == "detect"))
+
+    def test_mark_windows_the_log(self, rec):
+        with rec.span("before"):
+            pass
+        mark = rec.mark()
+        with rec.span("after"):
+            pass
+        assert set(rec.phase_totals(mark)) == {"after"}
+
+    def test_drain_returns_and_resets(self, rec):
+        with rec.span("a"):
+            pass
+        rec.add("n", 2)
+        payload = rec.drain()
+        assert [s["name"] for s in payload["spans"]] == ["a"]
+        assert payload["counters"] == {"n": 2}
+        assert rec.spans == [] and rec.counters == {}
+        # ids keep incrementing across drains, so batches never collide
+        with rec.span("b"):
+            pass
+        assert rec.spans[0].id > payload["spans"][0]["id"]
+
+    def test_drain_keeps_open_spans(self, rec):
+        cm = rec.span("open")
+        cm.__enter__()
+        rec.drain()
+        cm.__exit__(None, None, None)
+        assert [s.name for s in rec.spans] == ["open"]
+
+
+class TestNullRecorder:
+    def test_everything_is_a_noop(self):
+        null = NullRecorder()
+        assert null.enabled is False
+        with null.span("x", attr=1) as sp:
+            sp.set(more=2)
+        null.add("n", 5)
+        assert null.mark() == 0
+        assert null.phase_totals() == {}
+        assert null.drain() == {"spans": [], "counters": {}}
+
+    def test_span_object_is_shared(self):
+        null = NullRecorder()
+        assert null.span("a") is null.span("b")
+
+
+class TestModuleApi:
+    def test_default_is_disabled(self):
+        assert obs.enabled() is False
+        assert isinstance(obs.recorder(), NullRecorder)
+
+    def test_set_and_reset(self):
+        rec = obs.set_recorder(TraceRecorder())
+        try:
+            assert obs.enabled() is True
+            with obs.span("x"):
+                obs.add("n")
+            assert rec.counters == {"n": 1}
+            assert obs.phase_totals() == rec.phase_totals()
+        finally:
+            obs.set_recorder(None)
+        assert obs.enabled() is False

@@ -1,0 +1,122 @@
+"""Tests for JSONL trace export, loading and cross-process merging."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    TRACE_SCHEMA,
+    TraceRecorder,
+    append_payload,
+    merge_traces,
+    read_trace,
+    write_trace,
+)
+
+
+def _payload(*, spans=2, counters=None):
+    rec = TraceRecorder()
+    for i in range(spans):
+        with rec.span(f"s{i}", idx=i):
+            pass
+    for name, value in (counters or {}).items():
+        rec.add(name, value)
+    return rec.drain()
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, _payload(counters={"n": 3}), pid=11)
+        trace = read_trace(path)
+        assert [m["schema"] for m in trace.metas] == [TRACE_SCHEMA]
+        assert [s["name"] for s in trace.spans] == ["s0", "s1"]
+        assert all(s["pid"] == 11 for s in trace.spans)
+        assert trace.counters == {"n": 3}
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, _payload())
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_span_totals(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rec = TraceRecorder()
+        for _ in range(2):
+            with rec.span("detect"):
+                pass
+        write_trace(path, rec.drain())
+        totals = read_trace(path).span_totals()
+        assert set(totals) == {"detect"}
+        assert totals["detect"] > 0
+
+    def test_missing_file_is_empty_trace(self, tmp_path):
+        trace = read_trace(tmp_path / "absent.jsonl")
+        assert trace.metas == [] and trace.spans == []
+
+
+class TestAppend:
+    def test_meta_written_once(self, tmp_path):
+        path = tmp_path / "part.jsonl"
+        append_payload(path, _payload(), pid=5)
+        append_payload(path, _payload(), pid=5)
+        trace = read_trace(path)
+        assert len(trace.metas) == 1
+        assert len(trace.spans) == 4
+
+    def test_empty_payload_creates_nothing(self, tmp_path):
+        path = tmp_path / "part.jsonl"
+        append_payload(path, {"spans": [], "counters": {}})
+        assert not path.exists()
+
+
+class TestTornLines:
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, _payload(counters={"n": 1}))
+        with open(path, "a") as f:
+            f.write('{"type": "span", "name": "torn", "dur"')  # killed worker
+        trace = read_trace(path)
+        assert "torn" not in [s["name"] for s in trace.spans]
+        assert trace.counters == {"n": 1}
+
+    def test_non_dict_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('[1, 2]\n"str"\n\n')
+        trace = read_trace(path)
+        assert trace.spans == [] and trace.metas == []
+
+
+class TestMerge:
+    def test_counters_summed_across_processes(self, tmp_path):
+        a = tmp_path / "worker-1.jsonl"
+        b = tmp_path / "worker-2.jsonl"
+        write_trace(a, _payload(spans=1, counters={"cache.hits": 2}), pid=1)
+        write_trace(b, _payload(spans=2, counters={"cache.hits": 3,
+                                                   "cache.misses": 1}), pid=2)
+        out = tmp_path / "merged.jsonl"
+        merged = merge_traces(out, [a, b])
+        assert merged.counters == {"cache.hits": 5, "cache.misses": 1}
+        assert len(merged.spans) == 3
+        # The merged file itself round-trips to the same aggregates.
+        reread = read_trace(out)
+        assert reread.counters == merged.counters
+        assert len(reread.spans) == 3
+        assert {s["pid"] for s in reread.spans} == {1, 2}
+
+    def test_merged_head_records_part_count(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        write_trace(a, _payload(), pid=1)
+        out = tmp_path / "merged.jsonl"
+        merge_traces(out, [a])
+        head = json.loads(out.read_text().splitlines()[0])
+        assert head["schema"] == TRACE_SCHEMA
+        assert head["merged_parts"] == 1
+
+    def test_missing_part_tolerated(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        write_trace(a, _payload(spans=1), pid=1)
+        out = tmp_path / "merged.jsonl"
+        merged = merge_traces(out, [a, tmp_path / "gone.jsonl"])
+        assert len(merged.spans) == 1
