@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro import obs
+from repro import faults, obs
 
 #: Bump whenever any document produced by repro.cache.serialize (or the
 #: meaning of an artifact name) changes shape.
@@ -97,9 +97,18 @@ class DiskCache:
     # -- operations ---------------------------------------------------------
 
     def get(self, content_hash: str, artifact: str) -> dict | None:
-        """Load one document, or ``None`` on any kind of miss."""
+        """Load one document, or ``None`` on any kind of miss.
+
+        The ``cache.get`` fault point sits inside the guarded region:
+        an injected I/O error takes the ordinary miss path, and an
+        injected ``corrupt`` scribbles over the on-disk entry *before*
+        the read so the real malformed-entry handling is what recovers.
+        """
         path = self._entry_path(content_hash, artifact)
         try:
+            kind = faults.hit(faults.SITE_CACHE_GET)
+            if kind == faults.KIND_CORRUPT and path.exists():
+                path.write_bytes(b"\x00corrupted-cache-entry")
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
         except (OSError, ValueError):
@@ -118,6 +127,7 @@ class DiskCache:
         """Store one document atomically; best-effort, never raises."""
         directory = self._schema_dir()
         try:
+            faults.hit(faults.SITE_CACHE_PUT)
             directory.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=directory, prefix=".tmp-", suffix=".json"

@@ -11,6 +11,11 @@
     funseeker evaluate [--tools ...] [--format json|csv] [--output F]
                        [--timeout S] [--retries N] [--fail-fast]
                        [--cache-dir D] [--trace PATH]
+                       [--run-dir D | --resume D] [--retry-backoff S]
+                       [--breaker-threshold N] [--max-rss-mb M]
+                       [--fault-plan PLAN] [--quarantine D]
+    funseeker quarantine list|replay --dir D  # captured failing inputs
+    funseeker chaos [--scale S] [--seed N]    # crash-safety acceptance
     funseeker profile <binary> [--tools ...] [--trace PATH] [--json]
     funseeker cache stats|clear [--cache-dir D]  # on-disk artifact cache
     funseeker fuzz [--budget N] [--seed S]  # fault-injection harness
@@ -119,6 +124,32 @@ def main(argv: list[str] | None = None) -> int:
     p_ev.add_argument("--trace", default=None,
                       help="write a JSONL observability trace (spans + "
                            "counters, merged across workers) to PATH")
+    p_ev.add_argument("--run-dir", default=None,
+                      help="journal every decided cell into this fresh "
+                           "run directory (crash-safe, resumable)")
+    p_ev.add_argument("--resume", default=None, metavar="RUN_DIR",
+                      help="resume a journaled run: skip completed "
+                           "cells, retry journaled failures, refuse a "
+                           "mismatched manifest")
+    p_ev.add_argument("--retry-backoff", type=float, default=0.0,
+                      help="base seconds for exponential backoff "
+                           "between retry attempts (default 0: none)")
+    p_ev.add_argument("--breaker-threshold", type=int, default=0,
+                      help="open a per-tool circuit after N consecutive "
+                           "detect failures (default 0: breaker off)")
+    p_ev.add_argument("--breaker-cooldown", type=int, default=10,
+                      help="skipped cells before a half-open probe "
+                           "(default 10)")
+    p_ev.add_argument("--max-rss-mb", type=int, default=None,
+                      help="address-space ceiling per worker, MiB "
+                           "(overruns become MemoryError failures)")
+    p_ev.add_argument("--fault-plan", default=None,
+                      help="inject deterministic faults, e.g. "
+                           "'io@cache.get#3,kill@cell.execute#5' "
+                           "(also $REPRO_FAULT_PLAN)")
+    p_ev.add_argument("--quarantine", default=None, metavar="DIR",
+                      help="capture failing inputs (stripped image + "
+                           "failure metadata) into DIR for replay")
 
     p_pf = sub.add_parser(
         "profile",
@@ -153,6 +184,37 @@ def main(argv: list[str] | None = None) -> int:
                       help="wall-clock seconds per pipeline run "
                            "(default 5)")
 
+    p_qr = sub.add_parser(
+        "quarantine",
+        help="inspect or replay inputs captured from failing cells")
+    p_qr.add_argument("action", choices=["list", "replay"])
+    p_qr.add_argument("--dir", dest="quarantine_dir", required=True,
+                      help="quarantine directory (evaluate --quarantine)")
+    p_qr.add_argument("--sha", default=None,
+                      help="only the entry whose sha256 starts with this")
+    p_qr.add_argument("--timeout", type=float, default=30.0,
+                      help="watchdog seconds per replayed cell "
+                           "(default 30)")
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="crash-safety acceptance: run seeded fault scenarios "
+             "(worker kill, torn journal, corrupted cache, disk full, "
+             "cell hang) and assert every run resumes to the "
+             "fault-free report")
+    p_ch.add_argument("--scale", default="tiny",
+                      choices=["tiny", "small", "full"])
+    p_ch.add_argument("--seed", type=int, default=2022)
+    p_ch.add_argument("--tools", default="funseeker,fetch",
+                      help="comma-separated detector names "
+                           "(default funseeker,fetch)")
+    p_ch.add_argument("--limit", type=int, default=6,
+                      help="corpus entries to exercise (default 6; "
+                           "0 = the whole corpus)")
+    p_ch.add_argument("--work-dir", default=None,
+                      help="keep run directories here for post-mortem "
+                           "(default: a temp dir, removed on success)")
+
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -186,6 +248,10 @@ def _dispatch(args) -> int:
         return _cmd_cache(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "quarantine":
+        return _cmd_quarantine(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_table(args)
 
 
@@ -218,15 +284,35 @@ def _cmd_evaluate(args) -> int:
     import shutil
     import tempfile
 
-    from repro import obs
-    from repro.errors import EvaluationAborted
+    from repro import faults, obs
+    from repro.errors import (
+        EvaluationAborted,
+        JournalError,
+        JournalWriteError,
+        ManifestMismatchError,
+    )
+    from repro.eval.breaker import CircuitBreaker
     from repro.eval.export import report_to_csv, report_to_json
+    from repro.eval.journal import (
+        RunJournal,
+        build_manifest,
+        check_manifest,
+        merge_resumed_report,
+        read_journal,
+    )
     from repro.eval.parallel import run_evaluation_parallel
+    from repro.eval.quarantine import QuarantineStore
     from repro.eval.tables import failure_summary
     from repro.synth.corpus import build_corpus
 
+    if args.run_dir and args.resume:
+        print("error: --run-dir starts a fresh journal, --resume "
+              "continues one; pass exactly one of them", file=sys.stderr)
+        return 2
     tools = [t.strip() for t in args.tools.split(",") if t.strip()]
     _configure_cache(args.cache_dir)
+    if args.fault_plan:
+        faults.install(args.fault_plan)
     trace_dir = None
     if args.trace:
         # Parent + each worker write JSONL part files here; they are
@@ -235,6 +321,38 @@ def _cmd_evaluate(args) -> int:
         obs.set_recorder(obs.TraceRecorder())
     print(f"building '{args.scale}' corpus ...", file=sys.stderr)
     corpus = build_corpus(args.scale, seed=args.seed)
+
+    journal = prior = None
+    completed = None
+    try:
+        if args.resume:
+            journal = RunJournal.resume(args.resume)
+            check_manifest(journal.manifest(), corpus, tools)
+            prior = read_journal(args.resume)
+            completed = prior.completed
+            print(f"resuming {args.resume}: {len(prior.records)} cells "
+                  f"journaled, {len(prior.failures)} failures to retry"
+                  + (" (torn tail dropped)" if prior.torn_tail else ""),
+                  file=sys.stderr)
+        elif args.run_dir:
+            journal = RunJournal.create(
+                args.run_dir,
+                build_manifest(corpus, tools, scale=args.scale,
+                               seed=args.seed, timeout=args.timeout,
+                               retries=args.retries))
+    except ManifestMismatchError as exc:
+        print(f"refusing to resume: {exc}", file=sys.stderr)
+        return 2
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    breaker = None
+    if args.breaker_threshold > 0:
+        breaker = CircuitBreaker(threshold=args.breaker_threshold,
+                                 cooldown=args.breaker_cooldown)
+    quarantine = (QuarantineStore(args.quarantine)
+                  if args.quarantine else None)
+
     print(f"evaluating {tools} over {len(corpus)} binaries ...",
           file=sys.stderr)
     try:
@@ -245,15 +363,33 @@ def _cmd_evaluate(args) -> int:
             retries=args.retries,
             keep_going=not args.fail_fast,
             trace_dir=trace_dir,
+            backoff=args.retry_backoff,
+            journal=journal,
+            completed=completed,
+            breaker=breaker,
+            quarantine=quarantine,
+            max_rss_mb=args.max_rss_mb,
         )
     except EvaluationAborted as exc:
         print(f"aborted (--fail-fast): {exc}", file=sys.stderr)
         return 2
+    except JournalWriteError as exc:
+        run_dir = args.resume or args.run_dir
+        print(f"journal write failed, sweep aborted: {exc}\n"
+              f"completed cells are safe; continue with "
+              f"--resume {run_dir}", file=sys.stderr)
+        return 3
     finally:
+        if journal is not None:
+            journal.close()
+        if args.fault_plan:
+            faults.clear()
         if trace_dir is not None:
             _export_eval_trace(args.trace, trace_dir)
             obs.set_recorder(None)
             shutil.rmtree(trace_dir, ignore_errors=True)
+    if prior is not None:
+        report = merge_resumed_report(corpus, tools, prior, report)
     text = (report_to_json(report) if args.format == "json"
             else report_to_csv(report))
     if args.output == "-":
@@ -285,6 +421,71 @@ def _export_eval_trace(out_path: str, trace_dir: str) -> None:
     print(f"wrote trace {out_path} ({len(trace.spans)} spans, "
           f"{len(trace.counters)} counters, {len(parts)} part files)",
           file=sys.stderr)
+
+
+def _cmd_quarantine(args) -> int:
+    from repro.eval.quarantine import QuarantineStore, replay_entry
+
+    store = QuarantineStore(args.quarantine_dir)
+    entries = store.entries()
+    if args.sha:
+        entries = [e for e in entries if e.sha256.startswith(args.sha)]
+    if not entries:
+        print(f"no quarantined inputs under {args.quarantine_dir}"
+              + (f" matching {args.sha!r}" if args.sha else ""))
+        return 0
+    if args.action == "list":
+        for entry in entries:
+            print(f"{entry.short}  {entry.size:8d} bytes  "
+                  f"{len(entry.failures)} failure(s)")
+            for meta in entry.failures:
+                print(f"    {meta['suite']}/{meta['program']} "
+                      f"[{meta['tool']}] {meta['phase']}: "
+                      f"{meta['error_type']}: {meta['message']}")
+        return 0
+    still_failing = 0
+    for entry in entries:
+        for outcome in replay_entry(entry, timeout=args.timeout):
+            mark = "FAIL" if outcome.reproduced else "ok  "
+            detail = (f"{outcome.error_type}: {outcome.message}"
+                      if outcome.reproduced else "no longer fails")
+            print(f"[{mark}] {entry.short} [{outcome.tool}] "
+                  f"(was {outcome.original_error}) {detail} "
+                  f"({outcome.elapsed_seconds:.2f}s)")
+            still_failing += outcome.reproduced
+    print(f"replayed {len(entries)} input(s): "
+          f"{still_failing} still failing")
+    return 1 if still_failing else 0
+
+
+def _cmd_chaos(args) -> int:
+    import shutil
+    import tempfile
+
+    from repro.faults.chaos import run_chaos
+    from repro.synth.corpus import build_corpus
+
+    tools = [t.strip() for t in args.tools.split(",") if t.strip()]
+    unknown = [t for t in tools if t not in ALL_DETECTORS]
+    if unknown:
+        print(f"error: unknown detectors: {unknown} "
+              f"(known: {sorted(ALL_DETECTORS)})", file=sys.stderr)
+        return 2
+    print(f"building '{args.scale}' corpus ...", file=sys.stderr)
+    corpus = build_corpus(args.scale, seed=args.seed)
+    if args.limit:
+        corpus = corpus[: args.limit]
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    print(f"chaos: {len(corpus)} binaries x {tools}, seed {args.seed}, "
+          f"run dirs under {work_dir} ...", file=sys.stderr)
+    report = run_chaos(corpus, tools, work_dir, seed=args.seed)
+    print(report.render())
+    if report.ok and not args.work_dir:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    elif not report.ok:
+        print(f"run directories kept for post-mortem: {work_dir}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_profile(args) -> int:

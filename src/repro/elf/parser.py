@@ -26,7 +26,7 @@ from repro import obs
 from repro.elf import constants as C
 from repro.elf.reader import ByteReader, ReaderError
 from repro.elf.types import ElfHeader, Relocation, Section, Segment, Symbol
-from repro.errors import Diagnostics, ReproError, Severity
+from repro.errors import Diagnostics, MalformedELFError, Severity
 
 _EMPTY_HEADER = ElfHeader(
     ei_class=C.ELFCLASS64, ei_data=C.ELFDATA2LSB, e_type=C.ET_NONE,
@@ -35,8 +35,13 @@ _EMPTY_HEADER = ElfHeader(
 )
 
 
-class ElfParseError(ReproError):
-    """Raised when a file is not a parseable ELF object."""
+class ElfParseError(MalformedELFError):
+    """Raised when a file is not a parseable ELF object.
+
+    Derives from :class:`~repro.errors.MalformedELFError`, the
+    *permanent* branch of the taxonomy: the evaluation harness fails
+    fast instead of retrying a deterministically corrupt input.
+    """
 
 
 class ELFFile:
@@ -97,8 +102,13 @@ class ELFFile:
     def from_path(
         cls, path: str | os.PathLike, *, strict: bool = True
     ) -> "ELFFile":
+        from repro import faults
+
         with open(path, "rb") as f:
-            return cls(f.read(), strict=strict)
+            data = f.read()
+        if faults.hit(faults.SITE_ELF_READ) == faults.KIND_TRUNCATE:
+            data = data[: len(data) // 2]
+        return cls(data, strict=strict)
 
     @classmethod
     def degraded(cls, data: bytes) -> "ELFFile":

@@ -25,6 +25,16 @@ class ReproError(Exception):
     """Base class of every documented analysis-pipeline error."""
 
 
+class MalformedELFError(ReproError):
+    """Structural corruption of an analyzed binary image.
+
+    Base of every *permanent* parse rejection: the input itself is
+    broken, so re-running the same cell deterministically fails again.
+    The retry machinery (:func:`repro.eval.isolation.run_cell`) fails
+    fast on this branch of the taxonomy instead of burning attempts.
+    """
+
+
 class EvaluationError(ReproError):
     """Raised by the evaluation harness itself (not by parsers)."""
 
@@ -37,8 +47,71 @@ class EvaluationAborted(EvaluationError):
     """A fail-fast evaluation sweep stopped at its first failure."""
 
 
+class JournalError(EvaluationError):
+    """A run journal could not be read, written, or matched."""
+
+
+class JournalWriteError(JournalError):
+    """An append to the run journal failed (e.g. disk full).
+
+    The journal is the crash-safety substrate: silently dropping an
+    append would turn the next ``--resume`` into silent recomputation
+    loss, so write failures abort the sweep instead of degrading.
+    """
+
+
+class ManifestMismatchError(JournalError):
+    """``--resume`` pointed at a journal of a *different* run.
+
+    Raised when the resumed run's corpus fingerprint or tool set does
+    not match the manifest recorded at journal-creation time.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """Base of faults raised by the :mod:`repro.faults` registry."""
+
+
+class TransientFaultError(InjectedFaultError):
+    """An injected *transient* fault: retrying is expected to succeed."""
+
+
+class PermanentFaultError(InjectedFaultError, MalformedELFError):
+    """An injected *permanent* fault: retrying must not be attempted."""
+
+
 class FuzzInvariantError(ReproError):
     """The fault-injection harness observed an invariant violation."""
+
+
+#: Error taxonomy branches considered *transient* by the retry
+#: machinery: re-running the cell has a real chance of succeeding.
+#: Everything on the permanent list below deterministically recurs.
+TRANSIENT_ERROR_TYPES = (OSError, TransientFaultError)
+
+
+def is_permanent_failure(error: BaseException) -> bool:
+    """Whether a cell failure is deterministic and must not be retried.
+
+    Permanent: structural input corruption (:class:`MalformedELFError`
+    and every other documented parse rejection under
+    :class:`ReproError`), injected permanent faults, and
+    :class:`MemoryError` (an RSS-ceiling kill recurs at the same
+    allocation). Transient: I/O-level :class:`OSError`\\ s and injected
+    transient faults. Anything undocumented (a genuine bug escaping
+    the pipeline) stays retryable, preserving the historical behavior
+    for unknown exception types.
+    """
+    if isinstance(error, MemoryError):
+        return True
+    if isinstance(error, TRANSIENT_ERROR_TYPES):
+        return False
+    if isinstance(error, ReproError):
+        # Documented rejections are deterministic — except the
+        # harness's own control-flow errors, which never reach the
+        # retry loop anyway.
+        return not isinstance(error, EvaluationError)
+    return False
 
 
 class Severity(enum.Enum):

@@ -1,7 +1,16 @@
 """Evaluation harness: metrics, experiment runner, table renderers."""
 
+from repro.eval.breaker import BreakerState, CircuitBreaker
 from repro.eval.export import report_to_csv, report_to_json
 from repro.eval.isolation import FailureRecord
+from repro.eval.journal import (
+    JournalState,
+    RunJournal,
+    build_manifest,
+    check_manifest,
+    merge_resumed_report,
+    read_journal,
+)
 from repro.eval.metrics import (
     Confusion,
     false_negatives,
@@ -10,6 +19,7 @@ from repro.eval.metrics import (
     score_boundaries,
 )
 from repro.eval.parallel import run_evaluation_parallel
+from repro.eval.quarantine import QuarantineStore, replay_entry
 from repro.eval.runner import (
     ErrorBreakdown,
     EvalReport,
@@ -27,17 +37,27 @@ from repro.eval.tables import (
 )
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "Confusion",
     "ErrorBreakdown",
     "EvalReport",
     "FailureRecord",
+    "JournalState",
+    "QuarantineStore",
+    "RunJournal",
     "RunRecord",
     "analyze_errors",
+    "build_manifest",
+    "check_manifest",
     "error_breakdown",
     "failure_summary",
     "false_negatives",
     "false_positives",
     "figure3",
+    "merge_resumed_report",
+    "read_journal",
+    "replay_entry",
     "report_to_csv",
     "report_to_json",
     "run_evaluation",

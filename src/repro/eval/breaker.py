@@ -1,0 +1,122 @@
+"""Per-tool circuit breaker for evaluation sweeps.
+
+A detector that has started failing *systematically* — a bug tripped by
+a whole corpus slice, a dependency gone sideways — burns its full
+timeout budget on every remaining binary. At paper scale that turns one
+sick tool into hours of wasted wall clock. The breaker watches each
+tool's consecutive detect-phase failures and, past a threshold, *opens*:
+subsequent cells for that tool are skipped immediately (recorded as
+``CircuitOpen`` failure records, so nothing disappears silently and a
+later ``--resume`` retries them). After ``cooldown`` skips the breaker
+goes *half-open* and lets exactly one probe cell through: success
+closes the circuit, failure re-opens it.
+
+Only detect-phase outcomes drive the state machine — a malformed
+binary fails its *parse* cell for every tool and says nothing about any
+detector's health.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro import obs
+
+#: Phase string recorded on breaker-skipped cells.
+PHASE_BREAKER = "breaker"
+
+#: ``error_type`` recorded on breaker-skipped cells.
+CIRCUIT_OPEN = "CircuitOpen"
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class _ToolCircuit:
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    skips_while_open: int = 0
+    probe_in_flight: bool = False
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker, one independent circuit per tool.
+
+    ``threshold`` consecutive detect failures open a tool's circuit;
+    ``cooldown`` skipped cells later it goes half-open and admits one
+    probe. State lives in the sweep parent only (the serial loop, or
+    the parallel runner's dispatch/absorb path), so no synchronization
+    is needed.
+    """
+
+    threshold: int = 5
+    cooldown: int = 10
+    _circuits: dict[str, _ToolCircuit] = field(default_factory=dict)
+
+    def _circuit(self, tool: str) -> _ToolCircuit:
+        return self._circuits.setdefault(tool, _ToolCircuit())
+
+    def state(self, tool: str) -> BreakerState:
+        return self._circuit(tool).state
+
+    def allow(self, tool: str) -> bool:
+        """Whether the next cell for ``tool`` may run (consuming call).
+
+        An ``OPEN`` answer counts toward the cooldown; the first call
+        past the cooldown flips to ``HALF_OPEN`` and admits the probe.
+        """
+        circuit = self._circuit(tool)
+        if circuit.state is BreakerState.CLOSED:
+            return True
+        if circuit.state is BreakerState.HALF_OPEN:
+            if circuit.probe_in_flight:
+                obs.add("breaker.skipped", 1)
+                return False
+            circuit.probe_in_flight = True
+            obs.add("breaker.probes", 1)
+            return True
+        circuit.skips_while_open += 1
+        if circuit.skips_while_open >= self.cooldown:
+            circuit.state = BreakerState.HALF_OPEN
+            circuit.skips_while_open = 0
+            circuit.probe_in_flight = True
+            obs.add("breaker.half_open", 1)
+            obs.add("breaker.probes", 1)
+            return True
+        obs.add("breaker.skipped", 1)
+        return False
+
+    def record_success(self, tool: str) -> None:
+        circuit = self._circuit(tool)
+        if circuit.state is not BreakerState.CLOSED:
+            obs.add("breaker.closed", 1)
+        circuit.state = BreakerState.CLOSED
+        circuit.consecutive_failures = 0
+        circuit.skips_while_open = 0
+        circuit.probe_in_flight = False
+
+    def record_failure(self, tool: str) -> None:
+        circuit = self._circuit(tool)
+        if circuit.state is BreakerState.HALF_OPEN:
+            # Failed probe: straight back to open.
+            circuit.state = BreakerState.OPEN
+            circuit.skips_while_open = 0
+            circuit.probe_in_flight = False
+            obs.add("breaker.reopened", 1)
+            return
+        circuit.consecutive_failures += 1
+        if (circuit.state is BreakerState.CLOSED
+                and circuit.consecutive_failures >= self.threshold):
+            circuit.state = BreakerState.OPEN
+            circuit.skips_while_open = 0
+            obs.add("breaker.opened", 1)
+
+    def open_tools(self) -> list[str]:
+        return sorted(t for t, c in self._circuits.items()
+                      if c.state is not BreakerState.CLOSED)

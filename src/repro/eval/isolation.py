@@ -19,6 +19,7 @@ runner and pool workers get real enforcement.
 
 from __future__ import annotations
 
+import random
 import signal
 import threading
 import time
@@ -26,7 +27,7 @@ from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-from repro.errors import CellTimeoutError
+from repro.errors import CellTimeoutError, is_permanent_failure
 
 #: Evaluation phases a cell can fail in.
 PHASE_PARSE = "parse"
@@ -72,6 +73,12 @@ def deadline(seconds: float | None) -> Iterator[None]:
 
     ``None`` (or a non-positive value) disables enforcement, as does
     running off the main thread, where ``SIGALRM`` cannot be armed.
+
+    Deadlines compose: arming a nested deadline suspends any outer
+    ``ITIMER_REAL`` budget and, on exit, re-arms the outer timer with
+    its *remaining* time (the inner body's elapsed wall clock is
+    charged against it). An outer budget that expired while the inner
+    one was armed fires immediately after the inner scope exits.
     """
     if not seconds or seconds <= 0 or not _alarm_usable():
         yield
@@ -82,12 +89,24 @@ def deadline(seconds: float | None) -> Iterator[None]:
             f"evaluation cell exceeded {seconds:g}s wall-clock budget")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_delay, _outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay > 0.0:
+            # Restore the outer watchdog's remainder; an already-blown
+            # outer budget is re-armed with an epsilon so it fires as
+            # soon as the outer handler is back in place.
+            remaining = outer_delay - (time.monotonic() - started)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
+
+
+#: Multiplicative jitter range applied to each retry backoff sleep.
+_JITTER = 0.5
 
 
 def run_cell(
@@ -95,18 +114,33 @@ def run_cell(
     *,
     timeout: float | None = None,
     retries: int = 0,
+    backoff: float = 0.0,
 ) -> tuple[object | None, BaseException | None, int, float]:
-    """Execute one cell body with watchdog and bounded retry.
+    """Execute one cell body with watchdog and taxonomy-aware retry.
 
     Returns ``(result, error, attempts, elapsed_seconds)``. ``error``
     is ``None`` on success; otherwise it is the exception of the final
-    attempt. Timeouts are not retried — a deterministic pipeline that
-    blew its budget once will blow it again.
+    attempt. Retry is gated by the :mod:`repro.errors` taxonomy:
+
+    - **Timeouts** are never retried — a deterministic pipeline that
+      blew its budget once will blow it again.
+    - **Permanent** failures (:func:`~repro.errors.is_permanent_failure`:
+      structural input corruption such as
+      :class:`~repro.errors.MalformedELFError`, or an RSS-ceiling
+      ``MemoryError``) fail fast on the first attempt instead of
+      burning the retry budget on a deterministic rejection.
+    - **Transient** failures (I/O errors, injected transient faults,
+      and — conservatively — any undocumented exception) are retried
+      up to ``retries`` extra times, sleeping
+      ``backoff * 2**(attempt-1)`` seconds with multiplicative jitter
+      between attempts (``backoff=0``, the default, disables the
+      sleep).
     """
     started = time.perf_counter()
     error: BaseException | None = None
     attempts = 0
-    for _ in range(max(0, retries) + 1):
+    budget = max(0, retries) + 1
+    for _ in range(budget):
         attempts += 1
         try:
             with deadline(timeout):
@@ -117,4 +151,9 @@ def run_cell(
             break
         except Exception as exc:
             error = exc
+            if is_permanent_failure(exc):
+                break
+        if backoff > 0 and attempts < budget:
+            delay = backoff * (2.0 ** (attempts - 1))
+            time.sleep(delay * (1.0 + random.random() * _JITTER))
     return None, error, attempts, time.perf_counter() - started

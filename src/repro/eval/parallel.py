@@ -11,7 +11,8 @@ crosses the fork boundary. Each worker parses its job's binary once
 and runs every tool against that one ``ELFFile``, so the per-binary
 analysis context (:mod:`repro.cache`) is built once per job and shared
 across the job's tools; the opt-in disk cache crosses the fork
-boundary through the inherited ``REPRO_CACHE_DIR`` environment.
+boundary through the inherited ``REPRO_CACHE_DIR`` environment (and the
+fault plan through ``REPRO_FAULT_PLAN``).
 
 Fault isolation mirrors the serial runner: each (binary, tool) cell is
 guarded in the worker (exceptions and ``timeout`` become
@@ -19,17 +20,29 @@ guarded in the worker (exceptions and ``timeout`` become
 additionally guards against the worker itself dying — a crashed or
 wedged worker costs its own job a failure record, not the sweep.
 ``multiprocessing.Pool`` respawns replacement workers, so the
-remaining jobs still run.
+remaining jobs still run. ``max_rss_mb`` arms an address-space rlimit
+in every worker, so a cell that balloons is killed by its own
+``MemoryError`` (a permanent, non-retried failure record) instead of
+taking the host down.
 
-Results are collected **out of order** against per-job absolute
-deadlines armed at dispatch: finished jobs are absorbed as soon as
-their handles are ready, and a job is only declared lost when its own
-backstop clock expires. Because a queued job's clock cannot fairly run
-while the pool is busy elsewhere, every completed job refreshes the
-deadlines of the jobs still pending — so one wedged worker costs the
-sweep roughly a single backstop beyond its useful work, never
-``jobs × backstop``, and an early loss never stalls the collection of
-already-finished later results.
+Jobs are dispatched **lazily** (a bounded window of in-flight handles)
+and collected **out of order** against per-job absolute deadlines
+armed at dispatch: finished jobs are absorbed as soon as their handles
+are ready, and a job is only declared lost when its own backstop clock
+expires. Because a queued job's clock cannot fairly run while the pool
+is busy elsewhere, every completed job refreshes the deadlines of the
+jobs still pending — so one wedged worker costs the sweep roughly a
+single backstop beyond its useful work, never ``jobs × backstop``, and
+an early loss never stalls the collection of already-finished later
+results. Lazy dispatch is also what gives the per-tool circuit
+``breaker`` its teeth: cells of a tool whose circuit opened mid-sweep
+are skipped at dispatch time, before they can burn a worker's budget.
+
+Crash-safety hooks run in the **parent**, which is the single writer:
+every absorbed cell outcome is appended (fsync'd) to the optional
+``journal`` the moment it is learned, ``completed`` cell keys from a
+prior journal are never dispatched at all, and failing inputs are
+captured into the optional ``quarantine`` store.
 
 When ``trace_dir`` is given, each worker installs its own
 observability recorder (:mod:`repro.obs`) and appends its spans and
@@ -46,10 +59,11 @@ import time
 from collections.abc import Iterable
 from pathlib import Path
 
-from repro import obs
+from repro import faults, obs
 from repro.baselines import ALL_DETECTORS
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
+from repro.eval.breaker import CircuitBreaker
 from repro.eval.isolation import (
     PHASE_DETECT,
     PHASE_PARSE,
@@ -58,7 +72,7 @@ from repro.eval.isolation import (
     run_cell,
 )
 from repro.eval.metrics import score
-from repro.eval.runner import EvalReport, RunRecord
+from repro.eval.runner import EvalReport, RunRecord, _breaker_failure
 from repro.synth.corpus import CorpusEntry
 
 #: Extra wall-clock (seconds) the parent grants a worker beyond the
@@ -67,6 +81,9 @@ _BACKSTOP_GRACE = 30.0
 
 #: Sleep between handle polls when nothing completed this round.
 _POLL_INTERVAL = 0.02
+
+#: In-flight dispatch window, as a multiple of the pool size.
+_INFLIGHT_FACTOR = 2
 
 
 def run_evaluation_parallel(
@@ -78,6 +95,13 @@ def run_evaluation_parallel(
     retries: int = 0,
     keep_going: bool = True,
     trace_dir: str | os.PathLike | None = None,
+    backoff: float = 0.0,
+    journal=None,
+    completed: set | None = None,
+    breaker: CircuitBreaker | None = None,
+    quarantine=None,
+    max_rss_mb: int | None = None,
+    backstop_grace: float | None = None,
 ) -> EvalReport:
     """Evaluate ``tool_names`` over ``corpus`` using a process pool.
 
@@ -88,22 +112,54 @@ def run_evaluation_parallel(
 
     ``timeout`` bounds each (binary, tool) cell in wall-clock seconds
     (enforced inside the worker, with a parent-side backstop for
-    workers that die outright); ``retries`` re-runs raising cells.
-    With ``keep_going=False`` the first failed cell aborts the sweep
-    via :class:`~repro.errors.EvaluationAborted`. ``trace_dir``
-    (optional) enables per-worker observability traces, written as
-    JSONL part files into that directory.
+    workers that die outright); ``retries`` re-runs transiently
+    failing cells with ``backoff``-based exponential delays. With
+    ``keep_going=False`` the first failed cell aborts the sweep via
+    :class:`~repro.errors.EvaluationAborted`. ``trace_dir`` (optional)
+    enables per-worker observability traces, written as JSONL part
+    files into that directory.
+
+    ``journal``/``completed``/``breaker``/``quarantine``/``max_rss_mb``
+    are the crash-safety hooks described in the module docstring; all
+    default to off. ``backstop_grace`` tunes the parent-side lost-
+    worker grace period (tests and the chaos harness shrink it).
     """
     unknown = [t for t in tool_names if t not in ALL_DETECTORS]
     if unknown:
         raise ValueError(f"unknown detectors: {unknown}")
-    jobs = [_job_payload(entry, tool_names) for entry in corpus]
+    completed = completed or set()
+    jobs = []
+    skipped_cells = 0
+    for entry in corpus:
+        todo = [t for t in tool_names
+                if _entry_key(entry, t) not in completed]
+        skipped_cells += len(tool_names) - len(todo)
+        if todo:
+            jobs.append(_job_payload(entry, todo))
+    if skipped_cells:
+        obs.add("eval.cells_skipped", skipped_cells)
     report = EvalReport()
 
     def _absorb(records: list[RunRecord],
-                failures: list[FailureRecord]) -> None:
+                failures: list[FailureRecord],
+                job: tuple | None = None) -> None:
+        if breaker is not None:
+            for record in records:
+                breaker.record_success(record.tool)
+            for failure in failures:
+                if failure.phase == PHASE_DETECT:
+                    breaker.record_failure(failure.tool)
         report.records.extend(records)
         report.failures.extend(failures)
+        if journal is not None:
+            for record in records:
+                journal.append_record(record)
+            for failure in failures:
+                journal.append_failure(failure)
+        if quarantine is not None and failures and job is not None:
+            stripped = job[0]
+            for failure in failures:
+                quarantine.capture(stripped, failure)
         if failures and not keep_going:
             f = failures[0]
             raise EvaluationAborted(
@@ -111,41 +167,78 @@ def run_evaluation_parallel(
                 f"{f.error_type}: {f.message}"
             )
 
+    def _breaker_filter(job: tuple) -> tuple | None:
+        """Strip open-circuit tools from a job before dispatch."""
+        if breaker is None:
+            return job
+        allowed, denied = [], []
+        for name in job[-1]:
+            (allowed if breaker.allow(name) else denied).append(name)
+        if denied:
+            prov = _job_provenance(job)
+            _absorb([], [_breaker_failure(prov, name) for name in denied],
+                    job)
+        if not allowed:
+            return None
+        return job[:-1] + (tuple(allowed),)
+
     if workers == 1:
         for job in jobs:
+            job = _breaker_filter(job)
+            if job is None:
+                continue
+            faults.hit(faults.SITE_WORKER_DISPATCH)
             records, failures = _evaluate_job(job, timeout, retries,
-                                              trace_dir)
-            _absorb(records, failures)
+                                              trace_dir, backoff)
+            _absorb(records, failures, job)
         return report
 
     # A worker enforces its own per-cell deadline; the parent-side
     # backstop only has to catch workers that never report back at all
     # (hard crash, uninterruptible hang).
+    if backstop_grace is None:
+        backstop_grace = _BACKSTOP_GRACE
     backstop = None
     if timeout is not None:
         per_job_cells = len(tool_names) + 1  # + the shared parse
         backstop = (timeout * (retries + 1) * per_job_cells
-                    + _BACKSTOP_GRACE)
+                    + backstop_grace)
 
+    pool_size = workers or os.cpu_count() or 1
+    max_inflight = _INFLIGHT_FACTOR * pool_size + 2
     pool = multiprocessing.Pool(
         processes=workers,
-        initializer=_worker_obs_init,
-        initargs=(None if trace_dir is None else str(trace_dir),),
+        initializer=_worker_init,
+        initargs=(None if trace_dir is None else str(trace_dir),
+                  max_rss_mb),
     )
     lost_worker = False
+    job_iter = iter(jobs)
+    # Absolute per-job deadlines, armed at dispatch. `pending` is
+    # mutated in place as handles complete or expire.
+    pending: list[list] = []
+
+    def _dispatch_upto(now: float) -> None:
+        while len(pending) < max_inflight:
+            job = next(job_iter, None)
+            if job is None:
+                return
+            job = _breaker_filter(job)
+            if job is None:
+                continue
+            faults.hit(faults.SITE_WORKER_DISPATCH)
+            pending.append([
+                job,
+                pool.apply_async(_evaluate_job,
+                                 (job, timeout, retries,
+                                  None if trace_dir is None
+                                  else str(trace_dir),
+                                  backoff)),
+                None if backstop is None else now + backstop,
+            ])
+
     try:
-        # Absolute per-job deadlines, armed at dispatch. `pending` is
-        # mutated in place as handles complete or expire.
-        now = time.monotonic()
-        pending = [
-            [job,
-             pool.apply_async(_evaluate_job,
-                              (job, timeout, retries,
-                               None if trace_dir is None
-                               else str(trace_dir))),
-             None if backstop is None else now + backstop]
-            for job in jobs
-        ]
+        _dispatch_upto(time.monotonic())
         while pending:
             progressed = False
             for item in list(pending):
@@ -162,11 +255,9 @@ def run_evaluation_parallel(
                     records, failures = [], _lost_worker_failures(
                         job, f"worker crashed: {type(exc).__name__}: "
                              f"{exc}")
-                _absorb(records, failures)
-            if not pending:
-                break
+                _absorb(records, failures, job)
             now = time.monotonic()
-            if backstop is not None:
+            if backstop is not None and pending:
                 if progressed:
                     # A completion proves the pool is alive; a pending
                     # job may only just have been picked up by a
@@ -179,11 +270,14 @@ def run_evaluation_parallel(
                         if now < item[2]:
                             continue
                         pending.remove(item)
+                        progressed = True
                         lost_worker = True
                         obs.add("eval.workers_lost", 1)
                         _absorb([], _lost_worker_failures(
                             item[0],
-                            f"worker exceeded {backstop:g}s backstop"))
+                            f"worker exceeded {backstop:g}s backstop"),
+                            item[0])
+            _dispatch_upto(now)
             if not progressed and pending:
                 time.sleep(_POLL_INTERVAL)
     except BaseException:
@@ -204,15 +298,34 @@ def run_evaluation_parallel(
     return report
 
 
-def _worker_obs_init(trace_dir: str | None) -> None:
-    """Pool-worker initializer: give each worker its own recorder.
+def _worker_init(trace_dir: str | None, max_rss_mb: int | None) -> None:
+    """Pool-worker initializer: recorder, fault counters, RSS ceiling.
 
     Workers must not inherit the parent recorder across ``fork`` —
     spans the parent collected before the pool spawned would be
     re-exported by every worker. Tracing runs get a fresh recorder;
-    otherwise the no-op default is (re)installed.
+    otherwise the no-op default is (re)installed. Fault-point hit
+    counters restart at zero so a plan's ordinals are reproducible per
+    worker, and ``max_rss_mb`` arms an address-space rlimit so runaway
+    cells die by ``MemoryError`` inside their own isolation guard.
     """
     obs.set_recorder(obs.TraceRecorder() if trace_dir else None)
+    faults.reset_counts()
+    if max_rss_mb is not None:
+        _apply_rss_limit(max_rss_mb)
+
+
+def _apply_rss_limit(max_rss_mb: int) -> None:
+    """Best-effort address-space ceiling for the current process."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — non-POSIX
+        return
+    limit = int(max_rss_mb) * 1024 * 1024
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ValueError, OSError):  # pragma: no cover — platform quirk
+        pass
 
 
 def _flush_job_trace(trace_dir: str) -> None:
@@ -225,6 +338,12 @@ def _flush_job_trace(trace_dir: str) -> None:
         obs.append_payload(path, recorder.drain())
     except OSError:
         pass  # tracing is an accelerant, never a point of failure
+
+
+def _entry_key(entry: CorpusEntry, tool: str) -> tuple:
+    profile = entry.profile
+    return (entry.suite, entry.program, profile.compiler, profile.bits,
+            profile.pie, profile.opt, tool)
 
 
 def _job_payload(entry: CorpusEntry, tool_names: list[str]) -> tuple:
@@ -276,6 +395,7 @@ def _evaluate_job(
     timeout: float | None = None,
     retries: int = 0,
     trace_dir: str | None = None,
+    backoff: float = 0.0,
 ) -> tuple[list[RunRecord], list[FailureRecord]]:
     """Evaluate one corpus entry; never raises.
 
@@ -284,14 +404,14 @@ def _evaluate_job(
     process boundary as an exception.
     """
     try:
-        return _evaluate_job_inner(job, timeout, retries)
+        return _evaluate_job_inner(job, timeout, retries, backoff)
     finally:
         if trace_dir is not None:
             _flush_job_trace(trace_dir)
 
 
 def _evaluate_job_inner(
-    job: tuple, timeout: float | None, retries: int
+    job: tuple, timeout: float | None, retries: int, backoff: float = 0.0
 ) -> tuple[list[RunRecord], list[FailureRecord]]:
     (stripped, gt, suite, program, compiler, bits, pie, opt,
      tool_names) = job
@@ -313,7 +433,9 @@ def _evaluate_job_inner(
 
     with obs.span("entry", suite=suite, program=program):
         elf, error, attempts, elapsed = run_cell(
-            lambda: ELFFile(stripped), timeout=timeout, retries=retries)
+            faults.guarded(faults.SITE_CELL_EXECUTE,
+                           lambda: ELFFile(stripped)),
+            timeout=timeout, retries=retries, backoff=backoff)
         if error is not None:
             for name in tool_names:
                 _fail(name, PHASE_PARSE, error, attempts, elapsed)
@@ -323,8 +445,10 @@ def _evaluate_job_inner(
         for name in tool_names:
             cell_mark = obs.mark()
             result, error, attempts, elapsed = run_cell(
-                lambda n=name: ALL_DETECTORS[n]().detect(elf),
-                timeout=timeout, retries=retries)
+                faults.guarded(
+                    faults.SITE_CELL_EXECUTE,
+                    lambda n=name: ALL_DETECTORS[n]().detect(elf)),
+                timeout=timeout, retries=retries, backoff=backoff)
             if error is not None:
                 _fail(name, PHASE_DETECT, error, attempts, elapsed)
                 continue

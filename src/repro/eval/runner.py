@@ -11,10 +11,11 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import faults, obs
 from repro.baselines.base import FunctionDetector
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
+from repro.eval.breaker import CIRCUIT_OPEN, PHASE_BREAKER, CircuitBreaker
 from repro.eval.isolation import (
     PHASE_DETECT,
     PHASE_PARSE,
@@ -128,6 +129,17 @@ def _failure(
     )
 
 
+def _breaker_failure(prov: dict, tool: str) -> FailureRecord:
+    return FailureRecord(
+        **prov,
+        tool=tool,
+        phase=PHASE_BREAKER,
+        error_type=CIRCUIT_OPEN,
+        message=f"circuit open for tool {tool!r}: cell skipped",
+        attempts=0,
+    )
+
+
 def run_evaluation(
     corpus: Iterable[CorpusEntry],
     detectors: dict[str, FunctionDetector],
@@ -135,6 +147,11 @@ def run_evaluation(
     timeout: float | None = None,
     retries: int = 0,
     keep_going: bool = True,
+    backoff: float = 0.0,
+    journal=None,
+    completed: set | None = None,
+    breaker: CircuitBreaker | None = None,
+    quarantine=None,
 ) -> EvalReport:
     """Run every detector on every (stripped) corpus binary.
 
@@ -147,51 +164,98 @@ def run_evaluation(
     blown ``timeout`` (seconds of wall clock, enforced via ``SIGALRM``
     on the main thread) becomes a :class:`FailureRecord` on
     ``report.failures`` and the sweep continues. ``retries`` re-runs a
-    raising cell up to that many extra times before recording the
-    failure. With ``keep_going=False`` the first failure aborts the
-    sweep by raising :class:`~repro.errors.EvaluationAborted`.
+    raising cell up to that many extra times (transient failures only
+    — the :mod:`repro.errors` taxonomy fails fast on permanent kinds —
+    sleeping ``backoff``-based exponential delays between attempts).
+    With ``keep_going=False`` the first failure aborts the sweep by
+    raising :class:`~repro.errors.EvaluationAborted`.
+
+    Crash-safety hooks (all optional):
+
+    - ``journal``: a :class:`~repro.eval.journal.RunJournal`; every
+      decided cell is appended (and fsync'd) before the sweep moves on.
+    - ``completed``: cell keys (see
+      :func:`~repro.eval.journal.cell_key`) to skip — the resume path.
+      An entry whose cells are all complete is not even parsed.
+    - ``breaker``: a :class:`~repro.eval.breaker.CircuitBreaker`;
+      detect cells of an open tool are skipped as ``CircuitOpen``
+      failures instead of burning their timeout budget.
+    - ``quarantine``: a
+      :class:`~repro.eval.quarantine.QuarantineStore`; failing inputs
+      are captured for offline replay.
     """
     report = EvalReport()
+    completed = completed or set()
 
-    def _record_failure(failure: FailureRecord) -> None:
+    def _record_failure(failure: FailureRecord,
+                        entry: CorpusEntry | None = None) -> None:
         report.failures.append(failure)
+        if journal is not None:
+            journal.append_failure(failure)
+        if (quarantine is not None and entry is not None
+                and failure.phase != PHASE_BREAKER):
+            quarantine.capture(entry.stripped, failure)
         if not keep_going:
             raise EvaluationAborted(
                 f"[{failure.suite}/{failure.program}/{failure.tool}] "
                 f"{failure.phase}: {failure.error_type}: {failure.message}"
             )
 
+    def _record_success(record: RunRecord) -> None:
+        report.records.append(record)
+        if journal is not None:
+            journal.append_record(record)
+
     for entry in corpus:
         prov = _provenance(entry)
+        key_prefix = tuple(prov[f] for f in
+                           ("suite", "program", "compiler", "bits", "pie",
+                            "opt"))
+        todo = [name for name in detectors
+                if key_prefix + (name,) not in completed]
+        if skipped := len(detectors) - len(todo):
+            obs.add("eval.cells_skipped", skipped)
+        if not todo:
+            continue
         with obs.span("entry", suite=entry.suite, program=entry.program):
             elf, error, attempts, elapsed = run_cell(
-                lambda: ELFFile(entry.stripped),
-                timeout=timeout, retries=retries,
+                faults.guarded(faults.SITE_CELL_EXECUTE,
+                               lambda: ELFFile(entry.stripped)),
+                timeout=timeout, retries=retries, backoff=backoff,
             )
             if error is not None:
                 # The parse serves every tool of this entry: fail each
                 # cell.
-                for tool_name in detectors:
+                for tool_name in todo:
                     _record_failure(_failure(
                         prov, tool_name, PHASE_PARSE, error, attempts,
-                        elapsed))
+                        elapsed), entry)
                 continue
             gt = entry.binary.ground_truth.function_starts
-            for tool_name, detector in detectors.items():
+            for tool_name in todo:
+                detector = detectors[tool_name]
+                if breaker is not None and not breaker.allow(tool_name):
+                    _record_failure(_breaker_failure(prov, tool_name))
+                    continue
                 cell_mark = obs.mark()
                 result, error, attempts, elapsed = run_cell(
-                    lambda d=detector: d.detect(elf),
-                    timeout=timeout, retries=retries,
+                    faults.guarded(faults.SITE_CELL_EXECUTE,
+                                   lambda d=detector: d.detect(elf)),
+                    timeout=timeout, retries=retries, backoff=backoff,
                 )
                 if error is not None:
+                    if breaker is not None:
+                        breaker.record_failure(tool_name)
                     _record_failure(_failure(
                         prov, tool_name, PHASE_DETECT, error, attempts,
-                        elapsed))
+                        elapsed), entry)
                     continue
+                if breaker is not None:
+                    breaker.record_success(tool_name)
                 with obs.span("score", tool=tool_name):
                     confusion = score(gt, result.functions)
                 phases = obs.phase_totals(cell_mark) or None
-                report.records.append(RunRecord(
+                _record_success(RunRecord(
                     **prov,
                     tool=tool_name,
                     confusion=confusion,

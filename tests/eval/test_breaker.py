@@ -1,0 +1,102 @@
+"""Circuit-breaker state machine and its integration with the runners."""
+
+from repro.baselines import ALL_DETECTORS
+from repro.eval.breaker import (
+    CIRCUIT_OPEN,
+    PHASE_BREAKER,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.eval.parallel import run_evaluation_parallel
+from repro.eval.runner import run_evaluation
+
+
+def test_opens_after_threshold_consecutive_failures():
+    breaker = CircuitBreaker(threshold=3, cooldown=2)
+    for _ in range(2):
+        breaker.record_failure("ida")
+    assert breaker.state("ida") is BreakerState.CLOSED
+    breaker.record_failure("ida")
+    assert breaker.state("ida") is BreakerState.OPEN
+    assert breaker.open_tools() == ["ida"]
+
+
+def test_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(threshold=2)
+    breaker.record_failure("ida")
+    breaker.record_success("ida")
+    breaker.record_failure("ida")
+    assert breaker.state("ida") is BreakerState.CLOSED
+
+
+def test_open_circuit_skips_then_half_opens_one_probe():
+    breaker = CircuitBreaker(threshold=1, cooldown=2)
+    breaker.record_failure("ida")
+    assert not breaker.allow("ida")       # skip 1 (cooldown)
+    assert breaker.allow("ida")           # skip 2 -> half-open probe
+    assert breaker.state("ida") is BreakerState.HALF_OPEN
+    assert not breaker.allow("ida")       # probe already in flight
+
+
+def test_probe_success_closes_probe_failure_reopens():
+    breaker = CircuitBreaker(threshold=1, cooldown=1)
+    breaker.record_failure("ida")
+    assert breaker.allow("ida")           # probe
+    breaker.record_success("ida")
+    assert breaker.state("ida") is BreakerState.CLOSED
+
+    breaker.record_failure("ida")
+    assert breaker.allow("ida")           # probe again
+    breaker.record_failure("ida")
+    assert breaker.state("ida") is BreakerState.OPEN
+
+
+def test_circuits_are_per_tool():
+    breaker = CircuitBreaker(threshold=1)
+    breaker.record_failure("ida")
+    assert breaker.state("ida") is BreakerState.OPEN
+    assert breaker.state("funseeker") is BreakerState.CLOSED
+    assert breaker.allow("funseeker")
+
+
+class _AlwaysCrash:
+    def detect(self, elf):
+        raise RuntimeError("detector is sick")
+
+
+def _with_crashing_detector():
+    detectors = dict(ALL_DETECTORS)
+    detectors["crash"] = _AlwaysCrash
+    return detectors
+
+
+def test_serial_runner_records_circuit_open_failures(tiny_corpus,
+                                                     monkeypatch):
+    corpus = tiny_corpus[:4]
+    breaker = CircuitBreaker(threshold=2, cooldown=100)
+    detectors = {"funseeker": ALL_DETECTORS["funseeker"](),
+                 "crash": _AlwaysCrash()}
+    report = run_evaluation(corpus, detectors, breaker=breaker)
+    crash_fails = [f for f in report.failures if f.tool == "crash"]
+    # 2 real failures trip the breaker; the rest are skipped cells.
+    assert [f.phase for f in crash_fails[:2]] == ["detect", "detect"]
+    assert all(f.phase == PHASE_BREAKER and f.error_type == CIRCUIT_OPEN
+               for f in crash_fails[2:])
+    assert len(crash_fails) == len(corpus)
+    # The healthy tool is untouched.
+    assert len(report.filtered(tool="funseeker").records) == len(corpus)
+
+
+def test_parallel_runner_skips_open_tools_at_dispatch(tiny_corpus,
+                                                      monkeypatch):
+    monkeypatch.setitem(ALL_DETECTORS, "crash", _AlwaysCrash)
+    corpus = tiny_corpus[:4]
+    breaker = CircuitBreaker(threshold=2, cooldown=100)
+    report = run_evaluation_parallel(
+        corpus, ["funseeker", "crash"], workers=1, breaker=breaker)
+    crash_fails = [f for f in report.failures if f.tool == "crash"]
+    assert len(crash_fails) == len(corpus)
+    assert sum(f.error_type == CIRCUIT_OPEN for f in crash_fails) == (
+        len(corpus) - 2)
+    assert breaker.state("crash") is BreakerState.OPEN
+    assert len(report.filtered(tool="funseeker").records) == len(corpus)

@@ -9,11 +9,18 @@ import pytest
 
 from repro.baselines import FunSeekerDetector
 from repro.baselines.base import FunctionDetector
-from repro.errors import CellTimeoutError, EvaluationAborted
+from repro.errors import (
+    CellTimeoutError,
+    EvaluationAborted,
+    MalformedELFError,
+    PermanentFaultError,
+    TransientFaultError,
+)
 from repro.eval import failure_summary, run_evaluation
 from repro.eval.isolation import (
     PHASE_DETECT,
     PHASE_PARSE,
+    deadline,
     run_cell,
 )
 from repro.eval.parallel import run_evaluation_parallel
@@ -69,6 +76,55 @@ def test_run_cell_bounded_retry():
     assert len(calls) == 3
 
 
+def test_run_cell_permanent_failure_not_retried():
+    # A parse rejection is structural: re-reading the same bytes cannot
+    # succeed, so the retry budget must not be burned on it.
+    calls = []
+
+    def body():
+        calls.append(1)
+        raise MalformedELFError("structurally bad input")
+
+    result, error, attempts, _ = run_cell(body, retries=5)
+    assert result is None
+    assert isinstance(error, MalformedELFError)
+    assert attempts == 1
+    assert len(calls) == 1
+
+
+def test_run_cell_memory_error_not_retried():
+    def body():
+        raise MemoryError("rss ceiling")
+
+    _result, error, attempts, _ = run_cell(body, retries=3)
+    assert isinstance(error, MemoryError)
+    assert attempts == 1
+
+
+def test_run_cell_injected_fault_taxonomy():
+    transient = run_cell(lambda: (_ for _ in ()).throw(
+        TransientFaultError("flaky")), retries=2)
+    assert transient[2] == 3              # retried to exhaustion
+    permanent = run_cell(lambda: (_ for _ in ()).throw(
+        PermanentFaultError("broken")), retries=2)
+    assert permanent[2] == 1              # failed fast
+
+
+def test_run_cell_backoff_sleeps_between_retries():
+    calls = []
+
+    def body():
+        calls.append(time.perf_counter())
+        raise OSError("transient")
+
+    started = time.perf_counter()
+    run_cell(body, retries=2, backoff=0.05)
+    elapsed = time.perf_counter() - started
+    assert len(calls) == 3
+    # Two sleeps: >= 0.05 + 0.10 (jitter only adds time).
+    assert elapsed >= 0.15
+
+
 def test_run_cell_timeout_not_retried():
     calls = []
 
@@ -85,6 +141,53 @@ def test_run_cell_timeout_not_retried():
     assert attempts == 1          # deterministic: would time out again
     assert len(calls) == 1
     assert elapsed < 2.0
+
+
+# ---------------------------------------------------------------------------
+# deadline composition
+# ---------------------------------------------------------------------------
+
+
+def _spin(seconds: float) -> None:
+    end = time.perf_counter() + seconds
+    while time.perf_counter() < end:
+        pass
+
+
+def test_nested_deadline_inner_budget_enforced():
+    with deadline(10.0):
+        with pytest.raises(CellTimeoutError):
+            with deadline(0.1):
+                _spin(5.0)
+
+
+def test_nested_deadline_rearms_outer_remainder():
+    # The outer budget must keep ticking across an inner scope: after a
+    # fast inner cell, the outer watchdog still fires on time.
+    started = time.perf_counter()
+    with pytest.raises(CellTimeoutError):
+        with deadline(0.4):
+            with deadline(5.0):
+                _spin(0.05)           # inner finishes well under budget
+            _spin(5.0)                # outer must interrupt this
+    assert time.perf_counter() - started < 3.0
+
+
+def test_nested_deadline_outer_blown_inside_inner_fires_on_exit():
+    # The inner scope outlives the outer budget; the outer alarm fires
+    # as soon as its handler is re-armed rather than being lost.
+    with pytest.raises(CellTimeoutError):
+        with deadline(0.1):
+            with deadline(10.0):
+                _spin(0.3)
+            _spin(10.0)               # unreachable without the re-arm
+
+
+def test_nested_deadline_success_leaves_no_pending_alarm():
+    with deadline(0.5):
+        with deadline(0.5):
+            pass
+    _spin(0.6)                        # no stale alarm may fire here
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,76 @@
+"""Quarantine capture and offline replay."""
+
+from repro.eval.isolation import PHASE_DETECT, PHASE_PARSE, FailureRecord
+from repro.eval.quarantine import QuarantineStore, replay_entry
+from repro.eval.runner import run_evaluation
+
+
+def _failure(tool="funseeker", phase=PHASE_DETECT,
+             error_type="RuntimeError") -> FailureRecord:
+    return FailureRecord(
+        suite="synthetic", program="p0", compiler="gcc", bits=64,
+        pie=True, opt="O2", tool=tool, phase=phase,
+        error_type=error_type, message="boom")
+
+
+def test_capture_stores_input_and_metadata(tmp_path):
+    store = QuarantineStore(tmp_path / "q")
+    entry_dir = store.capture(b"\x7fELF-not-really", _failure())
+    assert entry_dir is not None
+    entries = store.entries()
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry.read_input() == b"\x7fELF-not-really"
+    assert entry.size == len(b"\x7fELF-not-really")
+    assert entry.failures[0]["error_type"] == "RuntimeError"
+
+
+def test_same_input_is_stored_once_with_merged_failures(tmp_path):
+    store = QuarantineStore(tmp_path / "q")
+    data = b"same bytes"
+    store.capture(data, _failure(tool="funseeker"))
+    store.capture(data, _failure(tool="ida"))
+    store.capture(data, _failure(tool="ida"))     # duplicate: no-op
+    entries = store.entries()
+    assert len(entries) == 1
+    assert sorted(m["tool"] for m in entries[0].failures) == [
+        "funseeker", "ida"]
+
+
+def test_empty_store_lists_nothing(tmp_path):
+    assert QuarantineStore(tmp_path / "missing").entries() == []
+
+
+def test_replay_reproduces_a_parse_rejection(tmp_path):
+    store = QuarantineStore(tmp_path / "q")
+    store.capture(b"not an elf at all", _failure(phase=PHASE_PARSE,
+                                                 error_type="ElfParseError"))
+    [entry] = store.entries()
+    [outcome] = replay_entry(entry, timeout=5.0)
+    assert outcome.reproduced
+    assert outcome.error_type == "ElfParseError"
+    assert outcome.original_error == "ElfParseError"
+
+
+def test_replay_reports_healed_inputs(tmp_path, sample_binary):
+    # A valid binary captured against a since-fixed failure replays ok.
+    store = QuarantineStore(tmp_path / "q")
+    store.capture(sample_binary.data, _failure())
+    [entry] = store.entries()
+    [outcome] = replay_entry(entry, timeout=30.0)
+    assert not outcome.reproduced
+    assert outcome.message == "ok"
+
+
+def test_serial_runner_captures_failing_inputs(tmp_path, tiny_corpus):
+    class _Crash:
+        def detect(self, elf):
+            raise RuntimeError("sick")
+
+    corpus = tiny_corpus[:2]
+    store = QuarantineStore(tmp_path / "q")
+    run_evaluation(corpus, {"crash": _Crash()}, quarantine=store)
+    entries = store.entries()
+    assert len(entries) == len(corpus)    # distinct inputs, one each
+    assert all(m["tool"] == "crash"
+               for e in entries for m in e.failures)

@@ -1,0 +1,112 @@
+"""Registry behavior: counters, env inheritance, and kind execution."""
+
+import errno
+import os
+
+import pytest
+
+from repro import faults
+from repro.cache.disk import DiskCache
+from repro.elf.parser import ElfParseError, ELFFile
+from repro.errors import PermanentFaultError, TransientFaultError
+from repro.eval.isolation import run_cell
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_no_plan_is_a_noop():
+    assert faults.hit(faults.SITE_CACHE_GET) is None
+
+
+def test_install_parses_text_and_exports_env():
+    faults.install("io@cache.get#2")
+    assert os.environ[faults.ENV_FAULT_PLAN] == "io@cache.get#2"
+    assert faults.hit(faults.SITE_CACHE_GET) is None      # hit 1
+    with pytest.raises(OSError) as excinfo:
+        faults.hit(faults.SITE_CACHE_GET)                 # hit 2
+    assert excinfo.value.errno == errno.EIO
+    assert faults.hit(faults.SITE_CACHE_GET) is None      # hit 3
+    faults.clear()
+    assert faults.ENV_FAULT_PLAN not in os.environ
+
+
+def test_counters_are_per_site():
+    faults.install("transient@cell.execute#1")
+    # Hits on other sites must not advance cell.execute's counter.
+    faults.hit(faults.SITE_CACHE_GET)
+    faults.hit(faults.SITE_WORKER_DISPATCH)
+    with pytest.raises(TransientFaultError):
+        faults.hit(faults.SITE_CELL_EXECUTE)
+
+
+def test_reset_counts_restarts_ordinals():
+    faults.install("permanent@cell.execute#1", env=False)
+    with pytest.raises(PermanentFaultError):
+        faults.hit(faults.SITE_CELL_EXECUTE)
+    assert faults.hit(faults.SITE_CELL_EXECUTE) is None
+    faults.reset_counts()
+    with pytest.raises(PermanentFaultError):
+        faults.hit(faults.SITE_CELL_EXECUTE)
+
+
+def test_data_kinds_are_returned_not_raised():
+    faults.install("truncate@elf.read#1,corrupt@cache.get#*", env=False)
+    assert faults.hit(faults.SITE_ELF_READ) == faults.KIND_TRUNCATE
+    assert faults.hit(faults.SITE_CACHE_GET) == faults.KIND_CORRUPT
+    assert faults.hit(faults.SITE_CACHE_GET) == faults.KIND_CORRUPT
+
+
+def test_enospc_kind_carries_errno():
+    faults.install("enospc@journal.append#1", env=False)
+    with pytest.raises(OSError) as excinfo:
+        faults.hit(faults.SITE_JOURNAL_APPEND)
+    assert excinfo.value.errno == errno.ENOSPC
+
+
+def test_guarded_wraps_a_callable():
+    faults.install("transient@cell.execute#2", env=False)
+    body = faults.guarded(faults.SITE_CELL_EXECUTE, lambda: "ok")
+    assert body() == "ok"
+    with pytest.raises(TransientFaultError):
+        body()
+
+
+def test_hang_is_interruptible_by_the_watchdog():
+    faults.install("hang@cell.execute#1", env=False)
+    body = faults.guarded(faults.SITE_CELL_EXECUTE, lambda: "ok")
+    _result, error, attempts, elapsed = run_cell(body, timeout=0.2)
+    assert error is not None and error.__class__.__name__ == (
+        "CellTimeoutError")
+    assert elapsed < faults.HANG_SECONDS / 2
+
+
+def test_elf_read_truncation_surfaces_as_parse_rejection(tmp_path,
+                                                         sample_binary):
+    path = tmp_path / "sample.bin"
+    path.write_bytes(sample_binary.data)
+    assert ELFFile.from_path(path) is not None
+    faults.install("truncate@elf.read#1", env=False)
+    with pytest.raises(ElfParseError):
+        ELFFile.from_path(path)
+
+
+def test_cache_get_corruption_degrades_to_miss(tmp_path):
+    cache = DiskCache(tmp_path / "cache")
+    assert cache.put("a" * 64, "sweep", {"x": 1})
+    assert cache.get("a" * 64, "sweep") == {"x": 1}
+    faults.install("corrupt@cache.get#1", env=False)
+    assert cache.get("a" * 64, "sweep") is None   # corrupted -> miss
+    faults.clear()
+    assert cache.get("a" * 64, "sweep") is None   # damage was real
+
+
+def test_cache_put_enospc_degrades_to_not_stored(tmp_path):
+    cache = DiskCache(tmp_path / "cache")
+    faults.install("enospc@cache.put#1", env=False)
+    assert cache.put("b" * 64, "sweep", {"x": 1}) is False
+    assert cache.put("b" * 64, "sweep", {"x": 1}) is True

@@ -1,0 +1,87 @@
+"""Fault-plan parsing, canonical text form, and matching."""
+
+import pytest
+
+from repro.faults import (
+    ALL_KINDS,
+    ALL_SITES,
+    EVERY,
+    KIND_IO,
+    KIND_KILL,
+    SITE_CACHE_GET,
+    SITE_CELL_EXECUTE,
+    SITE_JOURNAL_APPEND,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def test_parse_roundtrip():
+    text = "io@cache.get#3,kill@cell.execute#5,corrupt@cache.get#*"
+    plan = FaultPlan.parse(text)
+    assert len(plan.specs) == 3
+    assert plan.specs[0] == FaultSpec(KIND_IO, SITE_CACHE_GET, 3)
+    assert plan.specs[1] == FaultSpec(KIND_KILL, SITE_CELL_EXECUTE, 5)
+    assert plan.specs[2].ordinal == EVERY
+    assert str(plan) == text
+    assert FaultPlan.parse(str(plan)) == plan
+
+
+def test_parse_tolerates_whitespace_and_empties():
+    plan = FaultPlan.parse(" io@cache.get#1 , , enospc@journal.append#2 ")
+    assert [s.site for s in plan.specs] == [SITE_CACHE_GET,
+                                           SITE_JOURNAL_APPEND]
+
+
+@pytest.mark.parametrize("text", [
+    "io@cache.get",          # no ordinal
+    "iocache.get#1",         # no @
+    "io@cache.get#x",        # non-numeric ordinal
+    "bogus@cache.get#1",     # unknown kind
+    "io@bogus.site#1",       # unknown site
+])
+def test_parse_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        FaultPlan.parse(text)
+
+
+def test_spec_validates_fields():
+    with pytest.raises(ValueError):
+        FaultSpec("nope", SITE_CACHE_GET, 1)
+    with pytest.raises(ValueError):
+        FaultSpec(KIND_IO, "nope", 1)
+    with pytest.raises(ValueError):
+        FaultSpec(KIND_IO, SITE_CACHE_GET, -1)
+
+
+def test_matching_is_ordinal_exact_or_every():
+    spec = FaultSpec(KIND_IO, SITE_CACHE_GET, 3)
+    assert not spec.matches(SITE_CACHE_GET, 2)
+    assert spec.matches(SITE_CACHE_GET, 3)
+    assert not spec.matches(SITE_CACHE_GET, 4)
+    assert not spec.matches(SITE_CELL_EXECUTE, 3)
+    star = FaultSpec(KIND_IO, SITE_CACHE_GET, EVERY)
+    assert all(star.matches(SITE_CACHE_GET, n) for n in (1, 2, 99))
+
+
+def test_first_match_respects_order():
+    plan = FaultPlan.parse("io@cache.get#*,kill@cache.get#2")
+    assert plan.first_match(SITE_CACHE_GET, 2).kind == KIND_IO
+    assert plan.first_match(SITE_CELL_EXECUTE, 1) is None
+
+
+def test_seeded_plans_are_reproducible():
+    a = FaultPlan.seeded(7, n=5)
+    b = FaultPlan.seeded(7, n=5)
+    c = FaultPlan.seeded(8, n=5)
+    assert a == b
+    assert a != c
+    for spec in a.specs:
+        assert spec.site in ALL_SITES
+        assert spec.kind in ALL_KINDS
+        assert spec.ordinal >= 1
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan.parse("")
+    assert FaultPlan.parse("io@cache.get#1")
