@@ -3,10 +3,15 @@
 
 The paper's premise is that CET-enabled binaries are becoming the norm
 ("CET is enabled by default on modern compilers and OSes", §VI). This
-example measures that premise on *your* system: it scans a directory
-(default ``/usr/bin``) for ELF executables, reports how many advertise
-IBT/SHSTK in ``.note.gnu.property``, and runs FunSeeker on a sample —
-demonstrating graceful behaviour on both CET and legacy inputs.
+example measures that premise on *your* system: it streams a directory
+tree (default ``/usr/bin``) through the ingest subsystem's discoverer
+and admission triage — so symlink loops, unreadable entries, FIFOs,
+hard-link aliases, and arbitrarily wide directories are all survived,
+not special-cased — reports how many admitted binaries advertise
+IBT/SHSTK in ``.note.gnu.property``, and runs FunSeeker on a sample.
+
+For whole-fleet reports (degradation histograms, per-tool agreement,
+crash-safe resume), use the full pipeline: ``funseeker scan <dir>``.
 
 Usage: python examples/scan_system_binaries.py [directory] [max_files]
 """
@@ -17,6 +22,7 @@ from pathlib import Path
 from repro.core.funseeker import FunSeeker
 from repro.elf.gnuproperty import parse_cet_features
 from repro.elf.parser import ELFFile, ElfParseError
+from repro.ingest import Candidate, discover, triage
 
 
 def main() -> None:
@@ -25,21 +31,30 @@ def main() -> None:
 
     total = 0
     cet_count = 0
+    skipped = 0
     largest: tuple[int, Path, ELFFile] | None = None
-    for path in sorted(directory.iterdir())[: limit * 4]:
+    # The discoverer is a bounded-memory generator: it advances only as
+    # we consume it, so `limit` truly bounds the work — no directory
+    # listing is ever materialized (or silently truncated).
+    for event in discover([directory]):
         if total >= limit:
             break
+        if not isinstance(event, Candidate):
+            skipped += 1
+            continue
+        if not triage(event).analyze:
+            skipped += 1
+            continue
         try:
-            if not path.is_file() or path.stat().st_size < 128:
-                continue
-            with open(path, "rb") as f:
-                if f.read(4) != b"\x7fELF":
-                    continue
-            elf = ELFFile.from_path(path)
+            elf = ELFFile.from_path(event.path, strict=False)
         except (ElfParseError, OSError):
+            # Even degraded parsing gives up on a few truly hostile
+            # files; they cost one entry, never the survey.
+            skipped += 1
             continue
         txt = elf.section(".text")
-        if txt is None or elf.machine not in (3, 62):
+        if txt is None:
+            skipped += 1
             continue
         total += 1
         features = parse_cet_features(elf)
@@ -50,9 +65,10 @@ def main() -> None:
         # binary works too, it just takes most of a minute).
         if txt.sh_size < 4 << 20 and (largest is None
                                       or txt.sh_size > largest[0]):
-            largest = (txt.sh_size, path, elf)
+            largest = (txt.sh_size, event.path, elf)
 
-    print(f"{directory}: {total} x86/x86-64 ELF executables scanned")
+    print(f"{directory}: {total} x86/x86-64 ELF executables scanned "
+          f"({skipped} entries triaged out)")
     print(f"CET-advertising (.note.gnu.property IBT/SHSTK): {cet_count}")
     if total and not cet_count:
         print("  (distros often link CET-less CRT objects, which clears "

@@ -14,8 +14,13 @@
                        [--run-dir D | --resume D] [--retry-backoff S]
                        [--breaker-threshold N] [--max-rss-mb M]
                        [--fault-plan PLAN] [--quarantine D]
+    funseeker scan <root>... [--run-dir D | --resume D]
+                   [--tools ...] [--include G] [--exclude G]
+                   [--workers N] [--timeout S] [--max-rss-mb M]
+                   [--limit N] [--min-size B] [--max-size B]
+                   [--format json|table] [--fault-plan PLAN]
     funseeker quarantine list|replay --dir D  # captured failing inputs
-    funseeker chaos [--scale S] [--seed N]    # crash-safety acceptance
+    funseeker chaos [--scale S] [--seed N] [--ingest]  # crash-safety
     funseeker profile <binary> [--tools ...] [--trace PATH] [--json]
     funseeker cache stats|clear [--cache-dir D]  # on-disk artifact cache
     funseeker fuzz [--budget N] [--seed S]  # fault-injection harness
@@ -151,6 +156,64 @@ def main(argv: list[str] | None = None) -> int:
                       help="capture failing inputs (stripped image + "
                            "failure metadata) into DIR for replay")
 
+    p_sc = sub.add_parser(
+        "scan",
+        help="fleet-scan real-world binaries under directory roots: "
+             "triage, degradation-ladder analysis, crash-safe journal, "
+             "CET adoption + tool-agreement fleet report")
+    p_sc.add_argument("roots", nargs="*",
+                      help="directories (or files) to scan; omit when "
+                           "resuming (the journal remembers them)")
+    p_sc.add_argument("--run-dir", default=None,
+                      help="journal every decision into this fresh run "
+                           "directory (crash-safe, resumable; default: "
+                           "a temp dir discarded after the report)")
+    p_sc.add_argument("--resume", default=None, metavar="RUN_DIR",
+                      help="resume a journaled scan: keep decided "
+                           "paths, retry journaled failures, refuse a "
+                           "mismatched manifest")
+    p_sc.add_argument("--tools", default=None,
+                      help="comma-separated detector names (default "
+                           "funseeker,naive-endbr)")
+    p_sc.add_argument("--include", action="append", default=[],
+                      metavar="GLOB",
+                      help="only scan entries matching this fnmatch "
+                           "glob (repeatable; name or relative path)")
+    p_sc.add_argument("--exclude", action="append", default=[],
+                      metavar="GLOB",
+                      help="skip entries matching this glob "
+                           "(repeatable; prunes whole directories)")
+    p_sc.add_argument("--workers", type=int, default=None,
+                      help="process-pool size (default: CPU count; "
+                           "1 = in-process)")
+    p_sc.add_argument("--timeout", type=float, default=None,
+                      help="wall-clock seconds per ladder rung")
+    p_sc.add_argument("--max-rss-mb", type=int, default=None,
+                      help="address-space ceiling per worker, MiB")
+    p_sc.add_argument("--limit", type=int, default=None,
+                      help="stop after admitting N binaries")
+    p_sc.add_argument("--min-size", type=int, default=None,
+                      help="admission policy: smallest file to analyze")
+    p_sc.add_argument("--max-size", type=int, default=None,
+                      help="admission policy: largest file to analyze")
+    p_sc.add_argument("--no-follow-symlinks", action="store_true",
+                      help="report symlinks as skips instead of "
+                           "resolving them")
+    p_sc.add_argument("--format", default="table",
+                      choices=["table", "json"])
+    p_sc.add_argument("--output", default="-",
+                      help="report path, '-' for stdout")
+    p_sc.add_argument("--breaker-threshold", type=int, default=5,
+                      help="open a directory's circuit after N "
+                           "consecutive analysis losses (default 5)")
+    p_sc.add_argument("--fault-plan", default=None,
+                      help="inject deterministic faults, e.g. "
+                           "'kill@ingest.analyze#3' "
+                           "(also $REPRO_FAULT_PLAN)")
+    p_sc.add_argument("--no-quarantine", action="store_true",
+                      help="do not capture quarantined binaries into "
+                           "the run directory")
+
     p_pf = sub.add_parser(
         "profile",
         help="per-phase timing and counter profile of one binary")
@@ -214,6 +277,11 @@ def main(argv: list[str] | None = None) -> int:
     p_ch.add_argument("--work-dir", default=None,
                       help="keep run directories here for post-mortem "
                            "(default: a temp dir, removed on success)")
+    p_ch.add_argument("--ingest", action="store_true",
+                      help="run the fleet-scan ingest scenarios "
+                           "(worker kill mid-ladder, triage I/O fault) "
+                           "over a hostile fixture tree instead of the "
+                           "evaluation scenarios")
 
     args = parser.parse_args(argv)
     try:
@@ -242,6 +310,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "scan":
+        return _cmd_scan(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "cache":
@@ -404,6 +474,118 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_scan(args) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from repro import faults
+    from repro.errors import (
+        JournalError,
+        JournalWriteError,
+        ManifestMismatchError,
+    )
+    from repro.eval.breaker import CircuitBreaker
+    from repro.ingest import (
+        DEFAULT_SCAN_TOOLS,
+        AdmissionPolicy,
+        build_fleet_report,
+        render_fleet_table,
+        run_scan,
+    )
+
+    if args.run_dir and args.resume:
+        print("error: --run-dir starts a fresh journal, --resume "
+              "continues one; pass exactly one of them", file=sys.stderr)
+        return 2
+    if not args.resume and not args.roots:
+        print("error: a fresh scan needs at least one root "
+              "(or --resume RUN_DIR)", file=sys.stderr)
+        return 2
+    tools = (None if args.tools is None
+             else [t.strip() for t in args.tools.split(",") if t.strip()])
+    unknown = [t for t in (tools or DEFAULT_SCAN_TOOLS)
+               if t not in ALL_DETECTORS]
+    if unknown:
+        print(f"error: unknown detectors: {unknown} "
+              f"(known: {sorted(ALL_DETECTORS)})", file=sys.stderr)
+        return 2
+    policy = AdmissionPolicy()
+    if args.min_size is not None or args.max_size is not None:
+        policy = AdmissionPolicy(
+            min_size=(args.min_size if args.min_size is not None
+                      else policy.min_size),
+            max_size=(args.max_size if args.max_size is not None
+                      else policy.max_size))
+    if args.fault_plan:
+        faults.install(args.fault_plan)
+
+    temp_run = None
+    run_dir = args.resume or args.run_dir
+    if run_dir is None:
+        temp_run = tempfile.mkdtemp(prefix="repro-scan-")
+        run_dir = f"{temp_run}/run"
+    breaker = None
+    if args.breaker_threshold > 0:
+        breaker = CircuitBreaker(threshold=args.breaker_threshold)
+    try:
+        result = run_scan(
+            run_dir,
+            roots=list(args.roots) or None,
+            tools=tools,
+            resume=bool(args.resume),
+            include=tuple(args.include),
+            exclude=tuple(args.exclude),
+            policy=policy,
+            follow_symlinks=not args.no_follow_symlinks,
+            workers=args.workers,
+            timeout=args.timeout,
+            max_rss_mb=args.max_rss_mb,
+            limit=args.limit,
+            breaker=breaker,
+            quarantine=not args.no_quarantine,
+        )
+    except ManifestMismatchError as exc:
+        print(f"refusing to resume: {exc}", file=sys.stderr)
+        return 2
+    except (JournalError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except JournalWriteError as exc:
+        print(f"journal write failed, scan aborted: {exc}\n"
+              f"decided paths are safe; continue with "
+              f"--resume {run_dir}", file=sys.stderr)
+        return 3
+    finally:
+        if args.fault_plan:
+            faults.clear()
+
+    stats = result.stats
+    print(f"scanned {stats.walked} entries: {stats.dispatched} analyzed, "
+          f"{stats.walk_skips + stats.triaged} triaged out, "
+          f"{stats.resumed} already decided, "
+          f"{stats.lost_workers} workers lost", file=sys.stderr)
+    report = build_fleet_report(result.state, result.manifest)
+    text = (json.dumps(report, indent=1, sort_keys=True)
+            if args.format == "json" else render_fleet_table(report))
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if result.state.failures:
+        print(f"{len(result.state.failures)} path(s) left retryable "
+              f"failure records; re-run with --resume {run_dir} to "
+              f"converge", file=sys.stderr)
+        if temp_run is not None:
+            temp_run = None  # keep the journal: it holds the retries
+            print(f"journal kept at {run_dir}", file=sys.stderr)
+    if temp_run is not None:
+        shutil.rmtree(temp_run, ignore_errors=True)
+    return 0
+
+
 def _export_eval_trace(out_path: str, trace_dir: str) -> None:
     """Flush the parent recorder and merge all part files into one trace."""
     import os
@@ -464,6 +646,21 @@ def _cmd_chaos(args) -> int:
 
     from repro.faults.chaos import run_chaos
     from repro.synth.corpus import build_corpus
+
+    if args.ingest:
+        from repro.ingest.chaos import run_ingest_chaos
+
+        work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+        print(f"ingest chaos: seed {args.seed}, run dirs under "
+              f"{work_dir} ...", file=sys.stderr)
+        report = run_ingest_chaos(work_dir, seed=args.seed)
+        print(report.render())
+        if report.ok and not args.work_dir:
+            shutil.rmtree(work_dir, ignore_errors=True)
+        elif not report.ok:
+            print(f"run directories kept for post-mortem: {work_dir}",
+                  file=sys.stderr)
+        return 0 if report.ok else 1
 
     tools = [t.strip() for t in args.tools.split(",") if t.strip()]
     unknown = [t for t in tools if t not in ALL_DETECTORS]

@@ -265,14 +265,22 @@ class ELFFile:
             if sh_type in (C.SHT_NOBITS, C.SHT_NULL):
                 data = b""
             else:
-                data = self.data[sh_offset : sh_offset + sh_size]
-                if len(data) < sh_size and not self.strict:
-                    self.diagnostics.record(
-                        "elf",
-                        f"section {i} ({name or '?'}) data truncated: "
-                        f"{len(data)} of {sh_size} bytes in file",
+                # Real /usr/bin triage surfaces headers whose sh_offset
+                # or sh_size (u64 fields an attacker fully controls)
+                # run past the file. Bounds-check *before* slicing:
+                # strict mode rejects the file with a diagnostic
+                # MalformedELFError; degraded mode records the
+                # truncation and keeps the in-file prefix. Either way
+                # the claimed size never drives an allocation.
+                if sh_size and sh_offset + sh_size > len(self.data):
+                    self._fail(
+                        f"section {i} ({name or '?'}) data overflows "
+                        f"the file: sh_offset={sh_offset:#x} + "
+                        f"sh_size={sh_size:#x} > {len(self.data)} "
+                        f"bytes in file",
                         address=sh_offset,
                     )
+                data = self.data[sh_offset : sh_offset + sh_size]
             sections.append(
                 Section(
                     index=i,

@@ -1,0 +1,165 @@
+"""Bounded-window, out-of-order process-pool dispatch.
+
+Two pipelines fan work out over a ``multiprocessing.Pool`` and must
+survive workers that crash or wedge: the corpus evaluation runner
+(:mod:`repro.eval.parallel`) and the fleet-scan ingest pipeline
+(:mod:`repro.ingest.pipeline`). Both need the same driving discipline,
+extracted here:
+
+- **Backpressure.** Jobs are pulled lazily from an iterator and at most
+  ``max_inflight`` are outstanding, so a job source that is itself a
+  streaming generator (a directory walk over a million binaries) is
+  only advanced as pool capacity frees up — parent memory stays bounded
+  by the window, not the corpus.
+- **Out-of-order absorption.** Finished handles are absorbed as soon as
+  they are ready, regardless of dispatch order, so one slow job never
+  delays the results behind it.
+- **Per-job backstop deadlines.** Each dispatched job carries an
+  absolute deadline armed at dispatch. Because a queued job's clock
+  cannot fairly run while the pool is busy elsewhere, every completed
+  job refreshes the deadlines of the jobs still pending — one wedged
+  worker costs the run roughly a single backstop beyond its useful
+  work, never ``jobs × backstop``.
+- **Lost-worker accounting.** A handle whose ``get`` raises (the worker
+  died mid-job) or whose backstop expired is reported through the
+  ``on_lost`` callback and counted, so the caller can decide between a
+  clean ``close()`` and a ``terminate()`` at shutdown.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Iterator
+
+from repro import obs
+
+#: Sleep between handle polls when nothing completed this round.
+_POLL_INTERVAL = 0.02
+
+
+class BoundedPoolDriver:
+    """Drive jobs through an async pool with a bounded in-flight window.
+
+    Parameters
+    ----------
+    max_inflight:
+        Upper bound on outstanding (dispatched, unabsorbed) jobs.
+    backstop:
+        Seconds a dispatched job may remain pending with no pool
+        progress before its worker is declared lost. ``None`` disables
+        the deadline (jobs wait forever, trusting in-worker watchdogs).
+    poll_interval:
+        Sleep between polls when no handle completed.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int,
+        backstop: float | None = None,
+        poll_interval: float = _POLL_INTERVAL,
+    ) -> None:
+        self.max_inflight = max_inflight
+        self.backstop = backstop
+        self.poll_interval = poll_interval
+        #: Number of workers declared lost (crash or backstop expiry).
+        self.lost_workers = 0
+
+    @property
+    def any_lost(self) -> bool:
+        return self.lost_workers > 0
+
+    def drive(
+        self,
+        jobs: Iterable,
+        submit: Callable[[object], tuple[object, object] | None],
+        absorb: Callable[[object, object], None],
+        on_lost: Callable[[object, str], None],
+    ) -> None:
+        """Pull ``jobs`` lazily, dispatch through ``submit``, collect.
+
+        ``submit(job)`` either returns ``(job', handle)`` — possibly a
+        transformed job plus its ``AsyncResult``-like handle — or
+        ``None`` when the job was consumed without pool work (filtered,
+        skipped, journaled inline). ``absorb(job', result)`` receives
+        each completed job's result in completion order. ``on_lost(job',
+        message)`` is called instead when the worker died or blew its
+        backstop. Callbacks run in the caller's thread; exceptions they
+        raise propagate (the caller owns pool shutdown).
+        """
+        job_iter: Iterator = iter(jobs)
+        # [job, handle, absolute-deadline-or-None], mutated in place.
+        pending: list[list] = []
+
+        def _fill(now: float) -> None:
+            while len(pending) < self.max_inflight:
+                job = next(job_iter, None)
+                if job is None:
+                    return
+                dispatched = submit(job)
+                if dispatched is None:
+                    continue
+                sent, handle = dispatched
+                pending.append([
+                    sent, handle,
+                    None if self.backstop is None else now + self.backstop,
+                ])
+
+        _fill(time.monotonic())
+        while pending:
+            progressed = False
+            for item in list(pending):
+                job, handle, _deadline = item
+                if not handle.ready():
+                    continue
+                pending.remove(item)
+                progressed = True
+                try:
+                    result = handle.get(0)
+                except Exception as exc:  # worker died mid-job
+                    self._lose(on_lost, job,
+                               f"worker crashed: {type(exc).__name__}: "
+                               f"{exc}")
+                else:
+                    absorb(job, result)
+            now = time.monotonic()
+            if self.backstop is not None and pending:
+                if progressed:
+                    # A completion proves the pool is alive; a pending
+                    # job may only just have been picked up by a
+                    # worker, so its backstop clock restarts now.
+                    fresh = now + self.backstop
+                    for item in pending:
+                        item[2] = fresh
+                else:
+                    for item in list(pending):
+                        if now < item[2]:
+                            continue
+                        pending.remove(item)
+                        progressed = True
+                        self._lose(
+                            on_lost, item[0],
+                            f"worker exceeded {self.backstop:g}s backstop")
+            _fill(now)
+            if not progressed and pending:
+                time.sleep(self.poll_interval)
+
+    def _lose(self, on_lost, job, message: str) -> None:
+        self.lost_workers += 1
+        obs.add("eval.workers_lost", 1)
+        on_lost(job, message)
+
+
+def shutdown_pool(pool, *, lost_worker: bool) -> None:
+    """Close or terminate a pool after a clean drive.
+
+    Clean completion lets in-flight worker code (e.g. a cache put or a
+    trace flush) finish instead of killing it mid-write — unless a
+    worker was declared lost, in which case ``join()`` could block on
+    its wedged process forever.
+    """
+    if lost_worker:
+        pool.terminate()
+    else:
+        pool.close()
+    pool.join()

@@ -151,6 +151,92 @@ def _checksum(payload: str) -> str:
     return f"{zlib.crc32(payload.encode()) & 0xFFFFFFFF:08x}"
 
 
+class JournalFile:
+    """Checksummed JSONL appender: one fsync'd line per payload.
+
+    The byte-level substrate shared by the evaluation run journal and
+    the fleet-scan journal (:mod:`repro.ingest.journal`): callers hand
+    over one ``dict`` per decided unit of work, this class handles the
+    checksum envelope, the flush-and-fsync durability contract, and the
+    ``journal.append`` fault point (including the simulated torn write
+    of the ``truncate`` data kind).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._file = None
+
+    def append(self, data: dict) -> None:
+        canonical = _canonical(data)
+        line = json.dumps(
+            {"crc": _checksum(canonical), "data": data},
+            sort_keys=True, separators=(",", ":"),
+        )
+        try:
+            fault_kind = faults.hit(faults.SITE_JOURNAL_APPEND)
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            if fault_kind == faults.KIND_TRUNCATE:
+                # Simulated torn write: half the line reaches the disk,
+                # then the "crash".
+                self._file.write(line[: len(line) // 2])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                raise OSError("injected crash mid-append (torn line)")
+            self._file.write(line + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            obs.add("journal.append_errors", 1)
+            raise JournalWriteError(
+                f"journal append to {self.path} failed: {exc}") from exc
+        obs.add("journal.appends", 1)
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+
+
+def read_journal_lines(
+    path: str | os.PathLike,
+) -> tuple[list[dict], int, bool]:
+    """Load every valid payload from a checksummed JSONL journal.
+
+    Returns ``(payloads, corrupt_lines, torn_tail)``. A torn final line
+    (a process killed mid-append) is dropped and flagged, never fatal;
+    corrupt interior lines are skipped and counted. A missing file is
+    an empty journal.
+    """
+    payloads: list[dict] = []
+    corrupt = 0
+    torn_tail = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except FileNotFoundError:
+        return payloads, corrupt, torn_tail
+    except OSError as exc:
+        raise JournalError(f"unreadable journal {path}: {exc}") from exc
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        data = _decode_line(line)
+        if data is None:
+            if index == len(lines) - 1:
+                torn_tail = True
+                obs.add("journal.torn_tail", 1)
+            else:
+                corrupt += 1
+                obs.add("journal.corrupt_lines", 1)
+            continue
+        payloads.append(data)
+    return payloads, corrupt, torn_tail
+
+
 class RunJournal:
     """Single-writer append handle on a run directory's journal.
 
@@ -164,7 +250,7 @@ class RunJournal:
     def __init__(self, run_dir: str | os.PathLike) -> None:
         self.run_dir = Path(run_dir)
         self.path = self.run_dir / JOURNAL_NAME
-        self._file = None
+        self._journal = JournalFile(self.path)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -202,11 +288,7 @@ class RunJournal:
                 f"unreadable manifest in {self.run_dir}: {exc}") from exc
 
     def close(self) -> None:
-        if self._file is not None:
-            try:
-                self._file.close()
-            finally:
-                self._file = None
+        self._journal.close()
 
     def __enter__(self) -> "RunJournal":
         return self
@@ -223,31 +305,7 @@ class RunJournal:
         self._append("failure", _failure_to_dict(failure))
 
     def _append(self, kind: str, payload: dict) -> None:
-        data = {"kind": kind, **payload}
-        canonical = _canonical(data)
-        line = json.dumps(
-            {"crc": _checksum(canonical), "data": data},
-            sort_keys=True, separators=(",", ":"),
-        )
-        try:
-            fault_kind = faults.hit(faults.SITE_JOURNAL_APPEND)
-            if self._file is None:
-                self._file = open(self.path, "a", encoding="utf-8")
-            if fault_kind == faults.KIND_TRUNCATE:
-                # Simulated torn write: half the line reaches the disk,
-                # then the "crash".
-                self._file.write(line[: len(line) // 2])
-                self._file.flush()
-                os.fsync(self._file.fileno())
-                raise OSError("injected crash mid-append (torn line)")
-            self._file.write(line + "\n")
-            self._file.flush()
-            os.fsync(self._file.fileno())
-        except OSError as exc:
-            obs.add("journal.append_errors", 1)
-            raise JournalWriteError(
-                f"journal append to {self.path} failed: {exc}") from exc
-        obs.add("journal.appends", 1)
+        self._journal.append({"kind": kind, **payload})
 
 
 def _write_atomic(path: Path, text: str) -> None:
@@ -342,31 +400,14 @@ def read_journal(run_dir: str | os.PathLike) -> JournalState:
     """
     path = Path(run_dir) / JOURNAL_NAME
     state = JournalState()
-    try:
-        with open(path, encoding="utf-8") as f:
-            raw = f.read()
-    except FileNotFoundError:
-        return state
-    except OSError as exc:
-        raise JournalError(f"unreadable journal {path}: {exc}") from exc
+    payloads, state.corrupt_lines, state.torn_tail = read_journal_lines(
+        path)
 
     records: dict[CellKey, RunRecord] = {}
     failures: dict[CellKey, FailureRecord] = {}
     order: list[CellKey] = []
     seen: set[CellKey] = set()
-    lines = raw.split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    for index, line in enumerate(lines):
-        data = _decode_line(line)
-        if data is None:
-            if index == len(lines) - 1:
-                state.torn_tail = True
-                obs.add("journal.torn_tail", 1)
-            else:
-                state.corrupt_lines += 1
-                obs.add("journal.corrupt_lines", 1)
-            continue
+    for data in payloads:
         kind = data.get("kind")
         try:
             if kind == "record":

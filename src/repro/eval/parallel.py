@@ -27,16 +27,15 @@ taking the host down.
 
 Jobs are dispatched **lazily** (a bounded window of in-flight handles)
 and collected **out of order** against per-job absolute deadlines
-armed at dispatch: finished jobs are absorbed as soon as their handles
-are ready, and a job is only declared lost when its own backstop clock
-expires. Because a queued job's clock cannot fairly run while the pool
-is busy elsewhere, every completed job refreshes the deadlines of the
-jobs still pending — so one wedged worker costs the sweep roughly a
-single backstop beyond its useful work, never ``jobs × backstop``, and
-an early loss never stalls the collection of already-finished later
-results. Lazy dispatch is also what gives the per-tool circuit
-``breaker`` its teeth: cells of a tool whose circuit opened mid-sweep
-are skipped at dispatch time, before they can burn a worker's budget.
+armed at dispatch; the driving discipline lives in
+:class:`repro.eval.dispatch.BoundedPoolDriver`, which this runner
+shares with the fleet-scan ingest pipeline. One wedged worker costs
+the sweep roughly a single backstop beyond its useful work, never
+``jobs × backstop``, and an early loss never stalls the collection of
+already-finished later results. Lazy dispatch is also what gives the
+per-tool circuit ``breaker`` its teeth: cells of a tool whose circuit
+opened mid-sweep are skipped at dispatch time, before they can burn a
+worker's budget.
 
 Crash-safety hooks run in the **parent**, which is the single writer:
 every absorbed cell outcome is appended (fsync'd) to the optional
@@ -55,7 +54,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -64,6 +62,7 @@ from repro.baselines import ALL_DETECTORS
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
 from repro.eval.breaker import CircuitBreaker
+from repro.eval.dispatch import BoundedPoolDriver, shutdown_pool
 from repro.eval.isolation import (
     PHASE_DETECT,
     PHASE_PARSE,
@@ -78,9 +77,6 @@ from repro.synth.corpus import CorpusEntry
 #: Extra wall-clock (seconds) the parent grants a worker beyond the
 #: per-cell budgets before declaring it lost.
 _BACKSTOP_GRACE = 30.0
-
-#: Sleep between handle polls when nothing completed this round.
-_POLL_INTERVAL = 0.02
 
 #: In-flight dispatch window, as a multiple of the pool size.
 _INFLIGHT_FACTOR = 2
@@ -212,89 +208,35 @@ def run_evaluation_parallel(
         initargs=(None if trace_dir is None else str(trace_dir),
                   max_rss_mb),
     )
-    lost_worker = False
-    job_iter = iter(jobs)
-    # Absolute per-job deadlines, armed at dispatch. `pending` is
-    # mutated in place as handles complete or expire.
-    pending: list[list] = []
+    driver = BoundedPoolDriver(max_inflight=max_inflight,
+                               backstop=backstop)
 
-    def _dispatch_upto(now: float) -> None:
-        while len(pending) < max_inflight:
-            job = next(job_iter, None)
-            if job is None:
-                return
-            job = _breaker_filter(job)
-            if job is None:
-                continue
-            faults.hit(faults.SITE_WORKER_DISPATCH)
-            pending.append([
-                job,
-                pool.apply_async(_evaluate_job,
-                                 (job, timeout, retries,
-                                  None if trace_dir is None
-                                  else str(trace_dir),
-                                  backoff)),
-                None if backstop is None else now + backstop,
-            ])
+    def _submit(job):
+        job = _breaker_filter(job)
+        if job is None:
+            return None
+        faults.hit(faults.SITE_WORKER_DISPATCH)
+        return job, pool.apply_async(
+            _evaluate_job,
+            (job, timeout, retries,
+             None if trace_dir is None else str(trace_dir), backoff))
+
+    def _collect(job, result):
+        records, failures = result
+        _absorb(records, failures, job)
+
+    def _lost(job, message):
+        _absorb([], _lost_worker_failures(job, message), job)
 
     try:
-        _dispatch_upto(time.monotonic())
-        while pending:
-            progressed = False
-            for item in list(pending):
-                job, handle, _deadline = item
-                if not handle.ready():
-                    continue
-                pending.remove(item)
-                progressed = True
-                try:
-                    records, failures = handle.get(0)
-                except Exception as exc:  # worker died mid-job
-                    lost_worker = True
-                    obs.add("eval.workers_lost", 1)
-                    records, failures = [], _lost_worker_failures(
-                        job, f"worker crashed: {type(exc).__name__}: "
-                             f"{exc}")
-                _absorb(records, failures, job)
-            now = time.monotonic()
-            if backstop is not None and pending:
-                if progressed:
-                    # A completion proves the pool is alive; a pending
-                    # job may only just have been picked up by a
-                    # worker, so its backstop clock restarts now.
-                    fresh = now + backstop
-                    for item in pending:
-                        item[2] = fresh
-                else:
-                    for item in list(pending):
-                        if now < item[2]:
-                            continue
-                        pending.remove(item)
-                        progressed = True
-                        lost_worker = True
-                        obs.add("eval.workers_lost", 1)
-                        _absorb([], _lost_worker_failures(
-                            item[0],
-                            f"worker exceeded {backstop:g}s backstop"),
-                            item[0])
-            _dispatch_upto(now)
-            if not progressed and pending:
-                time.sleep(_POLL_INTERVAL)
+        driver.drive(jobs, _submit, _collect, _lost)
     except BaseException:
         # Abort path (--fail-fast, KeyboardInterrupt): drop the pool
         # immediately, in-flight work included.
         pool.terminate()
         pool.join()
         raise
-    # Clean completion: let in-flight worker code (e.g. a DiskCache.put
-    # or a trace flush) finish instead of killing it mid-write — unless
-    # a worker was declared lost, in which case join() could block on
-    # its wedged process forever.
-    if lost_worker:
-        pool.terminate()
-    else:
-        pool.close()
-    pool.join()
+    shutdown_pool(pool, lost_worker=driver.any_lost)
     return report
 
 

@@ -43,6 +43,9 @@ from repro.faults.plan import (
     SITE_CACHE_PUT,
     SITE_CELL_EXECUTE,
     SITE_ELF_READ,
+    SITE_INGEST_ADMIT,
+    SITE_INGEST_ANALYZE,
+    SITE_INGEST_WALK,
     SITE_JOURNAL_APPEND,
     SITE_WORKER_DISPATCH,
     FaultPlan,
@@ -81,6 +84,9 @@ __all__ = [
     "SITE_CACHE_PUT",
     "SITE_CELL_EXECUTE",
     "SITE_ELF_READ",
+    "SITE_INGEST_ADMIT",
+    "SITE_INGEST_ANALYZE",
+    "SITE_INGEST_WALK",
     "SITE_JOURNAL_APPEND",
     "SITE_WORKER_DISPATCH",
     "active_plan",

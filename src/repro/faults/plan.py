@@ -27,6 +27,9 @@ SITE_CACHE_PUT = "cache.put"
 SITE_JOURNAL_APPEND = "journal.append"
 SITE_WORKER_DISPATCH = "worker.dispatch"
 SITE_CELL_EXECUTE = "cell.execute"
+SITE_INGEST_WALK = "ingest.walk"
+SITE_INGEST_ADMIT = "ingest.admit"
+SITE_INGEST_ANALYZE = "ingest.analyze"
 
 ALL_SITES = (
     SITE_ELF_READ,
@@ -35,6 +38,9 @@ ALL_SITES = (
     SITE_JOURNAL_APPEND,
     SITE_WORKER_DISPATCH,
     SITE_CELL_EXECUTE,
+    SITE_INGEST_WALK,
+    SITE_INGEST_ADMIT,
+    SITE_INGEST_ANALYZE,
 )
 
 #: Fault kinds. Behavioral kinds act inside the registry (raise, kill,

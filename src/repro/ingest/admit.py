@@ -1,0 +1,136 @@
+"""Admission triage: classify every candidate before spending analysis.
+
+Triage reads *at most 64 bytes* of each candidate and maps it onto one
+of three decisions, with a recorded reason:
+
+- ``analyze`` — a little-endian x86/x86-64 ELF executable or shared
+  object within the size policy; worth a worker's time.
+- ``reject`` — definitively not an analysis target (non-ELF magic,
+  wrong architecture, relocatable/core object, too small to hold an
+  ELF header). Rejections are final: re-scanning the same bytes makes
+  the same call.
+- ``skip`` — a plausible target deliberately not analyzed (over the
+  size ceiling, or an I/O error while sampling it). I/O-shaped skips
+  are flagged ``transient`` so the pipeline journals them as retryable
+  failures instead of final triage calls.
+
+Triage is **total**: it never raises, whatever the bytes or the
+filesystem do — the property ``tests/ingest`` pins down with a fuzz
+property test. It also never opens anything the discoverer has not
+already stat'd as a regular file, so it cannot block on a FIFO.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro import faults, obs
+from repro.elf import constants as C
+
+DECISION_ANALYZE = "analyze"
+DECISION_SKIP = "skip"
+DECISION_REJECT = "reject"
+
+ALL_DECISIONS = (DECISION_ANALYZE, DECISION_SKIP, DECISION_REJECT)
+
+#: Smallest file that can hold a 32-bit ELF header.
+_MIN_ELF_SIZE = 52
+
+#: e_machine values the analysis ladder supports.
+_SUPPORTED_MACHINES = (C.EM_386, C.EM_X86_64)
+
+#: e_type values worth analyzing (executables and shared objects; the
+#: paper's subject is linked output, not relocatables or core dumps).
+_ANALYZABLE_TYPES = (C.ET_EXEC, C.ET_DYN)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Size bounds for admission (identity-relevant: journaled in the
+    scan manifest, so a resume triages exactly like the original run)."""
+
+    min_size: int = _MIN_ELF_SIZE
+    max_size: int = 256 << 20  # 256 MiB: past this, skip by policy
+
+    def to_dict(self) -> dict:
+        return {"min_size": self.min_size, "max_size": self.max_size}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AdmissionPolicy":
+        return cls(min_size=doc.get("min_size", _MIN_ELF_SIZE),
+                   max_size=doc.get("max_size", 256 << 20))
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One triage decision with its recorded reason."""
+
+    decision: str
+    reason: str
+    detail: str = ""
+    #: An I/O-shaped failure: the pipeline records it as retryable
+    #: (resume re-triages) instead of as a final triage call.
+    transient: bool = False
+
+    @property
+    def analyze(self) -> bool:
+        return self.decision == DECISION_ANALYZE
+
+
+def triage(candidate, policy: AdmissionPolicy | None = None) -> Admission:
+    """Classify one discovered candidate. Total: never raises.
+
+    ``candidate`` needs only ``path`` and ``size`` attributes (a
+    :class:`~repro.ingest.discover.Candidate`, or anything shaped like
+    one).
+    """
+    policy = policy or AdmissionPolicy()
+    try:
+        admission = _triage_inner(candidate, policy)
+    except OSError as exc:
+        admission = Admission(DECISION_SKIP, "io-error",
+                              f"{type(exc).__name__}: {exc}",
+                              transient=True)
+    except Exception as exc:  # totality backstop: triage never raises
+        admission = Admission(DECISION_SKIP, "triage-error",
+                              f"{type(exc).__name__}: {exc}",
+                              transient=True)
+    obs.add(f"ingest.admit.{admission.decision}", 1)
+    return admission
+
+
+def _triage_inner(candidate, policy: AdmissionPolicy) -> Admission:
+    faults.hit(faults.SITE_INGEST_ADMIT)
+    size = candidate.size
+    if size < max(policy.min_size, _MIN_ELF_SIZE):
+        return Admission(DECISION_REJECT, "too-small", f"{size} bytes")
+    if size > policy.max_size:
+        return Admission(DECISION_SKIP, "too-large",
+                         f"{size} > {policy.max_size} bytes")
+    with open(candidate.path, "rb") as f:
+        head = f.read(64)
+    if len(head) < _MIN_ELF_SIZE:
+        # The file shrank between stat and read; treat like too-small.
+        return Admission(DECISION_REJECT, "too-small",
+                         f"{len(head)} readable bytes")
+    if head[:4] != C.ELFMAG:
+        return Admission(DECISION_REJECT, "not-elf",
+                         f"magic {head[:4].hex()}")
+    ei_class = head[C.EI_CLASS]
+    ei_data = head[C.EI_DATA]
+    if ei_class not in (C.ELFCLASS32, C.ELFCLASS64):
+        return Admission(DECISION_REJECT, "bad-elf-class",
+                         f"EI_CLASS {ei_class}")
+    if ei_data != C.ELFDATA2LSB:
+        return Admission(DECISION_REJECT, "big-endian",
+                         f"EI_DATA {ei_data}")
+    e_type, e_machine = struct.unpack_from("<HH", head, C.EI_NIDENT)
+    if e_machine not in _SUPPORTED_MACHINES:
+        return Admission(DECISION_REJECT, "wrong-arch",
+                         f"e_machine {e_machine}")
+    if e_type not in _ANALYZABLE_TYPES:
+        return Admission(DECISION_REJECT, "not-executable",
+                         f"e_type {e_type}")
+    return Admission(DECISION_ANALYZE, "ok",
+                     "x86-64" if ei_class == C.ELFCLASS64 else "x86")

@@ -1,0 +1,197 @@
+"""Bounded-memory streaming discovery of candidate binaries.
+
+The fleet-scan pipeline walks directory trees it did not create —
+``/usr/bin`` on an arbitrary machine, a malware corpus share, a
+container image dump. The walk must therefore survive whatever the
+filesystem throws at it:
+
+- **Symlink loops** never recurse: directories are remembered by
+  ``(st_dev, st_ino)`` and a re-entered directory is reported once as a
+  skip, not walked again.
+- **Hard-link aliases** are analyzed once: files are deduplicated by
+  inode, later sightings become ``duplicate-inode`` skips naming the
+  first path.
+- **Permission errors** (and any other ``OSError`` from the walk) cost
+  exactly the entry that raised them, reported as a skip with the
+  errno text — never the walk.
+- **Non-regular files** (FIFOs, sockets, devices) are skipped *from
+  stat alone*; the walk never opens anything, so a FIFO cannot block
+  it.
+
+The generator yields one event per filesystem decision — a
+:class:`Candidate` for each admissible regular file, a :class:`WalkSkip`
+for everything declined — and holds only the DFS stack plus the inode
+sets, so memory is bounded by tree depth and file count, not by any
+directory's width (``os.scandir`` streams entries; nothing is ever
+materialized with ``listdir``-style truncation).
+
+Entries are visited in sorted name order, so the event stream is
+deterministic for a given tree — the property the scan journal's
+resume semantics build on.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import stat
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import faults, obs
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One regular file the walk surfaced for admission triage."""
+
+    path: Path
+    size: int
+    #: ``(st_dev, st_ino)`` — the dedup identity.
+    inode: tuple[int, int]
+
+    @property
+    def directory(self) -> Path:
+        """The containing directory (the per-directory breaker key)."""
+        return self.path.parent
+
+
+@dataclass(frozen=True)
+class WalkSkip:
+    """One entry or subtree the walk declined, and why.
+
+    ``reason`` is a short slug (``unreadable-dir``, ``symlink-loop``,
+    ``duplicate-inode``, ``not-regular-file``, ``broken-symlink``,
+    ``excluded``, ``unreadable-entry``, ``not-a-directory``); ``detail``
+    carries the errno text or the first-sighting path.
+    """
+
+    path: Path
+    reason: str
+    detail: str = ""
+
+
+def _matches(name: str, rel: str, patterns: tuple[str, ...]) -> bool:
+    return any(fnmatch.fnmatch(name, p) or fnmatch.fnmatch(rel, p)
+               for p in patterns)
+
+
+def discover(
+    roots: Iterable[str | os.PathLike],
+    *,
+    include: tuple[str, ...] = (),
+    exclude: tuple[str, ...] = (),
+    follow_symlinks: bool = True,
+) -> Iterator[Candidate | WalkSkip]:
+    """Stream discovery events for every entry under ``roots``.
+
+    ``include``/``exclude`` are :mod:`fnmatch` globs matched against
+    both the entry name and the root-relative path; ``exclude`` wins,
+    an empty ``include`` admits everything, and an excluded directory
+    prunes its whole subtree. With ``follow_symlinks=False``, symlinked
+    directories and files are reported as ``symlink-not-followed``
+    skips instead of being resolved.
+    """
+    seen_dirs: set[tuple[int, int]] = set()
+    seen_files: dict[tuple[int, int], Path] = {}
+    for root in roots:
+        root = Path(root)
+        try:
+            st = os.stat(root)
+        except OSError as exc:
+            yield WalkSkip(root, "unreadable-root", _errtext(exc))
+            continue
+        if stat.S_ISREG(st.st_mode):
+            # A file root bypasses include/exclude: the operator named
+            # it explicitly.
+            yield from _dedup(root, st, seen_files)
+            continue
+        if not stat.S_ISDIR(st.st_mode):
+            yield WalkSkip(root, "not-a-directory")
+            continue
+        yield from _walk(root, st, seen_dirs, seen_files,
+                         include, exclude, follow_symlinks)
+
+
+def _walk(
+    root: Path,
+    root_st: os.stat_result,
+    seen_dirs: set[tuple[int, int]],
+    seen_files: dict[tuple[int, int], Path],
+    include: tuple[str, ...],
+    exclude: tuple[str, ...],
+    follow_symlinks: bool,
+) -> Iterator[Candidate | WalkSkip]:
+    # DFS over (directory, its stat); sorted scandir keeps the event
+    # stream deterministic for a given tree.
+    stack: list[tuple[Path, os.stat_result]] = [(root, root_st)]
+    while stack:
+        directory, dir_st = stack.pop()
+        key = (dir_st.st_dev, dir_st.st_ino)
+        if key in seen_dirs:
+            yield WalkSkip(directory, "symlink-loop")
+            continue
+        seen_dirs.add(key)
+        obs.add("ingest.walk.dirs", 1)
+        try:
+            faults.hit(faults.SITE_INGEST_WALK)
+            with os.scandir(directory) as scandir:
+                entries = sorted(scandir, key=lambda e: e.name)
+        except OSError as exc:
+            yield WalkSkip(directory, "unreadable-dir", _errtext(exc))
+            continue
+        subdirs: list[tuple[Path, os.stat_result]] = []
+        for entry in entries:
+            path = Path(entry.path)
+            rel = os.path.relpath(entry.path, root)
+            try:
+                is_symlink = entry.is_symlink()
+                if entry.is_dir(follow_symlinks=follow_symlinks):
+                    if _matches(entry.name, rel, exclude):
+                        yield WalkSkip(path, "excluded")
+                        continue
+                    subdirs.append((path, entry.stat()))
+                    continue
+                if is_symlink and not follow_symlinks:
+                    yield WalkSkip(path, "symlink-not-followed")
+                    continue
+                st = entry.stat()  # follows symlinks
+            except OSError as exc:
+                yield WalkSkip(
+                    path,
+                    "broken-symlink" if is_symlink else "unreadable-entry",
+                    _errtext(exc))
+                continue
+            if not stat.S_ISREG(st.st_mode):
+                yield WalkSkip(path, "not-regular-file",
+                               stat.filemode(st.st_mode))
+                continue
+            if _matches(entry.name, rel, exclude):
+                yield WalkSkip(path, "excluded")
+                continue
+            if include and not _matches(entry.name, rel, include):
+                yield WalkSkip(path, "not-included")
+                continue
+            yield from _dedup(path, st, seen_files)
+        # Reversed so the stack pops subdirectories in sorted order.
+        stack.extend(reversed(subdirs))
+
+
+def _dedup(
+    path: Path,
+    st: os.stat_result,
+    seen_files: dict[tuple[int, int], Path],
+) -> Iterator[Candidate | WalkSkip]:
+    key = (st.st_dev, st.st_ino)
+    first = seen_files.get(key)
+    if first is not None:
+        yield WalkSkip(path, "duplicate-inode", str(first))
+        return
+    seen_files[key] = path
+    obs.add("ingest.walk.files", 1)
+    yield Candidate(path=path, size=st.st_size, inode=key)
+
+
+def _errtext(exc: OSError) -> str:
+    return f"{type(exc).__name__}: {exc}"

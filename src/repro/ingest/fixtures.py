@@ -1,0 +1,165 @@
+"""Hostile filesystem fixtures for exercising the ingest pipeline.
+
+Real fleets are adversarial by accident: `/usr/bin` holds truncated
+downloads, foreign-arch chroots, FIFOs, symlink tangles, and the odd
+actively-malformed binary. The scan pipeline's tests (and the ingest
+chaos scenarios) need a *reproducible* miniature of that mess, built
+from the synthetic CET toolchain plus deliberate corruption:
+
+- :func:`synth_binary` — a real little-endian x86-64 ELF with CET
+  ``.note.gnu.property`` metadata and exact ground truth.
+- :func:`hostile_variants` — deterministic corruptions of a donor
+  image (truncation, an ``sh_size`` that overflows the file, foreign
+  architecture, big-endian claim, relocatable type).
+- :func:`build_fixture_tree` — a directory tree combining healthy
+  binaries, hostile variants, non-ELF noise, a symlink loop, a broken
+  symlink, a hard-link alias, and (where the OS allows) a FIFO.
+
+Everything is seeded and name-stable so two builds of the same tree
+are byte-identical — the property the resume-convergence tests lean
+on.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+from repro.elf import constants as C
+from repro.synth import CompilerProfile, generate_program, link_program
+
+#: e_machine value used for the foreign-architecture variant (AArch64).
+_EM_AARCH64 = 183
+
+
+def synth_binary(name: str, *, seed: int = 2022, functions: int = 12,
+                 opt: str = "O2", cxx: bool = False) -> bytes:
+    """One small, healthy synthesized CET binary image."""
+    profile = CompilerProfile("gcc", opt, 64, True)
+    spec = generate_program(name, functions, profile, seed=seed, cxx=cxx)
+    return link_program(spec, profile).data
+
+
+def truncated_elf(donor: bytes, keep: int = 100) -> bytes:
+    """A download that died mid-transfer: valid header, missing body."""
+    return donor[:keep]
+
+
+def oversized_shdr_elf(donor: bytes) -> bytes:
+    """A section header whose ``sh_size`` overflows the file.
+
+    The degraded parser must record a diagnostic (and the strict one
+    must raise) instead of allocating ``sh_size`` bytes — the satellite
+    hardening this module exists to exercise.
+    """
+    data = bytearray(donor)
+    e_shoff = struct.unpack_from("<Q", data, 0x28)[0]
+    e_shentsize = struct.unpack_from("<H", data, 0x3A)[0]
+    e_shnum = struct.unpack_from("<H", data, 0x3C)[0]
+    if not e_shoff or e_shnum < 2:
+        raise ValueError("donor image has no section headers to corrupt")
+    # Corrupt the *last* section's size: its sh_offset is large, so the
+    # claimed extent sails far past EOF.
+    entry = e_shoff + (e_shnum - 1) * e_shentsize
+    struct.pack_into("<Q", data, entry + 0x20, 1 << 62)  # sh_size
+    return bytes(data)
+
+
+def foreign_arch_elf(donor: bytes) -> bytes:
+    """The same bytes claiming to be AArch64: triage must reject."""
+    data = bytearray(donor)
+    struct.pack_into("<H", data, C.EI_NIDENT + 2, _EM_AARCH64)
+    return bytes(data)
+
+
+def big_endian_elf(donor: bytes) -> bytes:
+    data = bytearray(donor)
+    data[C.EI_DATA] = 2  # ELFDATA2MSB
+    return bytes(data)
+
+
+def relocatable_elf(donor: bytes) -> bytes:
+    data = bytearray(donor)
+    struct.pack_into("<H", data, C.EI_NIDENT, 1)  # ET_REL
+    return bytes(data)
+
+
+def hostile_variants(donor: bytes) -> dict[str, bytes]:
+    """Every deterministic corruption, keyed by fixture filename."""
+    return {
+        "truncated.elf": truncated_elf(donor),
+        "oversized-shdr.elf": oversized_shdr_elf(donor),
+        "foreign-arch.elf": foreign_arch_elf(donor),
+        "big-endian.elf": big_endian_elf(donor),
+        "relocatable.elf": relocatable_elf(donor),
+        "garbage.bin": b"MZ\x90\x00" + bytes(range(256)) * 2,
+        "empty.bin": b"",
+        "tiny.bin": b"\x7fELF",
+    }
+
+
+def build_fixture_tree(root: str | os.PathLike, *, seed: int = 2022,
+                       binaries: int = 3) -> dict[str, list[Path]]:
+    """Materialize the hostile scan tree under ``root``.
+
+    Returns the fixture inventory by category: ``healthy`` (real CET
+    binaries the ladder should analyze), ``hostile`` (files triage or
+    the ladder must survive), and ``traps`` (filesystem-level hazards:
+    loops, dangling links, aliases, FIFOs).
+    """
+    root = Path(root)
+    inventory: dict[str, list[Path]] = {
+        "healthy": [], "hostile": [], "traps": [],
+    }
+
+    bin_dir = root / "bin"
+    bin_dir.mkdir(parents=True, exist_ok=True)
+    donor = b""
+    for index in range(binaries):
+        image = synth_binary(f"fleet{index}", seed=seed + index,
+                             functions=10 + 2 * index,
+                             opt="O2" if index % 2 else "O1",
+                             cxx=bool(index % 3 == 2))
+        path = bin_dir / f"fleet{index}"
+        path.write_bytes(image)
+        inventory["healthy"].append(path)
+        donor = donor or image
+
+    hostile_dir = root / "hostile"
+    hostile_dir.mkdir(parents=True, exist_ok=True)
+    for name, data in hostile_variants(donor).items():
+        path = hostile_dir / name
+        path.write_bytes(data)
+        inventory["hostile"].append(path)
+
+    nested = root / "nested" / "deeper"
+    nested.mkdir(parents=True, exist_ok=True)
+    deep_bin = nested / "buried"
+    deep_bin.write_bytes(donor)
+    # Same inode as bin/fleet0? No — distinct copy; also add a true
+    # hard-link alias of fleet0 that discovery must dedup by inode.
+    inventory["healthy"].append(deep_bin)
+    alias = root / "nested" / "alias"
+    os.link(inventory["healthy"][0], alias)
+    inventory["traps"].append(alias)
+
+    loop_dir = root / "loop"
+    loop_dir.mkdir(exist_ok=True)
+    back = loop_dir / "back"
+    if not back.is_symlink():
+        back.symlink_to(root)
+    inventory["traps"].append(back)
+
+    dangling = root / "dangling"
+    if not dangling.is_symlink():
+        dangling.symlink_to(root / "no-such-target")
+    inventory["traps"].append(dangling)
+
+    if hasattr(os, "mkfifo"):
+        fifo = root / "pipe.fifo"
+        if not fifo.exists():
+            os.mkfifo(fifo)
+        inventory["traps"].append(fifo)
+
+    return inventory

@@ -1,0 +1,231 @@
+"""Fleet report: what a scan learned, aggregated for humans and diffs.
+
+The report is a pure function of journal state (``fleet-report/v1``),
+so an interrupted scan resumed to completion produces — by
+construction — the same report as an uninterrupted run: the property
+the ingest chaos scenarios pin down. Timing fields are the only
+nondeterminism, and :func:`normalize_fleet_report` strips them for
+comparisons.
+
+Contents mirror the paper's framing: CET adoption across the fleet
+(IBT / SHSTK marked in ``.note.gnu.property``), how far each binary got
+down the degradation ladder (status and confidence histograms, triage
+reason histograms), per-tool health, and pairwise agreement between the
+tools' entry sets — the measurable implication of CET metadata for
+function identification on real, untrusted binaries.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.journal import ScanState
+
+FLEET_REPORT_SCHEMA = "fleet-report/v1"
+
+
+def build_fleet_report(state: ScanState, manifest: dict | None = None) -> dict:
+    """Aggregate journal state into one JSON-ready fleet report."""
+    analyses = [state.analyses[p] for p in sorted(state.analyses)]
+    triage = [state.triage[p] for p in sorted(state.triage)]
+    failures = [state.failures[p] for p in sorted(state.failures)]
+
+    report: dict = {
+        "schema": FLEET_REPORT_SCHEMA,
+        "totals": {
+            "recorded": len(analyses) + len(triage) + len(failures),
+            "analyzed": len(analyses),
+            "triaged_out": len(triage),
+            "unresolved_failures": len(failures),
+            "corrupt_journal_lines": state.corrupt_lines,
+            "torn_tail": state.torn_tail,
+        },
+        "triage": _triage_section(triage),
+        "ladder": _ladder_section(analyses),
+        "cet": _cet_section(analyses),
+        "tools": _tools_section(analyses),
+        "agreement": _agreement_section(analyses),
+        "failures": [
+            {"path": f.get("path"), "error_type": f.get("error_type"),
+             "message": f.get("message")}
+            for f in failures
+        ],
+    }
+    if manifest is not None:
+        report["scan"] = {
+            "roots": manifest.get("roots"),
+            "tools": manifest.get("tools"),
+            "include": manifest.get("include"),
+            "exclude": manifest.get("exclude"),
+        }
+    return report
+
+
+def _triage_section(triage: list[dict]) -> dict:
+    decisions: dict[str, int] = {}
+    reasons: dict[str, dict[str, int]] = {}
+    for doc in triage:
+        decision = doc.get("decision", "?")
+        decisions[decision] = decisions.get(decision, 0) + 1
+        bucket = reasons.setdefault(decision, {})
+        reason = doc.get("reason", "?")
+        bucket[reason] = bucket.get(reason, 0) + 1
+    return {
+        "decisions": dict(sorted(decisions.items())),
+        "reasons": {d: dict(sorted(r.items()))
+                    for d, r in sorted(reasons.items())},
+    }
+
+
+def _ladder_section(analyses: list[dict]) -> dict:
+    statuses: dict[str, int] = {}
+    degradations: dict[str, int] = {}
+    confidence: dict[str, int] = {}
+    for doc in analyses:
+        status = doc.get("status", "?")
+        coarse = status.split(":", 1)[0]
+        statuses[coarse] = statuses.get(coarse, 0) + 1
+        if coarse == "degraded":
+            diag = status.split(":", 1)[1] if ":" in status else "?"
+            degradations[diag] = degradations.get(diag, 0) + 1
+        conf = doc.get("confidence", "?")
+        confidence[conf] = confidence.get(conf, 0) + 1
+    return {
+        "status": dict(sorted(statuses.items())),
+        "degradations": dict(sorted(degradations.items())),
+        "confidence": dict(sorted(confidence.items())),
+    }
+
+
+def _cet_section(analyses: list[dict]) -> dict:
+    probed = ibt = shstk = full = any_cet = 0
+    for doc in analyses:
+        cet = doc.get("cet")
+        if not isinstance(cet, dict) or "ibt" not in cet:
+            continue
+        probed += 1
+        has_ibt = bool(cet.get("ibt"))
+        has_shstk = bool(cet.get("shstk"))
+        ibt += has_ibt
+        shstk += has_shstk
+        full += has_ibt and has_shstk
+        any_cet += has_ibt or has_shstk
+    return {
+        "probed": probed,
+        "ibt": ibt,
+        "shstk": shstk,
+        "full": full,
+        "any": any_cet,
+        "adoption_rate": round(any_cet / probed, 6) if probed else None,
+    }
+
+
+def _tools_section(analyses: list[dict]) -> dict:
+    tools: dict[str, dict] = {}
+    for doc in analyses:
+        for name, tdoc in (doc.get("tools") or {}).items():
+            agg = tools.setdefault(
+                name, {"ok": 0, "failed": 0, "functions": 0})
+            if "functions" in tdoc:
+                agg["ok"] += 1
+                agg["functions"] += tdoc.get("functions") or 0
+            else:
+                agg["failed"] += 1
+    out = {}
+    for name in sorted(tools):
+        agg = tools[name]
+        out[name] = {
+            "ok": agg["ok"],
+            "failed": agg["failed"],
+            "mean_functions": (round(agg["functions"] / agg["ok"], 3)
+                               if agg["ok"] else None),
+        }
+    return out
+
+
+def _agreement_section(analyses: list[dict]) -> dict:
+    pairs: dict[str, list[float]] = {}
+    for doc in analyses:
+        for pair, value in (doc.get("agreement") or {}).items():
+            pairs.setdefault(pair, []).append(float(value))
+    return {
+        pair: {"binaries": len(values),
+               "mean_jaccard": round(sum(values) / len(values), 6)}
+        for pair, values in sorted(pairs.items())
+    }
+
+
+def normalize_fleet_report(report: dict) -> dict:
+    """Strip run-specific noise so reports can be compared exactly.
+
+    Removes the failure *messages* (they embed PIDs and backstop
+    timings) but keeps failure paths and types — a converged resume
+    must have none left anyway.
+    """
+    import copy
+
+    doc = copy.deepcopy(report)
+    doc["failures"] = [
+        {"path": f.get("path"), "error_type": f.get("error_type")}
+        for f in doc.get("failures", [])
+    ]
+    totals = doc.get("totals") or {}
+    totals.pop("corrupt_journal_lines", None)
+    totals.pop("torn_tail", None)
+    return doc
+
+
+def render_fleet_table(report: dict) -> str:
+    """Human-readable summary of one fleet report."""
+    lines = []
+    totals = report.get("totals", {})
+    lines.append("fleet scan summary")
+    lines.append(f"  recorded paths      {totals.get('recorded', 0)}")
+    lines.append(f"  analyzed            {totals.get('analyzed', 0)}")
+    lines.append(f"  triaged out         {totals.get('triaged_out', 0)}")
+    lines.append(
+        f"  unresolved failures {totals.get('unresolved_failures', 0)}")
+
+    ladder = report.get("ladder", {})
+    status = ladder.get("status", {})
+    if status:
+        lines.append("ladder status")
+        for name, count in status.items():
+            lines.append(f"  {name:<19} {count}")
+        for diag, count in ladder.get("degradations", {}).items():
+            lines.append(f"    degraded:{diag:<17} {count}")
+
+    triage = report.get("triage", {})
+    reasons = triage.get("reasons", {})
+    if reasons:
+        lines.append("triage reasons")
+        for decision, bucket in reasons.items():
+            for reason, count in bucket.items():
+                lines.append(f"  {decision}:{reason:<22} {count}")
+
+    cet = report.get("cet", {})
+    if cet.get("probed"):
+        rate = cet.get("adoption_rate")
+        lines.append("cet adoption")
+        lines.append(f"  probed              {cet['probed']}")
+        lines.append(f"  ibt                 {cet.get('ibt', 0)}")
+        lines.append(f"  shstk               {cet.get('shstk', 0)}")
+        lines.append(f"  full (ibt+shstk)    {cet.get('full', 0)}")
+        lines.append(f"  any                 {cet.get('any', 0)}"
+                     + (f"  ({rate:.1%})" if rate is not None else ""))
+
+    tools = report.get("tools", {})
+    if tools:
+        lines.append(f"{'tool':<14} {'ok':>5} {'failed':>7} {'mean fns':>9}")
+        for name, agg in tools.items():
+            mean = agg.get("mean_functions")
+            lines.append(
+                f"{name:<14} {agg.get('ok', 0):>5} {agg.get('failed', 0):>7} "
+                f"{mean if mean is not None else '-':>9}")
+
+    agreement = report.get("agreement", {})
+    if agreement:
+        lines.append("entry agreement (mean jaccard)")
+        for pair, agg in agreement.items():
+            lines.append(
+                f"  {pair:<22} {agg['mean_jaccard']:.3f} "
+                f"over {agg['binaries']}")
+    return "\n".join(lines)

@@ -138,6 +138,53 @@ def test_strict_pipeline_raises_only_documented_on_truncation(
 
 
 # ---------------------------------------------------------------------------
+# sh_size / sh_offset overflowing the file (satellite: section hardening)
+# ---------------------------------------------------------------------------
+
+
+def _with_oversized_section(data: bytes, sh_size: int) -> bytes:
+    out = bytearray(data)
+    e_shoff = struct.unpack_from("<Q", out, 0x28)[0]
+    e_shentsize = struct.unpack_from("<H", out, 0x3A)[0]
+    e_shnum = struct.unpack_from("<H", out, 0x3C)[0]
+    assert e_shoff and e_shnum > 1
+    entry = e_shoff + (e_shnum - 1) * e_shentsize
+    struct.pack_into("<Q", out, entry + 0x20, sh_size)
+    return bytes(out)
+
+
+@pytest.mark.parametrize("sh_size", [1 << 62, (1 << 64) - 1, 1 << 33])
+def test_strict_rejects_sh_size_overflowing_file(sample_binary, sh_size):
+    from repro.errors import MalformedELFError
+
+    data = _with_oversized_section(sample_binary.data, sh_size)
+    with pytest.raises(MalformedELFError) as exc_info:
+        ELFFile(data)
+    # The diagnostic must name the overflow, not just fail generically.
+    assert "sh_size" in str(exc_info.value)
+
+
+def test_degraded_records_sh_size_overflow_and_truncates(sample_binary):
+    data = _with_oversized_section(sample_binary.data, 1 << 62)
+    elf = ELFFile(data, strict=False)  # must not raise or balloon
+    assert any("overflows the file" in d.message
+               for d in elf.diagnostics)
+    # Every surviving section's data fits in the actual image.
+    for section in elf.sections:
+        assert len(section.data) <= len(data)
+
+
+def test_sh_size_overflow_never_allocates_claimed_size(sample_binary):
+    # A 2**62-byte claim must not translate into a 2**62-byte slice
+    # (historically: MemoryError, or worse, a silent huge allocation).
+    # Peak RSS is hard to assert portably; total bytes held by parsed
+    # sections is the observable proxy.
+    data = _with_oversized_section(sample_binary.data, 1 << 62)
+    elf = ELFFile(data, strict=False)
+    assert sum(len(s.data) for s in elf.sections) <= 2 * len(data)
+
+
+# ---------------------------------------------------------------------------
 # checked-in fuzz regression samples
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,102 @@
+"""Admission triage: total, reasoned, and right about the corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ingest.admit import (
+    ALL_DECISIONS,
+    AdmissionPolicy,
+    triage,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+@dataclass
+class FakeCandidate:
+    path: Path
+    size: int
+
+
+def _triage_file(path: Path, policy=None):
+    return triage(FakeCandidate(path=path, size=path.stat().st_size),
+                  policy)
+
+
+def test_corpus_exists():
+    assert (CORPUS / "healthy.elf").is_file()
+
+
+@pytest.mark.parametrize("name,decision,reason", [
+    ("healthy.elf", "analyze", "ok"),
+    ("truncated.elf", "analyze", "ok"),       # header is fine; ladder's job
+    ("oversized-shdr.elf", "analyze", "ok"),  # ditto
+    ("foreign-arch.elf", "reject", "wrong-arch"),
+    ("big-endian.elf", "reject", "big-endian"),
+    ("relocatable.elf", "reject", "not-executable"),
+    ("garbage.bin", "reject", "not-elf"),
+    ("empty.bin", "reject", "too-small"),
+    ("tiny.bin", "reject", "too-small"),
+])
+def test_corpus_decisions(name, decision, reason):
+    admission = _triage_file(CORPUS / name)
+    assert admission.decision == decision
+    assert admission.reason == reason
+    assert not admission.transient
+
+
+def test_policy_size_ceiling_skips(tmp_path):
+    path = tmp_path / "big"
+    path.write_bytes((CORPUS / "healthy.elf").read_bytes())
+    admission = _triage_file(path, AdmissionPolicy(max_size=1000))
+    assert admission.decision == "skip"
+    assert admission.reason == "too-large"
+
+
+def test_missing_file_is_transient_skip(tmp_path):
+    admission = triage(FakeCandidate(path=tmp_path / "gone", size=4096))
+    assert admission.decision == "skip"
+    assert admission.reason == "io-error"
+    assert admission.transient
+
+
+def test_injected_io_fault_is_transient(tmp_path):
+    from repro import faults
+
+    path = tmp_path / "f"
+    path.write_bytes((CORPUS / "healthy.elf").read_bytes())
+    faults.install(f"io@{faults.SITE_INGEST_ADMIT}#1")
+    try:
+        admission = _triage_file(path)
+    finally:
+        faults.clear()
+    assert admission.transient
+    assert _triage_file(path).decision == "analyze"  # single-shot fault
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(head=st.binary(max_size=96), claimed_size=st.integers(0, 1 << 40))
+def test_triage_is_total_on_arbitrary_bytes(tmp_path, head, claimed_size):
+    """The core property: triage never raises, whatever the bytes are,
+    even when the stat'd size disagrees with what is readable."""
+    path = tmp_path / "fuzz.bin"
+    path.write_bytes(head)
+    admission = triage(FakeCandidate(path=path, size=claimed_size))
+    assert admission.decision in ALL_DECISIONS
+    assert admission.reason
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=52, max_size=96))
+def test_elf_magic_required_for_analyze(tmp_path_factory, data):
+    path = tmp_path_factory.mktemp("admit") / "x.bin"
+    path.write_bytes(data)
+    admission = _triage_file(path)
+    if admission.decision == "analyze":
+        assert data[:4] == b"\x7fELF"

@@ -1,0 +1,142 @@
+"""Discoverer: hostile filesystems cost entries, never the walk."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ingest.discover import Candidate, WalkSkip, discover
+
+
+def _events(root, **kw):
+    return list(discover([root], **kw))
+
+
+def _candidates(events):
+    return [e for e in events if isinstance(e, Candidate)]
+
+
+def _skips(events, reason=None):
+    skips = [e for e in events if isinstance(e, WalkSkip)]
+    if reason is None:
+        return skips
+    return [s for s in skips if s.reason == reason]
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "a" / "one.bin").write_bytes(b"x" * 100)
+    (tmp_path / "b").mkdir()
+    (tmp_path / "b" / "two.bin").write_bytes(b"y" * 200)
+    (tmp_path / "b" / "three.txt").write_bytes(b"z" * 50)
+    return tmp_path
+
+
+def test_walk_yields_all_regular_files(tree):
+    events = _events(tree)
+    names = sorted(c.path.name for c in _candidates(events))
+    assert names == ["one.bin", "three.txt", "two.bin"]
+    sizes = {c.path.name: c.size for c in _candidates(events)}
+    assert sizes["two.bin"] == 200
+
+
+def test_walk_order_is_deterministic(tree):
+    first = [str(e.path) for e in _events(tree)]
+    second = [str(e.path) for e in _events(tree)]
+    assert first == second
+
+
+def test_symlink_loop_is_skipped_not_recursed(tree):
+    (tree / "a" / "back").symlink_to(tree)
+    events = _events(tree)
+    assert len(_skips(events, "symlink-loop")) == 1
+    # Every real file still discovered exactly once.
+    assert len(_candidates(events)) == 3
+
+
+def test_hard_link_alias_deduplicated_by_inode(tree):
+    os.link(tree / "a" / "one.bin", tree / "b" / "alias.bin")
+    events = _events(tree)
+    dups = _skips(events, "duplicate-inode")
+    assert len(dups) == 1
+    assert len(_candidates(events)) == 3
+    # The skip names the first sighting of the inode.
+    assert "one.bin" in dups[0].detail or "alias.bin" in dups[0].detail
+
+
+def test_broken_symlink_is_a_skip(tree):
+    (tree / "dangling").symlink_to(tree / "missing")
+    events = _events(tree)
+    assert len(_skips(events, "broken-symlink")) == 1
+    assert len(_candidates(events)) == 3
+
+
+def test_fifo_skipped_from_stat_never_opened(tree):
+    if not hasattr(os, "mkfifo"):
+        pytest.skip("no mkfifo on this platform")
+    os.mkfifo(tree / "pipe")
+    # Opening the FIFO would block forever; finishing at all proves the
+    # walk decided from stat alone.
+    events = _events(tree)
+    assert len(_skips(events, "not-regular-file")) == 1
+
+
+def test_exclude_prunes_whole_subtree(tree):
+    events = _events(tree, exclude=("b",))
+    assert [c.path.name for c in _candidates(events)] == ["one.bin"]
+    assert len(_skips(events, "excluded")) == 1
+
+
+def test_include_filters_files_only(tree):
+    events = _events(tree, include=("*.bin",))
+    names = sorted(c.path.name for c in _candidates(events))
+    assert names == ["one.bin", "two.bin"]
+    assert len(_skips(events, "not-included")) == 1
+
+
+def test_file_root_bypasses_filters(tree):
+    events = _events(tree / "b" / "three.txt", include=("*.bin",))
+    assert [c.path.name for c in _candidates(events)] == ["three.txt"]
+
+
+def test_missing_root_is_a_skip(tmp_path):
+    events = _events(tmp_path / "nope")
+    assert len(_skips(events, "unreadable-root")) == 1
+    assert not _candidates(events)
+
+
+def test_no_follow_symlinks_reports_links(tree):
+    (tree / "link.bin").symlink_to(tree / "a" / "one.bin")
+    events = _events(tree, follow_symlinks=False)
+    assert len(_skips(events, "symlink-not-followed")) == 1
+    assert len(_candidates(events)) == 3
+
+
+def test_walk_fault_costs_one_directory(tree):
+    from repro import faults
+
+    faults.install(f"io@{faults.SITE_INGEST_WALK}#2")
+    try:
+        events = _events(tree)
+    finally:
+        faults.clear()
+    unreadable = _skips(events, "unreadable-dir")
+    assert len(unreadable) == 1
+    # The other directory's files still surfaced.
+    assert len(_candidates(events)) >= 1
+
+
+def test_memory_stays_bounded_on_wide_directory(tree):
+    # The generator must not materialize the listing before yielding:
+    # consuming one event from a 500-file directory must not require
+    # walking the rest.
+    wide = tree / "wide"
+    wide.mkdir()
+    for i in range(500):
+        (wide / f"f{i:03d}").write_bytes(b"w")
+    it = discover([wide])
+    first = next(e for e in it if isinstance(e, Candidate))
+    assert first.path.name == "f000"
+    it.close()

@@ -1,0 +1,99 @@
+"""Degradation ladder: hostile inputs downgrade, never sink the scan."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.ingest.ladder import (
+    LadderReadError,
+    analyze_binary,
+    pairwise_agreement,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+TOOLS = ["funseeker", "naive-endbr"]
+
+
+def test_healthy_binary_is_ok_high_confidence():
+    outcome = analyze_binary(CORPUS / "healthy.elf", TOOLS)
+    assert outcome.status == "ok"
+    assert outcome.confidence == "high"
+    assert outcome.cet.get("ibt") is True
+    assert set(outcome.tools) == set(TOOLS)
+    assert all(t.ok for t in outcome.tools.values())
+    assert outcome.tools["funseeker"].functions > 0
+    assert len(outcome.sha256) == 64
+    pair = "funseeker|naive-endbr"
+    assert 0.0 <= outcome.agreement[pair] <= 1.0
+
+
+def test_truncated_binary_degrades_with_diagnostics():
+    outcome = analyze_binary(CORPUS / "truncated.elf", TOOLS)
+    assert outcome.status_class in ("degraded", "quarantined")
+    assert outcome.confidence in ("medium", "low")
+
+
+def test_oversized_shdr_degrades_not_memoryerror():
+    outcome = analyze_binary(CORPUS / "oversized-shdr.elf", TOOLS)
+    assert outcome.status_class == "degraded"
+    assert outcome.diagnostics > 0
+    assert outcome.worst_severity == "error"
+
+
+def test_garbage_never_raises():
+    outcome = analyze_binary(CORPUS / "garbage.bin", TOOLS)
+    assert outcome.status_class in ("degraded", "quarantined")
+
+
+def test_missing_file_raises_ladder_read_error(tmp_path):
+    with pytest.raises(LadderReadError):
+        analyze_binary(tmp_path / "gone", TOOLS)
+
+
+def test_outcome_doc_round_trips():
+    outcome = analyze_binary(CORPUS / "healthy.elf", TOOLS)
+    doc = outcome.to_dict()
+    assert doc["status"] == "ok"
+    assert doc["tools"]["funseeker"]["functions"] == \
+        outcome.tools["funseeker"].functions
+    assert doc["cet"] == outcome.cet
+
+
+def test_analysis_is_deterministic():
+    a = analyze_binary(CORPUS / "healthy.elf", TOOLS).to_dict()
+    b = analyze_binary(CORPUS / "healthy.elf", TOOLS).to_dict()
+    for doc in (a, b):
+        doc.pop("elapsed_seconds")
+        for tool in doc["tools"].values():
+            tool.pop("elapsed_seconds")
+    assert a == b
+
+
+def test_injected_read_fault_raises_ladder_read_error():
+    from repro import faults
+
+    faults.install(f"io@{faults.SITE_INGEST_ANALYZE}#1")
+    try:
+        with pytest.raises(LadderReadError):
+            analyze_binary(CORPUS / "healthy.elf", TOOLS)
+    finally:
+        faults.clear()
+
+
+def test_pairwise_agreement_jaccard():
+    sets = {
+        "a": frozenset({1, 2, 3}),
+        "b": frozenset({2, 3, 4}),
+        "c": frozenset(),
+    }
+    agreement = pairwise_agreement(sets)
+    assert agreement["a|b"] == pytest.approx(2 / 4)
+    assert agreement["a|c"] == 0.0
+    assert set(agreement) == {"a|b", "a|c", "b|c"}
+
+
+def test_pairwise_agreement_empty_sets_agree():
+    agreement = pairwise_agreement({"a": frozenset(), "b": frozenset()})
+    assert agreement["a|b"] == 1.0

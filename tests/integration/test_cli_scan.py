@@ -1,0 +1,116 @@
+"""CLI surface of the fleet-scan subsystem: scan, resume, ingest chaos."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ingest.fixtures import build_fixture_tree
+from repro.ingest.report import normalize_fleet_report
+
+
+@pytest.fixture(scope="module")
+def tree(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-fleet")
+    build_fixture_tree(root)
+    return root
+
+
+def _scan(*argv):
+    return main(["scan", *argv])
+
+
+class TestScanCli:
+    def test_hostile_tree_scan_exits_zero(self, tree, tmp_path, capsys):
+        rc = _scan(str(tree), "--run-dir", str(tmp_path / "run"),
+                   "--workers", "1")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet scan summary" in out
+        assert "cet adoption" in out
+
+    def test_json_report_and_resume_identity(self, tree, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        plain = tmp_path / "plain.json"
+        rc = _scan(str(tree), "--run-dir", str(run_dir), "--workers", "1",
+                   "--format", "json", "--output", str(plain))
+        assert rc == 0
+        resumed = tmp_path / "resumed.json"
+        rc = _scan("--resume", str(run_dir), "--format", "json",
+                   "--output", str(resumed))
+        assert rc == 0
+        capsys.readouterr()
+        a = normalize_fleet_report(json.loads(plain.read_text()))
+        b = normalize_fleet_report(json.loads(resumed.read_text()))
+        assert a == b
+
+    def test_injected_kill_exits_zero_and_resume_converges(
+            self, tree, tmp_path, capsys):
+        """Acceptance: a scan with an injected worker kill (and a hang
+        caught by the rung watchdog) completes with exit 0; a resume
+        produces the same fleet report as an uninterrupted run."""
+        baseline = tmp_path / "baseline.json"
+        rc = _scan(str(tree), "--run-dir", str(tmp_path / "b"),
+                   "--workers", "1", "--format", "json",
+                   "--output", str(baseline))
+        assert rc == 0
+
+        run_dir = tmp_path / "run"
+        rc = _scan(str(tree), "--run-dir", str(run_dir),
+                   "--workers", "2", "--timeout", "1",
+                   "--fault-plan", "kill@ingest.analyze#2",
+                   "--format", "json",
+                   "--output", str(tmp_path / "faulted.json"))
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "--resume" in err  # the CLI points at the retry path
+
+        final = tmp_path / "final.json"
+        rc = _scan("--resume", str(run_dir), "--workers", "1",
+                   "--format", "json", "--output", str(final))
+        assert rc == 0
+        capsys.readouterr()
+        a = normalize_fleet_report(json.loads(baseline.read_text()))
+        b = normalize_fleet_report(json.loads(final.read_text()))
+        assert a == b
+        assert b["totals"]["unresolved_failures"] == 0
+
+    def test_resume_mismatched_roots_exit_2(self, tree, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert _scan(str(tree), "--run-dir", str(run_dir),
+                     "--workers", "1", "--limit", "1",
+                     "--output", str(tmp_path / "x")) == 0
+        capsys.readouterr()
+        rc = main(["scan", str(tmp_path), "--resume", str(run_dir)])
+        assert rc == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_usage_errors_exit_2(self, tree, tmp_path, capsys):
+        assert _scan() == 2  # no roots, no --resume
+        assert _scan(str(tree), "--run-dir", str(tmp_path / "a"),
+                     "--resume", str(tmp_path / "b")) == 2
+        assert _scan(str(tree), "--tools", "nonesuch") == 2
+        capsys.readouterr()
+
+    def test_include_exclude_filters(self, tree, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        rc = _scan(str(tree), "--run-dir", str(tmp_path / "run"),
+                   "--workers", "1", "--exclude", "hostile",
+                   "--include", "fleet*", "--format", "json",
+                   "--output", str(out))
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["triage"]["reasons"].get("reject") is None
+        assert doc["totals"]["analyzed"] >= 3
+
+
+@pytest.mark.ingest_smoke
+def test_chaos_ingest_cli(tmp_path, capsys):
+    rc = main(["chaos", "--ingest", "--work-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "ingest chaos: 2 scenarios" in out
+    assert "all scenarios recovered" in out
