@@ -18,8 +18,17 @@ from repro import obs
 from repro.cache.context import get_context
 from repro.elf import constants as C
 from repro.elf.parser import ELFFile
+from repro.x86 import vector
 from repro.x86.decoder import DecodeError, decode
-from repro.x86.insn import InsnClass
+from repro.x86.insn import TERMINATOR_CLASSES, InsnClass
+from repro.x86.superset import get_index
+
+#: Detectors estimating their own cost below this threshold (seconds of
+#: detector wall clock per MB of input) bypass the *disk* cache: a
+#: round trip through hash + JSON + fsync costs more than just running
+#: them, which is how the naive-endbr baseline ended up with a warm
+#: "speedup" of 0.48x. Bypasses are counted in the cache census.
+DISK_CACHE_MIN_COST_PER_MB = 0.05
 
 
 @dataclass
@@ -43,18 +52,31 @@ class FunctionDetector(abc.ABC):
     #: state (e.g. a trained model) must opt out.
     cacheable: bool = True
 
+    #: Estimated full-run cost in seconds per MB of input. Detectors
+    #: cheaper than :data:`DISK_CACHE_MIN_COST_PER_MB` skip the disk
+    #: cache (memory memoization still applies via the analysis
+    #: context). ``None`` means "expensive": always worth persisting.
+    cost_per_mb: float | None = None
+
     def detect(self, elf: ELFFile) -> DetectionResult:
         """Run detection with wall-clock timing.
 
         Entry sets of ``cacheable`` detectors flow through the binary's
         analysis context, which consults the disk cache (when one is
-        configured) under the key ``(content hash, tool name)``.
+        configured) under the key ``(content hash, tool name)`` —
+        unless the detector's declared cost is below the disk cache's
+        own round-trip cost, in which case the store is bypassed.
         """
         started = time.perf_counter()
         with obs.span("detect", tool=self.name):
             if self.cacheable:
+                use_disk = (
+                    self.cost_per_mb is None
+                    or self.cost_per_mb >= DISK_CACHE_MIN_COST_PER_MB
+                )
                 functions = get_context(elf).detector_result(
-                    self.name, lambda: self._detect(elf)
+                    self.name, lambda: self._detect(elf),
+                    use_disk=use_disk,
                 )
             else:
                 functions = self._detect(elf)
@@ -102,6 +124,8 @@ def recursive_traversal(
     entries — the conservatism that costs IDA-style tools their recall
     on indirectly-reached functions (§V-C).
     """
+    if vector.available():
+        return _recursive_traversal_indexed(data, base, bits, seeds)
     end = base + len(data)
     found: set[int] = set()
     work = [s for s in seeds if base <= s < end]
@@ -129,6 +153,55 @@ def recursive_traversal(
             if insn.is_terminator:
                 break
             offset += insn.length
+            steps += 1
+    return found
+
+
+_CALL_DIRECT = int(InsnClass.CALL_DIRECT)
+_TERMINATORS = frozenset(int(k) for k in TERMINATOR_CLASSES)
+
+
+def _recursive_traversal_indexed(
+    data: bytes, base: int, bits: int, seeds: set[int]
+) -> set[int]:
+    """The same traversal, walking the shared decode index.
+
+    Work-list order, the visited-bytes stop, the step bound and the
+    decode-failure handling all mirror the scalar loop exactly, so the
+    entry sets are identical.
+    """
+    index = get_index(data, bits, base)
+    lengths = index.lengths
+    klasses = index.klasses
+    targets = index.targets
+    end = base + len(data)
+    n = len(data)
+    found: set[int] = set()
+    work = [s for s in seeds if base <= s < end]
+    visited_bytes: set[int] = set()
+    while work:
+        entry = work.pop()
+        if entry in found:
+            continue
+        found.add(entry)
+        offset = entry - base
+        steps = 0
+        while offset < n and steps < 100000:
+            if offset in visited_bytes:
+                break
+            visited_bytes.add(offset)
+            length = lengths[offset]
+            if length == 0:
+                break
+            klass = klasses[offset]
+            if klass == _CALL_DIRECT:
+                target = targets.get(offset)
+                if target is not None and base <= target < end \
+                        and target not in found:
+                    work.append(target)
+            if klass in _TERMINATORS:
+                break
+            offset += length
             steps += 1
     return found
 

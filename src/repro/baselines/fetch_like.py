@@ -15,6 +15,13 @@ Reproduced failure modes:
 - **Cost**: building a per-function CFG and propagating stack heights
   across it makes FETCH several times slower than FunSeeker's purely
   syntactic pass (Table III's timing columns).
+
+All region walks run off the shared per-buffer
+:class:`~repro.x86.superset.DecodeIndex` when the vectorized decode is
+available: the text is classified once, and the calling-convention
+scan, the per-region CFGs and the callee checks all read from that
+index instead of re-decoding. The scalar decoder remains the fallback,
+producing identical results.
 """
 
 from __future__ import annotations
@@ -23,8 +30,69 @@ from bisect import bisect_right
 
 from repro.baselines.base import FunctionDetector, fde_starts, text_section
 from repro.elf.parser import ELFFile
-from repro.x86.decoder import DecodeError, decode
-from repro.x86.insn import Insn, InsnClass
+from repro.x86 import vector
+from repro.x86.decoder import DecodeError, decode_raw
+from repro.x86.defuse import def_use
+from repro.x86.insn import TERMINATOR_CLASSES, InsnClass
+from repro.x86.superset import get_index
+
+_JCC = int(InsnClass.JCC)
+_RET = int(InsnClass.RET)
+_JMP_DIRECT = int(InsnClass.JMP_DIRECT)
+_TERMINATORS = frozenset(int(k) for k in TERMINATOR_CLASSES)
+
+
+class _ScalarIndex:
+    """Decode-on-demand stand-in for a :class:`DecodeIndex`.
+
+    Used when the vectorized pass is unavailable; offers the same
+    ``lengths``/``klasses``/``targets`` view the region walks consume,
+    decoding lazily and caching per offset so repeated walks (the
+    refinement passes revisit regions) stay linear.
+    """
+
+    def __init__(self, data: bytes, base: int, bits: int) -> None:
+        self.data = data
+        self.base = base
+        self.bits = bits
+        self._memo: dict[int, tuple[int, int, int | None]] = {}
+
+    def at(self, offset: int) -> tuple[int, int, int | None]:
+        """``(length, klass, target)``; length 0 on decode failure."""
+        hit = self._memo.get(offset)
+        if hit is not None:
+            return hit
+        try:
+            length, klass, target, _notrack = decode_raw(
+                self.data, offset, self.base + offset, self.bits
+            )
+        except DecodeError:
+            out = (0, 0, None)
+        else:
+            out = (length, klass, target)
+        self._memo[offset] = out
+        return out
+
+
+class _VectorIndexView:
+    """Uniform ``at()`` view over a prebuilt :class:`DecodeIndex`."""
+
+    def __init__(self, index) -> None:
+        self._lengths = index.lengths
+        self._klasses = index.klasses
+        self._targets = index.targets
+
+    def at(self, offset: int) -> tuple[int, int, int | None]:
+        length = self._lengths[offset]
+        if length == 0:
+            return (0, 0, None)
+        return (length, self._klasses[offset], self._targets.get(offset))
+
+
+def _index_view(data: bytes, base: int, bits: int):
+    if vector.available():
+        return _VectorIndexView(get_index(data, bits, base))
+    return _ScalarIndex(data, base, bits)
 
 
 class FetchLikeDetector(FunctionDetector):
@@ -44,19 +112,20 @@ class FetchLikeDetector(FunctionDetector):
         starts, ranges = fde_starts(elf)
         found = {s for s in starts if txt.contains_addr(s)}
         ranges = sorted(r for r in ranges if txt.contains_addr(r[0]))
+        view = _index_view(txt.data, txt.sh_addr, bits)
         # Calling-convention analysis over every function — the
         # register-usage scan that dominates FETCH's runtime (the paper
         # attributes FETCH's 5x slowdown to exactly this machinery).
         arg_usage = _calling_convention_scan(
-            txt.data, txt.sh_addr, bits, sorted(found)
+            txt.data, txt.sh_addr, bits, sorted(found), view
         )
         for _ in range(self.passes):
             tail_targets = self._tail_call_targets(
-                txt.data, txt.sh_addr, bits, sorted(found), ranges
+                txt.data, txt.sh_addr, bits, sorted(found), ranges, view
             )
             tail_targets = {
                 t for t in tail_targets
-                if _callee_plausible(txt.data, txt.sh_addr, bits, t)
+                if _callee_plausible(txt.data, txt.sh_addr, bits, t, view)
                 and _cc_compatible(arg_usage, t)
             }
             if tail_targets <= found:
@@ -73,6 +142,7 @@ class FetchLikeDetector(FunctionDetector):
         bits: int,
         sorted_starts: list[int],
         ranges: list[tuple[int, int]],
+        view,
     ) -> set[int]:
         """Targets of frame-balanced escaping jumps.
 
@@ -91,22 +161,22 @@ class FetchLikeDetector(FunctionDetector):
         for i, start in enumerate(sorted_starts):
             limit = (sorted_starts[i + 1] if i + 1 < len(sorted_starts)
                      else end)
-            insns = _decode_region(data, base, bits, start, limit)
+            insns = _decode_region(data, base, bits, start, limit, view)
             if not insns:
                 continue
             heights = _propagate_heights(insns, start, bits, data, base)
-            for insn in insns.values():
-                if insn.klass != InsnClass.JMP_DIRECT or insn.target is None:
+            for addr, (length, klass, target) in insns.items():
+                if klass != _JMP_DIRECT or target is None:
                     continue
-                if start <= insn.target < limit:
+                if start <= target < limit:
                     continue
-                if not base <= insn.target < end:
+                if not base <= target < end:
                     continue
-                if heights.get(insn.addr) != 0:
+                if heights.get(addr) != 0:
                     continue
-                if _inside_some_range(insn.target, ranges, range_starts):
+                if _inside_some_range(target, ranges, range_starts):
                     continue
-                targets.add(insn.target)
+                targets.add(target)
         return targets
 
 
@@ -115,7 +185,7 @@ _ARG_REGS_64 = (7, 6, 2, 1, 8, 9)  # rdi rsi rdx rcx r8 r9
 
 
 def _calling_convention_scan(
-    data: bytes, base: int, bits: int, sorted_starts: list[int]
+    data: bytes, base: int, bits: int, sorted_starts: list[int], view
 ) -> dict[int, frozenset[int]]:
     """Per-function argument-register read-before-write analysis.
 
@@ -128,29 +198,27 @@ def _calling_convention_scan(
     text: it is the machinery whose cost Table III's timing comparison
     reflects.
     """
-    from repro.x86.defuse import def_use
-
     usage: dict[int, frozenset[int]] = {}
     end = base + len(data)
+    n = len(data)
     for i, start in enumerate(sorted_starts):
         limit = (sorted_starts[i + 1] if i + 1 < len(sorted_starts)
                  else end)
         read_first: set[int] = set()
         written: set[int] = set()
         offset = start - base
-        while base + offset < limit and offset < len(data):
-            try:
-                insn = decode(data, offset, base + offset, bits)
-            except DecodeError:
+        while base + offset < limit and offset < n:
+            length, klass, _target = view.at(offset)
+            if length == 0:
                 offset += 1
                 continue
-            du = def_use(data[offset : offset + insn.length], bits)
+            du = def_use(data[offset : offset + length], bits)
             for reg in du.reads:
                 if reg not in written:
                     read_first.add(reg)
             written |= du.writes
-            offset += insn.length
-            if insn.klass == InsnClass.RET:
+            offset += length
+            if klass == _RET:
                 break
         usage[start] = frozenset(
             r for r in read_first if r in _ARG_REGS_64
@@ -171,7 +239,9 @@ def _cc_compatible(
     return len(arg_usage.get(target, frozenset())) <= len(_ARG_REGS_64)
 
 
-def _callee_plausible(data: bytes, base: int, bits: int, target: int) -> bool:
+def _callee_plausible(
+    data: bytes, base: int, bits: int, target: int, view
+) -> bool:
     """Calling-convention sanity check on a tail-call candidate.
 
     FETCH validates candidates by examining the callee side; here we
@@ -183,37 +253,41 @@ def _callee_plausible(data: bytes, base: int, bits: int, target: int) -> bool:
     if offset < 0 or offset >= len(data):
         return False
     for _ in range(8):
-        try:
-            insn = decode(data, offset, base + offset, bits)
-        except DecodeError:
+        length, klass, _target = view.at(offset)
+        if length == 0:
             return False
-        if insn.is_terminator:
+        if klass in _TERMINATORS:
             return True
-        offset += insn.length
+        offset += length
         if offset >= len(data):
             return False
     return True
 
 
 def _decode_region(
-    data: bytes, base: int, bits: int, start: int, limit: int
-) -> dict[int, Insn]:
-    """Linear decode of one function region, keyed by address."""
-    insns: dict[int, Insn] = {}
+    data: bytes, base: int, bits: int, start: int, limit: int, view
+) -> dict[int, tuple[int, int, int | None]]:
+    """Linear decode of one function region.
+
+    Keyed by address; values are ``(length, klass, target)`` straight
+    from the decode index — no ``Insn`` objects on this path.
+    """
+    insns: dict[int, tuple[int, int, int | None]] = {}
     offset = start - base
-    while base + offset < limit and offset < len(data):
-        try:
-            insn = decode(data, offset, base + offset, bits)
-        except DecodeError:
+    n = len(data)
+    while base + offset < limit and offset < n:
+        length, klass, target = view.at(offset)
+        if length == 0:
             offset += 1
             continue
-        insns[insn.addr] = insn
-        offset += insn.length
+        insns[base + offset] = (length, klass, target)
+        offset += length
     return insns
 
 
 def _propagate_heights(
-    insns: dict[int, Insn], entry: int, bits: int, data: bytes, base: int
+    insns: dict[int, tuple[int, int, int | None]], entry: int, bits: int,
+    data: bytes, base: int
 ) -> dict[int, int]:
     """Worklist propagation of stack heights over the region CFG.
 
@@ -236,13 +310,13 @@ def _propagate_heights(
                     heights[addr] = max(seen, height, key=abs)
                 break
             heights[addr] = height
-            insn = insns[addr]
+            length, klass, target = insns[addr]
             off = addr - base
-            effect = _stack_effect(data[off : off + insn.length], bits)
+            effect = _stack_effect(data[off : off + length], bits)
             next_height = height + effect
-            if insn.klass == InsnClass.JCC and insn.target in insns:
-                work.append((insn.target, next_height))
-            if insn.is_terminator:
+            if klass == _JCC and target in insns:
+                work.append((target, next_height))
+            if klass in _TERMINATORS:
                 break
             # Record the pre-effect height for branch instructions so the
             # caller reads the height at the jump site.

@@ -25,13 +25,17 @@ from repro.baselines.base import (
 )
 from repro.core.disassemble import disassemble
 from repro.elf.parser import ELFFile
+from repro.x86 import vector
 from repro.x86.decoder import DecodeError, decode
-from repro.x86.insn import InsnClass
+from repro.x86.insn import TERMINATOR_CLASSES, InsnClass
+from repro.x86.superset import get_index
 
 #: Classes whose operand is an address-materialization candidate.
 _XREF_CLASSES = frozenset(
     {InsnClass.LEA, InsnClass.MOV_IMM, InsnClass.PUSH_IMM}
 )
+
+_TERMINATORS = frozenset(int(k) for k in TERMINATOR_CLASSES)
 
 
 class IdaLikeDetector(FunctionDetector):
@@ -63,9 +67,13 @@ class IdaLikeDetector(FunctionDetector):
         return found
 
     def _xref_targets(self, txt, bits: int, *, pie: bool) -> set[int]:
-        out: set[int] = set()
         data = txt.data
         base = txt.sh_addr
+        if vector.available():
+            return self._xref_targets_indexed(
+                get_index(data, bits, base), data, base, bits, pie=pie
+            )
+        out: set[int] = set()
         end = base + len(data)
         classes = {InsnClass.LEA} if pie else _XREF_CLASSES
         offset = 0
@@ -83,6 +91,36 @@ class IdaLikeDetector(FunctionDetector):
                     out.add(insn.target)
         return out
 
+    def _xref_targets_indexed(
+        self, index, data: bytes, base: int, bits: int, *, pie: bool
+    ) -> set[int]:
+        """The xref sweep off the shared decode index (same outputs)."""
+        out: set[int] = set()
+        end = base + len(data)
+        n = len(data)
+        lengths = index.lengths
+        klasses = index.klasses
+        targets = index.targets
+        classes = frozenset(
+            int(k) for k in ({InsnClass.LEA} if pie else _XREF_CLASSES)
+        )
+        offset = 0
+        while offset < n:
+            length = lengths[offset]
+            if length == 0:
+                offset += 1
+                continue
+            klass = klasses[offset]
+            start = offset
+            offset += length
+            if klass in classes:
+                target = targets.get(start)
+                if target is not None and base <= target < end \
+                        and self._plausible_entry_indexed(
+                            index, target - base, n):
+                    out.add(target)
+        return out
+
     @staticmethod
     def _plausible_entry(data: bytes, offset: int, bits: int) -> bool:
         """IDA only creates a function at an xref if the bytes decode."""
@@ -95,5 +133,20 @@ class IdaLikeDetector(FunctionDetector):
                 return True
             offset += insn.length
             if offset >= len(data):
+                return False
+        return True
+
+    @staticmethod
+    def _plausible_entry_indexed(index, offset: int, n: int) -> bool:
+        lengths = index.lengths
+        klasses = index.klasses
+        for _ in range(4):
+            length = lengths[offset]
+            if length == 0:
+                return False
+            if klasses[offset] in _TERMINATORS:
+                return True
+            offset += length
+            if offset >= n:
                 return False
         return True

@@ -18,6 +18,11 @@ class NaiveEndbrDetector(FunctionDetector):
 
     name = "naive-endbr"
 
+    #: Reading endbr addresses off the shared sweep costs microseconds;
+    #: a disk-cache round trip costs more than the run it would save,
+    #: so the disk layer is bypassed (see ``DISK_CACHE_MIN_COST_PER_MB``).
+    cost_per_mb = 0.005
+
     def _detect(self, elf: ELFFile) -> set[int]:
         sweep = get_context(elf).sweep()
         if sweep is None:

@@ -241,7 +241,8 @@ class AnalysisContext:
         )
 
     def detector_result(
-        self, tool: str, compute: Callable[[], set[int]]
+        self, tool: str, compute: Callable[[], set[int]],
+        *, use_disk: bool = True,
     ) -> set[int]:
         """Whole-detector entry sets, keyed by tool name.
 
@@ -256,7 +257,17 @@ class AnalysisContext:
         ``detect`` call really runs (Table III's timing comparison —
         FETCH's expensive internals in particular — must stay
         observable); only a configured disk cache short-circuits it.
+
+        ``use_disk=False`` skips the disk layer entirely — detectors
+        whose declared cost is below the cache's own round-trip cost
+        (``DISK_CACHE_MIN_COST_PER_MB``) come through here, and the
+        bypass is tallied on the cache's census counters.
         """
+        if not use_disk:
+            cache = default_cache()
+            if cache is not None:
+                cache.note_bypass()
+            return compute()
         return self._disk_backed(
             f"tool.{tool}", compute, S.addrs_to_doc, S.addrs_from_doc,
         )

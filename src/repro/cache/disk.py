@@ -19,6 +19,20 @@ leaves a half-written entry, and loads treat any unreadable or
 malformed entry as a miss. The cache is an accelerator, never a point
 of failure: every filesystem error degrades to "no cache".
 
+Two policies keep cold (store-heavy) runs from costing more than the
+work they cache:
+
+- **Durability is relaxed by default.** Entries are written atomically
+  but *not* fsynced per store — a power loss may drop recent entries,
+  which only costs a recompute. Pass ``fsync=True`` to restore
+  per-entry durability.
+- **Eviction is amortized.** The entry count is estimated from one
+  initial census plus per-store increments; the root is only re-walked
+  (``evict_scans`` counts these) when the estimate overflows
+  ``max_entries``. Per-binary callers additionally coalesce their
+  stores with :meth:`DiskCache.batch`, which defers writes and runs a
+  single eviction check at exit.
+
 The process-wide default instance is **opt-in**: it exists only when
 ``REPRO_CACHE_DIR`` is set (or a CLI flag / test installed one via
 :func:`set_default_cache`). The in-memory layer
@@ -31,6 +45,8 @@ import json
 import os
 import tempfile
 import time
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -60,6 +76,11 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Lookups a caller deliberately skipped because the computation is
+    #: cheaper than a cache round trip (see ``DISK_CACHE_MIN_COST_PER_MB``).
+    bypasses: int = 0
+    #: Full directory walks performed by the eviction machinery.
+    evict_scans: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +88,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "evict_scans": self.evict_scans,
         }
 
 
@@ -75,13 +98,24 @@ class DiskCache:
     """One content-addressed cache root.
 
     ``max_entries`` bounds the number of entry files across all schema
-    directories; the oldest (by mtime) are evicted after each store
-    that overflows the bound.
+    directories; the oldest (by mtime) are evicted when a store
+    overflows the bound. The count is tracked incrementally — only the
+    first store and an actual overflow walk the directory tree.
     """
 
     root: Path
     max_entries: int = DEFAULT_MAX_ENTRIES
     stats: CacheStats = field(default_factory=CacheStats)
+    #: When true, every entry is fsynced before the atomic rename.
+    #: Off by default: losing a cache entry to power failure only costs
+    #: a recompute, and per-entry fsyncs dominated cold-run wall time.
+    fsync: bool = False
+
+    _pending: dict[tuple[str, str], dict] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _batch_depth: int = field(default=0, init=False, repr=False)
+    _entry_count: int | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -104,6 +138,11 @@ class DiskCache:
         injected ``corrupt`` scribbles over the on-disk entry *before*
         the read so the real malformed-entry handling is what recovers.
         """
+        staged = self._pending.get((content_hash, artifact))
+        if staged is not None:
+            self.stats.hits += 1
+            obs.add("cache.hits", 1)
+            return staged
         path = self._entry_path(content_hash, artifact)
         try:
             kind = faults.hit(faults.SITE_CACHE_GET)
@@ -124,7 +163,21 @@ class DiskCache:
         return doc
 
     def put(self, content_hash: str, artifact: str, doc: dict) -> bool:
-        """Store one document atomically; best-effort, never raises."""
+        """Store one document atomically; best-effort, never raises.
+
+        Inside a :meth:`batch` the document is only staged (lookups
+        still see it) and written at batch exit, so a binary's worth of
+        stores pays one eviction check instead of one per artifact.
+        """
+        if self._batch_depth > 0:
+            self._pending[(content_hash, artifact)] = doc
+            return True
+        ok = self._write(content_hash, artifact, doc)
+        if ok:
+            self._maybe_evict()
+        return ok
+
+    def _write(self, content_hash: str, artifact: str, doc: dict) -> bool:
         directory = self._schema_dir()
         try:
             faults.hit(faults.SITE_CACHE_PUT)
@@ -134,7 +187,14 @@ class DiskCache:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as f:
-                    json.dump(doc, f, sort_keys=True, separators=(",", ":"))
+                    # One buffer + one write: json.dump streams many
+                    # tiny writes through the text wrapper, measurably
+                    # slower across a cold run's thousands of stores.
+                    f.write(json.dumps(
+                        doc, sort_keys=True, separators=(",", ":")))
+                    if self.fsync:
+                        f.flush()
+                        os.fsync(f.fileno())
                 os.replace(tmp, self._entry_path(content_hash, artifact))
             except BaseException:
                 try:
@@ -146,8 +206,40 @@ class DiskCache:
             return False
         self.stats.stores += 1
         obs.add("cache.stores", 1)
-        self._evict()
+        if self._entry_count is not None:
+            # Overwrites inflate the estimate; harmless — an inflated
+            # count only triggers an earlier real recount in _evict().
+            self._entry_count += 1
         return True
+
+    def note_bypass(self) -> None:
+        """Record a deliberate skip of the disk layer (cheap detector)."""
+        self.stats.bypasses += 1
+        obs.add("cache.bypassed", 1)
+
+    @contextmanager
+    def batch(self) -> Iterator[DiskCache]:
+        """Coalesce stores; re-entrant. Flushes at outermost exit."""
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self.flush()
+
+    def flush(self) -> int:
+        """Write staged documents; return how many landed on disk."""
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, {}
+        written = 0
+        for (content_hash, artifact), doc in pending.items():
+            if self._write(content_hash, artifact, doc):
+                written += 1
+        if written:
+            self._maybe_evict()
+        return written
 
     def _entries(self) -> list[Path]:
         """Every entry file under the root, across schema directories."""
@@ -196,24 +288,51 @@ class DiskCache:
             obs.add("cache.tmp_reclaimed", removed)
         return removed
 
+    def _maybe_evict(self) -> None:
+        """Amortized eviction: walk the tree only when it might matter.
+
+        The first call seeds an entry-count estimate with one census;
+        stores increment it from then on, and only an estimate above
+        ``max_entries`` pays for a real scan. This replaces the
+        walk-everything-per-store behavior that made cold runs O(N²)
+        in the number of stored entries.
+        """
+        if self._entry_count is None:
+            # The seed scan doubles as the per-process orphan sweep:
+            # temp files abandoned by killed writers are reclaimed here
+            # (and again on real overflows) instead of on every store.
+            self._sweep_stale_tmps()
+            self._entry_count = len(self._entries())
+            self.stats.evict_scans += 1
+            obs.add("cache.evict_scans", 1)
+        if self._entry_count <= self.max_entries:
+            return
+        self._evict()
+
     def _evict(self) -> None:
         self._sweep_stale_tmps()
         entries = self._entries()
+        self.stats.evict_scans += 1
+        obs.add("cache.evict_scans", 1)
         excess = len(entries) - self.max_entries
         if excess <= 0:
+            self._entry_count = len(entries)
             return
         def _mtime(p: Path) -> float:
             try:
                 return p.stat().st_mtime
             except OSError:
                 return 0.0
+        removed = 0
         for path in sorted(entries, key=_mtime)[:excess]:
             try:
                 path.unlink()
+                removed += 1
                 self.stats.evictions += 1
                 obs.add("cache.evictions", 1)
             except OSError:
                 pass
+        self._entry_count = len(entries) - removed
 
     def clear(self) -> int:
         """Delete every entry (all schema versions); return the count.
@@ -222,6 +341,7 @@ class DiskCache:
         period and prunes schema directories left empty — stale-schema
         directories otherwise linger forever in ``cache stats`` output.
         """
+        self._pending.clear()
         removed = 0
         for path in self._entries():
             try:
@@ -231,6 +351,7 @@ class DiskCache:
                 pass
         removed += self._sweep_stale_tmps()
         self._prune_empty_schema_dirs()
+        self._entry_count = 0
         return removed
 
     def _prune_empty_schema_dirs(self) -> None:

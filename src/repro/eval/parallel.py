@@ -55,12 +55,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections.abc import Iterable
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro import faults, obs
 from repro.baselines import ALL_DETECTORS
+from repro.cache.disk import default_cache
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
+from repro.eval import shm
 from repro.eval.breaker import CircuitBreaker
 from repro.eval.dispatch import BoundedPoolDriver, shutdown_pool
 from repro.eval.isolation import (
@@ -153,7 +156,7 @@ def run_evaluation_parallel(
             for failure in failures:
                 journal.append_failure(failure)
         if quarantine is not None and failures and job is not None:
-            stripped = job[0]
+            stripped = _image_bytes(job[0])
             for failure in failures:
                 quarantine.capture(stripped, failure)
         if failures and not keep_going:
@@ -200,6 +203,15 @@ def run_evaluation_parallel(
         backstop = (timeout * (retries + 1) * per_job_cells
                     + backstop_grace)
 
+    # Ship images through a shared-memory arena instead of pickling
+    # them into every dispatch: jobs carry a small ImageRef and workers
+    # slice the mapped segment, so the job queue stops being the
+    # bottleneck on large corpora.
+    arena = None
+    if shm.available() and jobs:
+        arena, refs = shm.share_images([job[0] for job in jobs])
+        jobs = [(ref,) + job[1:] for job, ref in zip(jobs, refs)]
+
     pool_size = workers or os.cpu_count() or 1
     max_inflight = _INFLIGHT_FACTOR * pool_size + 2
     pool = multiprocessing.Pool(
@@ -229,14 +241,18 @@ def run_evaluation_parallel(
         _absorb([], _lost_worker_failures(job, message), job)
 
     try:
-        driver.drive(jobs, _submit, _collect, _lost)
-    except BaseException:
-        # Abort path (--fail-fast, KeyboardInterrupt): drop the pool
-        # immediately, in-flight work included.
-        pool.terminate()
-        pool.join()
-        raise
-    shutdown_pool(pool, lost_worker=driver.any_lost)
+        try:
+            driver.drive(jobs, _submit, _collect, _lost)
+        except BaseException:
+            # Abort path (--fail-fast, KeyboardInterrupt): drop the pool
+            # immediately, in-flight work included.
+            pool.terminate()
+            pool.join()
+            raise
+        shutdown_pool(pool, lost_worker=driver.any_lost)
+    finally:
+        if arena is not None:
+            arena.destroy()
     return report
 
 
@@ -280,6 +296,13 @@ def _flush_job_trace(trace_dir: str) -> None:
         obs.append_payload(path, recorder.drain())
     except OSError:
         pass  # tracing is an accelerant, never a point of failure
+
+
+def _image_bytes(stripped) -> bytes:
+    """Resolve a job's image: raw bytes, or a shared-memory ref."""
+    if isinstance(stripped, shm.ImageRef):
+        return stripped.fetch()
+    return stripped
 
 
 def _entry_key(entry: CorpusEntry, tool: str) -> tuple:
@@ -374,9 +397,11 @@ def _evaluate_job_inner(
         ))
 
     with obs.span("entry", suite=suite, program=program):
+        # Resolving inside the guarded cell means a torn-down arena
+        # surfaces as an ordinary parse failure, not a worker crash.
         elf, error, attempts, elapsed = run_cell(
             faults.guarded(faults.SITE_CELL_EXECUTE,
-                           lambda: ELFFile(stripped)),
+                           lambda: ELFFile(_image_bytes(stripped))),
             timeout=timeout, retries=retries, backoff=backoff)
         if error is not None:
             for name in tool_names:
@@ -384,29 +409,31 @@ def _evaluate_job_inner(
             return records, failures
 
         gt_set = set(gt)
-        for name in tool_names:
-            cell_mark = obs.mark()
-            result, error, attempts, elapsed = run_cell(
-                faults.guarded(
-                    faults.SITE_CELL_EXECUTE,
-                    lambda n=name: ALL_DETECTORS[n]().detect(elf)),
-                timeout=timeout, retries=retries, backoff=backoff)
-            if error is not None:
-                _fail(name, PHASE_DETECT, error, attempts, elapsed)
-                continue
-            with obs.span("score", tool=name):
-                confusion = score(gt_set, result.functions)
-            phases = obs.phase_totals(cell_mark) or None
-            records.append(RunRecord(
-                suite=suite,
-                program=program,
-                compiler=compiler,
-                bits=bits,
-                pie=pie,
-                opt=opt,
-                tool=name,
-                confusion=confusion,
-                elapsed_seconds=result.elapsed_seconds,
-                phase_seconds=phases,
-            ))
+        cache = default_cache()
+        with cache.batch() if cache is not None else nullcontext():
+            for name in tool_names:
+                cell_mark = obs.mark()
+                result, error, attempts, elapsed = run_cell(
+                    faults.guarded(
+                        faults.SITE_CELL_EXECUTE,
+                        lambda n=name: ALL_DETECTORS[n]().detect(elf)),
+                    timeout=timeout, retries=retries, backoff=backoff)
+                if error is not None:
+                    _fail(name, PHASE_DETECT, error, attempts, elapsed)
+                    continue
+                with obs.span("score", tool=name):
+                    confusion = score(gt_set, result.functions)
+                phases = obs.phase_totals(cell_mark) or None
+                records.append(RunRecord(
+                    suite=suite,
+                    program=program,
+                    compiler=compiler,
+                    bits=bits,
+                    pie=pie,
+                    opt=opt,
+                    tool=name,
+                    confusion=confusion,
+                    elapsed_seconds=result.elapsed_seconds,
+                    phase_seconds=phases,
+                ))
     return records, failures

@@ -9,10 +9,12 @@ metadata.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro import faults, obs
 from repro.baselines.base import FunctionDetector
+from repro.cache.disk import default_cache
 from repro.elf.parser import ELFFile
 from repro.errors import EvaluationAborted
 from repro.eval.breaker import CIRCUIT_OPEN, PHASE_BREAKER, CircuitBreaker
@@ -232,36 +234,41 @@ def run_evaluation(
                         elapsed), entry)
                 continue
             gt = entry.binary.ground_truth.function_starts
-            for tool_name in todo:
-                detector = detectors[tool_name]
-                if breaker is not None and not breaker.allow(tool_name):
-                    _record_failure(_breaker_failure(prov, tool_name))
-                    continue
-                cell_mark = obs.mark()
-                result, error, attempts, elapsed = run_cell(
-                    faults.guarded(faults.SITE_CELL_EXECUTE,
-                                   lambda d=detector: d.detect(elf)),
-                    timeout=timeout, retries=retries, backoff=backoff,
-                )
-                if error is not None:
+            # One store batch per binary: every artifact the tools
+            # produce for this entry lands in a single flush + one
+            # eviction check instead of a disk walk per store.
+            cache = default_cache()
+            with cache.batch() if cache is not None else nullcontext():
+                for tool_name in todo:
+                    detector = detectors[tool_name]
+                    if breaker is not None and not breaker.allow(tool_name):
+                        _record_failure(_breaker_failure(prov, tool_name))
+                        continue
+                    cell_mark = obs.mark()
+                    result, error, attempts, elapsed = run_cell(
+                        faults.guarded(faults.SITE_CELL_EXECUTE,
+                                       lambda d=detector: d.detect(elf)),
+                        timeout=timeout, retries=retries, backoff=backoff,
+                    )
+                    if error is not None:
+                        if breaker is not None:
+                            breaker.record_failure(tool_name)
+                        _record_failure(_failure(
+                            prov, tool_name, PHASE_DETECT, error, attempts,
+                            elapsed), entry)
+                        continue
                     if breaker is not None:
-                        breaker.record_failure(tool_name)
-                    _record_failure(_failure(
-                        prov, tool_name, PHASE_DETECT, error, attempts,
-                        elapsed), entry)
-                    continue
-                if breaker is not None:
-                    breaker.record_success(tool_name)
-                with obs.span("score", tool=tool_name):
-                    confusion = score(gt, result.functions)
-                phases = obs.phase_totals(cell_mark) or None
-                _record_success(RunRecord(
-                    **prov,
-                    tool=tool_name,
-                    confusion=confusion,
-                    elapsed_seconds=result.elapsed_seconds,
-                    phase_seconds=phases,
-                ))
+                        breaker.record_success(tool_name)
+                    with obs.span("score", tool=tool_name):
+                        confusion = score(gt, result.functions)
+                    phases = obs.phase_totals(cell_mark) or None
+                    _record_success(RunRecord(
+                        **prov,
+                        tool=tool_name,
+                        confusion=confusion,
+                        elapsed_seconds=result.elapsed_seconds,
+                        phase_seconds=phases,
+                    ))
     return report
 
 

@@ -1,0 +1,130 @@
+"""Shared-memory binary images for multi-process evaluation.
+
+The parallel runners used to pickle every binary image through the
+pool's job queue: each dispatch re-serialized megabytes of ``bytes``
+through a pipe, so parallel speedup was bounded by the queue, not by
+the workers. Instead, the parent packs all images into one
+``multiprocessing.shared_memory`` arena up front and ships only tiny
+picklable :class:`ImageRef` handles; workers map the segment once and
+slice their image out of it with zero copies through the queue.
+
+Ownership is strictly creator-side: the parent that built the
+:class:`Arena` unlinks it (``destroy()``) after the pool is done.
+Workers attach read-only-by-convention and must *not* let their
+resource tracker reclaim the segment behind the creator's back —
+:func:`_attach` passes ``track=False`` where Python supports it
+(3.13+) and otherwise suppresses the tracker registration call for
+the duration of the attach (the documented workaround).
+
+Everything degrades gracefully: on platforms without POSIX shared
+memory :func:`available` is false and callers fall back to shipping
+raw bytes, which keeps outputs identical (just slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+
+try:
+    from multiprocessing import resource_tracker as _tracker
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover — non-POSIX build
+    _shm = None
+    _tracker = None
+
+
+def available() -> bool:
+    """Whether shared-memory arenas can be used on this platform."""
+    return _shm is not None
+
+
+#: Per-process cache of attached segments, keyed by segment name. Pool
+#: workers serve many jobs from the same arena; mapping it once per
+#: process is the entire point.
+_ATTACHED: dict[str, object] = {}
+
+
+def _attach(name: str):
+    seg = _ATTACHED.get(name)
+    if seg is None:
+        # Attaching must not register the segment with the resource
+        # tracker: the tracker would unlink the creator's arena at
+        # worker exit, and forked workers share one tracker process, so
+        # register-then-unregister pairs from two workers can interleave
+        # into a spurious KeyError traceback inside the tracker. Use
+        # ``track=False`` (3.13+) when present; otherwise suppress the
+        # registration call for the duration of the attach — unlike
+        # unregistering afterwards, no tracker message is sent at all.
+        try:
+            seg = _shm.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13
+            orig = _tracker.register
+            _tracker.register = lambda *a, **k: None
+            try:
+                seg = _shm.SharedMemory(name=name)
+            finally:
+                _tracker.register = orig
+        _ATTACHED[name] = seg
+        obs.add("shm.attaches", 1)
+    return seg
+
+
+@dataclass(frozen=True)
+class ImageRef:
+    """Picklable handle to one binary image inside an arena."""
+
+    segment: str
+    offset: int
+    length: int
+
+    def fetch(self) -> bytes:
+        """Materialize the image bytes (maps the segment on first use)."""
+        seg = _attach(self.segment)
+        obs.add("shm.fetches", 1)
+        return bytes(seg.buf[self.offset : self.offset + self.length])
+
+
+class Arena:
+    """One creator-owned segment packing many images back to back."""
+
+    def __init__(self, seg) -> None:
+        self._seg = seg
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    def destroy(self) -> None:
+        """Close and unlink the segment; call once the pool is done.
+
+        Live worker mappings survive the unlink (POSIX semantics); the
+        kernel reclaims the memory when the last mapping closes.
+        """
+        attached = _ATTACHED.pop(self._seg.name, None)
+        if attached is not None and attached is not self._seg:
+            try:
+                attached.close()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            self._seg.close()
+            self._seg.unlink()
+        except OSError:  # pragma: no cover — already gone
+            pass
+
+
+def share_images(images: list[bytes]) -> tuple[Arena, list[ImageRef]]:
+    """Pack ``images`` into one fresh arena; returns it plus the refs."""
+    total = sum(len(b) for b in images)
+    seg = _shm.SharedMemory(create=True, size=max(total, 1))
+    refs: list[ImageRef] = []
+    offset = 0
+    for data in images:
+        seg.buf[offset : offset + len(data)] = data
+        refs.append(ImageRef(seg.name, offset, len(data)))
+        offset += len(data)
+    obs.add("shm.images", len(images))
+    obs.add("shm.bytes", total)
+    return Arena(seg), refs

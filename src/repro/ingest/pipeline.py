@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import obs
+from repro.eval import shm
 from repro.eval.breaker import CIRCUIT_OPEN, CircuitBreaker
 from repro.eval.dispatch import BoundedPoolDriver, shutdown_pool
 from repro.eval.isolation import FailureRecord
@@ -288,6 +289,32 @@ def _drive_scan(
         initargs=(None, max_rss_mb),
     )
 
+    # Per-candidate shared-memory preload: the parent reads the image
+    # once and ships a small ref, so the job queue never carries whole
+    # binaries. A preload failure ships no ref and the worker reads the
+    # path itself — the pre-shm behavior, byte for byte.
+    segments: dict[str, shm.Arena] = {}
+
+    def _preload(candidate: Candidate):
+        if not shm.available():
+            return None
+        try:
+            with open(candidate.path, "rb") as f:
+                # Mirrors the ladder's own read bound (+1 so a file
+                # that grew past the ceiling is still detected).
+                data = f.read(policy.max_size + 1 if policy.max_size
+                              else None)
+        except OSError:
+            return None
+        arena, (ref,) = shm.share_images([data])
+        segments[str(candidate.path)] = arena
+        return ref
+
+    def _release(candidate: Candidate) -> None:
+        arena = segments.pop(str(candidate.path), None)
+        if arena is not None:
+            arena.destroy()
+
     def _submit(candidate: Candidate):
         gated = _breaker_gate(candidate, breaker, stats, _record_failure)
         if gated is None:
@@ -295,22 +322,30 @@ def _drive_scan(
         stats.dispatched += 1
         return candidate, pool.apply_async(
             _scan_job,
-            (str(candidate.path), tools, timeout, policy.max_size))
+            (str(candidate.path), tools, timeout, policy.max_size,
+             _preload(candidate)))
 
     def _collect(candidate: Candidate, payload: dict) -> None:
+        _release(candidate)
         _absorb_payload(candidate, payload,
                         _record_analysis, _record_failure)
 
     def _lost(candidate: Candidate, message: str) -> None:
+        _release(candidate)
         _record_failure(candidate, "WorkerLost", message)
 
     try:
-        driver.drive(_jobs(), _submit, _collect, _lost)
-    except BaseException:
-        pool.terminate()
-        pool.join()
-        raise
-    shutdown_pool(pool, lost_worker=driver.any_lost)
+        try:
+            driver.drive(_jobs(), _submit, _collect, _lost)
+        except BaseException:
+            pool.terminate()
+            pool.join()
+            raise
+        shutdown_pool(pool, lost_worker=driver.any_lost)
+    finally:
+        for arena in segments.values():
+            arena.destroy()
+        segments.clear()
     stats.lost_workers = driver.lost_workers
 
 
@@ -338,17 +373,29 @@ def _absorb_payload(candidate: Candidate, payload: dict,
 
 def _scan_job(path: str, tool_names: list[str],
               timeout: float | None = None,
-              max_size: int | None = None) -> dict:
+              max_size: int | None = None,
+              image_ref=None) -> dict:
     """Run one admitted binary down the ladder; never raises.
 
     Runs in a pool worker (or in-process for ``workers=1``); everything
     comes back as data, so nothing crosses the process boundary as an
     exception — except a worker killed outright, which the parent's
     backstop turns into a retryable ``WorkerLost`` record.
+
+    ``image_ref`` (a :class:`repro.eval.shm.ImageRef`) carries the
+    parent's preloaded image; when absent or unreadable, the worker
+    falls back to reading ``path`` itself.
     """
+    data = None
+    if image_ref is not None:
+        try:
+            data = image_ref.fetch()
+        except Exception:
+            data = None
     try:
         outcome = analyze_binary(path, list(tool_names),
-                                 timeout=timeout, max_size=max_size)
+                                 timeout=timeout, max_size=max_size,
+                                 data=data)
     except LadderReadError as exc:
         return {"failure": {"error_type": "LadderReadError",
                             "message": str(exc)}}

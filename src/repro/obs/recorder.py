@@ -20,21 +20,52 @@ counters are summed across processes at merge time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 
-@dataclass
 class SpanRecord:
-    """One completed (or still-open) span."""
+    """One completed (or still-open) span — and its own context manager.
 
-    id: int
-    parent: int  # 0 = top level
-    name: str
-    depth: int
-    start: float  # perf_counter seconds
-    dur: float = 0.0
-    attrs: dict = field(default_factory=dict)
-    error: str | None = None
+    Record and guard are fused into a single slotted object so a traced
+    span costs one allocation (the traced-sweep overhead bound in
+    ``docs/performance.md`` depends on this). ``attrs`` is ``None``
+    until the first attribute lands, which keeps attribute-free spans
+    dict-free.
+    """
+
+    __slots__ = ("_recorder", "id", "parent", "name", "depth", "start",
+                 "dur", "attrs", "error")
+
+    def __init__(self, id: int, parent: int, name: str, depth: int,
+                 start: float, dur: float = 0.0, attrs: dict | None = None,
+                 error: str | None = None, recorder=None) -> None:
+        self._recorder = recorder
+        self.id = id
+        self.parent = parent  # 0 = top level
+        self.name = name
+        self.depth = depth
+        self.start = start  # perf_counter seconds
+        self.dur = dur
+        self.attrs = attrs
+        self.error = error
+
+    @property
+    def record(self) -> "SpanRecord":
+        """The underlying record (self — kept for the old two-object API)."""
+        return self
+
+    def set(self, **attrs) -> "SpanRecord":
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "SpanRecord":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._close(self, exc_type)
+        return False  # never swallow the exception
 
     def to_doc(self) -> dict:
         doc = {
@@ -93,27 +124,6 @@ class NullRecorder:
         return {"spans": [], "counters": {}}
 
 
-class _ActiveSpan:
-    """Context manager for one open span of a :class:`TraceRecorder`."""
-
-    __slots__ = ("_recorder", "record")
-
-    def __init__(self, recorder: "TraceRecorder", record: SpanRecord) -> None:
-        self._recorder = recorder
-        self.record = record
-
-    def __enter__(self) -> "_ActiveSpan":
-        return self
-
-    def set(self, **attrs) -> "_ActiveSpan":
-        self.record.attrs.update(attrs)
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self._recorder._close(self.record, exc_type)
-        return False  # never swallow the exception
-
-
 class TraceRecorder:
     """Collects a span tree and named counters for one process."""
 
@@ -124,21 +134,26 @@ class TraceRecorder:
         self.counters: dict[str, float] = {}
         self._stack: list[SpanRecord] = []
         self._next_id = 1
+        # Span names come from a small fixed vocabulary repeated across
+        # thousands of spans; interning keeps one str object per name.
+        self._names: dict[str, str] = {}
 
     # -- spans --------------------------------------------------------------
 
-    def span(self, name: str, **attrs) -> _ActiveSpan:
+    def span(self, name: str, **attrs) -> SpanRecord:
+        stack = self._stack
         record = SpanRecord(
             id=self._next_id,
-            parent=self._stack[-1].id if self._stack else 0,
-            name=name,
-            depth=len(self._stack),
+            parent=stack[-1].id if stack else 0,
+            name=self._names.setdefault(name, name),
+            depth=len(stack),
             start=time.perf_counter(),
-            attrs=attrs,
+            attrs=attrs or None,
+            recorder=self,
         )
         self._next_id += 1
-        self._stack.append(record)
-        return _ActiveSpan(self, record)
+        stack.append(record)
+        return record
 
     def _close(self, record: SpanRecord, exc_type) -> None:
         record.dur = time.perf_counter() - record.start

@@ -9,6 +9,7 @@ integer core conservatively report empty sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.x86.operands import (
     Imm,
@@ -48,11 +49,17 @@ class DefUse:
 EMPTY = DefUse(frozenset(), frozenset())
 
 
+@lru_cache(maxsize=65536)
 def def_use(raw: bytes, bits: int) -> DefUse:
     """Extract (reads, writes) register sets from instruction bytes.
 
     ``lea`` reads only the address components; memory operands read
     their base and index registers regardless of position.
+
+    Memoized on the raw encoding: a corpus re-encodes the same few
+    thousand instruction byte patterns endlessly, so the
+    calling-convention scans that hammer this function mostly hit the
+    cache instead of re-running the operand model.
     """
     try:
         decoded = analyze_operands(raw, bits)

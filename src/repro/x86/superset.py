@@ -15,20 +15,25 @@ the next viable offset skips embedded data instead of grinding through
 it byte by byte.
 
 The decode-at-every-offset pass is materialized as a
-:class:`DecodeIndex`: one right-to-left pass decodes each offset exactly
-once and the viability DP shares every suffix result, so overlapping
-chains never restart a decode. ``viable_offsets``, ``robust_sweep`` and
-``data_regions`` all draw from the same index (memoized per buffer), so
-a pipeline that needs several of these pays for the decode pass once.
+:class:`DecodeIndex`. When NumPy is usable (see
+:mod:`repro.x86.vector`) the whole pass runs as one batched
+table-driven sweep — per-offset lengths and classes in packed
+``bytes``, with ``Insn`` objects materialized only on demand — and
+viability resolves lazily by pointer doubling the first time something
+asks for it. Otherwise a scalar right-to-left pass decodes each offset
+exactly once and the viability DP shares every suffix result.
+``viable_offsets``, ``robust_sweep`` and ``data_regions`` all draw from
+the same index (memoized per buffer), so a pipeline that needs several
+of these pays for the decode pass once.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterator
-from dataclasses import dataclass, field
 
 from repro import obs
+from repro.x86 import vector
 from repro.x86.decoder import DecodeError, decode_raw
 from repro.x86.insn import Insn, InsnClass
 
@@ -38,22 +43,44 @@ _TERMINATORS = frozenset(
 )
 
 
-@dataclass
 class DecodeIndex:
     """Per-offset decode results for one code buffer.
 
     ``lengths[i] == 0`` marks a decode failure at offset ``i``; targets
-    and NOTRACK flags are stored sparsely. ``viable`` has one extra
-    trailing entry for the end-of-region sentinel.
+    and NOTRACK flags are stored sparsely. Lengths and classes are
+    packed ``bytes`` (both fit one byte per offset). ``viable`` has one
+    extra trailing entry for the end-of-region sentinel and is computed
+    on first use: the detector paths that only walk instruction chains
+    never pay for it.
     """
 
-    base_addr: int
-    bits: int
-    lengths: list[int]
-    klasses: list[int]
-    targets: dict[int, int] = field(default_factory=dict)
-    notracks: set[int] = field(default_factory=set)
-    viable: list[bool] = field(default_factory=list)
+    __slots__ = ("base_addr", "bits", "lengths", "klasses", "targets",
+                 "notracks", "_viable")
+
+    def __init__(
+        self,
+        base_addr: int,
+        bits: int,
+        lengths: bytes,
+        klasses: bytes,
+        targets: dict[int, int] | None = None,
+        notracks: set[int] | None = None,
+        viable: bytes | None = None,
+    ) -> None:
+        self.base_addr = base_addr
+        self.bits = bits
+        self.lengths = lengths
+        self.klasses = klasses
+        self.targets = targets if targets is not None else {}
+        self.notracks = notracks if notracks is not None else set()
+        self._viable = viable
+
+    @property
+    def viable(self) -> bytes:
+        if self._viable is None:
+            with obs.span("superset.viability", bytes=len(self.lengths)):
+                self._viable = vector.viability(self.lengths, self.klasses)
+        return self._viable
 
     def insn_at(self, offset: int) -> Insn | None:
         """Reconstruct the decoded instruction starting at ``offset``."""
@@ -70,20 +97,35 @@ class DecodeIndex:
 
 
 def build_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
-    """Decode every offset once, right to left, with suffix sharing.
+    """Decode every offset once.
 
-    Viability is a pure suffix property: ``viable[i]`` only consults
-    ``viable[i + length]``, already final when ``i`` is visited, so the
-    whole decode-at-every-offset pass is a single linear scan instead of
-    one chain walk per offset.
+    The vectorized path classifies all offsets in one batched pass and
+    defers viability until asked. The scalar path works right to left —
+    viability is a pure suffix property: ``viable[i]`` only consults
+    ``viable[i + length]``, already final when ``i`` is visited — so
+    either way the whole decode-at-every-offset pass is a single linear
+    scan instead of one chain walk per offset.
     """
     n = len(data)
-    lengths = [0] * n
-    klasses = [0] * n
+    if vector.available():
+        with obs.span("superset.index", bytes=n, vectorized=True):
+            lengths, klasses, targets, notracks, fallbacks = \
+                vector.decode_all(data, bits, base_addr)
+            errors = lengths.count(0)
+            obs.add("superset.offsets_decoded", n - errors)
+            obs.add("superset.decode_errors", errors)
+            obs.add("superset.vectorized_bytes", n)
+            obs.add("superset.scalar_fallbacks", fallbacks)
+        return DecodeIndex(
+            base_addr=base_addr, bits=bits, lengths=lengths,
+            klasses=klasses, targets=targets, notracks=notracks,
+        )
+    lengths_b = bytearray(n)
+    klasses_b = bytearray(n)
     targets: dict[int, int] = {}
     notracks: set[int] = set()
-    viable = [False] * (n + 1)
-    viable[n] = True
+    viable = bytearray(n + 1)
+    viable[n] = 1
     terminators = _TERMINATORS
     errors = 0
     with obs.span("superset.index", bytes=n):
@@ -95,21 +137,20 @@ def build_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
             except DecodeError:
                 errors += 1
                 continue
-            lengths[i] = length
-            klasses[i] = klass
+            lengths_b[i] = length
+            klasses_b[i] = klass
             if target is not None:
                 targets[i] = target
             if notrack:
                 notracks.add(i)
-            if i + length > n:
-                continue
             if klass in terminators or viable[i + length]:
-                viable[i] = True
+                viable[i] = 1
         obs.add("superset.offsets_decoded", n - errors)
         obs.add("superset.decode_errors", errors)
     return DecodeIndex(
-        base_addr=base_addr, bits=bits, lengths=lengths, klasses=klasses,
-        targets=targets, notracks=notracks, viable=viable,
+        base_addr=base_addr, bits=bits, lengths=bytes(lengths_b),
+        klasses=bytes(klasses_b), targets=targets, notracks=notracks,
+        viable=bytes(viable),
     )
 
 
@@ -149,7 +190,7 @@ def viable_offsets(data: bytes, bits: int) -> list[bool]:
     flow, or falls through to a viable offset (or exactly to the end of
     the region).
     """
-    return get_index(data, bits).viable[: len(data)]
+    return [bool(v) for v in get_index(data, bits).viable[: len(data)]]
 
 
 def robust_sweep(data: bytes, base_addr: int, bits: int) -> Iterator[Insn]:
@@ -182,7 +223,7 @@ _ENDBR_PATTERNS = (b"\xf3\x0f\x1e\xfa", b"\xf3\x0f\x1e\xfb")
 _RESYNC_WINDOW = 16
 
 
-def _next_viable(data: bytes, viable: list[bool], start: int,
+def _next_viable(data: bytes, viable: bytes, start: int,
                  bits: int) -> int:
     """Pick the resynchronization point after a non-viable region.
 
