@@ -22,8 +22,10 @@ from repro.cache.disk import (
     DiskCache,
     SCHEMA_TAG,
     default_cache,
+    namespaced_cache,
     reset_default_cache,
     set_default_cache,
+    valid_namespace,
 )
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "SCHEMA_TAG",
     "default_cache",
     "get_context",
+    "namespaced_cache",
     "reset_default_cache",
     "set_default_cache",
+    "valid_namespace",
 ]

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 import time
 from collections.abc import Iterator
@@ -415,3 +416,31 @@ def reset_default_cache() -> None:
     """Forget the resolved default; next use re-reads the environment."""
     global _default_cache
     _default_cache = _UNSET
+
+
+#: Tenant namespace grammar: path-safe, no traversal, bounded length.
+_NAMESPACE_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+def valid_namespace(namespace: str) -> bool:
+    """Whether ``namespace`` is a legal cache-namespace component."""
+    return bool(_NAMESPACE_RE.fullmatch(namespace))
+
+
+def namespaced_cache(
+    root: str | os.PathLike,
+    namespace: str,
+    **kwargs,
+) -> DiskCache:
+    """A :class:`DiskCache` rooted at ``root/namespace``.
+
+    Namespaces isolate tenants of the analysis service: each tenant's
+    artifacts live under their own cache root, so one tenant can never
+    read (or evict) another's entries. The namespace must match
+    ``[A-Za-z0-9][A-Za-z0-9._-]{0,63}`` — in particular no path
+    separators and no leading dot, so a hostile tenant name cannot
+    escape the cache root.
+    """
+    if not valid_namespace(namespace):
+        raise ValueError(f"invalid cache namespace {namespace!r}")
+    return DiskCache(Path(root) / namespace, **kwargs)

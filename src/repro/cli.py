@@ -20,7 +20,11 @@
                    [--limit N] [--min-size B] [--max-size B]
                    [--format json|table] [--fault-plan PLAN]
     funseeker quarantine list|replay --dir D  # captured failing inputs
-    funseeker chaos [--scale S] [--seed N] [--ingest]  # crash-safety
+    funseeker chaos [--scale S] [--seed N] [--ingest|--service]
+    funseeker serve --run-dir D [--host H] [--port P] [--cache-dir D]
+                    [--tools ...] [--queue-size N] [--workers N]
+                    [--rate R] [--burst B] [--timeout S]
+                    [--max-body-mb M]     # analysis job API
     funseeker profile <binary> [--tools ...] [--trace PATH] [--json]
     funseeker cache stats|clear [--cache-dir D]  # on-disk artifact cache
     funseeker fuzz [--budget N] [--seed S]  # fault-injection harness
@@ -282,6 +286,47 @@ def main(argv: list[str] | None = None) -> int:
                            "(worker kill mid-ladder, triage I/O fault) "
                            "over a hostile fixture tree instead of the "
                            "evaluation scenarios")
+    p_ch.add_argument("--service", action="store_true",
+                      help="run the analysis-service scenario: SIGKILL "
+                           "a serve subprocess mid-job, restart it on "
+                           "the same run directory, and assert the "
+                           "resumed results equal the fault-free "
+                           "baseline")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the analysis job API: POST binaries, poll jobs, "
+             "fetch per-tool entry reports with provenance receipts")
+    p_sv.add_argument("--run-dir", required=True,
+                      help="journal + blob directory; restarting on the "
+                           "same directory resumes in-flight jobs")
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=0,
+                      help="TCP port (default 0 = OS-assigned; the "
+                           "bound address is printed and written to "
+                           "address.json in the run dir)")
+    p_sv.add_argument("--cache-dir", default=None,
+                      help="root of per-tenant cache namespaces "
+                           "(default: the process default cache)")
+    p_sv.add_argument("--tools", default="",
+                      help="comma-separated default detector set "
+                           "(default: all detectors)")
+    p_sv.add_argument("--queue-size", type=int, default=64,
+                      help="bounded job queue depth (default 64); a "
+                           "full queue answers 429 + Retry-After")
+    p_sv.add_argument("--workers", type=int, default=2,
+                      help="analysis executor threads (default 2)")
+    p_sv.add_argument("--rate", type=float, default=0.0,
+                      help="per-tenant submissions/second "
+                           "(default 0 = unlimited)")
+    p_sv.add_argument("--burst", type=float, default=None,
+                      help="per-tenant burst size (default: --rate)")
+    p_sv.add_argument("--timeout", type=float, default=None,
+                      help="wall-clock seconds per analysis phase")
+    p_sv.add_argument("--retries", type=int, default=0,
+                      help="extra attempts for a raising analysis cell")
+    p_sv.add_argument("--max-body-mb", type=int, default=64,
+                      help="largest accepted submission (default 64)")
 
     args = parser.parse_args(argv)
     try:
@@ -322,6 +367,8 @@ def _dispatch(args) -> int:
         return _cmd_quarantine(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_table(args)
 
 
@@ -359,6 +406,7 @@ def _cmd_evaluate(args) -> int:
         EvaluationAborted,
         JournalError,
         JournalWriteError,
+        ManifestCorruptError,
         ManifestMismatchError,
     )
     from repro.eval.breaker import CircuitBreaker
@@ -413,6 +461,11 @@ def _cmd_evaluate(args) -> int:
     except ManifestMismatchError as exc:
         print(f"refusing to resume: {exc}", file=sys.stderr)
         return 2
+    except ManifestCorruptError as exc:
+        print(f"cannot resume: {exc}\n"
+              f"the run directory is damaged; start over with a fresh "
+              f"--run-dir", file=sys.stderr)
+        return 3
     except JournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -483,6 +536,7 @@ def _cmd_scan(args) -> int:
     from repro.errors import (
         JournalError,
         JournalWriteError,
+        ManifestCorruptError,
         ManifestMismatchError,
     )
     from repro.eval.breaker import CircuitBreaker
@@ -548,6 +602,11 @@ def _cmd_scan(args) -> int:
     except ManifestMismatchError as exc:
         print(f"refusing to resume: {exc}", file=sys.stderr)
         return 2
+    except ManifestCorruptError as exc:
+        print(f"cannot resume: {exc}\n"
+              f"the run directory is damaged; start over with a fresh "
+              f"--run-dir", file=sys.stderr)
+        return 3
     except (JournalError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -640,12 +699,102 @@ def _cmd_quarantine(args) -> int:
     return 1 if still_failing else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.errors import ManifestCorruptError, ManifestMismatchError
+    from repro.service import AnalysisService, JobManager, TenantRateLimiter
+
+    tools = [t.strip() for t in args.tools.split(",") if t.strip()] or None
+    if tools:
+        unknown = [t for t in tools if t not in ALL_DETECTORS]
+        if unknown:
+            print(f"error: unknown detectors: {unknown} "
+                  f"(known: {sorted(ALL_DETECTORS)})", file=sys.stderr)
+            return 2
+    # Counters only: a long-lived server must not accumulate spans.
+    obs.set_recorder(obs.CounterRecorder())
+    try:
+        manager = JobManager(
+            args.run_dir,
+            tools=tools,
+            cache_root=args.cache_dir,
+            queue_size=args.queue_size,
+            executor_workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except ManifestCorruptError as exc:
+        print(f"cannot serve: {exc}\nthe run directory is damaged; "
+              f"start over with a fresh --run-dir", file=sys.stderr)
+        return 3
+    except ManifestMismatchError as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    service = AnalysisService(
+        manager,
+        host=args.host,
+        port=args.port,
+        limiter=TenantRateLimiter(rate=args.rate, burst=args.burst),
+        max_body=args.max_body_mb * 1024 * 1024,
+    )
+    return asyncio.run(_serve_until_signal(service))
+
+
+async def _serve_until_signal(service) -> int:
+    import asyncio
+    import json
+    import os
+    import signal
+
+    host, port = await service.start()
+    manager = service.manager
+    address = {"host": host, "port": port, "pid": os.getpid()}
+    (manager.run_dir / "address.json").write_text(
+        json.dumps(address), encoding="utf-8")
+    if manager.resumed:
+        print(f"resumed run dir {manager.run_dir}: "
+              f"{manager.stats['restored']} completed jobs restored, "
+              f"{manager.stats['resumed_jobs']} re-enqueued",
+              file=sys.stderr)
+    # The machine-readable "I'm up" line: chaos and tests parse it.
+    print(f"serving on http://{host}:{port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+    await stop.wait()
+    print("shutting down: in-flight jobs stay journaled for the next "
+          "server on this run dir", file=sys.stderr)
+    await service.stop()
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import shutil
     import tempfile
 
     from repro.faults.chaos import run_chaos
     from repro.synth.corpus import build_corpus
+
+    if args.service:
+        from repro.service.chaos import run_service_chaos
+
+        work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+        print(f"service chaos: seed {args.seed}, run dirs under "
+              f"{work_dir} ...", file=sys.stderr)
+        report = run_service_chaos(work_dir, seed=args.seed)
+        print(report.render())
+        if report.ok and not args.work_dir:
+            shutil.rmtree(work_dir, ignore_errors=True)
+        elif not report.ok:
+            print(f"run directories kept for post-mortem: {work_dir}",
+                  file=sys.stderr)
+        return 0 if report.ok else 1
 
     if args.ingest:
         from repro.ingest.chaos import run_ingest_chaos

@@ -68,6 +68,34 @@ class ManifestMismatchError(JournalError):
     """
 
 
+class ManifestCorruptError(JournalError):
+    """A run directory's manifest exists but cannot be parsed.
+
+    Distinct from :class:`ManifestMismatchError` — a mismatch means the
+    journal describes a *different, valid* run (the corpus or tool set
+    changed, an actionable operator error), while corruption means the
+    run directory itself is damaged and resuming is impossible. The
+    service resume path and ``evaluate --resume`` report the two
+    differently.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the analysis service (:mod:`repro.service`)."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded job queue cannot admit another submission.
+
+    Carries ``retry_after`` (seconds) — the HTTP layer surfaces it as
+    a ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class InjectedFaultError(ReproError):
     """Base of faults raised by the :mod:`repro.faults` registry."""
 

@@ -1,0 +1,308 @@
+"""Library-clean single-image analysis: bytes in, entry report out.
+
+The evaluation runners (:mod:`repro.eval.runner`,
+:mod:`repro.eval.parallel`) are corpus-shaped: they want ground truth,
+provenance profiles, and a journal. The analysis *service*
+(:mod:`repro.service`) wants none of that — it is handed an untrusted
+binary image and must produce the per-tool entry sets, with explicit
+cache attribution, against a caller-supplied (per-tenant)
+:class:`~repro.cache.disk.DiskCache` rather than the process-global
+default. :func:`analyze_image` is that callable: no globals mutated, no
+ground truth required, safe to run from any executor.
+
+Cache semantics: artifacts live under the same ``tool.<name>`` keys the
+evaluation sweeps use, so a cache warmed by ``funseeker evaluate`` (or
+by a previous job) serves lookups here and vice versa. A submission
+whose requested tools are all cacheable and all present is served
+entirely from disk — the binary is never parsed, never decoded
+(:func:`warm_lookup`). The no-new-diagnostics store guard from
+:mod:`repro.cache.context` applies on the way in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro import faults, obs
+from repro.baselines import ALL_DETECTORS
+from repro.cache import serialize as S
+from repro.cache.disk import DiskCache, default_cache
+from repro.elf.parser import ELFFile
+from repro.eval.isolation import PHASE_DETECT, PHASE_PARSE, run_cell
+
+ANALYSIS_SCHEMA = "image-analysis/v1"
+
+#: Cache attribution values on :class:`ToolReport`.
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_UNCACHEABLE = "uncacheable"
+CACHE_DISABLED = "disabled"
+
+
+@dataclass(frozen=True)
+class ToolReport:
+    """One detector's outcome on one submitted image."""
+
+    tool: str
+    #: Sorted entry addresses, or ``None`` when the tool failed.
+    functions: tuple[int, ...] | None
+    elapsed_seconds: float = 0.0
+    #: Where the answer came from: one of the ``CACHE_*`` constants.
+    cache: str = CACHE_MISS
+    phase: str | None = None
+    error_type: str | None = None
+    message: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.functions is not None
+
+    def to_doc(self) -> dict:
+        return {
+            "tool": self.tool,
+            "functions": list(self.functions)
+            if self.functions is not None else None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache": self.cache,
+            "phase": self.phase,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ToolReport":
+        functions = doc.get("functions")
+        return cls(
+            tool=doc["tool"],
+            functions=tuple(functions) if functions is not None else None,
+            elapsed_seconds=doc.get("elapsed_seconds", 0.0),
+            cache=doc.get("cache", CACHE_MISS),
+            phase=doc.get("phase"),
+            error_type=doc.get("error_type"),
+            message=doc.get("message"),
+            attempts=doc.get("attempts", 1),
+        )
+
+
+@dataclass
+class ImageAnalysis:
+    """Everything one submission produced, in journal-ready shape."""
+
+    sha256: str
+    size_bytes: int
+    tools: dict[str, ToolReport] = field(default_factory=dict)
+    diagnostics: list[dict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    #: True when the whole answer came from the disk cache (no parse).
+    warm: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(t.ok for t in self.tools.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.tools.values() if t.cache == CACHE_HIT)
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": ANALYSIS_SCHEMA,
+            "sha256": self.sha256,
+            "size_bytes": self.size_bytes,
+            "tools": {name: t.to_doc()
+                      for name, t in sorted(self.tools.items())},
+            "diagnostics": self.diagnostics,
+            "elapsed_seconds": self.elapsed_seconds,
+            "warm": self.warm,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ImageAnalysis":
+        return cls(
+            sha256=doc["sha256"],
+            size_bytes=doc["size_bytes"],
+            tools={name: ToolReport.from_doc(t)
+                   for name, t in doc.get("tools", {}).items()},
+            diagnostics=list(doc.get("diagnostics", [])),
+            elapsed_seconds=doc.get("elapsed_seconds", 0.0),
+            warm=doc.get("warm", False),
+        )
+
+
+def content_digest(data: bytes) -> str:
+    """The submission identity: SHA-256 of the raw image."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _tool_artifact(tool: str) -> str:
+    return f"tool.{tool}"
+
+
+def _is_cacheable(tool: str) -> bool:
+    cls = ALL_DETECTORS[tool]
+    return bool(getattr(cls, "cacheable", False))
+
+
+def warm_lookup(
+    sha256: str,
+    size_bytes: int,
+    tools: list[str] | tuple[str, ...],
+    cache: DiskCache | None,
+) -> ImageAnalysis | None:
+    """Serve a submission entirely from the disk cache, or ``None``.
+
+    Succeeds only when *every* requested tool is cacheable and has a
+    valid cached document for this hash — a partial answer would still
+    pay the parse, so the caller may as well take the cold path and let
+    per-tool hits shorten it.
+    """
+    if cache is None or not tools:
+        return None
+    reports: dict[str, ToolReport] = {}
+    for name in tools:
+        if not _is_cacheable(name):
+            return None
+        doc = cache.get(sha256, _tool_artifact(name))
+        if doc is None:
+            return None
+        try:
+            functions = S.addrs_from_doc(doc)
+        except S.SerializationError:
+            return None
+        reports[name] = ToolReport(
+            tool=name,
+            functions=tuple(sorted(functions)),
+            cache=CACHE_HIT,
+        )
+    obs.add("analyze.warm_lookups", 1)
+    return ImageAnalysis(
+        sha256=sha256, size_bytes=size_bytes, tools=reports, warm=True,
+    )
+
+
+def analyze_image(
+    data: bytes,
+    tools: list[str] | tuple[str, ...] | None = None,
+    *,
+    cache: DiskCache | None = None,
+    use_default_cache: bool = True,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+) -> ImageAnalysis:
+    """Run the requested detectors over one binary image.
+
+    Parameters mirror the evaluation cells: each phase (parse, each
+    detect) runs under :func:`~repro.eval.isolation.run_cell` with the
+    same timeout/retry/taxonomy semantics and the same
+    ``cell.execute`` fault point, so the service inherits the entire
+    fault-injection and chaos story for free.
+
+    ``cache`` is the caller's :class:`DiskCache` (e.g. a per-tenant
+    namespace); when omitted and ``use_default_cache`` is true, the
+    process default (``$REPRO_CACHE_DIR``) applies. Failures never
+    raise: they land on the per-tool report, mirroring how the corpus
+    runners degrade to :class:`FailureRecord`.
+    """
+    started = time.perf_counter()
+    if tools is None:
+        tools = list(ALL_DETECTORS)
+    unknown = [t for t in tools if t not in ALL_DETECTORS]
+    if unknown:
+        raise ValueError(
+            f"unknown tools {unknown} (known: {sorted(ALL_DETECTORS)})")
+    if cache is None and use_default_cache:
+        cache = default_cache()
+    sha256 = content_digest(data)
+
+    warm = warm_lookup(sha256, len(data), tools, cache)
+    if warm is not None:
+        warm.elapsed_seconds = time.perf_counter() - started
+        return warm
+
+    analysis = ImageAnalysis(sha256=sha256, size_bytes=len(data))
+    obs.add("analyze.cold_lookups", 1)
+    elf, error, attempts, elapsed = run_cell(
+        faults.guarded(faults.SITE_CELL_EXECUTE, lambda: ELFFile(data)),
+        timeout=timeout, retries=retries, backoff=backoff,
+    )
+    if error is not None:
+        for name in tools:
+            analysis.tools[name] = ToolReport(
+                tool=name, functions=None, elapsed_seconds=elapsed,
+                phase=PHASE_PARSE, error_type=type(error).__name__,
+                message=str(error), attempts=attempts,
+            )
+        analysis.elapsed_seconds = time.perf_counter() - started
+        return analysis
+
+    for name in tools:
+        analysis.tools[name] = _run_tool(
+            elf, sha256, name, cache,
+            timeout=timeout, retries=retries, backoff=backoff,
+        )
+    analysis.diagnostics = elf.diagnostics.to_dicts()
+    analysis.elapsed_seconds = time.perf_counter() - started
+    return analysis
+
+
+def _run_tool(
+    elf: ELFFile,
+    sha256: str,
+    name: str,
+    cache: DiskCache | None,
+    *,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+) -> ToolReport:
+    cacheable = _is_cacheable(name)
+    if cacheable and cache is not None:
+        doc = cache.get(sha256, _tool_artifact(name))
+        if doc is not None:
+            try:
+                functions = S.addrs_from_doc(doc)
+            except S.SerializationError:
+                functions = None
+            if functions is not None:
+                return ToolReport(
+                    tool=name,
+                    functions=tuple(sorted(functions)),
+                    cache=CACHE_HIT,
+                )
+    detector = ALL_DETECTORS[name]()
+    before = len(elf.diagnostics)
+    result, error, attempts, elapsed = run_cell(
+        faults.guarded(faults.SITE_CELL_EXECUTE,
+                       lambda: detector.detect(elf)),
+        timeout=timeout, retries=retries, backoff=backoff,
+    )
+    if error is not None:
+        return ToolReport(
+            tool=name, functions=None, elapsed_seconds=elapsed,
+            cache=CACHE_MISS if cacheable else CACHE_UNCACHEABLE,
+            phase=PHASE_DETECT, error_type=type(error).__name__,
+            message=str(error), attempts=attempts,
+        )
+    if not cacheable:
+        state = CACHE_UNCACHEABLE
+    elif cache is None:
+        state = CACHE_DISABLED
+    else:
+        state = CACHE_MISS
+        # Same bit-identity rule as the analysis context: a run that
+        # recorded new diagnostics is served but never stored.
+        if len(elf.diagnostics) == before:
+            cache.put(sha256, _tool_artifact(name),
+                      S.addrs_to_doc(result.functions))
+    return ToolReport(
+        tool=name,
+        functions=tuple(sorted(result.functions)),
+        elapsed_seconds=result.elapsed_seconds,
+        cache=state,
+        attempts=attempts,
+    )

@@ -45,6 +45,7 @@ from repro import faults, obs
 from repro.errors import (
     JournalError,
     JournalWriteError,
+    ManifestCorruptError,
     ManifestMismatchError,
 )
 from repro.eval.isolation import FailureRecord
@@ -91,6 +92,10 @@ def corpus_fingerprint(corpus: Iterable[CorpusEntry]) -> str:
     return h.hexdigest()
 
 
+def _entry_digest(entry: CorpusEntry) -> str:
+    return hashlib.sha256(entry.stripped).hexdigest()
+
+
 def build_manifest(
     corpus: Sequence[CorpusEntry],
     tools: Sequence[str],
@@ -109,6 +114,12 @@ def build_manifest(
         "corpus": {
             "count": len(corpus),
             "fingerprint": corpus_fingerprint(corpus),
+            # Per-entry hashes let a fingerprint mismatch name the first
+            # divergent entry instead of just dumping two digests.
+            "entries": [
+                {"label": e.label, "sha256": _entry_digest(e)}
+                for e in corpus
+            ],
         },
         "config": {"timeout": timeout, "retries": retries},
         "created": time.time(),
@@ -130,12 +141,49 @@ def check_manifest(
         raise ManifestMismatchError(
             f"tool set changed since the journal was created: "
             f"recorded {recorded}, resuming with {list(tools)}")
-    recorded_fp = (manifest.get("corpus") or {}).get("fingerprint")
+    corpus_doc = manifest.get("corpus") or {}
+    recorded_fp = corpus_doc.get("fingerprint")
     fingerprint = corpus_fingerprint(corpus)
     if recorded_fp != fingerprint:
+        detail = _divergence_detail(corpus_doc.get("entries"), corpus)
         raise ManifestMismatchError(
-            f"corpus fingerprint mismatch: journal was recorded for "
-            f"{recorded_fp}, resuming corpus hashes to {fingerprint}")
+            f"corpus changed since the journal was created: journal was "
+            f"recorded for {recorded_fp}, resuming corpus hashes to "
+            f"{fingerprint}{detail}")
+
+
+def _divergence_detail(
+    recorded: object, corpus: Sequence[CorpusEntry],
+) -> str:
+    """Name the first entry where the resumed corpus diverges.
+
+    ``recorded`` is the manifest's per-entry list when present; older
+    manifests (pre per-entry hashes) fall back to the bare-fingerprint
+    message.
+    """
+    if not isinstance(recorded, list) or not all(
+            isinstance(d, dict) for d in recorded):
+        return ""
+    for i, entry in enumerate(corpus):
+        if i >= len(recorded):
+            return (f"; resuming corpus has {len(corpus)} entries, journal "
+                    f"recorded {len(recorded)} — first extra entry is "
+                    f"#{i} {entry.label}")
+        old_label = recorded[i].get("label")
+        old_sha = recorded[i].get("sha256")
+        if old_label != entry.label:
+            return (f"; first divergent entry is #{i}: journal recorded "
+                    f"{old_label}, resuming corpus has {entry.label}")
+        if old_sha != _entry_digest(entry):
+            return (f"; first divergent entry is #{i} {entry.label}: "
+                    f"its stripped image hash changed "
+                    f"({old_sha} -> {_entry_digest(entry)})")
+    if len(recorded) > len(corpus):
+        missing = recorded[len(corpus)].get("label")
+        return (f"; resuming corpus has {len(corpus)} entries, journal "
+                f"recorded {len(recorded)} — first missing entry is "
+                f"#{len(corpus)} {missing}")
+    return ""
 
 
 # ---------------------------------------------------------------------------
@@ -282,10 +330,16 @@ class RunJournal:
     def manifest(self) -> dict:
         try:
             with open(self.run_dir / MANIFEST_NAME, encoding="utf-8") as f:
-                return json.load(f)
+                doc = json.load(f)
         except (OSError, ValueError) as exc:
-            raise JournalError(
-                f"unreadable manifest in {self.run_dir}: {exc}") from exc
+            raise ManifestCorruptError(
+                f"manifest in {self.run_dir} is unreadable or corrupt: "
+                f"{exc}") from exc
+        if not isinstance(doc, dict):
+            raise ManifestCorruptError(
+                f"manifest in {self.run_dir} is unreadable or corrupt: "
+                f"not a JSON object")
+        return doc
 
     def close(self) -> None:
         self._journal.close()

@@ -101,6 +101,7 @@ def run_evaluation_parallel(
     quarantine=None,
     max_rss_mb: int | None = None,
     backstop_grace: float | None = None,
+    pool_factory=None,
 ) -> EvalReport:
     """Evaluate ``tool_names`` over ``corpus`` using a process pool.
 
@@ -122,6 +123,13 @@ def run_evaluation_parallel(
     are the crash-safety hooks described in the module docstring; all
     default to off. ``backstop_grace`` tunes the parent-side lost-
     worker grace period (tests and the chaos harness shrink it).
+
+    ``pool_factory`` injects the executor: any callable with the
+    ``multiprocessing.Pool(processes=, initializer=, initargs=)``
+    signature whose pools support ``apply_async``/``close``/``join``/
+    ``terminate``. Defaults to ``multiprocessing.Pool``; embedders (the
+    analysis service, tests) substitute instrumented or pre-warmed
+    pools without monkeypatching this module.
     """
     unknown = [t for t in tool_names if t not in ALL_DETECTORS]
     if unknown:
@@ -214,7 +222,9 @@ def run_evaluation_parallel(
 
     pool_size = workers or os.cpu_count() or 1
     max_inflight = _INFLIGHT_FACTOR * pool_size + 2
-    pool = multiprocessing.Pool(
+    if pool_factory is None:
+        pool_factory = multiprocessing.Pool
+    pool = pool_factory(
         processes=workers,
         initializer=_worker_init,
         initargs=(None if trace_dir is None else str(trace_dir),

@@ -23,6 +23,8 @@ raw bytes, which keeps outputs identical (just slower).
 
 from __future__ import annotations
 
+import atexit
+import os
 from dataclasses import dataclass
 
 from repro import obs
@@ -86,11 +88,38 @@ class ImageRef:
         return bytes(seg.buf[self.offset : self.offset + self.length])
 
 
+#: Creator-side registry of live arenas, keyed by segment name. An
+#: uncaught exception or KeyboardInterrupt between ``share_images`` and
+#: the clean-path ``destroy()`` used to strand the ``/dev/shm`` segment
+#: until reboot; the atexit sweep below reclaims those. The registry is
+#: pid-stamped so a forked worker that inherits it never unlinks the
+#: parent's segments on its own exit.
+_LIVE_ARENAS: dict[str, "Arena"] = {}
+_atexit_registered = False
+
+
+def _reap_live_arenas() -> None:
+    for arena in list(_LIVE_ARENAS.values()):
+        if arena._creator_pid == os.getpid():
+            obs.add("shm.atexit_reaped", 1)
+            arena.destroy()
+
+
+def _register_arena(arena: "Arena") -> None:
+    global _atexit_registered
+    _LIVE_ARENAS[arena.name] = arena
+    if not _atexit_registered:
+        atexit.register(_reap_live_arenas)
+        _atexit_registered = True
+
+
 class Arena:
     """One creator-owned segment packing many images back to back."""
 
     def __init__(self, seg) -> None:
         self._seg = seg
+        self._creator_pid = os.getpid()
+        self._destroyed = False
 
     @property
     def name(self) -> str:
@@ -99,9 +128,16 @@ class Arena:
     def destroy(self) -> None:
         """Close and unlink the segment; call once the pool is done.
 
-        Live worker mappings survive the unlink (POSIX semantics); the
-        kernel reclaims the memory when the last mapping closes.
+        Idempotent: crash-recovery paths (``finally`` blocks, the atexit
+        sweep, explicit cleanup) may all race to call it, and only the
+        first call acts. Live worker mappings survive the unlink (POSIX
+        semantics); the kernel reclaims the memory when the last mapping
+        closes.
         """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        _LIVE_ARENAS.pop(self._seg.name, None)
         attached = _ATTACHED.pop(self._seg.name, None)
         if attached is not None and attached is not self._seg:
             try:
@@ -127,4 +163,6 @@ def share_images(images: list[bytes]) -> tuple[Arena, list[ImageRef]]:
         offset += len(data)
     obs.add("shm.images", len(images))
     obs.add("shm.bytes", total)
-    return Arena(seg), refs
+    arena = Arena(seg)
+    _register_arena(arena)
+    return arena, refs

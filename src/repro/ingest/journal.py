@@ -36,7 +36,11 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import JournalError, ManifestMismatchError
+from repro.errors import (
+    JournalError,
+    ManifestCorruptError,
+    ManifestMismatchError,
+)
 from repro.eval.journal import (
     JOURNAL_NAME,
     MANIFEST_NAME,
@@ -131,8 +135,9 @@ class ScanJournal:
             with open(self.run_dir / MANIFEST_NAME, encoding="utf-8") as f:
                 return json.load(f)
         except (OSError, ValueError) as exc:
-            raise JournalError(
-                f"unreadable manifest in {self.run_dir}: {exc}") from exc
+            raise ManifestCorruptError(
+                f"manifest in {self.run_dir} is unreadable or corrupt: "
+                f"{exc}") from exc
 
     def close(self) -> None:
         self._journal.close()

@@ -27,7 +27,12 @@ The span taxonomy, counter names and trace schema are documented in
 
 from __future__ import annotations
 
-from repro.obs.recorder import NullRecorder, SpanRecord, TraceRecorder
+from repro.obs.recorder import (
+    CounterRecorder,
+    NullRecorder,
+    SpanRecord,
+    TraceRecorder,
+)
 from repro.obs.export import (
     TRACE_SCHEMA,
     Trace,
@@ -81,6 +86,7 @@ def phase_totals(mark: int = 0) -> dict[str, float]:
 
 __all__ = [
     "TRACE_SCHEMA",
+    "CounterRecorder",
     "NullRecorder",
     "SpanRecord",
     "Trace",

@@ -124,6 +124,35 @@ class NullRecorder:
         return {"spans": [], "counters": {}}
 
 
+class CounterRecorder(NullRecorder):
+    """Counters without spans — the long-lived-server recorder.
+
+    A service process wants live counters for its ``/v1/metrics``
+    endpoint but must not accumulate a span list for weeks (a
+    :class:`TraceRecorder` grows without bound until drained).
+    ``enabled`` stays ``False`` so span-gated logic — per-record
+    ``phase_seconds``, per-job trace flushes — stays off and ``span()``
+    keeps handing out the preallocated null guard.
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def snapshot(self) -> dict[str, float]:
+        """A point-in-time copy of the counters (does not reset)."""
+        return dict(self.counters)
+
+    def drain(self) -> dict:
+        payload = {"spans": [], "counters": dict(self.counters)}
+        self.counters = {}
+        return payload
+
+
 class TraceRecorder:
     """Collects a span tree and named counters for one process."""
 

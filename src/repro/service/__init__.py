@@ -1,0 +1,54 @@
+"""Analysis-as-a-service: an asyncio job API over the cache + journal.
+
+The batch pipelines answer "reproduce Table III"; this package answers
+"serve millions of lookups": ``POST`` a binary, poll the job, fetch the
+per-tool entry report with a provenance receipt. Submissions are
+deduplicated by content hash before any analysis runs, warm results
+come straight from the content-addressed disk cache, tenants are
+isolated by cache namespace and token-bucket rate limits, and every
+accepted job is journaled so a killed server resumes exactly where it
+died (``funseeker serve``, ``funseeker chaos --service``).
+
+Layering:
+
+- :mod:`repro.service.app` — the stdlib HTTP/1.1 front end.
+- :mod:`repro.service.jobs` — dedup, bounded queue, executor dispatch,
+  journal-backed restart recovery.
+- :mod:`repro.service.receipts` — ``job-receipt/v1`` provenance.
+- :mod:`repro.service.ratelimit` — per-tenant token buckets.
+- :mod:`repro.service.metrics` — ``/v1/healthz`` + ``/v1/metrics``.
+- :mod:`repro.service.chaos` — the kill-mid-job acceptance scenario.
+"""
+
+from repro.service.app import AnalysisService, DEFAULT_MAX_BODY
+from repro.service.jobs import (
+    DEFAULT_TENANT,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Batch,
+    Job,
+    JobManager,
+    job_identity,
+)
+from repro.service.ratelimit import TenantRateLimiter, TokenBucket
+from repro.service.receipts import RECEIPT_SCHEMA, build_receipt
+
+__all__ = [
+    "AnalysisService",
+    "Batch",
+    "DEFAULT_MAX_BODY",
+    "DEFAULT_TENANT",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "JobManager",
+    "RECEIPT_SCHEMA",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "build_receipt",
+    "job_identity",
+]

@@ -1,0 +1,385 @@
+"""Service chaos: prove the job API survives a SIGKILL mid-analysis.
+
+The evaluation and ingest chaos harnesses exercise in-process resume
+paths; the service scenario has to be harsher, because the claim is
+about a *process*: a ``funseeker serve`` subprocess is killed dead by
+an injected ``kill@cell.execute`` fault while a job is being analyzed,
+a second server is started on the same run directory, and every job
+submitted before the crash must complete with results identical to a
+fault-free baseline server — completed work served from the journal,
+interrupted work re-enqueued and re-analyzed.
+
+The kill ordinal is chosen so the first binary finishes (and is
+journaled) before the fault fires during the second binary's parse:
+the scenario then proves both restore paths at once — replay of a
+``job-completed`` line and re-execution from a ``job-submitted`` line.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.service.receipts import RECEIPT_SCHEMA
+from repro.synth.corpus import build_corpus
+
+#: Seconds to wait for a serve subprocess to print its address.
+START_TIMEOUT = 30.0
+#: Seconds to wait for all submitted jobs to reach a terminal state.
+COMPLETE_TIMEOUT = 120.0
+#: Seconds between result polls.
+POLL_INTERVAL = 0.1
+
+_CHAOS_TOOLS = ("funseeker", "fetch")
+
+
+class ServerCrashed(RuntimeError):
+    """The serve subprocess died while the harness still needed it."""
+
+
+@dataclass
+class ServerHandle:
+    """One ``funseeker serve`` subprocess plus its bound address."""
+
+    proc: subprocess.Popen
+    host: str = ""
+    port: int = 0
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+        timeout: float = 15.0,
+    ) -> tuple[int, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+        finally:
+            conn.close()
+        return response.status, json.loads(payload.decode("utf-8"))
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill(self) -> None:
+        if self.alive():
+            self.proc.kill()
+        self.proc.wait()
+
+    def terminate(self, timeout: float = 15.0) -> int:
+        """SIGTERM (graceful shutdown) and reap; returns the exit code."""
+        if self.alive():
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                return self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        return self.proc.wait()
+
+
+def start_server(
+    run_dir: Path,
+    cache_dir: Path,
+    *,
+    tools: tuple[str, ...] = _CHAOS_TOOLS,
+    fault_plan: str | None = None,
+    start_timeout: float = START_TIMEOUT,
+) -> ServerHandle:
+    """Spawn ``python -m repro serve`` and wait for its address line."""
+    run_dir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    env.pop("REPRO_FAULT_PLAN", None)
+    env.pop("REPRO_CACHE_DIR", None)
+    if fault_plan:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    src_root = Path(repro.__file__).resolve().parents[1]
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (str(src_root) + (os.pathsep + existing
+                                          if existing else ""))
+    log = open(run_dir / "server.log", "ab")
+    try:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--run-dir", str(run_dir),
+             "--cache-dir", str(cache_dir),
+             "--tools", ",".join(tools),
+             "--port", "0", "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=log, env=env,
+        )
+    finally:
+        log.close()
+    handle = ServerHandle(proc=proc)
+    handle.host, handle.port = _await_address(proc, start_timeout)
+    return handle
+
+
+def _await_address(proc: subprocess.Popen,
+                   timeout: float) -> tuple[str, int]:
+    """Parse the ``serving on http://host:port`` line, without blocking."""
+    deadline = time.monotonic() + timeout
+    buffered = b""
+    stream = proc.stdout
+    assert stream is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise ServerCrashed(
+                f"serve subprocess exited with {proc.returncode} before "
+                f"printing its address (see server.log in the run dir)")
+        ready, _, _ = select.select([stream], [], [], 0.2)
+        if not ready:
+            continue
+        chunk = os.read(stream.fileno(), 4096)
+        if not chunk:
+            continue
+        buffered += chunk
+        for line in buffered.decode("utf-8", "replace").splitlines():
+            if line.startswith("serving on http://"):
+                addr = line.removeprefix("serving on http://").strip()
+                host, _, port = addr.rpartition(":")
+                return host, int(port)
+    proc.kill()
+    raise ServerCrashed(
+        f"serve subprocess printed no address within {timeout:.0f}s")
+
+
+def _submit(handle: ServerHandle, image: bytes,
+            tools: tuple[str, ...]) -> str:
+    status, doc = handle.request(
+        "POST", f"/v1/jobs?tools={','.join(tools)}", body=image)
+    if status not in (200, 202):
+        raise ServerCrashed(f"submit answered {status}: {doc}")
+    return doc["job"]["job_id"]
+
+
+def _await_results(
+    handle: ServerHandle,
+    job_ids: list[str],
+    timeout: float = COMPLETE_TIMEOUT,
+) -> dict[str, dict]:
+    """Poll ``/result`` until every job is terminal; returns the docs."""
+    deadline = time.monotonic() + timeout
+    results: dict[str, dict] = {}
+    while time.monotonic() < deadline:
+        for job_id in job_ids:
+            if job_id in results:
+                continue
+            status, doc = handle.request(
+                "GET", f"/v1/jobs/{job_id}/result")
+            if status == 200:
+                results[job_id] = doc
+        if len(results) == len(job_ids):
+            return results
+        time.sleep(POLL_INTERVAL)
+    missing = [j for j in job_ids if j not in results]
+    raise ServerCrashed(
+        f"{len(missing)} job(s) not terminal after {timeout:.0f}s: "
+        f"{missing}")
+
+
+def normalize_results(results: dict[str, dict]) -> dict:
+    """Strip timing/attribution noise down to the identity-bearing core."""
+    doc: dict[str, dict] = {}
+    for job_id, result in sorted(results.items()):
+        if result.get("status") != "done":
+            doc[job_id] = {"status": result.get("status"),
+                           "error": result.get("error")}
+            continue
+        analysis = result["analysis"]
+        doc[job_id] = {
+            "status": "done",
+            "sha256": analysis["sha256"],
+            "tools": {
+                name: report["functions"]
+                for name, report in analysis["tools"].items()
+            },
+        }
+    return doc
+
+
+@dataclass
+class ServiceScenarioResult:
+    name: str
+    plan: str
+    ok: bool
+    detail: str
+    server_exit: int | None = None
+    resumed_jobs: int = 0
+
+
+@dataclass
+class ServiceChaosReport:
+    baseline_jobs: int = 0
+    results: list[ServiceScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"service chaos: {len(self.results)} scenario(s) over "
+            f"{self.baseline_jobs} baseline jobs"
+        ]
+        for r in self.results:
+            status = "ok  " if r.ok else "FAIL"
+            exit_note = (f" server-exit={r.server_exit}"
+                         if r.server_exit is not None else "")
+            lines.append(
+                f"  [{status}] {r.name:<22s} plan={r.plan} "
+                f"resumed={r.resumed_jobs}{exit_note}")
+            if not r.ok:
+                lines.append(f"         {r.detail}")
+        lines.append(
+            "killed server resumed to the fault-free results"
+            if self.ok else "UNRECOVERED service divergence — see above")
+        return "\n".join(lines)
+
+
+def run_service_chaos(
+    work_dir: str | Path,
+    *,
+    seed: int = 2022,
+    tools: tuple[str, ...] = _CHAOS_TOOLS,
+    binaries: int = 3,
+) -> ServiceChaosReport:
+    """Baseline server vs killed-and-restarted server, same submissions."""
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    corpus = build_corpus("tiny", seed=seed)[:binaries]
+    images = [entry.stripped for entry in corpus]
+    report = ServiceChaosReport()
+
+    # -- fault-free baseline -------------------------------------------------
+    handle = start_server(work_dir / "baseline" / "run",
+                          work_dir / "baseline" / "cache", tools=tools)
+    try:
+        job_ids = [_submit(handle, image, tools) for image in images]
+        baseline = normalize_results(_await_results(handle, job_ids))
+    finally:
+        handle.terminate()
+    report.baseline_jobs = len(baseline)
+
+    # Fire during the second binary's parse: binary 1 (1 parse +
+    # len(tools) detects) completes and is journaled first.
+    ordinal = len(tools) + 2
+    plan = f"kill@cell.execute#{ordinal}"
+    report.results.append(_run_kill_scenario(
+        work_dir / "kill", images, tools, plan, baseline))
+    return report
+
+
+def _run_kill_scenario(
+    scenario_dir: Path,
+    images: list[bytes],
+    tools: tuple[str, ...],
+    plan: str,
+    baseline: dict,
+) -> ServiceScenarioResult:
+    result = ServiceScenarioResult(
+        name="service-kill-mid-job", plan=plan, ok=False, detail="")
+    run_dir = scenario_dir / "run"
+    cache_dir = scenario_dir / "cache"
+
+    # -- faulted server: submit everything, let the fault kill it -----------
+    try:
+        handle = start_server(run_dir, cache_dir, tools=tools,
+                              fault_plan=plan)
+    except ServerCrashed as exc:
+        result.detail = f"faulted server never came up: {exc}"
+        return result
+    try:
+        job_ids = [_submit(handle, image, tools) for image in images]
+    except (ServerCrashed, OSError, http.client.HTTPException) as exc:
+        handle.kill()
+        result.detail = (f"server died before all submissions were "
+                         f"accepted: {type(exc).__name__}: {exc}")
+        return result
+    try:
+        result.server_exit = handle.proc.wait(timeout=COMPLETE_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        handle.kill()
+        result.detail = "injected kill never fired; server stayed alive"
+        return result
+    if result.server_exit != -signal.SIGKILL:
+        result.detail = (f"expected the server to die of SIGKILL, got "
+                         f"exit {result.server_exit}")
+        return result
+
+    # -- restarted server: same run dir, no fault ---------------------------
+    try:
+        handle = start_server(run_dir, cache_dir, tools=tools)
+    except ServerCrashed as exc:
+        result.detail = f"restart on the crashed run dir failed: {exc}"
+        return result
+    try:
+        _, health = handle.request("GET", "/v1/healthz")
+        if not health.get("resumed"):
+            result.detail = ("restarted server does not report the run "
+                            "dir as resumed")
+            return result
+        _, metrics = handle.request("GET", "/v1/metrics")
+        result.resumed_jobs = metrics["service"].get("resumed_jobs", 0)
+        raw = _await_results(handle, job_ids)
+        resumed = normalize_results(raw)
+    except (ServerCrashed, OSError, http.client.HTTPException) as exc:
+        result.detail = (f"resumed run failed: "
+                         f"{type(exc).__name__}: {exc}")
+        return result
+    finally:
+        handle.terminate()
+
+    if result.resumed_jobs == 0:
+        result.detail = ("restart re-enqueued no jobs — the kill landed "
+                         "after all work finished; raise the ordinal")
+        return result
+    not_done = [j for j, doc in resumed.items()
+                if doc.get("status") != "done"]
+    if not_done:
+        first = resumed[not_done[0]]
+        result.detail = (f"{len(not_done)} job(s) unrecovered, first: "
+                         f"{not_done[0]}: {first.get('error')}")
+        return result
+    if resumed != baseline:
+        result.detail = _first_divergence(baseline, resumed)
+        return result
+    bad_receipt = _check_receipts(raw)
+    if bad_receipt:
+        result.detail = bad_receipt
+        return result
+    result.ok = True
+    result.detail = "resumed results identical to the baseline"
+    return result
+
+
+def _first_divergence(expected: dict, got: dict) -> str:
+    for job_id in sorted(set(expected) | set(got)):
+        a, b = expected.get(job_id), got.get(job_id)
+        if a != b:
+            return (f"job {job_id} diverged: baseline "
+                    f"{json.dumps(a, sort_keys=True)[:200]} != resumed "
+                    f"{json.dumps(b, sort_keys=True)[:200]}")
+    return "results diverged in an unknown job"
+
+
+def _check_receipts(raw: dict[str, dict]) -> str:
+    """Every completed job must carry a ``job-receipt/v1`` receipt."""
+    for job_id, doc in sorted(raw.items()):
+        receipt = doc.get("receipt")
+        if not receipt or receipt.get("schema") != RECEIPT_SCHEMA:
+            return (f"job {job_id} completed without a "
+                    f"{RECEIPT_SCHEMA} receipt")
+    return ""

@@ -1,0 +1,590 @@
+"""Job lifecycle for the analysis service: dedup, queue, journal, resume.
+
+The manager composes three existing substrates rather than inventing
+new ones:
+
+- **identity** — submissions are content-addressed: the job id is a
+  digest of ``(tenant, image sha256, tool set)``, so resubmitting the
+  same binary returns the same job (and performs zero additional
+  analysis), and a restarted server recomputes identical ids from its
+  journal.
+- **durability** — every accepted submission writes the image to a
+  content-addressed blob file and appends a ``job-submitted`` line to a
+  :class:`~repro.eval.journal.JournalFile` (same crc32 envelope, fsync
+  discipline, and ``journal.append`` fault point as the evaluation run
+  journal); completion appends ``job-completed`` with the full analysis
+  and receipt. A SIGKILL at any point loses at most a torn tail:
+  completed work is served from the journal after restart, accepted but
+  unfinished work is re-enqueued.
+- **analysis** — jobs execute through
+  :func:`repro.eval.analyze.analyze_image` on an injected
+  ``concurrent.futures`` executor, reading per-tenant
+  :func:`~repro.cache.disk.namespaced_cache` namespaces. Warm
+  submissions (all requested artifacts cached) complete synchronously
+  at submit time without touching the executor.
+
+Batches additionally stage their images in one shared-memory arena
+(:mod:`repro.eval.shm`) so executor workers slice a mapped segment
+instead of re-reading blobs; the arena is destroyed when the batch
+drains (and by the creator-side atexit guard on abnormal exit).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.baselines import ALL_DETECTORS
+from repro.cache.disk import DiskCache, namespaced_cache, valid_namespace
+from repro.errors import (
+    JournalWriteError,
+    ManifestCorruptError,
+    ManifestMismatchError,
+    QueueFullError,
+)
+from repro.eval import shm
+from repro.eval.analyze import (
+    ImageAnalysis,
+    analyze_image,
+    content_digest,
+    warm_lookup,
+)
+from repro.eval.journal import JournalFile, read_journal_lines
+from repro.service.receipts import build_receipt
+
+SERVICE_MANIFEST_SCHEMA = "service-manifest/v1"
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+BLOBS_DIR = "blobs"
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+DEFAULT_TENANT = "default"
+
+
+def job_identity(tenant: str, sha256: str, tools: tuple[str, ...]) -> str:
+    """Deterministic job id: same submission, same id — across restarts."""
+    h = hashlib.sha256()
+    h.update(tenant.encode())
+    h.update(b"\x00")
+    h.update(sha256.encode())
+    h.update(b"\x00")
+    h.update(",".join(tools).encode())
+    return h.hexdigest()[:32]
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle state."""
+
+    job_id: str
+    tenant: str
+    sha256: str
+    size_bytes: int
+    tools: tuple[str, ...]
+    submitted_at: float
+    status: str = JOB_QUEUED
+    analysis: ImageAnalysis | None = None
+    receipt: dict | None = None
+    completed_at: float | None = None
+    #: Re-enqueued (or about to be) by a restarted server.
+    resumed: bool = False
+    error: str | None = None
+    batch_id: str | None = None
+
+    def doc(self) -> dict:
+        """The status document served by ``GET /v1/jobs/{id}``."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "tenant": self.tenant,
+            "sha256": self.sha256,
+            "size_bytes": self.size_bytes,
+            "tools": list(self.tools),
+            "submitted_at": self.submitted_at,
+            "completed_at": self.completed_at,
+            "resumed": self.resumed,
+            "batch_id": self.batch_id,
+            "error": self.error,
+        }
+
+
+@dataclass
+class Batch:
+    """A ``POST /v1/batch`` fan-out: job ids plus the staging arena."""
+
+    batch_id: str
+    job_ids: list[str]
+    created_at: float
+    pending: int = 0
+    arena: object | None = None
+
+    def doc(self) -> dict:
+        return {
+            "batch_id": self.batch_id,
+            "jobs": list(self.job_ids),
+            "created_at": self.created_at,
+            "pending": self.pending,
+        }
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(text)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+class JobManager:
+    """Owns the job table, the bounded queue, and the run directory.
+
+    Created (and driven) on one event loop; analysis bodies run on the
+    injected executor. ``executor`` accepts any
+    ``concurrent.futures.Executor`` — the default is a small thread
+    pool, tests inject deterministic single-thread executors.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | os.PathLike,
+        *,
+        tools: list[str] | tuple[str, ...] | None = None,
+        cache_root: str | os.PathLike | None = None,
+        queue_size: int = 64,
+        executor: Executor | None = None,
+        executor_workers: int = 1,
+        timeout: float | None = None,
+        retries: int = 0,
+        clock=time.time,
+    ) -> None:
+        if tools is None:
+            tools = list(ALL_DETECTORS)
+        unknown = [t for t in tools if t not in ALL_DETECTORS]
+        if unknown:
+            raise ValueError(
+                f"unknown tools {unknown} "
+                f"(known: {sorted(ALL_DETECTORS)})")
+        self.tools = tuple(tools)
+        self.run_dir = Path(run_dir)
+        self.cache_root = Path(cache_root) if cache_root else None
+        self.queue_size = queue_size
+        self.timeout = timeout
+        self.retries = retries
+        self.clock = clock
+        self.started_at = clock()
+        #: Whether this manager resumed an existing run directory.
+        self.resumed = False
+
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.blobs_dir = self.run_dir / BLOBS_DIR
+        self.blobs_dir.mkdir(exist_ok=True)
+        self._open_manifest()
+        self._journal = JournalFile(self.run_dir / JOURNAL_NAME)
+
+        self._jobs: dict[str, Job] = {}
+        self._batches: dict[str, Batch] = {}
+        self._refs: dict[str, shm.ImageRef] = {}
+        self._caches: dict[str, DiskCache] = {}
+        self._queue: asyncio.Queue[str] = asyncio.Queue(maxsize=queue_size)
+        self._own_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="repro-analyze",
+        )
+        self._worker_count = max(1, executor_workers)
+        self._workers: list[asyncio.Task] = []
+        self._pending_resume: list[str] = []
+        self.stats = {
+            "submitted": 0, "deduped": 0, "warm_served": 0,
+            "completed": 0, "failed": 0, "restored": 0,
+            "resumed_jobs": 0, "rejected_queue_full": 0,
+        }
+        self._restore()
+
+    # -- run-directory identity ---------------------------------------------
+
+    def _open_manifest(self) -> None:
+        path = self.run_dir / MANIFEST_NAME
+        if path.exists():
+            try:
+                with open(path, encoding="utf-8") as f:
+                    manifest = json.load(f)
+            except (OSError, ValueError) as exc:
+                raise ManifestCorruptError(
+                    f"manifest in {self.run_dir} is unreadable or "
+                    f"corrupt: {exc}") from exc
+            if (not isinstance(manifest, dict)
+                    or manifest.get("schema") != SERVICE_MANIFEST_SCHEMA):
+                got = manifest.get("schema") if isinstance(manifest, dict) \
+                    else type(manifest).__name__
+                raise ManifestMismatchError(
+                    f"run directory {self.run_dir} holds a {got!r} "
+                    f"manifest, not {SERVICE_MANIFEST_SCHEMA}")
+            self.manifest = manifest
+            self.resumed = True
+            return
+        from repro import __version__
+
+        self.manifest = {
+            "schema": SERVICE_MANIFEST_SCHEMA,
+            "version": __version__,
+            "created": self.clock(),
+        }
+        _write_atomic(path, json.dumps(self.manifest, indent=1,
+                                       sort_keys=True))
+
+    def _restore(self) -> None:
+        """Rebuild the job table from the journal (crash recovery)."""
+        payloads, corrupt, torn = read_journal_lines(
+            self.run_dir / JOURNAL_NAME)
+        if corrupt:
+            obs.add("service.journal_corrupt_lines", corrupt)
+        if torn:
+            obs.add("service.journal_torn_tail", 1)
+        for data in payloads:
+            kind = data.get("kind")
+            try:
+                if kind == "job-submitted":
+                    job = Job(
+                        job_id=data["job"],
+                        tenant=data["tenant"],
+                        sha256=data["sha256"],
+                        size_bytes=data["size"],
+                        tools=tuple(data["tools"]),
+                        submitted_at=data["at"],
+                    )
+                    self._jobs[job.job_id] = job
+                elif kind == "job-completed":
+                    job = self._jobs.get(data["job"])
+                    if job is None:
+                        continue
+                    job.analysis = ImageAnalysis.from_doc(data["analysis"])
+                    job.receipt = data["receipt"]
+                    job.status = JOB_DONE
+                    job.completed_at = data["at"]
+            except (KeyError, TypeError, ValueError):
+                obs.add("service.journal_corrupt_lines", 1)
+                continue
+        for job in self._jobs.values():
+            if job.status == JOB_DONE:
+                self.stats["restored"] += 1
+                continue
+            job.resumed = True
+            if not self._blob_path(job.sha256).is_file():
+                job.status = JOB_FAILED
+                job.error = ("image blob lost before the crash; "
+                             "resubmit the binary")
+                continue
+            self._pending_resume.append(job.job_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks and re-enqueue journaled pending jobs."""
+        for _ in range(self._worker_count):
+            self._workers.append(asyncio.create_task(self._worker()))
+        for job_id in self._pending_resume:
+            self.stats["resumed_jobs"] += 1
+            obs.add("service.jobs_resumed", 1)
+            await self._queue.put(job_id)
+        self._pending_resume = []
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop workers, keep the journal consistent.
+
+        Running analyses are abandoned (their futures cancelled where
+        possible) — by design their ``job-completed`` line was never
+        written, so the next server on this run directory re-runs them.
+        """
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers = []
+        if self._own_executor:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        for batch in self._batches.values():
+            if batch.arena is not None:
+                batch.arena.destroy()
+                batch.arena = None
+        self._journal.close()
+
+    # -- accessors -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def get_batch(self, batch_id: str) -> Batch | None:
+        return self._batches.get(batch_id)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def status_counts(self) -> dict[str, int]:
+        counts = {JOB_QUEUED: 0, JOB_RUNNING: 0, JOB_DONE: 0, JOB_FAILED: 0}
+        for job in self._jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def cache_for(self, tenant: str) -> DiskCache | None:
+        if self.cache_root is None:
+            return None
+        cache = self._caches.get(tenant)
+        if cache is None:
+            cache = namespaced_cache(self.cache_root, tenant)
+            self._caches[tenant] = cache
+        return cache
+
+    # -- submission ----------------------------------------------------------
+
+    def _normalize_tools(
+        self, tools: list[str] | tuple[str, ...] | None,
+    ) -> tuple[str, ...]:
+        if not tools:
+            return self.tools
+        unknown = [t for t in tools if t not in ALL_DETECTORS]
+        if unknown:
+            raise ValueError(
+                f"unknown tools {unknown} "
+                f"(known: {sorted(ALL_DETECTORS)})")
+        return tuple(tools)
+
+    def submit(
+        self,
+        data: bytes,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        tools: list[str] | tuple[str, ...] | None = None,
+        batch_id: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Accept one binary; returns ``(job, created)``.
+
+        Dedup happens before anything else: a job id already known —
+        whatever its state — is returned as-is (``created=False``) and
+        no bytes are written, no analysis scheduled. A novel submission
+        is answered from the disk cache when warm (the job completes
+        here, synchronously, without a parse); otherwise it is
+        journaled, blobbed, and enqueued. A full queue raises
+        :class:`~repro.errors.QueueFullError` *before* any durable
+        side effect.
+        """
+        if not valid_namespace(tenant):
+            raise ValueError(f"invalid tenant {tenant!r}")
+        tools = self._normalize_tools(tools)
+        sha256 = content_digest(data)
+        job_id = job_identity(tenant, sha256, tools)
+        existing = self._jobs.get(job_id)
+        if existing is not None:
+            self.stats["deduped"] += 1
+            obs.add("service.dedup_hits", 1)
+            return existing, False
+
+        self.stats["submitted"] += 1
+        obs.add("service.jobs_submitted", 1)
+        job = Job(
+            job_id=job_id, tenant=tenant, sha256=sha256,
+            size_bytes=len(data), tools=tools,
+            submitted_at=self.clock(), batch_id=batch_id,
+        )
+
+        cache = self.cache_for(tenant)
+        warm = warm_lookup(sha256, len(data), tools, cache)
+        if warm is not None:
+            self.stats["warm_served"] += 1
+            obs.add("service.warm_served", 1)
+            self._journal_submitted(job)
+            self._jobs[job_id] = job
+            self._finish(job, warm)
+            return job, True
+
+        if self._queue.full():
+            self.stats["rejected_queue_full"] += 1
+            obs.add("service.queue_rejections", 1)
+            raise QueueFullError(
+                f"job queue full ({self.queue_size} pending)",
+                retry_after=max(1.0, (self.timeout or 1.0)))
+        self._write_blob(sha256, data)
+        self._journal_submitted(job)
+        self._jobs[job_id] = job
+        self._queue.put_nowait(job_id)
+        return job, True
+
+    def submit_batch(
+        self,
+        items: list[bytes],
+        *,
+        tenant: str = DEFAULT_TENANT,
+        tools: list[str] | tuple[str, ...] | None = None,
+    ) -> tuple[Batch, list[Job]]:
+        """Fan a list of binaries into the job machinery as one batch.
+
+        Capacity is checked up front (all-or-nothing): a batch that
+        would overflow the queue is rejected whole, so callers never
+        see half-accepted batches. Freshly-queued images are staged in
+        one shared-memory arena for zero-copy executor reads; the arena
+        dies with the batch.
+        """
+        tools = self._normalize_tools(tools)
+        if len(items) > self.queue_size - self._queue.qsize():
+            self.stats["rejected_queue_full"] += 1
+            obs.add("service.queue_rejections", 1)
+            raise QueueFullError(
+                f"batch of {len(items)} exceeds remaining queue "
+                f"capacity", retry_after=max(1.0, (self.timeout or 1.0)))
+        batch_id = hashlib.sha256(
+            b"\x00".join(content_digest(d).encode() for d in items)
+            + f"\x00{tenant}\x00{','.join(tools)}".encode()
+        ).hexdigest()[:16]
+        batch = Batch(batch_id=batch_id, job_ids=[],
+                      created_at=self.clock())
+        jobs: list[Job] = []
+        fresh: list[Job] = []
+        fresh_images: list[bytes] = []
+        for data in items:
+            job, created = self.submit(
+                data, tenant=tenant, tools=tools, batch_id=batch_id)
+            jobs.append(job)
+            batch.job_ids.append(job.job_id)
+            if created and job.status == JOB_QUEUED:
+                fresh.append(job)
+                fresh_images.append(data)
+        if fresh and shm.available():
+            arena, refs = shm.share_images(fresh_images)
+            batch.arena = arena
+            batch.pending = len(fresh)
+            for job, ref in zip(fresh, refs):
+                self._refs[job.job_id] = ref
+        self._batches[batch_id] = batch
+        obs.add("service.batches", 1)
+        return batch, jobs
+
+    # -- execution -----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            job = self._jobs.get(job_id)
+            if job is None or job.status not in (JOB_QUEUED,):
+                continue
+            job.status = JOB_RUNNING
+            try:
+                analysis = await loop.run_in_executor(
+                    self._executor, self._execute, job)
+            except asyncio.CancelledError:
+                # Graceful shutdown mid-job: back to queued so the
+                # status endpoint tells the truth; the journal already
+                # guarantees a restart re-runs it.
+                job.status = JOB_QUEUED
+                raise
+            except Exception as exc:
+                self._fail(job, exc)
+            else:
+                self._finish(job, analysis)
+
+    def _execute(self, job: Job) -> ImageAnalysis:
+        """Runs on the executor — never touches the event-loop state."""
+        ref = self._refs.get(job.job_id)
+        if ref is not None:
+            data = ref.fetch()
+        else:
+            data = self._blob_path(job.sha256).read_bytes()
+        return analyze_image(
+            data, job.tools,
+            cache=self.cache_for(job.tenant),
+            use_default_cache=self.cache_root is None,
+            timeout=self.timeout,
+            retries=self.retries,
+        )
+
+    def _finish(self, job: Job, analysis: ImageAnalysis) -> None:
+        job.analysis = analysis
+        job.receipt = build_receipt(job, analysis, resumed=job.resumed,
+                                    clock=self.clock)
+        job.completed_at = self.clock()
+        job.status = JOB_DONE
+        job.error = None
+        self.stats["completed"] += 1
+        obs.add("service.jobs_completed", 1)
+        try:
+            self._journal.append({
+                "kind": "job-completed",
+                "job": job.job_id,
+                "analysis": analysis.to_doc(),
+                "receipt": job.receipt,
+                "at": job.completed_at,
+            })
+        except JournalWriteError as exc:
+            # The result stands in memory; only restart durability is
+            # degraded. Surface it rather than failing the job.
+            obs.add("service.journal_write_errors", 1)
+            print(f"warning: job {job.job_id} completion not journaled: "
+                  f"{exc}", file=sys.stderr)
+        self._release_batch(job)
+
+    def _fail(self, job: Job, error: BaseException) -> None:
+        job.status = JOB_FAILED
+        job.error = f"{type(error).__name__}: {error}"
+        self.stats["failed"] += 1
+        obs.add("service.jobs_failed", 1)
+        # Deliberately not journaled: like evaluation-cell failures,
+        # an infrastructure failure is retried by the next resume.
+        self._release_batch(job)
+
+    def _release_batch(self, job: Job) -> None:
+        self._refs.pop(job.job_id, None)
+        if job.batch_id is None:
+            return
+        batch = self._batches.get(job.batch_id)
+        if batch is None or batch.arena is None:
+            return
+        batch.pending -= 1
+        if batch.pending <= 0:
+            batch.arena.destroy()
+            batch.arena = None
+
+    # -- durability ----------------------------------------------------------
+
+    def _blob_path(self, sha256: str) -> Path:
+        return self.blobs_dir / f"{sha256}.bin"
+
+    def _write_blob(self, sha256: str, data: bytes) -> None:
+        path = self._blob_path(sha256)
+        if path.is_file():
+            return
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    def _journal_submitted(self, job: Job) -> None:
+        self._journal.append({
+            "kind": "job-submitted",
+            "job": job.job_id,
+            "tenant": job.tenant,
+            "sha256": job.sha256,
+            "size": job.size_bytes,
+            "tools": list(job.tools),
+            "at": job.submitted_at,
+        })

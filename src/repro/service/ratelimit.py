@@ -1,0 +1,92 @@
+"""Per-tenant token-bucket rate limiting for the analysis service.
+
+One bucket per tenant, created lazily on first sight: tokens refill
+continuously at ``rate`` per second up to a ``burst`` ceiling, and each
+admitted request (or batch item) spends one. A denied acquire reports
+how long until the bucket can cover the request, which the HTTP layer
+hands back verbatim as ``Retry-After`` — clients that honor it never
+see a second 429 for the same wait.
+
+The implementation is single-threaded by design: the service calls it
+only from the event loop, so there is no locking and the refill math is
+exact (monotonic clock, fractional tokens).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TokenBucket:
+    """Continuous-refill token bucket (monotonic clock injectable)."""
+
+    rate: float
+    burst: float
+    clock: callable = time.monotonic
+    _tokens: float = field(init=False)
+    _stamp: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._tokens = self.burst
+        self._stamp = self.clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def acquire(self, cost: float = 1.0) -> tuple[bool, float]:
+        """Try to spend ``cost`` tokens.
+
+        Returns ``(True, 0.0)`` on success, or ``(False, retry_after)``
+        with the seconds until the bucket holds ``cost`` tokens again.
+        A cost above the burst ceiling can never succeed; such requests
+        get the time-to-full as their hint (the caller should reject
+        them as oversized instead of retrying forever).
+        """
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        deficit = min(cost, self.burst) - self._tokens
+        return False, max(deficit / self.rate, 0.0)
+
+
+class TenantRateLimiter:
+    """Lazily-created per-tenant buckets sharing one rate/burst config.
+
+    ``rate <= 0`` disables limiting entirely (every acquire succeeds) —
+    the test and chaos harnesses run unthrottled.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else max(rate, 1.0)
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def acquire(self, tenant: str, cost: float = 1.0) -> tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+            self._buckets[tenant] = bucket
+        allowed, retry_after = bucket.acquire(cost)
+        if not allowed:
+            # Whole seconds for the Retry-After header, never zero.
+            retry_after = max(1.0, math.ceil(retry_after))
+        return allowed, retry_after

@@ -1,0 +1,92 @@
+"""Provenance receipts: one ``job-receipt/v1`` document per job.
+
+Every completed job carries a receipt answering, months later, "what
+exactly produced this result": the submission identity (tenant + image
+hash, fingerprinted the same way the run journal fingerprints a
+corpus), the tool versions and cache schema in effect, per-tool cache
+attribution (hit / miss / bypass), diagnostics tolerated along the way,
+and whether the job survived a server restart. The receipt is journaled
+with the result, so a resumed server serves the *original* receipt for
+work it did before the crash and a fresh one for work it re-did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform
+import time
+
+from repro import __version__
+from repro.cache.disk import SCHEMA_TAG
+from repro.eval.analyze import ANALYSIS_SCHEMA, CACHE_HIT, ImageAnalysis
+
+RECEIPT_SCHEMA = "job-receipt/v1"
+
+
+def submission_fingerprint(sha256_hex: str) -> str:
+    """Corpus-style fingerprint of a single-image submission.
+
+    Matches :func:`repro.eval.journal.corpus_fingerprint` applied to a
+    one-entry corpus whose label is the image hash: label bytes, a NUL,
+    then the raw image digest. Receipts and run manifests therefore
+    speak the same fingerprint language.
+    """
+    h = hashlib.sha256()
+    h.update(sha256_hex.encode())
+    h.update(b"\x00")
+    h.update(bytes.fromhex(sha256_hex))
+    return h.hexdigest()
+
+
+def build_receipt(
+    job,
+    analysis: ImageAnalysis,
+    *,
+    resumed: bool = False,
+    clock=time.time,
+) -> dict:
+    """The provenance receipt for one completed job."""
+    tools_doc = {}
+    for name, report in sorted(analysis.tools.items()):
+        tools_doc[name] = {
+            "functions": len(report.functions)
+            if report.functions is not None else None,
+            "cache": report.cache,
+            "elapsed_seconds": report.elapsed_seconds,
+            "ok": report.ok,
+            "error_type": report.error_type,
+        }
+    return {
+        "schema": RECEIPT_SCHEMA,
+        "job_id": job.job_id,
+        "tenant": job.tenant,
+        "image": {
+            "sha256": analysis.sha256,
+            "size_bytes": analysis.size_bytes,
+            "fingerprint": submission_fingerprint(analysis.sha256),
+        },
+        "tools": tools_doc,
+        "cache": {
+            "hits": sum(1 for t in analysis.tools.values()
+                        if t.cache == CACHE_HIT),
+            "misses": sum(1 for t in analysis.tools.values()
+                          if t.cache != CACHE_HIT),
+            "warm": analysis.warm,
+        },
+        "diagnostics": {
+            "count": len(analysis.diagnostics),
+            "records": analysis.diagnostics,
+        },
+        "versions": {
+            "repro": __version__,
+            "python": platform.python_version(),
+            "cache_schema": SCHEMA_TAG,
+            "analysis_schema": ANALYSIS_SCHEMA,
+        },
+        "timing": {
+            "submitted_at": job.submitted_at,
+            "completed_at": clock(),
+            "analysis_seconds": analysis.elapsed_seconds,
+        },
+        "resumed": resumed,
+    }

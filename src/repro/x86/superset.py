@@ -29,6 +29,7 @@ of these pays for the decode pass once.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from collections.abc import Iterator
 
@@ -81,6 +82,17 @@ class DecodeIndex:
             with obs.span("superset.viability", bytes=len(self.lengths)):
                 self._viable = vector.viability(self.lengths, self.klasses)
         return self._viable
+
+    def retained_bytes(self) -> int:
+        """Approximate heap footprint of this index, for memo bounding.
+
+        Counts the packed per-offset arrays (``viable`` as if already
+        materialized — it usually is by the time eviction matters) plus
+        a per-element estimate for the sparse target/NOTRACK containers.
+        """
+        n = len(self.lengths)
+        sparse = 120 * len(self.targets) + 64 * len(self.notracks)
+        return 3 * n + 1 + sparse + 256
 
     def insn_at(self, offset: int) -> Insn | None:
         """Reconstruct the decoded instruction starting at ``offset``."""
@@ -154,16 +166,27 @@ def build_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
     )
 
 
-#: Most-recently-built indexes, keyed by buffer content. Bounded: each
-#: entry pins its buffer, and pipelines rarely juggle more than a
-#: couple of sections at a time.
-_INDEX_MEMO: OrderedDict[tuple[bytes, int, int], DecodeIndex] = OrderedDict()
-_INDEX_MEMO_MAX = 4
+#: Most-recently-built indexes, keyed by ``(sha256(data), bits, base)``.
+#: Keying by digest instead of the raw buffer means the memo never pins
+#: binary images in memory — a long-lived server that analyzes many
+#: distinct binaries would otherwise retain up to four whole images for
+#: the process lifetime. The digest costs ~1 GB/s, negligible next to
+#: the decode pass it guards. Bounded by the *retained bytes* of the
+#: indexes themselves (an index is ~3x its buffer), not by entry count,
+#: so a handful of tiny sections and one huge one are both handled.
+_INDEX_MEMO: OrderedDict[tuple[str, int, int], DecodeIndex] = OrderedDict()
+_INDEX_MEMO_MAX_BYTES = 96 * 1024 * 1024
+_memo_retained = 0
+
+
+def _index_key(data: bytes, bits: int, base_addr: int) -> tuple[str, int, int]:
+    return (hashlib.sha256(data).hexdigest(), bits, base_addr)
 
 
 def get_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
     """Memoized :func:`build_index`."""
-    key = (data, bits, base_addr)
+    global _memo_retained
+    key = _index_key(data, bits, base_addr)
     index = _INDEX_MEMO.get(key)
     if index is not None:
         _INDEX_MEMO.move_to_end(key)
@@ -172,14 +195,24 @@ def get_index(data: bytes, bits: int, base_addr: int = 0) -> DecodeIndex:
     obs.add("superset.index_memo_misses", 1)
     index = build_index(data, bits, base_addr)
     _INDEX_MEMO[key] = index
-    while len(_INDEX_MEMO) > _INDEX_MEMO_MAX:
-        _INDEX_MEMO.popitem(last=False)
+    _memo_retained += index.retained_bytes()
+    while _memo_retained > _INDEX_MEMO_MAX_BYTES and len(_INDEX_MEMO) > 1:
+        _, evicted = _INDEX_MEMO.popitem(last=False)
+        _memo_retained -= evicted.retained_bytes()
+        obs.add("superset.index_memo_evictions", 1)
     return index
+
+
+def index_memo_stats() -> tuple[int, int]:
+    """``(entries, retained_bytes)`` currently held by the memo."""
+    return len(_INDEX_MEMO), _memo_retained
 
 
 def clear_index_memo() -> None:
     """Drop all memoized indexes (used by tests and cache eviction)."""
+    global _memo_retained
     _INDEX_MEMO.clear()
+    _memo_retained = 0
 
 
 def viable_offsets(data: bytes, bits: int) -> list[bool]:

@@ -1,0 +1,32 @@
+"""Executor injection for the parallel runner (``pool_factory``)."""
+
+from __future__ import annotations
+
+from multiprocessing import dummy
+
+from repro.baselines import ALL_DETECTORS
+from repro.eval.parallel import run_evaluation_parallel
+from repro.eval.runner import run_evaluation
+
+
+def test_injected_pool_runs_the_sweep(tiny_corpus):
+    corpus = tiny_corpus[:2]
+    calls: list[int | None] = []
+
+    def factory(processes=None, initializer=None, initargs=()):
+        calls.append(processes)
+        return dummy.Pool(processes or 1, initializer, initargs)
+
+    parallel = run_evaluation_parallel(
+        corpus, ["fetch"], workers=2, pool_factory=factory)
+    assert calls == [2], "the injected factory built the pool"
+    serial = run_evaluation(corpus, {"fetch": ALL_DETECTORS["fetch"]()})
+
+    def key(record):
+        return (record.suite, record.program, record.compiler,
+                record.bits, record.pie, record.opt, record.tool)
+
+    parallel_map = {key(r): r.confusion for r in parallel.records}
+    serial_map = {key(r): r.confusion for r in serial.records}
+    assert parallel_map == serial_map
+    assert not parallel.failures

@@ -1,0 +1,60 @@
+"""Shared-memory arena lifecycle: idempotent destroy + atexit sweep."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="POSIX shared memory unavailable")
+
+
+def test_roundtrip_and_idempotent_destroy():
+    arena, refs = shm.share_images([b"alpha", b"longer-image-bytes"])
+    try:
+        assert refs[0].fetch() == b"alpha"
+        assert refs[1].fetch() == b"longer-image-bytes"
+        assert arena.name in shm._LIVE_ARENAS
+    finally:
+        arena.destroy()
+    assert arena.name not in shm._LIVE_ARENAS
+    # Crash-recovery paths may race to destroy; every later call is a
+    # no-op instead of an OSError.
+    arena.destroy()
+    arena.destroy()
+
+
+def test_destroyed_segment_is_unlinked():
+    arena, _ = shm.share_images([b"payload"])
+    name = arena.name
+    arena.destroy()
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_atexit_sweep_reaps_creator_arenas():
+    arena, _ = shm.share_images([b"stranded"])
+    assert arena.name in shm._LIVE_ARENAS
+    shm._reap_live_arenas()
+    assert arena.name not in shm._LIVE_ARENAS
+    assert arena._destroyed
+
+
+def test_sweep_skips_inherited_arenas():
+    # A forked worker inherits the registry; it must never unlink the
+    # parent's segments on its own exit. Simulate by faking the pid.
+    arena, _ = shm.share_images([b"parent-owned"])
+    arena._creator_pid = os.getpid() + 1
+    try:
+        shm._reap_live_arenas()
+        assert arena.name in shm._LIVE_ARENAS
+        assert not arena._destroyed
+    finally:
+        arena._creator_pid = os.getpid()
+        arena.destroy()
+    assert arena.name not in shm._LIVE_ARENAS

@@ -1,0 +1,137 @@
+"""Service-test harness: a real loopback HTTP server per test.
+
+The event loop runs on a background thread; tests drive the service
+through genuine TCP requests (``http.client``), so the whole stack —
+request parsing, routing, manager, executor — is exercised exactly as
+a client would. ``JobManager`` construction happens *on* the loop so
+its ``asyncio`` primitives bind where they run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import Executor, Future
+
+import pytest
+
+from repro.service import AnalysisService, JobManager
+
+
+class StallExecutor(Executor):
+    """An executor whose futures never complete — jobs stick forever.
+
+    Backpressure tests use it to wedge the single worker so the queue
+    actually fills; nothing submitted through it is ever executed.
+    """
+
+    def submit(self, fn, /, *args, **kwargs):
+        return Future()
+
+    def shutdown(self, wait=True, *, cancel_futures=False):
+        pass
+
+
+class LoopbackServer:
+    """One started :class:`AnalysisService` on a thread-hosted loop."""
+
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="service-test-loop", daemon=True)
+        self._thread.start()
+        self.service: AnalysisService | None = None
+        self.manager: JobManager | None = None
+        self.host = ""
+        self.port = 0
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self, run_dir, *, manager_kwargs=None, **service_kwargs):
+        async def _go():
+            manager = JobManager(run_dir, **(manager_kwargs or {}))
+            service = AnalysisService(manager, **service_kwargs)
+            address = await service.start()
+            return manager, service, address
+
+        self.manager, self.service, (self.host, self.port) = (
+            asyncio.run_coroutine_threadsafe(_go(), self._loop)
+            .result(timeout=30))
+        return self
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict, dict]:
+        """One HTTP round trip; returns (status, headers, json doc)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=30)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+        finally:
+            conn.close()
+        return (response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                json.loads(payload.decode("utf-8")))
+
+    def wait_result(self, job_id: str, timeout: float = 90.0) -> dict:
+        """Poll ``/result`` until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, _, doc = self.request(
+                "GET", f"/v1/jobs/{job_id}/result")
+            if status == 200:
+                return doc
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} not terminal after "
+                             f"{timeout:.0f}s")
+
+    def wait_status(self, job_id: str, wanted: str,
+                    timeout: float = 30.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, _, doc = self.request("GET", f"/v1/jobs/{job_id}")
+            if doc["job"]["status"] == wanted:
+                return doc["job"]
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} never reached {wanted!r}")
+
+    def stop(self) -> None:
+        if self.service is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self._loop).result(timeout=30)
+            self.service = None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def loopback():
+    """Factory for started loopback servers; stops them at teardown."""
+    servers: list[LoopbackServer] = []
+
+    def factory(run_dir, *, manager_kwargs=None, **service_kwargs):
+        server = LoopbackServer()
+        servers.append(server)
+        return server.start(run_dir, manager_kwargs=manager_kwargs,
+                            **service_kwargs)
+
+    yield factory
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture(scope="session")
+def sample_image(sample_binary) -> bytes:
+    """The raw bytes of the shared session sample binary."""
+    return sample_binary.data

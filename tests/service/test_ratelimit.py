@@ -1,0 +1,92 @@
+"""Token-bucket unit tests with an injected fake clock."""
+
+from __future__ import annotations
+
+from repro.service.ratelimit import TenantRateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_starts_full_and_drains():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+    assert bucket.acquire() == (True, 0.0)
+    assert bucket.acquire() == (True, 0.0)
+    assert bucket.acquire() == (True, 0.0)
+    allowed, retry_after = bucket.acquire()
+    assert not allowed
+    assert retry_after > 0
+
+
+def test_bucket_refills_continuously():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+    bucket.acquire()
+    bucket.acquire()
+    assert bucket.acquire()[0] is False
+    clock.advance(0.5)  # refills one token at 2/s
+    assert bucket.acquire() == (True, 0.0)
+    assert bucket.acquire()[0] is False
+
+
+def test_retry_after_predicts_the_wait():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=0.5, burst=1.0, clock=clock)
+    bucket.acquire()
+    allowed, retry_after = bucket.acquire()
+    assert not allowed
+    clock.advance(retry_after)
+    assert bucket.acquire() == (True, 0.0)
+
+
+def test_refill_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    clock.advance(3600)
+    bucket.acquire()
+    bucket.acquire()
+    assert bucket.acquire()[0] is False
+
+
+def test_oversized_cost_reports_finite_wait():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+    allowed, retry_after = bucket.acquire(cost=10.0)
+    assert not allowed
+    # The hint is time-to-full, not time-to-impossible.
+    assert retry_after <= 2.0
+
+
+def test_limiter_disabled_at_zero_rate():
+    limiter = TenantRateLimiter(rate=0)
+    assert not limiter.enabled
+    for _ in range(100):
+        assert limiter.acquire("anyone") == (True, 0.0)
+
+
+def test_limiter_isolates_tenants():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=0.01, burst=1.0, clock=clock)
+    assert limiter.acquire("alpha")[0] is True
+    assert limiter.acquire("alpha")[0] is False
+    # A different tenant has its own untouched bucket.
+    assert limiter.acquire("beta")[0] is True
+
+
+def test_limiter_retry_after_is_whole_seconds():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=0.4, burst=1.0, clock=clock)
+    limiter.acquire("tenant")
+    allowed, retry_after = limiter.acquire("tenant")
+    assert not allowed
+    assert retry_after >= 1.0
+    assert retry_after == int(retry_after)

@@ -1,0 +1,85 @@
+"""Receipt schema and fingerprint-compatibility tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro import __version__
+from repro.eval.analyze import CACHE_HIT, CACHE_MISS, ImageAnalysis, ToolReport
+from repro.eval.journal import corpus_fingerprint
+from repro.service.jobs import Job
+from repro.service.receipts import (
+    RECEIPT_SCHEMA,
+    build_receipt,
+    submission_fingerprint,
+)
+
+
+class _Entry:
+    """Minimal corpus-entry stand-in for the fingerprint cross-check."""
+
+    def __init__(self, label: str, stripped: bytes) -> None:
+        self.label = label
+        self.stripped = stripped
+
+
+def test_submission_fingerprint_speaks_corpus_fingerprint():
+    image = b"\x7fELF" + bytes(range(64))
+    sha = hashlib.sha256(image).hexdigest()
+    # A one-entry corpus holding the image, labeled by its hash, must
+    # fingerprint identically — receipts and run manifests share one
+    # language.
+    entry = _Entry(label=sha, stripped=image)
+    assert submission_fingerprint(sha) == corpus_fingerprint([entry])
+
+
+def _job_and_analysis() -> tuple[Job, ImageAnalysis]:
+    image = b"\x7fELF-image"
+    sha = hashlib.sha256(image).hexdigest()
+    job = Job(job_id="abc123", tenant="acme", sha256=sha,
+              size_bytes=len(image), tools=("funseeker", "fetch"),
+              submitted_at=100.0)
+    analysis = ImageAnalysis(
+        sha256=sha, size_bytes=len(image),
+        tools={
+            "funseeker": ToolReport(tool="funseeker",
+                                    functions=(16, 32, 48),
+                                    cache=CACHE_HIT),
+            "fetch": ToolReport(tool="fetch", functions=None,
+                                cache=CACHE_MISS, phase="detect",
+                                error_type="MalformedELFError",
+                                message="boom"),
+        },
+        diagnostics=[{"source": "elf", "message": "odd section"}],
+        elapsed_seconds=0.25,
+    )
+    return job, analysis
+
+
+def test_receipt_shape():
+    job, analysis = _job_and_analysis()
+    receipt = build_receipt(job, analysis, clock=lambda: 123.0)
+    assert receipt["schema"] == RECEIPT_SCHEMA
+    assert receipt["job_id"] == "abc123"
+    assert receipt["tenant"] == "acme"
+    assert receipt["image"]["sha256"] == analysis.sha256
+    assert receipt["image"]["fingerprint"] == \
+        submission_fingerprint(analysis.sha256)
+    assert receipt["tools"]["funseeker"] == {
+        "functions": 3, "cache": CACHE_HIT, "elapsed_seconds": 0.0,
+        "ok": True, "error_type": None,
+    }
+    assert receipt["tools"]["fetch"]["ok"] is False
+    assert receipt["tools"]["fetch"]["error_type"] == "MalformedELFError"
+    assert receipt["cache"] == {"hits": 1, "misses": 1, "warm": False}
+    assert receipt["diagnostics"]["count"] == 1
+    assert receipt["versions"]["repro"] == __version__
+    assert receipt["timing"]["completed_at"] == 123.0
+    assert receipt["timing"]["submitted_at"] == 100.0
+    assert receipt["resumed"] is False
+
+
+def test_receipt_marks_resumed_work():
+    job, analysis = _job_and_analysis()
+    receipt = build_receipt(job, analysis, resumed=True)
+    assert receipt["resumed"] is True

@@ -1,0 +1,69 @@
+"""SIGKILL restart-resume over a real ``funseeker serve`` subprocess.
+
+The serve process is started with an injected ``kill@cell.execute``
+fault plan, so the OS kills it dead (SIGKILL, no cleanup) while it is
+parsing the submitted binary. A second server on the same run
+directory must re-enqueue and complete the job.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.service.chaos import (
+    ServerCrashed,
+    _await_results,
+    _submit,
+    normalize_results,
+    start_server,
+)
+
+TOOLS = ("funseeker", "fetch")
+
+
+@pytest.mark.service_smoke
+def test_sigkill_mid_job_then_restart_resumes(tmp_path, sample_image):
+    run_dir = tmp_path / "run"
+    cache_dir = tmp_path / "cache"
+
+    # -- killed server: accepts the job, dies parsing it ---------------------
+    handle = start_server(run_dir, cache_dir, tools=TOOLS,
+                          fault_plan="kill@cell.execute#1")
+    try:
+        job_id = _submit(handle, sample_image, TOOLS)
+        exit_code = handle.proc.wait(timeout=60)
+    finally:
+        handle.kill()
+    assert exit_code == -signal.SIGKILL
+
+    # -- restarted server: same run dir, no fault ----------------------------
+    handle = start_server(run_dir, cache_dir, tools=TOOLS)
+    try:
+        _, health = handle.request("GET", "/v1/healthz")
+        assert health["resumed"] is True
+        results = _await_results(handle, [job_id])
+        doc = results[job_id]
+        assert doc["status"] == "done"
+        assert doc["receipt"]["resumed"] is True
+        normalized = normalize_results(results)
+        assert normalized[job_id]["status"] == "done"
+        assert all(functions
+                   for functions in normalized[job_id]["tools"].values())
+        # The resumed job id is the content-derived identity the dead
+        # server handed out — clients keep polling the same URL.
+        _, polled = handle.request("GET", f"/v1/jobs/{job_id}")
+        assert polled["job"]["resumed"] is True
+    finally:
+        exit_code = handle.terminate()
+    assert exit_code == 0, "graceful SIGTERM shutdown exits 0"
+
+
+def test_start_server_surfaces_startup_failure(tmp_path):
+    # A run dir holding a corrupt manifest must fail fast, not hang.
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{broken", encoding="utf-8")
+    with pytest.raises(ServerCrashed, match="exited with 3"):
+        start_server(run_dir, tmp_path / "cache", tools=TOOLS)

@@ -1,0 +1,86 @@
+"""Decode-index memo tests: digest keying and byte-bounded eviction.
+
+The memo used to key entries by the raw ``bytes`` object, pinning up
+to four whole binary images in memory for the lifetime of the process.
+It now keys by content digest (so equal images share one entry however
+they were materialized) and bounds itself by estimated retained bytes,
+not entry count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86 import superset
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    superset.clear_index_memo()
+    yield
+    superset.clear_index_memo()
+
+
+def _code(tag: int, size: int = 256) -> bytes:
+    return bytes((tag + i) % 251 for i in range(size))
+
+
+def test_equal_content_shares_one_entry():
+    data = _code(1)
+    first = superset.get_index(data, 64)
+    # A distinct bytes object with equal content must hit the memo.
+    second = superset.get_index(bytes(data), 64)
+    assert second is first
+    entries, _ = superset.index_memo_stats()
+    assert entries == 1
+
+
+def test_key_includes_bits_and_base():
+    data = _code(2)
+    a = superset.get_index(data, 64)
+    b = superset.get_index(data, 32)
+    c = superset.get_index(data, 64, base_addr=0x1000)
+    assert a is not b and a is not c and b is not c
+    entries, _ = superset.index_memo_stats()
+    assert entries == 3
+
+
+def test_memo_keys_hold_no_image_bytes():
+    data = _code(3, size=4096)
+    superset.get_index(data, 64)
+    for key in superset._INDEX_MEMO:
+        digest, bits, base = key
+        assert isinstance(digest, str) and len(digest) == 64
+        assert isinstance(bits, int) and isinstance(base, int)
+
+
+def test_eviction_is_bounded_by_retained_bytes(monkeypatch):
+    probe = superset.get_index(_code(0, size=512), 64)
+    budget = probe.retained_bytes() * 3
+    superset.clear_index_memo()
+    monkeypatch.setattr(superset, "_INDEX_MEMO_MAX_BYTES", budget)
+    for tag in range(8):
+        superset.get_index(_code(tag, size=512), 64)
+    entries, retained = superset.index_memo_stats()
+    assert entries < 8, "old entries were evicted"
+    assert retained <= budget
+    # The most recent entry survives.
+    last = superset.get_index(_code(7, size=512), 64)
+    assert superset.get_index(_code(7, size=512), 64) is last
+
+
+def test_eviction_keeps_at_least_one_entry(monkeypatch):
+    monkeypatch.setattr(superset, "_INDEX_MEMO_MAX_BYTES", 1)
+    index = superset.get_index(_code(9, size=512), 64)
+    entries, _ = superset.index_memo_stats()
+    assert entries == 1
+    assert superset.get_index(_code(9, size=512), 64) is index
+
+
+def test_retained_bytes_tracks_clear():
+    for tag in range(3):
+        superset.get_index(_code(tag), 64)
+    _, retained = superset.index_memo_stats()
+    assert retained > 0
+    superset.clear_index_memo()
+    assert superset.index_memo_stats() == (0, 0)
