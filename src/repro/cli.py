@@ -287,11 +287,10 @@ def main(argv: list[str] | None = None) -> int:
                            "over a hostile fixture tree instead of the "
                            "evaluation scenarios")
     p_ch.add_argument("--service", action="store_true",
-                      help="run the analysis-service scenario: SIGKILL "
-                           "a serve subprocess mid-job, restart it on "
-                           "the same run directory, and assert the "
-                           "resumed results equal the fault-free "
-                           "baseline")
+                      help="run the analysis-service scenarios: SIGKILL "
+                           "restart-resume, supervised hang backstop, "
+                           "poison-job quarantine, and disk-full "
+                           "read-only degradation + recovery")
 
     p_sv = sub.add_parser(
         "serve",
@@ -327,6 +326,25 @@ def main(argv: list[str] | None = None) -> int:
                       help="extra attempts for a raising analysis cell")
     p_sv.add_argument("--max-body-mb", type=int, default=64,
                       help="largest accepted submission (default 64)")
+    p_sv.add_argument("--isolation", default="process",
+                      choices=["process", "thread"],
+                      help="run analysis cells in supervised worker "
+                           "subprocesses (default) or in-process "
+                           "threads; only subprocesses get enforced "
+                           "deadlines and crash containment")
+    p_sv.add_argument("--backstop", type=float, default=30.0,
+                      help="seconds past a job's budget before the "
+                           "supervisor kills the worker outright "
+                           "(process isolation only; default 30)")
+    p_sv.add_argument("--poison-threshold", type=int, default=3,
+                      help="worker losses on one job before it is "
+                           "poisoned and quarantined (default 3)")
+    p_sv.add_argument("--max-rss-mb", type=int, default=None,
+                      help="RLIMIT_AS for each worker subprocess in MiB "
+                           "(default: unlimited)")
+    p_sv.add_argument("--probe-interval", type=float, default=30.0,
+                      help="seconds between write probes while the "
+                           "service is degraded read-only (default 30)")
 
     args = parser.parse_args(argv)
     try:
@@ -724,6 +742,11 @@ def _cmd_serve(args) -> int:
             executor_workers=args.workers,
             timeout=args.timeout,
             retries=args.retries,
+            isolation=args.isolation,
+            backstop=args.backstop,
+            poison_threshold=args.poison_threshold,
+            max_rss_mb=args.max_rss_mb,
+            probe_interval=args.probe_interval,
         )
     except ManifestCorruptError as exc:
         print(f"cannot serve: {exc}\nthe run directory is damaged; "

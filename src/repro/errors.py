@@ -96,6 +96,40 @@ class QueueFullError(ServiceError):
         self.retry_after = retry_after
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service is degraded (read-only) or draining.
+
+    Raised on write-path admission while the manager cannot make new
+    durability guarantees (e.g. the journal or blob store hit ENOSPC).
+    The HTTP layer surfaces it as ``503`` with a ``Retry-After``
+    header; reads keep being served.
+    """
+
+    def __init__(self, message: str, retry_after: float = 30.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WorkerLostError(ServiceError):
+    """A supervised worker process died or was killed mid-task.
+
+    ``reason`` distinguishes how the worker was lost: ``"crash"`` (the
+    child exited/was SIGKILLed), ``"deadline"`` (the supervisor's
+    backstop killed a wedged worker), ``"unresponsive"`` (heartbeats
+    stopped), ``"shutdown"`` (the pool was being torn down). The loss
+    is *transient by classification* — the job manager retries the job
+    on a fresh worker and escalates to poison-quarantine only after
+    repeated losses, so this must never be journaled as a permanent
+    ``job-failed``.
+    """
+
+    def __init__(self, message: str, *, reason: str = "crash",
+                 exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.exitcode = exitcode
+
+
 class InjectedFaultError(ReproError):
     """Base of faults raised by the :mod:`repro.faults` registry."""
 
@@ -115,7 +149,10 @@ class FuzzInvariantError(ReproError):
 #: Error taxonomy branches considered *transient* by the retry
 #: machinery: re-running the cell has a real chance of succeeding.
 #: Everything on the permanent list below deterministically recurs.
-TRANSIENT_ERROR_TYPES = (OSError, TransientFaultError)
+#: A lost supervised worker is transient: the poison-threshold
+#: accounting in the job manager — not the taxonomy — decides when
+#: repeated losses become a permanent failure.
+TRANSIENT_ERROR_TYPES = (OSError, TransientFaultError, WorkerLostError)
 
 
 def is_permanent_failure(error: BaseException) -> bool:

@@ -30,7 +30,12 @@ from repro.baselines import ALL_DETECTORS
 from repro.cache import serialize as S
 from repro.cache.disk import DiskCache, default_cache
 from repro.elf.parser import ELFFile
-from repro.eval.isolation import PHASE_DETECT, PHASE_PARSE, run_cell
+from repro.eval.isolation import (
+    PHASE_DETECT,
+    PHASE_PARSE,
+    run_cell,
+    watchdog_armable,
+)
 
 ANALYSIS_SCHEMA = "image-analysis/v1"
 
@@ -55,6 +60,10 @@ class ToolReport:
     error_type: str | None = None
     message: str | None = None
     attempts: int = 1
+    #: Whether a requested wall-clock deadline was actually armed for
+    #: this tool's cells. ``False`` flags the off-main-thread case
+    #: where ``SIGALRM`` cannot fire and the timeout went unenforced.
+    enforced: bool = True
 
     @property
     def ok(self) -> bool:
@@ -71,6 +80,7 @@ class ToolReport:
             "error_type": self.error_type,
             "message": self.message,
             "attempts": self.attempts,
+            "enforced": self.enforced,
         }
 
     @classmethod
@@ -85,6 +95,7 @@ class ToolReport:
             error_type=doc.get("error_type"),
             message=doc.get("message"),
             attempts=doc.get("attempts", 1),
+            enforced=doc.get("enforced", True),
         )
 
 
@@ -226,6 +237,10 @@ def analyze_image(
 
     analysis = ImageAnalysis(sha256=sha256, size_bytes=len(data))
     obs.add("analyze.cold_lookups", 1)
+    # Record on every report whether the requested deadline could be
+    # armed here: run_cell silently degrades off the main thread, and
+    # that fact must survive into the result document.
+    enforced = timeout is None or timeout <= 0 or watchdog_armable()
     elf, error, attempts, elapsed = run_cell(
         faults.guarded(faults.SITE_CELL_EXECUTE, lambda: ELFFile(data)),
         timeout=timeout, retries=retries, backoff=backoff,
@@ -236,6 +251,7 @@ def analyze_image(
                 tool=name, functions=None, elapsed_seconds=elapsed,
                 phase=PHASE_PARSE, error_type=type(error).__name__,
                 message=str(error), attempts=attempts,
+                enforced=enforced,
             )
         analysis.elapsed_seconds = time.perf_counter() - started
         return analysis
@@ -244,6 +260,7 @@ def analyze_image(
         analysis.tools[name] = _run_tool(
             elf, sha256, name, cache,
             timeout=timeout, retries=retries, backoff=backoff,
+            enforced=enforced,
         )
     analysis.diagnostics = elf.diagnostics.to_dicts()
     analysis.elapsed_seconds = time.perf_counter() - started
@@ -259,6 +276,7 @@ def _run_tool(
     timeout: float | None,
     retries: int,
     backoff: float,
+    enforced: bool = True,
 ) -> ToolReport:
     cacheable = _is_cacheable(name)
     if cacheable and cache is not None:
@@ -286,7 +304,7 @@ def _run_tool(
             tool=name, functions=None, elapsed_seconds=elapsed,
             cache=CACHE_MISS if cacheable else CACHE_UNCACHEABLE,
             phase=PHASE_DETECT, error_type=type(error).__name__,
-            message=str(error), attempts=attempts,
+            message=str(error), attempts=attempts, enforced=enforced,
         )
     if not cacheable:
         state = CACHE_UNCACHEABLE
@@ -305,4 +323,5 @@ def _run_tool(
         elapsed_seconds=result.elapsed_seconds,
         cache=state,
         attempts=attempts,
+        enforced=enforced,
     )

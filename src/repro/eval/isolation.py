@@ -56,23 +56,42 @@ class FailureRecord:
     message: str
     attempts: int = 1
     elapsed_seconds: float = 0.0
+    #: Whether the requested wall-clock deadline was actually armed
+    #: while this cell ran. ``False`` means the caller asked for a
+    #: timeout from a context where ``SIGALRM`` cannot fire (off the
+    #: main thread) — the cell ran unbounded.
+    enforced: bool = True
 
     @property
     def is_timeout(self) -> bool:
         return self.error_type == CellTimeoutError.__name__
 
 
-def _alarm_usable() -> bool:
+def watchdog_armable() -> bool:
+    """Whether :func:`deadline` can arm ``SIGALRM`` *here*.
+
+    True only on the main thread of a process on a platform with
+    ``SIGALRM``. Callers that request timeouts from worker threads can
+    check this to record ``enforced=False`` on their failure artifacts
+    instead of silently running unbounded.
+    """
     return (hasattr(signal, "SIGALRM")
             and threading.current_thread() is threading.main_thread())
+
+
+_alarm_usable = watchdog_armable
 
 
 @contextmanager
 def deadline(seconds: float | None) -> Iterator[None]:
     """Raise :class:`CellTimeoutError` if the body outlives ``seconds``.
 
-    ``None`` (or a non-positive value) disables enforcement, as does
-    running off the main thread, where ``SIGALRM`` cannot be armed.
+    ``None`` (or a non-positive value) disables enforcement. Running
+    off the main thread, where ``SIGALRM`` cannot be armed, also
+    disables it — but *loudly*: the ``isolation.watchdog_unarmed``
+    counter is bumped on every such call and a warn-once line names
+    the problem, so an operator who configured ``--timeout`` learns it
+    is not being enforced.
 
     Deadlines compose: arming a nested deadline suspends any outer
     ``ITIMER_REAL`` budget and, on exit, re-arms the outer timer with
@@ -80,7 +99,18 @@ def deadline(seconds: float | None) -> Iterator[None]:
     charged against it). An outer budget that expired while the inner
     one was armed fires immediately after the inner scope exits.
     """
-    if not seconds or seconds <= 0 or not _alarm_usable():
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if not watchdog_armable():
+        from repro.obs.log import warn_once
+
+        warn_once(
+            "isolation.watchdog_unarmed",
+            f"a {seconds:g}s cell deadline was requested off the main "
+            f"thread, where SIGALRM cannot be armed — the timeout is "
+            f"NOT enforced (run analyses in a supervised worker "
+            f"process to enforce it)")
         yield
         return
 

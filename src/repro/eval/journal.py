@@ -406,6 +406,7 @@ def _failure_to_dict(failure: FailureRecord) -> dict:
         "message": failure.message,
         "attempts": failure.attempts,
         "elapsed_seconds": failure.elapsed_seconds,
+        "enforced": failure.enforced,
     }
 
 
@@ -417,6 +418,7 @@ def _failure_from_dict(doc: dict) -> FailureRecord:
         message=doc["message"],
         attempts=doc.get("attempts", 1),
         elapsed_seconds=doc.get("elapsed_seconds", 0.0),
+        enforced=doc.get("enforced", True),
     )
 
 

@@ -93,6 +93,45 @@ class QuarantineStore:
         obs.add("quarantine.captured", 1)
         return entry_dir
 
+    def capture_job(
+        self,
+        data: bytes,
+        *,
+        job_id: str,
+        tenant: str,
+        tools: tuple[str, ...] | list[str],
+        error: BaseException | str,
+        phase: str = "worker",
+        attempts: int = 1,
+    ) -> Path | None:
+        """Capture a poisoned *service job*'s bytes.
+
+        Service jobs carry no corpus provenance, so the corpus-shaped
+        :class:`FailureRecord` fields are repurposed by convention:
+        ``suite="service"``, ``program=<job id>``, ``compiler=<tenant>``
+        and ``tool`` is the comma-joined requested tool set. Replay
+        (``funseeker quarantine replay``) still works — a joined tool
+        name matches no detector, so the replay degrades to a
+        parse-only reproduction, which is exactly what a worker-killing
+        input needs.
+        """
+        failure = FailureRecord(
+            suite="service",
+            program=job_id,
+            compiler=tenant,
+            bits=0,
+            pie=False,
+            opt="-",
+            tool=",".join(tools),
+            phase=phase,
+            error_type=(type(error).__name__
+                        if isinstance(error, BaseException)
+                        else str(error)),
+            message=str(error),
+            attempts=attempts,
+        )
+        return self.capture(data, failure)
+
     @staticmethod
     def _read_meta(path: Path) -> dict | None:
         try:

@@ -23,6 +23,7 @@ from repro.eval.isolation import (
     PHASE_PARSE,
     FailureRecord,
     run_cell,
+    watchdog_armable,
 )
 from repro.eval.metrics import Confusion, score
 from repro.synth.corpus import CorpusEntry
@@ -118,7 +119,7 @@ def _provenance(entry: CorpusEntry) -> dict:
 
 def _failure(
     prov: dict, tool: str, phase: str, error: BaseException,
-    attempts: int, elapsed: float,
+    attempts: int, elapsed: float, enforced: bool = True,
 ) -> FailureRecord:
     return FailureRecord(
         **prov,
@@ -128,6 +129,7 @@ def _failure(
         message=str(error),
         attempts=attempts,
         elapsed_seconds=elapsed,
+        enforced=enforced,
     )
 
 
@@ -188,6 +190,10 @@ def run_evaluation(
     """
     report = EvalReport()
     completed = completed or set()
+    # A timeout requested off the main thread cannot be armed; record
+    # that on every failure of this sweep instead of claiming a
+    # deadline that never existed.
+    enforced = timeout is None or timeout <= 0 or watchdog_armable()
 
     def _record_failure(failure: FailureRecord,
                         entry: CorpusEntry | None = None) -> None:
@@ -231,7 +237,7 @@ def run_evaluation(
                 for tool_name in todo:
                     _record_failure(_failure(
                         prov, tool_name, PHASE_PARSE, error, attempts,
-                        elapsed), entry)
+                        elapsed, enforced), entry)
                 continue
             gt = entry.binary.ground_truth.function_starts
             # One store batch per binary: every artifact the tools
@@ -255,7 +261,7 @@ def run_evaluation(
                             breaker.record_failure(tool_name)
                         _record_failure(_failure(
                             prov, tool_name, PHASE_DETECT, error, attempts,
-                            elapsed), entry)
+                            elapsed, enforced), entry)
                         continue
                     if breaker is not None:
                         breaker.record_success(tool_name)

@@ -39,6 +39,7 @@ from repro.faults.plan import (
     KIND_PERMANENT,
     KIND_TRANSIENT,
     KIND_TRUNCATE,
+    SITE_BLOB_READ,
     SITE_CACHE_GET,
     SITE_CACHE_PUT,
     SITE_CELL_EXECUTE,
@@ -80,6 +81,7 @@ __all__ = [
     "KIND_PERMANENT",
     "KIND_TRANSIENT",
     "KIND_TRUNCATE",
+    "SITE_BLOB_READ",
     "SITE_CACHE_GET",
     "SITE_CACHE_PUT",
     "SITE_CELL_EXECUTE",

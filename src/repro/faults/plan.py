@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 #: Named fault points (the catalog is documented in docs/robustness.md).
 SITE_ELF_READ = "elf.read"
+SITE_BLOB_READ = "blob.read"
 SITE_CACHE_GET = "cache.get"
 SITE_CACHE_PUT = "cache.put"
 SITE_JOURNAL_APPEND = "journal.append"
@@ -33,6 +34,7 @@ SITE_INGEST_ANALYZE = "ingest.analyze"
 
 ALL_SITES = (
     SITE_ELF_READ,
+    SITE_BLOB_READ,
     SITE_CACHE_GET,
     SITE_CACHE_PUT,
     SITE_JOURNAL_APPEND,

@@ -1,0 +1,57 @@
+"""Counter-backed service logging: every warning is also a metric.
+
+Long-lived processes (``funseeker serve``, the supervisor) must not
+report operational anomalies with bare ``print(file=sys.stderr)``
+calls: stderr scrolls away, but an operator watching ``/v1/metrics``
+needs the event to be countable. :func:`warn` couples the two — one
+stderr line *and* one obs counter bump per call. :func:`warn_once`
+additionally deduplicates the stderr line per counter name (the
+counter still increments on every call, so the metric keeps counting
+while the log stays quiet).
+
+The helpers never raise: a broken stderr (closed pipe, full disk) must
+not take the service down with it.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro import obs
+
+_lock = threading.Lock()
+_emitted: set[str] = set()
+
+
+def warn(counter: str, message: str) -> None:
+    """Bump ``counter`` and write one ``warning:`` line to stderr."""
+    obs.add(counter, 1)
+    try:
+        print(f"warning: {message}", file=sys.stderr, flush=True)
+    except (OSError, ValueError):
+        pass
+
+
+def warn_once(counter: str, message: str) -> None:
+    """Like :func:`warn`, but the stderr line fires once per counter.
+
+    The counter increments on *every* call — only the log line is
+    deduplicated, keyed by the counter name (not the message text, so
+    a per-item message does not defeat the dedup).
+    """
+    obs.add(counter, 1)
+    with _lock:
+        if counter in _emitted:
+            return
+        _emitted.add(counter)
+    try:
+        print(f"warning: {message}", file=sys.stderr, flush=True)
+    except (OSError, ValueError):
+        pass
+
+
+def reset_warn_once() -> None:
+    """Forget which warn-once lines were emitted (test isolation)."""
+    with _lock:
+        _emitted.clear()

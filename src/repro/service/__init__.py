@@ -13,16 +13,23 @@ Layering:
 
 - :mod:`repro.service.app` — the stdlib HTTP/1.1 front end.
 - :mod:`repro.service.jobs` — dedup, bounded queue, executor dispatch,
-  journal-backed restart recovery.
+  poison-job quarantine, health state machine, journal-backed restart
+  recovery.
+- :mod:`repro.service.supervisor` — the process-isolated executor:
+  supervised worker subprocesses with armed deadlines and RSS caps.
 - :mod:`repro.service.receipts` — ``job-receipt/v1`` provenance.
 - :mod:`repro.service.ratelimit` — per-tenant token buckets.
 - :mod:`repro.service.metrics` — ``/v1/healthz`` + ``/v1/metrics``.
-- :mod:`repro.service.chaos` — the kill-mid-job acceptance scenario.
+- :mod:`repro.service.chaos` — kill/hang/poison/disk-full acceptance
+  scenarios.
 """
 
 from repro.service.app import AnalysisService, DEFAULT_MAX_BODY
 from repro.service.jobs import (
     DEFAULT_TENANT,
+    HEALTH_DEGRADED,
+    HEALTH_DRAINING,
+    HEALTH_HEALTHY,
     JOB_DONE,
     JOB_FAILED,
     JOB_QUEUED,
@@ -30,16 +37,21 @@ from repro.service.jobs import (
     Batch,
     Job,
     JobManager,
+    execute_payload,
     job_identity,
 )
 from repro.service.ratelimit import TenantRateLimiter, TokenBucket
 from repro.service.receipts import RECEIPT_SCHEMA, build_receipt
+from repro.service.supervisor import SupervisedExecutor, WorkerLostError
 
 __all__ = [
     "AnalysisService",
     "Batch",
     "DEFAULT_MAX_BODY",
     "DEFAULT_TENANT",
+    "HEALTH_DEGRADED",
+    "HEALTH_DRAINING",
+    "HEALTH_HEALTHY",
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_QUEUED",
@@ -47,8 +59,11 @@ __all__ = [
     "Job",
     "JobManager",
     "RECEIPT_SCHEMA",
+    "SupervisedExecutor",
     "TenantRateLimiter",
     "TokenBucket",
+    "WorkerLostError",
     "build_receipt",
+    "execute_payload",
     "job_identity",
 ]

@@ -18,7 +18,9 @@ Routes (see ``docs/service.md`` for the full contract)::
 
 Backpressure contract: a full job queue or an exhausted tenant token
 bucket both answer ``429`` with a ``Retry-After`` header the client
-can sleep on verbatim.
+can sleep on verbatim. A manager degraded to read-only (disk full) or
+draining answers write routes with ``503`` + ``Retry-After`` while GET
+routes keep serving.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro import obs
 from repro.cache.disk import valid_namespace
-from repro.errors import QueueFullError
+from repro.errors import QueueFullError, ServiceUnavailableError
 from repro.service.jobs import JOB_DONE, JOB_FAILED, DEFAULT_TENANT, JobManager
 from repro.service.metrics import health_doc, metrics_doc
 from repro.service.ratelimit import TenantRateLimiter
@@ -44,6 +46,7 @@ _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -280,6 +283,12 @@ class AnalysisService:
                 429, str(exc),
                 headers={"Retry-After": str(int(exc.retry_after))},
             ) from exc
+        except ServiceUnavailableError as exc:
+            obs.add("service.unavailable_responses", 1)
+            raise HttpError(
+                503, str(exc),
+                headers={"Retry-After": str(int(exc.retry_after))},
+            ) from exc
         except ValueError as exc:
             raise HttpError(400, str(exc)) from exc
         status = 200 if job.status == JOB_DONE else 202
@@ -336,6 +345,12 @@ class AnalysisService:
         except QueueFullError as exc:
             raise HttpError(
                 429, str(exc),
+                headers={"Retry-After": str(int(exc.retry_after))},
+            ) from exc
+        except ServiceUnavailableError as exc:
+            obs.add("service.unavailable_responses", 1)
+            raise HttpError(
+                503, str(exc),
                 headers={"Retry-After": str(int(exc.retry_after))},
             ) from exc
         except ValueError as exc:

@@ -1,18 +1,29 @@
-"""Service chaos: prove the job API survives a SIGKILL mid-analysis.
+"""Service chaos: the job API under kills, hangs, poison, and full disks.
 
 The evaluation and ingest chaos harnesses exercise in-process resume
-paths; the service scenario has to be harsher, because the claim is
-about a *process*: a ``funseeker serve`` subprocess is killed dead by
-an injected ``kill@cell.execute`` fault while a job is being analyzed,
-a second server is started on the same run directory, and every job
-submitted before the crash must complete with results identical to a
-fault-free baseline server — completed work served from the journal,
-interrupted work re-enqueued and re-analyzed.
+paths; the service scenarios have to be harsher, because the claims
+are about *processes*. Four acceptance scenarios run against real
+``funseeker serve`` subprocesses:
 
-The kill ordinal is chosen so the first binary finishes (and is
-journaled) before the fault fires during the second binary's parse:
-the scenario then proves both restore paths at once — replay of a
-``job-completed`` line and re-execution from a ``job-submitted`` line.
+- **service-kill-mid-job** — a thread-isolation server is SIGKILLed by
+  an injected ``kill@cell.execute`` fault mid-analysis; a restart on
+  the same run directory must reproduce the fault-free baseline
+  results exactly (journal replay + re-execution). The kill ordinal is
+  chosen so the first binary finishes (and is journaled) before the
+  fault fires during the second binary's parse.
+- **service-hang-backstop** — under process isolation with *no*
+  per-cell timeout, an injected hang wedges a worker; the supervisor's
+  ``--backstop`` must kill and respawn it, the job must complete on
+  the fresh worker, and the server must never die.
+- **service-poison-quarantine** — a ``kill@cell.execute#1`` fault
+  murders every worker that touches the job; after
+  ``--poison-threshold`` losses the job must fail permanently, its
+  bytes must land in quarantine, and a restarted server must *not*
+  re-enqueue it.
+- **service-enospc-degrade** — an injected disk-full fault on the
+  journal flips the server into degraded read-only mode (503 +
+  Retry-After on writes, GETs keep serving); after ``--probe-interval``
+  the next write heals it and completes normally.
 """
 
 from __future__ import annotations
@@ -61,7 +72,8 @@ class ServerHandle:
         body: bytes | None = None,
         headers: dict | None = None,
         timeout: float = 15.0,
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, dict]:
+        """One round trip; returns (status, response headers, doc)."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=timeout)
         try:
@@ -70,7 +82,9 @@ class ServerHandle:
             payload = response.read()
         finally:
             conn.close()
-        return response.status, json.loads(payload.decode("utf-8"))
+        return (response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                json.loads(payload.decode("utf-8")))
 
     def alive(self) -> bool:
         return self.proc.poll() is None
@@ -98,6 +112,7 @@ def start_server(
     tools: tuple[str, ...] = _CHAOS_TOOLS,
     fault_plan: str | None = None,
     start_timeout: float = START_TIMEOUT,
+    extra_args: tuple[str, ...] = (),
 ) -> ServerHandle:
     """Spawn ``python -m repro serve`` and wait for its address line."""
     run_dir.mkdir(parents=True, exist_ok=True)
@@ -117,7 +132,8 @@ def start_server(
              "--run-dir", str(run_dir),
              "--cache-dir", str(cache_dir),
              "--tools", ",".join(tools),
-             "--port", "0", "--workers", "1"],
+             "--port", "0", "--workers", "1",
+             *extra_args],
             stdout=subprocess.PIPE, stderr=log, env=env,
         )
     finally:
@@ -158,7 +174,7 @@ def _await_address(proc: subprocess.Popen,
 
 def _submit(handle: ServerHandle, image: bytes,
             tools: tuple[str, ...]) -> str:
-    status, doc = handle.request(
+    status, _headers, doc = handle.request(
         "POST", f"/v1/jobs?tools={','.join(tools)}", body=image)
     if status not in (200, 202):
         raise ServerCrashed(f"submit answered {status}: {doc}")
@@ -177,7 +193,7 @@ def _await_results(
         for job_id in job_ids:
             if job_id in results:
                 continue
-            status, doc = handle.request(
+            status, _headers, doc = handle.request(
                 "GET", f"/v1/jobs/{job_id}/result")
             if status == 200:
                 results[job_id] = doc
@@ -274,11 +290,18 @@ def run_service_chaos(
     report.baseline_jobs = len(baseline)
 
     # Fire during the second binary's parse: binary 1 (1 parse +
-    # len(tools) detects) completes and is journaled first.
+    # len(tools) detects) completes and is journaled first. Thread
+    # isolation on purpose: the kill must take the *server* down.
     ordinal = len(tools) + 2
     plan = f"kill@cell.execute#{ordinal}"
     report.results.append(_run_kill_scenario(
         work_dir / "kill", images, tools, plan, baseline))
+    report.results.append(_run_hang_scenario(
+        work_dir / "hang", images, tools, baseline))
+    report.results.append(_run_poison_scenario(
+        work_dir / "poison", images[0], tools))
+    report.results.append(_run_enospc_scenario(
+        work_dir / "enospc", images[0], tools))
     return report
 
 
@@ -297,7 +320,8 @@ def _run_kill_scenario(
     # -- faulted server: submit everything, let the fault kill it -----------
     try:
         handle = start_server(run_dir, cache_dir, tools=tools,
-                              fault_plan=plan)
+                              fault_plan=plan,
+                              extra_args=("--isolation", "thread"))
     except ServerCrashed as exc:
         result.detail = f"faulted server never came up: {exc}"
         return result
@@ -321,17 +345,18 @@ def _run_kill_scenario(
 
     # -- restarted server: same run dir, no fault ---------------------------
     try:
-        handle = start_server(run_dir, cache_dir, tools=tools)
+        handle = start_server(run_dir, cache_dir, tools=tools,
+                              extra_args=("--isolation", "thread"))
     except ServerCrashed as exc:
         result.detail = f"restart on the crashed run dir failed: {exc}"
         return result
     try:
-        _, health = handle.request("GET", "/v1/healthz")
+        _, _, health = handle.request("GET", "/v1/healthz")
         if not health.get("resumed"):
             result.detail = ("restarted server does not report the run "
                             "dir as resumed")
             return result
-        _, metrics = handle.request("GET", "/v1/metrics")
+        _, _, metrics = handle.request("GET", "/v1/metrics")
         result.resumed_jobs = metrics["service"].get("resumed_jobs", 0)
         raw = _await_results(handle, job_ids)
         resumed = normalize_results(raw)
@@ -362,6 +387,199 @@ def _run_kill_scenario(
         return result
     result.ok = True
     result.detail = "resumed results identical to the baseline"
+    return result
+
+
+def _run_hang_scenario(
+    scenario_dir: Path,
+    images: list[bytes],
+    tools: tuple[str, ...],
+    baseline: dict,
+) -> ServiceScenarioResult:
+    """A wedged worker is backstop-killed; the job completes on respawn.
+
+    Deliberately run with *no* per-cell ``--timeout``: the injected
+    hang cannot be broken by ``SIGALRM``, so only the supervisor's
+    backstop stands between the job and the fault's 30s self-release.
+    The server process must survive the whole episode.
+    """
+    ordinal = len(tools) + 2
+    plan = f"hang@cell.execute#{ordinal}"
+    result = ServiceScenarioResult(
+        name="service-hang-backstop", plan=plan, ok=False, detail="")
+    try:
+        handle = start_server(
+            scenario_dir / "run", scenario_dir / "cache", tools=tools,
+            fault_plan=plan,
+            extra_args=("--isolation", "process", "--backstop", "4"))
+    except ServerCrashed as exc:
+        result.detail = f"server never came up: {exc}"
+        return result
+    try:
+        job_ids = [_submit(handle, image, tools) for image in images]
+        raw = _await_results(handle, job_ids)
+        if not handle.alive():
+            result.detail = "server died while supervising the hang"
+            return result
+        resumed = normalize_results(raw)
+        if resumed != baseline:
+            result.detail = _first_divergence(baseline, resumed)
+            return result
+        _, _, metrics = handle.request("GET", "/v1/metrics")
+        supervisor = metrics.get("supervisor") or {}
+        if supervisor.get("backstop_kills", 0) < 1:
+            result.detail = ("the backstop never fired — the hang was "
+                             "not supervised away")
+            return result
+        if metrics["service"].get("crash_retries", 0) < 1:
+            result.detail = ("no crash retry recorded — the hung job "
+                             "did not complete on a respawned worker")
+            return result
+    except (ServerCrashed, OSError, http.client.HTTPException) as exc:
+        result.detail = f"{type(exc).__name__}: {exc}"
+        return result
+    finally:
+        result.server_exit = handle.terminate()
+    result.ok = True
+    result.detail = ("backstop killed the wedged worker; results match "
+                     "the baseline")
+    return result
+
+
+def _run_poison_scenario(
+    scenario_dir: Path,
+    image: bytes,
+    tools: tuple[str, ...],
+) -> ServiceScenarioResult:
+    """A worker-killing input is poisoned, quarantined, and stays dead."""
+    plan = "kill@cell.execute#1"
+    result = ServiceScenarioResult(
+        name="service-poison-quarantine", plan=plan, ok=False, detail="")
+    run_dir = scenario_dir / "run"
+    cache_dir = scenario_dir / "cache"
+    try:
+        handle = start_server(
+            run_dir, cache_dir, tools=tools, fault_plan=plan,
+            extra_args=("--isolation", "process",
+                        "--poison-threshold", "2"))
+    except ServerCrashed as exc:
+        result.detail = f"server never came up: {exc}"
+        return result
+    try:
+        job_id = _submit(handle, image, tools)
+        raw = _await_results(handle, [job_id])
+        doc = raw[job_id]
+        if doc.get("status") != "failed":
+            result.detail = (f"expected the job to fail poisoned, got "
+                             f"{doc.get('status')}")
+            return result
+        if "poisoned" not in (doc.get("error") or ""):
+            result.detail = (f"job failed but not as poisoned: "
+                             f"{doc.get('error')}")
+            return result
+        _, _, metrics = handle.request("GET", "/v1/metrics")
+        if metrics["service"].get("poisoned", 0) != 1:
+            result.detail = "metrics do not count the poisoned job"
+            return result
+        quarantined = [p for p in (run_dir / "quarantine").glob("*/input.bin")]
+        if not quarantined:
+            result.detail = "no quarantine entry captured the input"
+            return result
+    except (ServerCrashed, OSError, http.client.HTTPException) as exc:
+        result.detail = f"{type(exc).__name__}: {exc}"
+        return result
+    finally:
+        handle.terminate()
+
+    # The verdict must be durable: a restarted (fault-free) server
+    # must serve the job as failed without re-enqueueing it.
+    try:
+        handle = start_server(run_dir, cache_dir, tools=tools,
+                              extra_args=("--isolation", "process"))
+    except ServerCrashed as exc:
+        result.detail = f"restart on the poisoned run dir failed: {exc}"
+        return result
+    try:
+        _, _, metrics = handle.request("GET", "/v1/metrics")
+        if metrics["service"].get("resumed_jobs", 0) != 0:
+            result.detail = ("restart re-enqueued the poisoned job "
+                             "despite its journaled verdict")
+            return result
+        status, _, doc = handle.request("GET", f"/v1/jobs/{job_id}")
+        if status != 200 or doc["job"]["status"] != "failed" \
+                or not doc["job"].get("poisoned"):
+            result.detail = (f"restarted server lost the poison "
+                             f"verdict: {doc}")
+            return result
+    except (ServerCrashed, OSError, http.client.HTTPException) as exc:
+        result.detail = f"restarted run failed: {type(exc).__name__}: {exc}"
+        return result
+    finally:
+        result.server_exit = handle.terminate()
+    result.ok = True
+    result.detail = ("job poisoned after 2 worker losses; quarantined "
+                     "and durable across restart")
+    return result
+
+
+def _run_enospc_scenario(
+    scenario_dir: Path,
+    image: bytes,
+    tools: tuple[str, ...],
+) -> ServiceScenarioResult:
+    """Disk-full degrades the service to read-only; a probe heals it."""
+    plan = "enospc@journal.append#1"
+    result = ServiceScenarioResult(
+        name="service-enospc-degrade", plan=plan, ok=False, detail="")
+    try:
+        handle = start_server(
+            scenario_dir / "run", scenario_dir / "cache", tools=tools,
+            fault_plan=plan,
+            extra_args=("--isolation", "thread",
+                        "--probe-interval", "1"))
+    except ServerCrashed as exc:
+        result.detail = f"server never came up: {exc}"
+        return result
+    try:
+        path = f"/v1/jobs?tools={','.join(tools)}"
+        status, headers, doc = handle.request("POST", path, body=image)
+        if status != 503:
+            result.detail = (f"expected 503 on the faulted write, got "
+                             f"{status}: {doc}")
+            return result
+        if "retry-after" not in headers:
+            result.detail = "503 carried no Retry-After header"
+            return result
+        status, _, health = handle.request("GET", "/v1/healthz")
+        if status != 200 or health.get("health") != "degraded":
+            result.detail = (f"degradation not visible on /healthz: "
+                             f"{status} {health.get('health')}")
+            return result
+        # Past the probe interval, the next write heals the service.
+        time.sleep(1.2)
+        status, _, doc = handle.request("POST", path, body=image)
+        if status not in (200, 202):
+            result.detail = (f"probe write did not recover the "
+                             f"service: {status}: {doc}")
+            return result
+        job_id = doc["job"]["job_id"]
+        raw = _await_results(handle, [job_id])
+        if raw[job_id].get("status") != "done":
+            result.detail = (f"post-recovery job did not complete: "
+                             f"{raw[job_id]}")
+            return result
+        _, _, health = handle.request("GET", "/v1/healthz")
+        if health.get("health") != "healthy":
+            result.detail = (f"service stayed {health.get('health')} "
+                             f"after a successful probe")
+            return result
+    except (ServerCrashed, OSError, http.client.HTTPException) as exc:
+        result.detail = f"{type(exc).__name__}: {exc}"
+        return result
+    finally:
+        result.server_exit = handle.terminate()
+    result.ok = True
+    result.detail = "degraded to read-only on ENOSPC, recovered on probe"
     return result
 
 

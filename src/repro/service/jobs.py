@@ -27,21 +27,35 @@ Batches additionally stage their images in one shared-memory arena
 (:mod:`repro.eval.shm`) so executor workers slice a mapped segment
 instead of re-reading blobs; the arena is destroyed when the batch
 drains (and by the creator-side atexit guard on abnormal exit).
+
+Execution isolation (``isolation="process"``) swaps the thread pool
+for a :class:`~repro.service.supervisor.SupervisedExecutor`: jobs run
+in supervised child processes where the ``SIGALRM`` deadline and
+``RLIMIT_AS`` ceiling actually arm, and a job that kills or wedges its
+worker is retried on a fresh worker until ``poison_threshold`` losses,
+at which point it is failed permanently, its bytes quarantined, and a
+``job-poisoned`` journal record written so a restart does not
+re-enqueue it. The manager also runs a health state machine
+(healthy / degraded / draining): ENOSPC from the blob store or journal
+flips it into *degraded* read-only mode — reads keep working, write
+admission raises :class:`~repro.errors.ServiceUnavailableError`
+(HTTP 503 + Retry-After), and the first POST after ``probe_interval``
+acts as the recovery probe.
 """
 
 from __future__ import annotations
 
 import asyncio
+import errno
 import hashlib
 import json
 import os
-import sys
 import time
 from concurrent.futures import Executor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro import obs
+from repro import faults, obs
 from repro.baselines import ALL_DETECTORS
 from repro.cache.disk import DiskCache, namespaced_cache, valid_namespace
 from repro.errors import (
@@ -49,6 +63,9 @@ from repro.errors import (
     ManifestCorruptError,
     ManifestMismatchError,
     QueueFullError,
+    ServiceUnavailableError,
+    WorkerLostError,
+    is_permanent_failure,
 )
 from repro.eval import shm
 from repro.eval.analyze import (
@@ -58,19 +75,82 @@ from repro.eval.analyze import (
     warm_lookup,
 )
 from repro.eval.journal import JournalFile, read_journal_lines
+from repro.eval.quarantine import QuarantineStore
+from repro.obs import log
 from repro.service.receipts import build_receipt
+from repro.service.supervisor import (
+    DEFAULT_BACKSTOP,
+    REASON_SHUTDOWN,
+    SupervisedExecutor,
+)
 
 SERVICE_MANIFEST_SCHEMA = "service-manifest/v1"
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 BLOBS_DIR = "blobs"
+QUARANTINE_DIR = "quarantine"
 
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
 
+#: Manager health states surfaced through ``/v1/healthz``.
+HEALTH_HEALTHY = "healthy"
+HEALTH_DEGRADED = "degraded"
+HEALTH_DRAINING = "draining"
+
 DEFAULT_TENANT = "default"
+
+#: Worker losses before a job is failed permanently and quarantined.
+DEFAULT_POISON_THRESHOLD = 3
+
+#: Seconds between degraded-mode recovery probes (the first write
+#: admitted after this interval attempts real durable writes).
+DEFAULT_PROBE_INTERVAL = 30.0
+
+
+def execute_payload(payload: dict) -> ImageAnalysis:
+    """Run one job body from a plain-data payload.
+
+    Module-level and pickle-clean on purpose: this is the function a
+    :class:`~repro.service.supervisor.SupervisedExecutor` ships to its
+    worker subprocesses (thread executors call it too, so both
+    isolation modes execute identical code). The payload carries either
+    a shared-memory ``ref`` or a blob ``path``, plus the cache
+    coordinates — ``cache`` (a live :class:`DiskCache`, thread mode
+    only) or ``cache_root``/``tenant`` to attach per-process.
+    """
+    faults.hit(faults.SITE_BLOB_READ)
+    ref = payload.get("ref")
+    if ref is not None:
+        data = ref.fetch()
+    else:
+        data = Path(payload["blob"]).read_bytes()
+    cache = payload.get("cache")
+    cache_root = payload.get("cache_root")
+    if cache is None and cache_root is not None:
+        cache = namespaced_cache(Path(cache_root), payload["tenant"])
+    return analyze_image(
+        data,
+        payload["tools"],
+        cache=cache,
+        use_default_cache=payload.get("use_default_cache", False),
+        timeout=payload.get("timeout"),
+        retries=payload.get("retries", 0),
+    )
+
+
+def _is_enospc(error: BaseException) -> bool:
+    """Whether an exception (or its cause chain) is a disk-full OSError."""
+    seen = 0
+    exc: BaseException | None = error
+    while exc is not None and seen < 5:
+        if isinstance(exc, OSError) and exc.errno == errno.ENOSPC:
+            return True
+        exc = exc.__cause__ or exc.__context__
+        seen += 1
+    return False
 
 
 def job_identity(tenant: str, sha256: str, tools: tuple[str, ...]) -> str:
@@ -102,6 +182,12 @@ class Job:
     resumed: bool = False
     error: str | None = None
     batch_id: str | None = None
+    #: Times this job's supervised worker was lost (killed/wedged).
+    crashes: int = 0
+    #: Permanently failed after ``poison_threshold`` worker losses.
+    poisoned: bool = False
+    #: Quarantine entry directory holding the poisoned input, if any.
+    quarantined: str | None = None
 
     def doc(self) -> dict:
         """The status document served by ``GET /v1/jobs/{id}``."""
@@ -117,6 +203,9 @@ class Job:
             "resumed": self.resumed,
             "batch_id": self.batch_id,
             "error": self.error,
+            "crashes": self.crashes,
+            "poisoned": self.poisoned,
+            "quarantined": self.quarantined,
         }
 
 
@@ -168,6 +257,11 @@ class JobManager:
         executor_workers: int = 1,
         timeout: float | None = None,
         retries: int = 0,
+        isolation: str = "thread",
+        backstop: float | None = DEFAULT_BACKSTOP,
+        poison_threshold: int = DEFAULT_POISON_THRESHOLD,
+        max_rss_mb: int | None = None,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL,
         clock=time.time,
     ) -> None:
         if tools is None:
@@ -177,20 +271,34 @@ class JobManager:
             raise ValueError(
                 f"unknown tools {unknown} "
                 f"(known: {sorted(ALL_DETECTORS)})")
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"unknown isolation {isolation!r} "
+                f"(pick 'thread' or 'process')")
         self.tools = tuple(tools)
         self.run_dir = Path(run_dir)
         self.cache_root = Path(cache_root) if cache_root else None
         self.queue_size = queue_size
         self.timeout = timeout
         self.retries = retries
+        self.poison_threshold = max(1, poison_threshold)
+        self.probe_interval = max(0.0, probe_interval)
         self.clock = clock
         self.started_at = clock()
         #: Whether this manager resumed an existing run directory.
         self.resumed = False
+        #: Health state machine: healthy → degraded (read-only, on
+        #: ENOSPC) → healthy again after a successful probe; draining
+        #: once :meth:`stop` begins.
+        self.health = HEALTH_HEALTHY
+        self.health_reason: str | None = None
+        self._next_probe = 0.0
 
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.blobs_dir = self.run_dir / BLOBS_DIR
         self.blobs_dir.mkdir(exist_ok=True)
+        self.quarantine_dir = self.run_dir / QUARANTINE_DIR
+        self._quarantine = QuarantineStore(self.quarantine_dir)
         self._open_manifest()
         self._journal = JournalFile(self.run_dir / JOURNAL_NAME)
 
@@ -200,10 +308,24 @@ class JobManager:
         self._caches: dict[str, DiskCache] = {}
         self._queue: asyncio.Queue[str] = asyncio.Queue(maxsize=queue_size)
         self._own_executor = executor is None
-        self._executor = executor or ThreadPoolExecutor(
-            max_workers=executor_workers,
-            thread_name_prefix="repro-analyze",
-        )
+        if executor is None:
+            if isolation == "process":
+                executor = SupervisedExecutor(
+                    max_workers=max(1, executor_workers),
+                    backstop=backstop,
+                    max_rss_mb=max_rss_mb,
+                )
+            else:
+                executor = ThreadPoolExecutor(
+                    max_workers=executor_workers,
+                    thread_name_prefix="repro-analyze",
+                )
+        #: The effective isolation mode (injected executors advertise
+        #: process isolation via a ``process_isolated`` attribute).
+        self.isolation = ("process"
+                          if getattr(executor, "process_isolated", False)
+                          else "thread")
+        self._executor = executor
         self._worker_count = max(1, executor_workers)
         self._workers: list[asyncio.Task] = []
         self._pending_resume: list[str] = []
@@ -211,6 +333,7 @@ class JobManager:
             "submitted": 0, "deduped": 0, "warm_served": 0,
             "completed": 0, "failed": 0, "restored": 0,
             "resumed_jobs": 0, "rejected_queue_full": 0,
+            "poisoned": 0, "crash_retries": 0, "rejected_degraded": 0,
         }
         self._restore()
 
@@ -275,11 +398,26 @@ class JobManager:
                     job.receipt = data["receipt"]
                     job.status = JOB_DONE
                     job.completed_at = data["at"]
+                elif kind in ("job-failed", "job-poisoned"):
+                    # Terminal failures: a restart must NOT re-enqueue
+                    # these — that is the whole point of journaling
+                    # them (poison jobs would otherwise kill workers
+                    # forever).
+                    job = self._jobs.get(data["job"])
+                    if job is None:
+                        continue
+                    job.status = JOB_FAILED
+                    job.error = data.get("error")
+                    job.completed_at = data["at"]
+                    if kind == "job-poisoned":
+                        job.poisoned = True
+                        job.crashes = data.get("crashes", 0)
+                        job.quarantined = data.get("quarantine")
             except (KeyError, TypeError, ValueError):
                 obs.add("service.journal_corrupt_lines", 1)
                 continue
         for job in self._jobs.values():
-            if job.status == JOB_DONE:
+            if job.status in (JOB_DONE, JOB_FAILED):
                 self.stats["restored"] += 1
                 continue
             job.resumed = True
@@ -308,7 +446,14 @@ class JobManager:
         Running analyses are abandoned (their futures cancelled where
         possible) — by design their ``job-completed`` line was never
         written, so the next server on this run directory re-runs them.
+        A supervised executor is shut down *first* so in-flight futures
+        resolve (as shutdown losses) instead of leaving worker
+        coroutines awaiting a child process that nobody will reap.
         """
+        self.health = HEALTH_DRAINING
+        self.health_reason = "shutting down"
+        if self._own_executor and self.isolation == "process":
+            self._executor.shutdown(wait=False, cancel_futures=True)
         for task in self._workers:
             task.cancel()
         for task in self._workers:
@@ -344,6 +489,21 @@ class JobManager:
         for job in self._jobs.values():
             counts[job.status] = counts.get(job.status, 0) + 1
         return counts
+
+    def supervisor_stats(self) -> dict | None:
+        """The executor's supervision counters, when it has any."""
+        stats = getattr(self._executor, "stats", None)
+        if not callable(stats):
+            return None
+        try:
+            doc = stats()
+        except Exception:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def quarantine_entries(self) -> list:
+        """Captured poison inputs (see :mod:`repro.eval.quarantine`)."""
+        return self._quarantine.entries()
 
     def cache_for(self, tenant: str) -> DiskCache | None:
         if self.cache_root is None:
@@ -385,7 +545,9 @@ class JobManager:
         here, synchronously, without a parse); otherwise it is
         journaled, blobbed, and enqueued. A full queue raises
         :class:`~repro.errors.QueueFullError` *before* any durable
-        side effect.
+        side effect, and a degraded (read-only) manager raises
+        :class:`~repro.errors.ServiceUnavailableError` the same way —
+        dedup of already-known jobs keeps working in both cases.
         """
         if not valid_namespace(tenant):
             raise ValueError(f"invalid tenant {tenant!r}")
@@ -397,6 +559,7 @@ class JobManager:
             self.stats["deduped"] += 1
             obs.add("service.dedup_hits", 1)
             return existing, False
+        self._admit_write()
 
         self.stats["submitted"] += 1
         obs.add("service.jobs_submitted", 1)
@@ -411,7 +574,7 @@ class JobManager:
         if warm is not None:
             self.stats["warm_served"] += 1
             obs.add("service.warm_served", 1)
-            self._journal_submitted(job)
+            self._durable_submit(job)
             self._jobs[job_id] = job
             self._finish(job, warm)
             return job, True
@@ -422,11 +585,78 @@ class JobManager:
             raise QueueFullError(
                 f"job queue full ({self.queue_size} pending)",
                 retry_after=max(1.0, (self.timeout or 1.0)))
-        self._write_blob(sha256, data)
-        self._journal_submitted(job)
+        self._durable_submit(job, data=data)
         self._jobs[job_id] = job
         self._queue.put_nowait(job_id)
         return job, True
+
+    def _admit_write(self) -> None:
+        """Gate write traffic on manager health (read paths never gate).
+
+        Draining always rejects. Degraded rejects until
+        ``probe_interval`` has elapsed since degradation (or the last
+        failed probe) — then the *next* write is admitted as the
+        recovery probe: if its durable writes succeed the manager heals
+        itself, if they fail the probe clock rearms.
+        """
+        if self.health == HEALTH_DRAINING:
+            raise ServiceUnavailableError(
+                "service is draining; submissions are closed",
+                retry_after=5.0)
+        if self.health != HEALTH_DEGRADED:
+            return
+        now = self.clock()
+        if now < self._next_probe:
+            self.stats["rejected_degraded"] += 1
+            obs.add("service.degraded_rejections", 1)
+            raise ServiceUnavailableError(
+                f"service degraded ({self.health_reason}); read-only "
+                f"until storage recovers",
+                retry_after=max(1.0, self._next_probe - now))
+        # This submission is the probe; push the next probe window out
+        # so a failing probe does not open the floodgates.
+        self._next_probe = now + max(1.0, self.probe_interval)
+
+    def _durable_submit(self, job: Job, data: bytes | None = None) -> None:
+        """Blob + journal a fresh submission; track storage health.
+
+        Any failure of the durable writes fails the submission (the
+        caller never sees a job it cannot trust to survive a restart);
+        an ENOSPC flips the manager into degraded read-only mode, and a
+        success while degraded recovers it.
+        """
+        try:
+            if data is not None:
+                self._write_blob(job.sha256, data)
+            self._journal_submitted(job)
+        except (OSError, JournalWriteError) as exc:
+            self.stats["submitted"] -= 1
+            if _is_enospc(exc):
+                self._enter_degraded(f"storage full: {exc}")
+                raise ServiceUnavailableError(
+                    "storage full; service is read-only",
+                    retry_after=max(1.0, self.probe_interval)) from exc
+            raise
+        if self.health == HEALTH_DEGRADED:
+            self._exit_degraded()
+
+    def _enter_degraded(self, reason: str) -> None:
+        if self.health != HEALTH_HEALTHY:
+            self.health_reason = reason
+            return
+        self.health = HEALTH_DEGRADED
+        self.health_reason = reason
+        self._next_probe = self.clock() + max(1.0, self.probe_interval)
+        obs.add("service.degraded_entries", 1)
+        log.warn("service.degraded_log",
+                 f"service degraded to read-only: {reason}")
+
+    def _exit_degraded(self) -> None:
+        self.health = HEALTH_HEALTHY
+        reason, self.health_reason = self.health_reason, None
+        obs.add("service.degraded_recoveries", 1)
+        log.warn("service.recovered_log",
+                 f"service recovered from degraded state ({reason})")
 
     def submit_batch(
         self,
@@ -480,41 +710,94 @@ class JobManager:
     # -- execution -----------------------------------------------------------
 
     async def _worker(self) -> None:
-        loop = asyncio.get_running_loop()
         while True:
             job_id = await self._queue.get()
             job = self._jobs.get(job_id)
             if job is None or job.status not in (JOB_QUEUED,):
                 continue
-            job.status = JOB_RUNNING
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        """Drive one job to a terminal state, surviving worker losses.
+
+        A lost worker (crash, blown deadline, wedge) is retried
+        *inline* on the freshly respawned worker — re-enqueueing would
+        deadlock this very consumer on a full queue — until the job
+        accumulates ``poison_threshold`` losses and is poisoned.
+        """
+        job.status = JOB_RUNNING
+        while True:
             try:
-                analysis = await loop.run_in_executor(
-                    self._executor, self._execute, job)
+                analysis = await self._dispatch(job)
             except asyncio.CancelledError:
                 # Graceful shutdown mid-job: back to queued so the
                 # status endpoint tells the truth; the journal already
                 # guarantees a restart re-runs it.
                 job.status = JOB_QUEUED
                 raise
+            except WorkerLostError as exc:
+                if (exc.reason == REASON_SHUTDOWN
+                        or self.health == HEALTH_DRAINING):
+                    job.status = JOB_QUEUED
+                    return
+                job.crashes += 1
+                if job.crashes >= self.poison_threshold:
+                    self._poison(job, exc)
+                    return
+                self.stats["crash_retries"] += 1
+                obs.add("service.crash_retries", 1)
+                log.warn(
+                    "service.crash_retry_log",
+                    f"job {job.job_id} lost its worker "
+                    f"({exc.reason}, loss {job.crashes}/"
+                    f"{self.poison_threshold}); retrying on a fresh "
+                    f"worker")
+                continue
             except Exception as exc:
                 self._fail(job, exc)
+                return
             else:
                 self._finish(job, analysis)
+                return
 
-    def _execute(self, job: Job) -> ImageAnalysis:
-        """Runs on the executor — never touches the event-loop state."""
+    def _budget(self, job: Job) -> float | None:
+        """Worst-case wall clock for one job, for the supervisor.
+
+        Each of the parse cell and per-tool detect cells may burn the
+        full per-cell timeout across all retry attempts; the supervisor
+        adds its own ``backstop`` grace on top of this.
+        """
+        if self.timeout is None or self.timeout <= 0:
+            return None
+        cells = len(job.tools) + 1
+        return self.timeout * (self.retries + 1) * cells
+
+    async def _dispatch(self, job: Job) -> ImageAnalysis:
+        """Ship one job body to the executor and await the result."""
+        payload: dict = {
+            "tools": job.tools,
+            "tenant": job.tenant,
+            "timeout": self.timeout,
+            "retries": self.retries,
+        }
         ref = self._refs.get(job.job_id)
         if ref is not None:
-            data = ref.fetch()
+            payload["ref"] = ref
         else:
-            data = self._blob_path(job.sha256).read_bytes()
-        return analyze_image(
-            data, job.tools,
-            cache=self.cache_for(job.tenant),
-            use_default_cache=self.cache_root is None,
-            timeout=self.timeout,
-            retries=self.retries,
-        )
+            payload["blob"] = str(self._blob_path(job.sha256))
+        if self.isolation == "process":
+            # Workers attach the per-tenant cache namespace in their
+            # own process; a live DiskCache handle is not shipped.
+            if self.cache_root is not None:
+                payload["cache_root"] = str(self.cache_root)
+            payload["use_default_cache"] = self.cache_root is None
+            future = self._executor.submit_task(
+                execute_payload, payload, budget=self._budget(job))
+        else:
+            payload["cache"] = self.cache_for(job.tenant)
+            payload["use_default_cache"] = self.cache_root is None
+            future = self._executor.submit(execute_payload, payload)
+        return await asyncio.wrap_future(future)
 
     def _finish(self, job: Job, analysis: ImageAnalysis) -> None:
         job.analysis = analysis
@@ -536,19 +819,87 @@ class JobManager:
         except JournalWriteError as exc:
             # The result stands in memory; only restart durability is
             # degraded. Surface it rather than failing the job.
-            obs.add("service.journal_write_errors", 1)
-            print(f"warning: job {job.job_id} completion not journaled: "
-                  f"{exc}", file=sys.stderr)
+            log.warn("service.journal_write_errors",
+                     f"job {job.job_id} completion not journaled: {exc}")
+            if _is_enospc(exc):
+                self._enter_degraded(f"storage full: {exc}")
         self._release_batch(job)
 
     def _fail(self, job: Job, error: BaseException) -> None:
         job.status = JOB_FAILED
         job.error = f"{type(error).__name__}: {error}"
+        job.completed_at = self.clock()
         self.stats["failed"] += 1
         obs.add("service.jobs_failed", 1)
-        # Deliberately not journaled: like evaluation-cell failures,
-        # an infrastructure failure is retried by the next resume.
+        # Permanent taxonomy kinds are journaled terminal so a restart
+        # does not re-run a job that can only fail the same way again;
+        # transient failures stay un-journaled (retry on resume).
+        if is_permanent_failure(error):
+            self._journal_terminal("job-failed", job,
+                                   error_type=type(error).__name__)
         self._release_batch(job)
+
+    def _poison(self, job: Job, error: BaseException) -> None:
+        """Permanently fail a job that kept killing its workers.
+
+        The input bytes are quarantined for offline replay and a
+        ``job-poisoned`` journal line makes the verdict durable — a
+        restarted server must never feed this input to a worker again.
+        """
+        job.status = JOB_FAILED
+        job.poisoned = True
+        job.error = (f"poisoned after {job.crashes} worker losses "
+                     f"({type(error).__name__}: {error})")
+        job.completed_at = self.clock()
+        self.stats["poisoned"] += 1
+        self.stats["failed"] += 1
+        obs.add("service.jobs_poisoned", 1)
+        obs.add("service.jobs_failed", 1)
+        data: bytes | None = None
+        ref = self._refs.get(job.job_id)
+        try:
+            if ref is not None:
+                data = ref.fetch()
+            else:
+                data = self._blob_path(job.sha256).read_bytes()
+        except OSError:
+            data = None
+        if data is not None:
+            entry = self._quarantine.capture_job(
+                data, job_id=job.job_id, tenant=job.tenant,
+                tools=job.tools, error=error, attempts=job.crashes)
+            if entry is not None:
+                job.quarantined = str(entry)
+        self._journal_terminal(
+            "job-poisoned", job, error_type=type(error).__name__,
+            extra={"crashes": job.crashes, "quarantine": job.quarantined})
+        log.warn("service.poisoned_log",
+                 f"job {job.job_id} poisoned after {job.crashes} worker "
+                 f"losses; input quarantined at "
+                 f"{job.quarantined or '<not captured>'}")
+        self._release_batch(job)
+
+    def _journal_terminal(
+        self, kind: str, job: Job, *,
+        error_type: str, extra: dict | None = None,
+    ) -> None:
+        record = {
+            "kind": kind,
+            "job": job.job_id,
+            "error": job.error,
+            "error_type": error_type,
+            "at": job.completed_at,
+        }
+        if extra:
+            record.update(extra)
+        try:
+            self._journal.append(record)
+        except JournalWriteError as exc:
+            log.warn("service.journal_write_errors",
+                     f"job {job.job_id} terminal {kind!r} record not "
+                     f"journaled: {exc}")
+            if _is_enospc(exc):
+                self._enter_degraded(f"storage full: {exc}")
 
     def _release_batch(self, job: Job) -> None:
         self._refs.pop(job.job_id, None)

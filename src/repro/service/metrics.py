@@ -18,9 +18,18 @@ from repro.service.jobs import JobManager
 
 
 def health_doc(manager: JobManager, started_at: float) -> dict:
-    """The liveness document: identity plus a coarse job census."""
+    """The liveness document: identity plus a coarse job census.
+
+    ``status`` stays ``"ok"`` whenever the process is serving at all
+    (liveness); the manager's health state machine is surfaced
+    separately as ``health``/``health_reason`` so probes can
+    distinguish "up but read-only" from "up and writable".
+    """
     return {
         "status": "ok",
+        "health": manager.health,
+        "health_reason": manager.health_reason,
+        "isolation": manager.isolation,
         "version": __version__,
         "run_dir": str(manager.run_dir),
         "resumed": manager.resumed,
@@ -34,12 +43,18 @@ def metrics_doc(manager: JobManager, started_at: float) -> dict:
     """Counters (from the active obs recorder) plus service gauges."""
     recorder = obs.recorder()
     counters = dict(getattr(recorder, "counters", {}))
-    return {
+    doc = {
         "counters": counters,
         "service": {
             **manager.stats,
+            "health": manager.health,
+            "isolation": manager.isolation,
             "queue_depth": manager.queue_depth(),
             "jobs": manager.status_counts(),
             "uptime_seconds": time.time() - started_at,
         },
     }
+    supervisor = manager.supervisor_stats()
+    if supervisor is not None:
+        doc["supervisor"] = supervisor
+    return doc

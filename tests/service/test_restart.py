@@ -29,8 +29,12 @@ def test_sigkill_mid_job_then_restart_resumes(tmp_path, sample_image):
     cache_dir = tmp_path / "cache"
 
     # -- killed server: accepts the job, dies parsing it ---------------------
+    # Thread isolation on purpose: under the default process isolation
+    # the fault would only kill a supervised worker and the server
+    # would shrug it off. This test is about killing the *server*.
     handle = start_server(run_dir, cache_dir, tools=TOOLS,
-                          fault_plan="kill@cell.execute#1")
+                          fault_plan="kill@cell.execute#1",
+                          extra_args=("--isolation", "thread"))
     try:
         job_id = _submit(handle, sample_image, TOOLS)
         exit_code = handle.proc.wait(timeout=60)
@@ -41,7 +45,7 @@ def test_sigkill_mid_job_then_restart_resumes(tmp_path, sample_image):
     # -- restarted server: same run dir, no fault ----------------------------
     handle = start_server(run_dir, cache_dir, tools=TOOLS)
     try:
-        _, health = handle.request("GET", "/v1/healthz")
+        _, _, health = handle.request("GET", "/v1/healthz")
         assert health["resumed"] is True
         results = _await_results(handle, [job_id])
         doc = results[job_id]
@@ -53,7 +57,7 @@ def test_sigkill_mid_job_then_restart_resumes(tmp_path, sample_image):
                    for functions in normalized[job_id]["tools"].values())
         # The resumed job id is the content-derived identity the dead
         # server handed out — clients keep polling the same URL.
-        _, polled = handle.request("GET", f"/v1/jobs/{job_id}")
+        _, _, polled = handle.request("GET", f"/v1/jobs/{job_id}")
         assert polled["job"]["resumed"] is True
     finally:
         exit_code = handle.terminate()
